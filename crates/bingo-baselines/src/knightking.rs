@@ -1,0 +1,202 @@
+//! KnightKing-style baseline: per-vertex alias tables.
+//!
+//! KnightKing (SOSP'19) is the CPU random-walk engine the paper uses as its
+//! CPU state of the art. For static biased sampling it builds one alias
+//! table per vertex (`O(1)` sampling); to handle a graph update it must
+//! rebuild the alias table of the affected vertex, which costs `O(d)` — the
+//! cost Table 1 attributes to the alias method and the reason Bingo's `O(K)`
+//! updates win on high-degree vertices.
+
+use bingo_graph::{DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
+use bingo_sampling::{AliasTable, Sampler};
+use bingo_walks::{DynamicWalkSystem, IngestMode, IngestStats, TransitionSampler};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Per-vertex alias-table sampler with `O(d)` per-vertex rebuild on update.
+#[derive(Debug, Clone)]
+pub struct KnightKingBaseline {
+    graph: DynamicGraph,
+    tables: Vec<Option<AliasTable>>,
+}
+
+impl KnightKingBaseline {
+    /// Build the baseline from a graph snapshot.
+    pub fn build(graph: &DynamicGraph) -> Self {
+        let graph = graph.clone();
+        let tables = (0..graph.num_vertices())
+            .into_par_iter()
+            .map(|v| Self::build_table(&graph, v as VertexId))
+            .collect();
+        KnightKingBaseline { graph, tables }
+    }
+
+    fn build_table(graph: &DynamicGraph, v: VertexId) -> Option<AliasTable> {
+        let adj = graph.neighbors(v).ok()?;
+        if adj.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> = adj.edges().iter().map(|e| e.bias.value()).collect();
+        AliasTable::new(&weights).ok()
+    }
+
+    /// Rebuild the alias table of one vertex (`O(d)`).
+    fn rebuild_vertex(&mut self, v: VertexId) {
+        if (v as usize) < self.tables.len() {
+            self.tables[v as usize] = Self::build_table(&self.graph, v);
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+}
+
+impl TransitionSampler for KnightKingBaseline {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.graph.degree(v)
+    }
+
+    #[inline]
+    fn sample_neighbor<R: Rng + ?Sized>(&self, v: VertexId, rng: &mut R) -> Option<VertexId> {
+        let table = self.tables.get(v as usize)?.as_ref()?;
+        let idx = table.sample(rng);
+        self.graph
+            .neighbors(v)
+            .ok()
+            .and_then(|adj| adj.edge(idx))
+            .map(|e| e.dst)
+    }
+
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.graph.has_edge(src, dst)
+    }
+
+    fn edge_bias(&self, src: VertexId, dst: VertexId) -> Option<f64> {
+        let adj = self.graph.neighbors(src).ok()?;
+        adj.find(dst)
+            .and_then(|i| adj.edge(i))
+            .map(|e| e.bias.value())
+    }
+}
+
+impl DynamicWalkSystem for KnightKingBaseline {
+    fn name(&self) -> &'static str {
+        "KnightKing"
+    }
+
+    fn ingest(&mut self, batch: &UpdateBatch, _mode: IngestMode) -> IngestStats {
+        let start = std::time::Instant::now();
+        let mut applied = 0;
+        let mut skipped = 0;
+        let mut touched: Vec<VertexId> = Vec::new();
+        for event in batch.events() {
+            let ok = match *event {
+                UpdateEvent::Insert { src, dst, bias } => {
+                    self.graph.insert_edge(src, dst, bias).is_ok()
+                }
+                UpdateEvent::Delete { src, dst } => self.graph.delete_edge(src, dst).is_ok(),
+                UpdateEvent::UpdateBias { src, dst, bias } => {
+                    self.graph.update_bias(src, dst, bias).is_ok()
+                }
+            };
+            if ok {
+                applied += 1;
+                // The alias method must rebuild the affected vertex: O(d).
+                // (Streaming mode rebuilds immediately; batched mode defers
+                // to one rebuild per touched vertex below.)
+                touched.push(event.src());
+            } else {
+                skipped += 1;
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for v in touched {
+            self.rebuild_vertex(v);
+        }
+        IngestStats {
+            applied,
+            skipped,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+            + self
+                .tables
+                .iter()
+                .flatten()
+                .map(AliasTable::memory_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_graph::dynamic_graph::running_example;
+    use bingo_graph::Bias;
+    use bingo_sampling::rng::Pcg64;
+    use bingo_sampling::stats::{empirical_distribution, max_abs_deviation};
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_creates_tables_only_for_non_isolated_vertices() {
+        let kk = KnightKingBaseline::build(&running_example());
+        assert_eq!(kk.num_vertices(), 6);
+        assert_eq!(kk.degree(2), 3);
+        assert!(kk.tables[2].is_some());
+        assert!(kk.tables[5].is_none());
+        let mut rng = Pcg64::seed_from_u64(1);
+        assert_eq!(kk.sample_neighbor(5, &mut rng), None);
+    }
+
+    #[test]
+    fn updates_rebuild_affected_tables() {
+        let mut kk = KnightKingBaseline::build(&running_example());
+        let batch = UpdateBatch::new(vec![
+            UpdateEvent::Insert {
+                src: 2,
+                dst: 3,
+                bias: Bias::from_int(12),
+            },
+            UpdateEvent::Delete { src: 2, dst: 1 },
+            UpdateEvent::Delete { src: 2, dst: 99 },
+        ]);
+        let stats = kk.ingest(&batch, IngestMode::Batched);
+        assert_eq!(stats.applied, 2);
+        assert_eq!(stats.skipped, 1);
+        // New distribution on vertex 2: neighbors 4 (4), 5 (3), 3 (12).
+        let mut rng = Pcg64::seed_from_u64(2);
+        let freq = empirical_distribution(
+            |r| match kk.sample_neighbor(2, r).unwrap() {
+                4 => 0,
+                5 => 1,
+                3 => 2,
+                other => panic!("unexpected {other}"),
+            },
+            3,
+            200_000,
+            &mut rng,
+        );
+        assert!(max_abs_deviation(&freq, &[4.0 / 19.0, 3.0 / 19.0, 12.0 / 19.0]) < 0.01);
+    }
+
+    #[test]
+    fn edge_queries_match_graph() {
+        let kk = KnightKingBaseline::build(&running_example());
+        assert!(kk.has_edge(2, 4));
+        assert!(!kk.has_edge(4, 2));
+        assert_eq!(kk.edge_bias(2, 5), Some(3.0));
+        assert_eq!(kk.edge_bias(2, 9), None);
+        assert!(kk.memory_bytes() > 0);
+        assert_eq!(DynamicWalkSystem::name(&kk), "KnightKing");
+    }
+}

@@ -1,0 +1,81 @@
+//! # bingo-baselines
+//!
+//! CPU reimplementations of the systems the Bingo paper compares against in
+//! its evaluation (§6.2). Each baseline reproduces the *algorithmic cost
+//! model* of the original system — which is what determines the shape of
+//! Table 3 and Figure 16 — rather than its GPU/distributed machinery:
+//!
+//! * [`KnightKingBaseline`] — per-vertex alias tables (`O(1)` sampling),
+//!   rebuilt in `O(d)` whenever a vertex's edges change; node2vec handled by
+//!   rejection on top of the static tables (KnightKing's own design).
+//! * [`GSamplerBaseline`] — matrix-centric batch sampler: a CSR snapshot plus
+//!   per-vertex CDF arrays (inverse transform sampling, `O(log d)` per
+//!   sample), fully reconstructed after every round of updates, exactly how
+//!   the paper runs gSampler on dynamic workloads.
+//! * [`FlowWalkerBaseline`] — no auxiliary sampling structure at all: every
+//!   step performs weighted reservoir sampling over the adjacency list
+//!   (`O(d)` per step), and updates simply mutate / reload the graph.
+//!
+//! All three implement [`TransitionSampler`] and [`DynamicWalkSystem`], so
+//! the walk applications and the evaluation workflow treat them exactly like
+//! the Bingo engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flowwalker;
+pub mod gsampler;
+pub mod knightking;
+
+pub use flowwalker::FlowWalkerBaseline;
+pub use gsampler::GSamplerBaseline;
+pub use knightking::KnightKingBaseline;
+
+pub use bingo_walks::{DynamicWalkSystem, IngestMode, IngestStats, TransitionSampler};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_core::{BingoConfig, BingoEngine};
+    use bingo_graph::dynamic_graph::running_example;
+    use bingo_sampling::rng::Pcg64;
+    use bingo_sampling::stats::{empirical_distribution, max_abs_deviation};
+    use rand::SeedableRng;
+
+    /// Every system (Bingo and the three baselines) must produce the same
+    /// transition distribution on the running example — they differ in cost,
+    /// not in semantics.
+    #[test]
+    fn all_systems_agree_on_the_transition_distribution() {
+        let graph = running_example();
+        let expected = [5.0 / 12.0, 4.0 / 12.0, 3.0 / 12.0];
+
+        let bingo = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+        let kk = KnightKingBaseline::build(&graph);
+        let gs = GSamplerBaseline::build(&graph);
+        let fw = FlowWalkerBaseline::build(&graph);
+
+        fn check<S: TransitionSampler>(system: &S, expected: &[f64], seed: u64) {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let freq = empirical_distribution(
+                |r| match system.sample_neighbor(2, r).unwrap() {
+                    1 => 0,
+                    4 => 1,
+                    5 => 2,
+                    other => panic!("unexpected neighbor {other}"),
+                },
+                3,
+                200_000,
+                &mut rng,
+            );
+            assert!(
+                max_abs_deviation(&freq, expected) < 0.01,
+                "distribution mismatch: {freq:?}"
+            );
+        }
+        check(&bingo, &expected, 1);
+        check(&kk, &expected, 2);
+        check(&gs, &expected, 3);
+        check(&fw, &expected, 4);
+    }
+}

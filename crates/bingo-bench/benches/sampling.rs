@@ -1,0 +1,64 @@
+//! Criterion bench: sampling cost of Bingo vs the classical samplers
+//! (the empirical counterpart of Table 1's "Sampling" column and
+//! Figure 16(b)).
+
+use bingo_core::{BingoConfig, VertexSpace};
+use bingo_graph::adjacency::{AdjacencyList, Edge};
+use bingo_graph::Bias;
+use bingo_sampling::rng::Pcg64;
+use bingo_sampling::{
+    reservoir_sample_indexed, AliasTable, CdfTable, RejectionSampler, Sampler,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn biases(degree: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    (0..degree).map(|_| rng.gen_range(1..1024u64)).collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for degree in [64usize, 1024, 16384] {
+        let weights_int = biases(degree, degree as u64);
+        let weights: Vec<f64> = weights_int.iter().map(|&w| w as f64).collect();
+
+        let mut adj = AdjacencyList::new();
+        for (i, &w) in weights_int.iter().enumerate() {
+            adj.push(Edge::new(i as u32, Bias::from_int(w)));
+        }
+        let space = VertexSpace::build(adj, BingoConfig::default());
+        let alias = AliasTable::new(&weights).unwrap();
+        let cdf = CdfTable::new(&weights).unwrap();
+        let rejection = RejectionSampler::new(&weights).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("bingo", degree), &degree, |b, _| {
+            let mut rng = Pcg64::seed_from_u64(1);
+            b.iter(|| space.sample_index(&mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("alias", degree), &degree, |b, _| {
+            let mut rng = Pcg64::seed_from_u64(2);
+            b.iter(|| alias.sample(&mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("its", degree), &degree, |b, _| {
+            let mut rng = Pcg64::seed_from_u64(3);
+            b.iter(|| cdf.sample(&mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("rejection", degree), &degree, |b, _| {
+            let mut rng = Pcg64::seed_from_u64(4);
+            b.iter(|| rejection.sample(&mut rng))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reservoir_flowwalker", degree),
+            &degree,
+            |b, _| {
+                let mut rng = Pcg64::seed_from_u64(5);
+                b.iter(|| reservoir_sample_indexed(weights.iter().copied(), &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: full walk passes (DeepWalk / node2vec / PPR) over Bingo
+//! and the baselines — the walk-time component of Table 3.
+
+use bingo_bench::common::ExperimentConfig;
+use bingo_core::{BingoConfig, BingoEngine};
+use bingo_graph::datasets::StandinDataset;
+use bingo_walks::{
+    DeepWalkConfig, Node2VecConfig, PprConfig, WalkEngine, WalkSpec,
+};
+use bingo_baselines::{FlowWalkerBaseline, GSamplerBaseline, KnightKingBaseline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_walk_applications(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        scale: 16_000,
+        walk_length: 20,
+        ..ExperimentConfig::default()
+    };
+    let mut rng = config.rng(99);
+    let graph = StandinDataset::LiveJournal.build(config.scale, &mut rng);
+
+    let bingo = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+    let kk = KnightKingBaseline::build(&graph);
+    let gs = GSamplerBaseline::build(&graph);
+    let fw = FlowWalkerBaseline::build(&graph);
+    let walk_engine = WalkEngine::new(7);
+
+    let specs = [
+        ("deepwalk", WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 20 })),
+        (
+            "node2vec",
+            WalkSpec::Node2Vec(Node2VecConfig {
+                walk_length: 20,
+                p: 0.5,
+                q: 2.0,
+            }),
+        ),
+        (
+            "ppr",
+            WalkSpec::Ppr(PprConfig {
+                stop_probability: 1.0 / 20.0,
+                max_length: 200,
+            }),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("walk_pass");
+    group.sample_size(10);
+    for (name, spec) in specs {
+        group.bench_with_input(BenchmarkId::new("bingo", name), &spec, |b, spec| {
+            b.iter(|| walk_engine.run_all_vertices(&bingo, spec))
+        });
+        group.bench_with_input(BenchmarkId::new("knightking", name), &spec, |b, spec| {
+            b.iter(|| walk_engine.run_all_vertices(&kk, spec))
+        });
+        group.bench_with_input(BenchmarkId::new("gsampler", name), &spec, |b, spec| {
+            b.iter(|| walk_engine.run_all_vertices(&gs, spec))
+        });
+        group.bench_with_input(BenchmarkId::new("flowwalker", name), &spec, |b, spec| {
+            b.iter(|| walk_engine.run_all_vertices(&fw, spec))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_applications);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! # bingo-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the Bingo
+//! paper's evaluation (§6) on scaled-down stand-in datasets.
+//!
+//! The `repro` binary drives the experiments:
+//!
+//! ```text
+//! cargo run --release -p bingo-bench --bin repro -- all
+//! cargo run --release -p bingo-bench --bin repro -- table3 --scale 2000 --batch 2000
+//! ```
+//!
+//! Each experiment prints a human-readable table to stdout and writes a CSV
+//! file under `results/`. Absolute numbers differ from the paper (CPU
+//! stand-ins instead of A100 GPUs and billion-edge graphs); the quantities
+//! to compare are the *relative* ones: who wins, by roughly what factor, and
+//! how the trends move with the swept parameter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{ExperimentConfig, ResultTable};

@@ -1,0 +1,570 @@
+//! The whole-graph Bingo engine.
+//!
+//! [`BingoEngine`] holds one [`VertexSpace`] per vertex — mirroring the
+//! paper's GPU design, which "treats each vertex as an individual object" —
+//! and exposes the two functionalities of Figure 3: random-walk sampling
+//! queries and graph updates (streaming or batched). Batched updates are
+//! grouped by source vertex and applied to all touched vertices in parallel,
+//! which is the CPU equivalent of the paper's per-vertex GPU kernels.
+
+use crate::config::BingoConfig;
+use crate::memory::MemoryReport;
+use crate::stats::{ConversionMatrix, EngineStats};
+use crate::vertex_space::VertexSpace;
+use crate::{BingoError, Result};
+use bingo_graph::{Bias, DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Outcome of ingesting a batch of updates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Edges inserted.
+    pub inserted: usize,
+    /// Edges deleted.
+    pub deleted: usize,
+    /// Deletions that referenced edges not present in the graph.
+    pub missing_deletes: usize,
+    /// Vertices whose sampling space was rebuilt from scratch (λ changes).
+    pub full_rebuilds: usize,
+    /// Number of distinct vertices touched by the batch.
+    pub touched_vertices: usize,
+}
+
+/// A radix-factorized sampling engine over a dynamic weighted graph.
+#[derive(Debug, Clone)]
+pub struct BingoEngine {
+    spaces: Vec<VertexSpace>,
+    config: BingoConfig,
+    num_edges: usize,
+    stats: EngineStats,
+}
+
+impl BingoEngine {
+    /// Build the engine from a snapshot of a dynamic graph.
+    ///
+    /// Per-vertex sampling spaces are constructed in parallel.
+    pub fn build(graph: &DynamicGraph, config: BingoConfig) -> Result<Self> {
+        let spaces: Vec<VertexSpace> = (0..graph.num_vertices())
+            .into_par_iter()
+            .map(|v| {
+                let adj = graph
+                    .neighbors(v as VertexId)
+                    .expect("vertex within range")
+                    .clone();
+                VertexSpace::build(adj, config)
+            })
+            .collect();
+        Ok(BingoEngine {
+            spaces,
+            config,
+            num_edges: graph.num_edges(),
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Build an engine over an empty graph with `num_vertices` vertices.
+    pub fn empty(num_vertices: usize, config: BingoConfig) -> Self {
+        BingoEngine {
+            spaces: (0..num_vertices)
+                .map(|_| VertexSpace::build(Default::default(), config))
+                .collect(),
+            config,
+            num_edges: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Number of vertices managed by the engine.
+    pub fn num_vertices(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Number of directed edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &BingoConfig {
+        &self.config
+    }
+
+    /// Aggregate activity statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Out-degree of `v` (0 for out-of-range vertices).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.spaces
+            .get(v as usize)
+            .map(VertexSpace::degree)
+            .unwrap_or(0)
+    }
+
+    /// The per-vertex sampling space of `v`.
+    pub fn vertex_space(&self, v: VertexId) -> Result<&VertexSpace> {
+        self.spaces
+            .get(v as usize)
+            .ok_or(BingoError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.spaces.len(),
+            })
+    }
+
+    fn vertex_space_mut(&mut self, v: VertexId) -> Result<&mut VertexSpace> {
+        let len = self.spaces.len();
+        self.spaces
+            .get_mut(v as usize)
+            .ok_or(BingoError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: len,
+            })
+    }
+
+    /// Whether the edge `(src, dst)` exists.
+    pub fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.spaces
+            .get(src as usize)
+            .map(|s| s.adjacency().find(dst).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Bias of the first edge `(src, dst)`, if present.
+    pub fn edge_bias(&self, src: VertexId, dst: VertexId) -> Option<f64> {
+        let space = self.spaces.get(src as usize)?;
+        let idx = space.adjacency().find(dst)?;
+        space.adjacency().edge(idx).map(|e| e.bias.value())
+    }
+
+    /// Sample a neighbor of `v` proportionally to the edge biases, in `O(1)`
+    /// expected time. Returns `None` for out-of-range or isolated vertices.
+    #[inline]
+    pub fn sample_neighbor<R: Rng + ?Sized>(&self, v: VertexId, rng: &mut R) -> Option<VertexId> {
+        self.spaces.get(v as usize)?.sample_neighbor(rng)
+    }
+
+    /// Streaming edge insertion (`O(K)` for the affected vertex).
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, bias: Bias) -> Result<()> {
+        if (dst as usize) >= self.spaces.len() {
+            return Err(BingoError::VertexOutOfRange {
+                vertex: dst,
+                num_vertices: self.spaces.len(),
+            });
+        }
+        self.vertex_space_mut(src)?.insert(dst, bias)?;
+        self.num_edges += 1;
+        self.stats.insertions += 1;
+        Ok(())
+    }
+
+    /// Streaming edge deletion (`O(K)` for the affected vertex).
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> Result<()> {
+        self.vertex_space_mut(src)?.delete(dst)?;
+        self.num_edges -= 1;
+        self.stats.deletions += 1;
+        Ok(())
+    }
+
+    /// Streaming bias update of the edge `(src, dst)`.
+    pub fn update_bias(&mut self, src: VertexId, dst: VertexId, bias: Bias) -> Result<()> {
+        self.vertex_space_mut(src)?.update_bias(dst, bias)
+    }
+
+    /// Add a new isolated vertex and return its id. Vertex insertion is one
+    /// of the "other graph updates" of §4.2 that reduce to trivial structure
+    /// growth.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.spaces
+            .push(VertexSpace::build(Default::default(), self.config));
+        (self.spaces.len() - 1) as VertexId
+    }
+
+    /// Delete vertex `v` by removing all of its **out-edges** (the paper
+    /// implements vertex deletion through edge deletions). The vertex id
+    /// stays valid but isolated; edges pointing *at* `v` from other vertices
+    /// are untouched, matching how the 1-D-partitioned GPU implementation
+    /// handles it (each owner only touches its own adjacency).
+    ///
+    /// Returns the number of edges removed.
+    pub fn delete_vertex_out_edges(&mut self, v: VertexId) -> Result<usize> {
+        let space = self.vertex_space_mut(v)?;
+        let dsts: Vec<VertexId> = space.adjacency().edges().iter().map(|e| e.dst).collect();
+        let outcome = space.apply_batch(&[], &dsts);
+        self.num_edges -= outcome.deleted;
+        self.stats.deletions += outcome.deleted as u64;
+        Ok(outcome.deleted)
+    }
+
+    /// Apply a single update event in streaming mode.
+    pub fn apply_event(&mut self, event: &UpdateEvent) -> Result<()> {
+        match *event {
+            UpdateEvent::Insert { src, dst, bias } => self.insert_edge(src, dst, bias),
+            UpdateEvent::Delete { src, dst } => self.delete_edge(src, dst),
+            UpdateEvent::UpdateBias { src, dst, bias } => self.update_bias(src, dst, bias),
+        }
+    }
+
+    /// Apply every event of a batch one at a time (streaming ingestion).
+    /// Deletions of missing edges are skipped. Returns the number of events
+    /// applied.
+    pub fn apply_streaming(&mut self, batch: &UpdateBatch) -> usize {
+        let mut applied = 0;
+        for event in batch.events() {
+            if self.apply_event(event).is_ok() {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Apply a batch of updates in parallel (§5.2): events are grouped by
+    /// source vertex, every touched vertex ingests its insertions and
+    /// deletions, and each vertex rebuilds its sampling space exactly once.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> BatchOutcome {
+        // CPU-side reordering step of Figure 10(a): per-vertex work lists.
+        let mut per_vertex: Vec<Option<(Vec<(VertexId, Bias)>, Vec<VertexId>)>> =
+            vec![None; self.spaces.len()];
+        for event in batch.events() {
+            let src = event.src() as usize;
+            if src >= per_vertex.len() {
+                continue;
+            }
+            let entry = per_vertex[src].get_or_insert_with(|| (Vec::new(), Vec::new()));
+            match *event {
+                UpdateEvent::Insert { dst, bias, .. } => entry.0.push((dst, bias)),
+                UpdateEvent::Delete { dst, .. } => entry.1.push(dst),
+                UpdateEvent::UpdateBias { dst, bias, .. } => {
+                    entry.1.push(dst);
+                    entry.0.push((dst, bias));
+                }
+            }
+        }
+
+        // Parallel per-vertex ingestion (the GPU kernel launch).
+        let outcomes: Vec<_> = self
+            .spaces
+            .par_iter_mut()
+            .zip(per_vertex.par_iter())
+            .filter_map(|(space, ops)| {
+                ops.as_ref()
+                    .map(|(inserts, deletes)| space.apply_batch(inserts, deletes))
+            })
+            .collect();
+
+        let mut total = BatchOutcome {
+            touched_vertices: outcomes.len(),
+            ..BatchOutcome::default()
+        };
+        for o in outcomes {
+            total.inserted += o.inserted;
+            total.deleted += o.deleted;
+            total.missing_deletes += o.missing_deletes;
+            if o.full_rebuild {
+                total.full_rebuilds += 1;
+            }
+        }
+        self.num_edges += total.inserted;
+        self.num_edges -= total.deleted;
+        self.stats.insertions += total.inserted as u64;
+        self.stats.deletions += total.deleted as u64;
+        self.stats.batches += 1;
+        total
+    }
+
+    /// Aggregate memory report over all vertices (Figure 11).
+    pub fn memory_report(&self) -> MemoryReport {
+        self.spaces
+            .par_iter()
+            .map(VertexSpace::memory_report)
+            .reduce(MemoryReport::default, |mut a, b| {
+                a.merge(&b);
+                a
+            })
+    }
+
+    /// Aggregate group-conversion statistics (Table 4).
+    pub fn conversion_matrix(&self) -> ConversionMatrix {
+        let mut total = ConversionMatrix::new();
+        for s in &self.spaces {
+            total.merge(s.conversions());
+        }
+        total
+    }
+
+    /// Reconstruct a [`DynamicGraph`] snapshot of the engine's current state
+    /// (used by tests and by baselines that need a plain graph).
+    pub fn snapshot_graph(&self) -> DynamicGraph {
+        let mut g = DynamicGraph::new(self.spaces.len());
+        for (v, space) in self.spaces.iter().enumerate() {
+            for e in space.adjacency().edges() {
+                g.insert_edge(v as VertexId, e.dst, e.bias)
+                    .expect("engine state is a valid graph");
+            }
+        }
+        g
+    }
+
+    /// Verify the structural invariants of every vertex space. Intended for
+    /// tests; returns the first violation found.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        for (v, s) in self.spaces.iter().enumerate() {
+            s.check_invariants().map_err(|e| format!("vertex {v}: {e}"))?;
+        }
+        let edges: usize = self.spaces.iter().map(VertexSpace::degree).sum();
+        if edges != self.num_edges {
+            return Err(format!(
+                "edge counter {} != sum of degrees {edges}",
+                self.num_edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_graph::dynamic_graph::running_example;
+    use bingo_graph::generators::{BiasDistribution, GraphGenerator};
+    use bingo_graph::updates::{UpdateKind, UpdateStreamBuilder};
+    use bingo_sampling::rng::Pcg64;
+    use bingo_sampling::stats::{empirical_distribution, max_abs_deviation};
+    use rand::SeedableRng;
+
+    fn engine_from_running_example(config: BingoConfig) -> BingoEngine {
+        BingoEngine::build(&running_example(), config).unwrap()
+    }
+
+    fn random_graph(seed: u64, vertices: usize, edges: usize) -> DynamicGraph {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        GraphGenerator::ErdosRenyi { vertices, edges }
+            .generate(BiasDistribution::UniformInt { lo: 1, hi: 63 }, &mut rng)
+    }
+
+    #[test]
+    fn build_matches_graph_shape() {
+        let engine = engine_from_running_example(BingoConfig::default());
+        assert_eq!(engine.num_vertices(), 6);
+        assert_eq!(engine.num_edges(), 8);
+        assert_eq!(engine.degree(2), 3);
+        assert_eq!(engine.degree(5), 0);
+        assert!(engine.has_edge(2, 4));
+        assert!(!engine.has_edge(4, 2));
+        assert_eq!(engine.edge_bias(2, 1), Some(5.0));
+        assert_eq!(engine.edge_bias(2, 9), None);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sampling_distribution_matches_biases() {
+        let engine = engine_from_running_example(BingoConfig::default());
+        let mut rng = Pcg64::seed_from_u64(1);
+        // Vertex 2: neighbors 1, 4, 5 with biases 5, 4, 3.
+        let freq = empirical_distribution(
+            |r| match engine.sample_neighbor(2, r).unwrap() {
+                1 => 0,
+                4 => 1,
+                5 => 2,
+                other => panic!("unexpected neighbor {other}"),
+            },
+            3,
+            300_000,
+            &mut rng,
+        );
+        assert!(max_abs_deviation(&freq, &[5.0 / 12.0, 4.0 / 12.0, 3.0 / 12.0]) < 0.01);
+    }
+
+    #[test]
+    fn sampling_isolated_or_missing_vertex_returns_none() {
+        let engine = engine_from_running_example(BingoConfig::default());
+        let mut rng = Pcg64::seed_from_u64(2);
+        assert_eq!(engine.sample_neighbor(5, &mut rng), None);
+        assert_eq!(engine.sample_neighbor(100, &mut rng), None);
+    }
+
+    #[test]
+    fn streaming_updates_keep_engine_consistent() {
+        let mut engine = engine_from_running_example(BingoConfig::default());
+        engine.insert_edge(2, 3, Bias::from_int(3)).unwrap();
+        assert_eq!(engine.num_edges(), 9);
+        assert!(engine.has_edge(2, 3));
+        engine.delete_edge(2, 1).unwrap();
+        assert_eq!(engine.num_edges(), 8);
+        assert!(!engine.has_edge(2, 1));
+        engine.update_bias(2, 4, Bias::from_int(9)).unwrap();
+        assert_eq!(engine.edge_bias(2, 4), Some(9.0));
+        engine.check_invariants().unwrap();
+        assert!(engine.delete_edge(2, 1).is_err());
+        assert!(engine.insert_edge(2, 99, Bias::from_int(1)).is_err());
+        assert!(engine.insert_edge(99, 2, Bias::from_int(1)).is_err());
+    }
+
+    #[test]
+    fn streaming_and_batched_ingestion_agree() {
+        let graph = random_graph(3, 100, 1200);
+        let mut setup = graph.clone();
+        let mut rng = Pcg64::seed_from_u64(4);
+        let batch =
+            UpdateStreamBuilder::new(UpdateKind::Mixed, 300).build(&mut setup, 400, &mut rng);
+
+        let mut streaming = BingoEngine::build(&setup, BingoConfig::default()).unwrap();
+        let mut batched = BingoEngine::build(&setup, BingoConfig::default()).unwrap();
+        let applied = streaming.apply_streaming(&batch);
+        let outcome = batched.apply_batch(&batch);
+        assert_eq!(applied, outcome.inserted + outcome.deleted);
+        assert_eq!(streaming.num_edges(), batched.num_edges());
+        streaming.check_invariants().unwrap();
+        batched.check_invariants().unwrap();
+
+        // Per-vertex degrees and destination multisets must agree. (Exact
+        // biases can differ when duplicate (src, dst) edges with different
+        // biases exist: the paper's batched mode deletes "the earlier
+        // version first", which is not always the copy streaming picks.)
+        for v in 0..streaming.num_vertices() as VertexId {
+            assert_eq!(streaming.degree(v), batched.degree(v), "degree of {v}");
+            let dsts = |e: &BingoEngine| {
+                let mut d: Vec<VertexId> = e
+                    .vertex_space(v)
+                    .unwrap()
+                    .adjacency()
+                    .edges()
+                    .iter()
+                    .map(|edge| edge.dst)
+                    .collect();
+                d.sort_unstable();
+                d
+            };
+            assert_eq!(dsts(&streaming), dsts(&batched), "neighbors of {v}");
+        }
+    }
+
+    #[test]
+    fn batched_outcome_counts_are_consistent() {
+        let graph = random_graph(5, 60, 600);
+        let mut setup = graph.clone();
+        let mut rng = Pcg64::seed_from_u64(6);
+        let batch =
+            UpdateStreamBuilder::new(UpdateKind::Mixed, 200).build(&mut setup, 300, &mut rng);
+        let mut engine = BingoEngine::build(&setup, BingoConfig::default()).unwrap();
+        let before = engine.num_edges();
+        let outcome = engine.apply_batch(&batch);
+        assert_eq!(outcome.inserted, batch.num_insertions());
+        assert_eq!(outcome.deleted + outcome.missing_deletes, batch.num_deletions());
+        assert_eq!(
+            engine.num_edges(),
+            before + outcome.inserted - outcome.deleted
+        );
+        assert!(outcome.touched_vertices > 0);
+        assert_eq!(engine.stats().batches, 1);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sampling_after_updates_matches_new_biases() {
+        let mut engine = engine_from_running_example(BingoConfig::default());
+        engine.delete_edge(2, 5).unwrap();
+        engine.insert_edge(2, 3, Bias::from_int(11)).unwrap();
+        // Vertex 2 now has neighbors 1 (5), 4 (4), 3 (11) → total 20.
+        let mut rng = Pcg64::seed_from_u64(8);
+        let freq = empirical_distribution(
+            |r| match engine.sample_neighbor(2, r).unwrap() {
+                1 => 0,
+                4 => 1,
+                3 => 2,
+                other => panic!("unexpected neighbor {other}"),
+            },
+            3,
+            300_000,
+            &mut rng,
+        );
+        assert!(max_abs_deviation(&freq, &[0.25, 0.2, 0.55]) < 0.01);
+    }
+
+    #[test]
+    fn empty_engine_supports_growth() {
+        let mut engine = BingoEngine::empty(4, BingoConfig::default());
+        assert_eq!(engine.num_edges(), 0);
+        engine.insert_edge(0, 1, Bias::from_int(2)).unwrap();
+        engine.insert_edge(0, 2, Bias::from_int(2)).unwrap();
+        let mut rng = Pcg64::seed_from_u64(10);
+        let n = engine.sample_neighbor(0, &mut rng).unwrap();
+        assert!(n == 1 || n == 2);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_graph_round_trips() {
+        let mut engine = engine_from_running_example(BingoConfig::default());
+        engine.insert_edge(4, 0, Bias::from_int(2)).unwrap();
+        let snapshot = engine.snapshot_graph();
+        assert_eq!(snapshot.num_edges(), engine.num_edges());
+        assert!(snapshot.has_edge(4, 0));
+        let rebuilt = BingoEngine::build(&snapshot, BingoConfig::default()).unwrap();
+        assert_eq!(rebuilt.num_edges(), engine.num_edges());
+    }
+
+    #[test]
+    fn memory_report_adaptive_smaller_than_baseline() {
+        let graph = random_graph(12, 200, 4000);
+        let adaptive = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+        let baseline = BingoEngine::build(&graph, BingoConfig::baseline()).unwrap();
+        let a = adaptive.memory_report();
+        let b = baseline.memory_report();
+        assert!(a.sampling_bytes() < b.sampling_bytes());
+        assert!(a.group_counts.iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn update_bias_events_in_batches() {
+        let mut engine = engine_from_running_example(BingoConfig::default());
+        let batch = UpdateBatch::new(vec![UpdateEvent::UpdateBias {
+            src: 2,
+            dst: 4,
+            bias: Bias::from_int(40),
+        }]);
+        let outcome = engine.apply_batch(&batch);
+        assert_eq!(outcome.inserted, 1);
+        assert_eq!(outcome.deleted, 1);
+        assert_eq!(engine.edge_bias(2, 4), Some(40.0));
+        assert_eq!(engine.degree(2), 3);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_vertex_and_delete_vertex_out_edges() {
+        let mut engine = engine_from_running_example(BingoConfig::default());
+        let v = engine.add_vertex();
+        assert_eq!(v, 6);
+        assert_eq!(engine.num_vertices(), 7);
+        engine.insert_edge(v, 2, Bias::from_int(3)).unwrap();
+        assert_eq!(engine.degree(v), 1);
+
+        // Deleting vertex 2's out-edges empties its space but keeps the id.
+        let removed = engine.delete_vertex_out_edges(2).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(engine.degree(2), 0);
+        let mut rng = Pcg64::seed_from_u64(1);
+        assert_eq!(engine.sample_neighbor(2, &mut rng), None);
+        // Edges pointing at vertex 2 are untouched.
+        assert!(engine.has_edge(0, 2));
+        engine.check_invariants().unwrap();
+        // Deleting an already-isolated vertex's edges removes nothing.
+        assert_eq!(engine.delete_vertex_out_edges(2).unwrap(), 0);
+        assert!(engine.delete_vertex_out_edges(99).is_err());
+    }
+
+    #[test]
+    fn conversion_matrix_aggregates_across_vertices() {
+        let graph = random_graph(15, 80, 800);
+        let mut setup = graph.clone();
+        let mut rng = Pcg64::seed_from_u64(16);
+        let batch =
+            UpdateStreamBuilder::new(UpdateKind::Mixed, 200).build(&mut setup, 400, &mut rng);
+        let mut engine = BingoEngine::build(&setup, BingoConfig::default()).unwrap();
+        engine.apply_streaming(&batch);
+        let conversions = engine.conversion_matrix();
+        assert!(conversions.checks > 0);
+    }
+}

@@ -1,0 +1,660 @@
+//! Radix groups, their adaptive representations, and the decimal group.
+//!
+//! A *radix group* `p_k` holds the neighbor indices of all edges whose
+//! (λ-scaled, integer) bias has bit `k` set. Every member contributes the
+//! same sub-bias `2^k`, so intra-group sampling is uniform. Groups are
+//! stored in one of the adaptive representations of §5.1:
+//!
+//! * **Regular** — intra-group neighbor index list plus a full inverted
+//!   index (neighbor index → position), giving `O(1)` locate/delete.
+//! * **Dense** (more than α% of the degree) — no structure at all; sampling
+//!   rejects against the raw adjacency list and deletions only adjust a
+//!   counter.
+//! * **One-element** — just the single neighbor index.
+//! * **Sparse** (fewer than β% of the degree) — a compact member list
+//!   located by linear scan, avoiding the full-size inverted index.
+//!
+//! The *decimal group* (§4.3) stores the fractional remainders of λ-scaled
+//! floating-point biases and is sampled by inverse-transform on demand.
+
+use rand::Rng;
+
+/// Sentinel for "not present" entries of an inverted index.
+const INVALID: u32 = u32::MAX;
+
+/// The adaptive representation categories of Equation 9, plus `Empty` for
+/// groups that currently hold no edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKind {
+    /// The group holds no edges and is never sampled.
+    Empty,
+    /// More than α% of the neighbors fall into this group.
+    Dense,
+    /// Exactly one neighbor falls into this group.
+    OneElement,
+    /// Fewer than β% of the neighbors (but more than one) fall into this
+    /// group.
+    Sparse,
+    /// Everything else: full neighbor index list + inverted index.
+    Regular,
+}
+
+impl GroupKind {
+    /// Classify a group by its cardinality and the vertex degree
+    /// (Equation 9 with the paper's precedence: dense first).
+    pub fn classify(cardinality: usize, degree: usize, alpha_percent: f64, beta_percent: f64) -> Self {
+        if cardinality == 0 || degree == 0 {
+            GroupKind::Empty
+        } else if cardinality as f64 / degree as f64 > alpha_percent / 100.0 {
+            GroupKind::Dense
+        } else if cardinality == 1 {
+            GroupKind::OneElement
+        } else if (cardinality as f64 / degree as f64) < beta_percent / 100.0 {
+            GroupKind::Sparse
+        } else {
+            GroupKind::Regular
+        }
+    }
+
+    /// All non-empty kinds, in the order used by the figures.
+    pub fn all() -> [GroupKind; 4] {
+        [
+            GroupKind::Dense,
+            GroupKind::Regular,
+            GroupKind::Sparse,
+            GroupKind::OneElement,
+        ]
+    }
+}
+
+/// Internal storage of a radix group.
+#[derive(Debug, Clone, PartialEq)]
+enum GroupRepr {
+    Empty,
+    Dense {
+        count: usize,
+    },
+    OneElement {
+        neighbor: u32,
+    },
+    Sparse {
+        members: Vec<u32>,
+    },
+    Regular {
+        members: Vec<u32>,
+        inverted: Vec<u32>,
+    },
+}
+
+/// One radix group of a vertex's sampling space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadixGroup {
+    bit: u8,
+    repr: GroupRepr,
+}
+
+impl RadixGroup {
+    /// Create an empty group for radix bit `bit`.
+    pub fn new(bit: u8) -> Self {
+        RadixGroup {
+            bit,
+            repr: GroupRepr::Empty,
+        }
+    }
+
+    /// Build a group of the requested kind from an explicit member list.
+    pub fn from_members(bit: u8, kind: GroupKind, members: Vec<u32>) -> Self {
+        let repr = match kind {
+            GroupKind::Empty => GroupRepr::Empty,
+            GroupKind::Dense => GroupRepr::Dense {
+                count: members.len(),
+            },
+            GroupKind::OneElement => match members.first() {
+                Some(&n) => GroupRepr::OneElement { neighbor: n },
+                None => GroupRepr::Empty,
+            },
+            GroupKind::Sparse => GroupRepr::Sparse { members },
+            GroupKind::Regular => {
+                let mut inverted = Vec::new();
+                for (pos, &m) in members.iter().enumerate() {
+                    if m as usize >= inverted.len() {
+                        inverted.resize(m as usize + 1, INVALID);
+                    }
+                    inverted[m as usize] = pos as u32;
+                }
+                GroupRepr::Regular { members, inverted }
+            }
+        };
+        RadixGroup { bit, repr }
+    }
+
+    /// The radix bit this group represents.
+    pub fn bit(&self) -> u8 {
+        self.bit
+    }
+
+    /// Current representation kind.
+    pub fn kind(&self) -> GroupKind {
+        match &self.repr {
+            GroupRepr::Empty => GroupKind::Empty,
+            GroupRepr::Dense { .. } => GroupKind::Dense,
+            GroupRepr::OneElement { .. } => GroupKind::OneElement,
+            GroupRepr::Sparse { .. } => GroupKind::Sparse,
+            GroupRepr::Regular { .. } => GroupKind::Regular,
+        }
+    }
+
+    /// Number of edges in the group.
+    pub fn cardinality(&self) -> usize {
+        match &self.repr {
+            GroupRepr::Empty => 0,
+            GroupRepr::Dense { count } => *count,
+            GroupRepr::OneElement { .. } => 1,
+            GroupRepr::Sparse { members } => members.len(),
+            GroupRepr::Regular { members, .. } => members.len(),
+        }
+    }
+
+    /// Group bias `W(p_k) = |G_k| · 2^k` (Equation 4).
+    pub fn weight(&self) -> f64 {
+        self.cardinality() as f64 * (1u64 << self.bit) as f64
+    }
+
+    /// Whether the group currently tracks explicit members (everything but
+    /// dense and empty groups).
+    pub fn has_member_list(&self) -> bool {
+        matches!(
+            self.repr,
+            GroupRepr::OneElement { .. } | GroupRepr::Sparse { .. } | GroupRepr::Regular { .. }
+        )
+    }
+
+    /// Explicit member list, if one is kept.
+    pub fn members(&self) -> Option<Vec<u32>> {
+        match &self.repr {
+            GroupRepr::Empty => Some(Vec::new()),
+            GroupRepr::Dense { .. } => None,
+            GroupRepr::OneElement { neighbor } => Some(vec![*neighbor]),
+            GroupRepr::Sparse { members } => Some(members.clone()),
+            GroupRepr::Regular { members, .. } => Some(members.clone()),
+        }
+    }
+
+    /// Whether neighbor index `idx` is stored in this group. Dense groups
+    /// answer `None` because membership is determined by the bias bit, which
+    /// the group does not store.
+    pub fn contains(&self, idx: u32) -> Option<bool> {
+        match &self.repr {
+            GroupRepr::Empty => Some(false),
+            GroupRepr::Dense { .. } => None,
+            GroupRepr::OneElement { neighbor } => Some(*neighbor == idx),
+            GroupRepr::Sparse { members } => Some(members.contains(&idx)),
+            GroupRepr::Regular { inverted, .. } => {
+                Some((idx as usize) < inverted.len() && inverted[idx as usize] != INVALID)
+            }
+        }
+    }
+
+    /// Add the edge with neighbor index `idx` to the group.
+    ///
+    /// The caller is responsible for only inserting edges whose bias has
+    /// this group's bit set. Representations are *not* reclassified here;
+    /// that happens in the rebuild/reclassify step.
+    pub fn insert(&mut self, idx: u32) {
+        match &mut self.repr {
+            GroupRepr::Empty => {
+                self.repr = GroupRepr::OneElement { neighbor: idx };
+            }
+            GroupRepr::Dense { count } => {
+                *count += 1;
+            }
+            GroupRepr::OneElement { neighbor } => {
+                self.repr = GroupRepr::Sparse {
+                    members: vec![*neighbor, idx],
+                };
+            }
+            GroupRepr::Sparse { members } => {
+                members.push(idx);
+            }
+            GroupRepr::Regular { members, inverted } => {
+                let pos = members.len() as u32;
+                members.push(idx);
+                if idx as usize >= inverted.len() {
+                    inverted.resize(idx as usize + 1, INVALID);
+                }
+                inverted[idx as usize] = pos;
+            }
+        }
+    }
+
+    /// Remove the edge with neighbor index `idx` from the group.
+    ///
+    /// Returns `true` if an entry was removed. Dense groups only decrement
+    /// their counter (the caller has already checked membership via the bias
+    /// bit).
+    pub fn remove(&mut self, idx: u32) -> bool {
+        match &mut self.repr {
+            GroupRepr::Empty => false,
+            GroupRepr::Dense { count } => {
+                if *count > 0 {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.repr = GroupRepr::Empty;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            GroupRepr::OneElement { neighbor } => {
+                if *neighbor == idx {
+                    self.repr = GroupRepr::Empty;
+                    true
+                } else {
+                    false
+                }
+            }
+            GroupRepr::Sparse { members } => match members.iter().position(|&m| m == idx) {
+                Some(pos) => {
+                    members.swap_remove(pos);
+                    if members.is_empty() {
+                        self.repr = GroupRepr::Empty;
+                    }
+                    true
+                }
+                None => false,
+            },
+            GroupRepr::Regular { members, inverted } => {
+                if idx as usize >= inverted.len() || inverted[idx as usize] == INVALID {
+                    return false;
+                }
+                let pos = inverted[idx as usize] as usize;
+                members.swap_remove(pos);
+                inverted[idx as usize] = INVALID;
+                if pos < members.len() {
+                    // The previous tail member now lives at `pos`.
+                    let moved = members[pos];
+                    inverted[moved as usize] = pos as u32;
+                }
+                if members.is_empty() {
+                    self.repr = GroupRepr::Empty;
+                }
+                true
+            }
+        }
+    }
+
+    /// The neighbor index of a member changed (the adjacency list swap-moved
+    /// the edge from `old_idx` to `new_idx`); update the group accordingly.
+    pub fn remap(&mut self, old_idx: u32, new_idx: u32) {
+        if old_idx == new_idx {
+            return;
+        }
+        match &mut self.repr {
+            GroupRepr::Empty | GroupRepr::Dense { .. } => {}
+            GroupRepr::OneElement { neighbor } => {
+                if *neighbor == old_idx {
+                    *neighbor = new_idx;
+                }
+            }
+            GroupRepr::Sparse { members } => {
+                if let Some(pos) = members.iter().position(|&m| m == old_idx) {
+                    members[pos] = new_idx;
+                }
+            }
+            GroupRepr::Regular { members, inverted } => {
+                if old_idx as usize >= inverted.len() || inverted[old_idx as usize] == INVALID {
+                    return;
+                }
+                let pos = inverted[old_idx as usize] as usize;
+                members[pos] = new_idx;
+                inverted[old_idx as usize] = INVALID;
+                if new_idx as usize >= inverted.len() {
+                    inverted.resize(new_idx as usize + 1, INVALID);
+                }
+                inverted[new_idx as usize] = pos as u32;
+            }
+        }
+    }
+
+    /// Uniformly sample a member. Dense groups return `None`: they carry no
+    /// member list, so the caller must fall back to rejection sampling over
+    /// the adjacency list (§5.1).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        match &self.repr {
+            GroupRepr::Empty | GroupRepr::Dense { .. } => None,
+            GroupRepr::OneElement { neighbor } => Some(*neighbor),
+            GroupRepr::Sparse { members } => Some(members[rng.gen_range(0..members.len())]),
+            GroupRepr::Regular { members, .. } => Some(members[rng.gen_range(0..members.len())]),
+        }
+    }
+
+    /// Convert the group to the requested kind.
+    ///
+    /// For conversions out of the dense representation the caller must
+    /// provide the explicit member list (obtained by scanning the adjacency
+    /// list), because dense groups do not store one.
+    pub fn convert_to(&mut self, kind: GroupKind, members_if_dense: Option<Vec<u32>>) {
+        if kind == self.kind() {
+            return;
+        }
+        let members = match self.members() {
+            Some(m) => m,
+            None => members_if_dense.unwrap_or_default(),
+        };
+        *self = RadixGroup::from_members(self.bit, kind, members);
+    }
+
+    /// Heap bytes used by this group's structures.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.repr {
+            GroupRepr::Empty => 0,
+            GroupRepr::Dense { .. } => std::mem::size_of::<usize>(),
+            GroupRepr::OneElement { .. } => std::mem::size_of::<u32>(),
+            GroupRepr::Sparse { members } => members.capacity() * std::mem::size_of::<u32>(),
+            GroupRepr::Regular { members, inverted } => {
+                (members.capacity() + inverted.capacity()) * std::mem::size_of::<u32>()
+            }
+        }
+    }
+}
+
+/// The decimal group holding fractional remainders of λ-scaled biases.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecimalGroup {
+    members: Vec<u32>,
+    fractions: Vec<f64>,
+    /// neighbor index → position in `members` (INVALID when absent).
+    inverted: Vec<u32>,
+    total: f64,
+}
+
+impl DecimalGroup {
+    /// Create an empty decimal group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of edges with a fractional remainder.
+    pub fn cardinality(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Total fractional weight `W_D`.
+    pub fn weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Add the fractional remainder of edge `idx`.
+    pub fn insert(&mut self, idx: u32, fraction: f64) {
+        if fraction <= 0.0 {
+            return;
+        }
+        if idx as usize >= self.inverted.len() {
+            self.inverted.resize(idx as usize + 1, INVALID);
+        }
+        debug_assert_eq!(self.inverted[idx as usize], INVALID);
+        self.inverted[idx as usize] = self.members.len() as u32;
+        self.members.push(idx);
+        self.fractions.push(fraction);
+        self.total += fraction;
+    }
+
+    /// Remove edge `idx` from the decimal group, returning its fraction.
+    pub fn remove(&mut self, idx: u32) -> Option<f64> {
+        if idx as usize >= self.inverted.len() || self.inverted[idx as usize] == INVALID {
+            return None;
+        }
+        let pos = self.inverted[idx as usize] as usize;
+        let fraction = self.fractions[pos];
+        self.members.swap_remove(pos);
+        self.fractions.swap_remove(pos);
+        self.inverted[idx as usize] = INVALID;
+        if pos < self.members.len() {
+            let moved = self.members[pos];
+            self.inverted[moved as usize] = pos as u32;
+        }
+        self.total -= fraction;
+        if self.members.is_empty() {
+            self.total = 0.0;
+        }
+        Some(fraction)
+    }
+
+    /// The neighbor index of a member changed; update the mapping.
+    pub fn remap(&mut self, old_idx: u32, new_idx: u32) {
+        if old_idx == new_idx
+            || old_idx as usize >= self.inverted.len()
+            || self.inverted[old_idx as usize] == INVALID
+        {
+            return;
+        }
+        let pos = self.inverted[old_idx as usize] as usize;
+        self.members[pos] = new_idx;
+        self.inverted[old_idx as usize] = INVALID;
+        if new_idx as usize >= self.inverted.len() {
+            self.inverted.resize(new_idx as usize + 1, INVALID);
+        }
+        self.inverted[new_idx as usize] = pos as u32;
+    }
+
+    /// Sample a member proportionally to its fraction (inverse transform by
+    /// linear scan — the decimal group is selected with probability
+    /// `W_D / W`, which λ keeps below `1/d`, so the scan does not affect the
+    /// expected `O(1)` sampling cost).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.members.is_empty() || self.total <= 0.0 {
+            return None;
+        }
+        let x = rng.gen::<f64>() * self.total;
+        let mut acc = 0.0;
+        for (i, &f) in self.fractions.iter().enumerate() {
+            acc += f;
+            if x < acc {
+                return Some(self.members[i]);
+            }
+        }
+        self.members.last().copied()
+    }
+
+    /// Heap bytes used by the decimal group.
+    pub fn memory_bytes(&self) -> usize {
+        self.members.capacity() * std::mem::size_of::<u32>()
+            + self.fractions.capacity() * std::mem::size_of::<f64>()
+            + self.inverted.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sampling::rng::Pcg64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classify_follows_equation_9() {
+        // α = 40, β = 10 (paper defaults).
+        assert_eq!(GroupKind::classify(0, 10, 40.0, 10.0), GroupKind::Empty);
+        assert_eq!(GroupKind::classify(5, 10, 40.0, 10.0), GroupKind::Dense);
+        // |G| = 1 is one-element regardless of how small the ratio is.
+        assert_eq!(GroupKind::classify(1, 100, 40.0, 10.0), GroupKind::OneElement);
+        assert_eq!(GroupKind::classify(1, 5, 40.0, 10.0), GroupKind::OneElement);
+        assert_eq!(GroupKind::classify(2, 10, 40.0, 10.0), GroupKind::Regular);
+        assert_eq!(GroupKind::classify(2, 100, 40.0, 10.0), GroupKind::Sparse);
+        // Dense takes precedence even for a single element on tiny degrees.
+        assert_eq!(GroupKind::classify(1, 2, 40.0, 10.0), GroupKind::Dense);
+    }
+
+    #[test]
+    fn empty_group_behaviour() {
+        let mut g = RadixGroup::new(3);
+        assert_eq!(g.kind(), GroupKind::Empty);
+        assert_eq!(g.cardinality(), 0);
+        assert_eq!(g.weight(), 0.0);
+        assert!(!g.remove(5));
+        let mut rng = Pcg64::seed_from_u64(1);
+        assert_eq!(g.sample_uniform(&mut rng), None);
+    }
+
+    #[test]
+    fn insert_progression_empty_one_sparse() {
+        let mut g = RadixGroup::new(0);
+        g.insert(4);
+        assert_eq!(g.kind(), GroupKind::OneElement);
+        g.insert(7);
+        assert_eq!(g.kind(), GroupKind::Sparse);
+        assert_eq!(g.cardinality(), 2);
+        assert_eq!(g.weight(), 2.0);
+        assert_eq!(g.contains(4), Some(true));
+        assert_eq!(g.contains(9), Some(false));
+    }
+
+    #[test]
+    fn regular_group_inverted_index_consistency() {
+        let mut g = RadixGroup::from_members(2, GroupKind::Regular, vec![0, 3, 5]);
+        assert_eq!(g.kind(), GroupKind::Regular);
+        assert_eq!(g.cardinality(), 3);
+        assert_eq!(g.weight(), 12.0);
+        assert_eq!(g.contains(3), Some(true));
+        // Remove the head; the tail member (5) must take its place.
+        assert!(g.remove(0));
+        assert_eq!(g.contains(0), Some(false));
+        assert_eq!(g.contains(5), Some(true));
+        assert_eq!(g.cardinality(), 2);
+        // Insert a new member and check it is findable.
+        g.insert(9);
+        assert_eq!(g.contains(9), Some(true));
+        assert!(g.remove(9));
+        assert!(!g.remove(9));
+    }
+
+    #[test]
+    fn regular_group_remap_updates_indices() {
+        let mut g = RadixGroup::from_members(1, GroupKind::Regular, vec![2, 6]);
+        g.remap(6, 1);
+        assert_eq!(g.contains(6), Some(false));
+        assert_eq!(g.contains(1), Some(true));
+        // Remapping an absent index is a no-op.
+        g.remap(42, 3);
+        assert_eq!(g.cardinality(), 2);
+    }
+
+    #[test]
+    fn sparse_and_one_element_remap() {
+        let mut s = RadixGroup::from_members(0, GroupKind::Sparse, vec![1, 2, 3]);
+        s.remap(2, 9);
+        assert_eq!(s.contains(9), Some(true));
+        assert_eq!(s.contains(2), Some(false));
+        let mut o = RadixGroup::from_members(0, GroupKind::OneElement, vec![4]);
+        o.remap(4, 8);
+        assert_eq!(o.contains(8), Some(true));
+    }
+
+    #[test]
+    fn dense_group_counts_only() {
+        let mut g = RadixGroup::from_members(0, GroupKind::Dense, vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.kind(), GroupKind::Dense);
+        assert_eq!(g.cardinality(), 5);
+        assert_eq!(g.contains(0), None);
+        assert!(g.members().is_none());
+        g.insert(9);
+        assert_eq!(g.cardinality(), 6);
+        assert!(g.remove(9));
+        assert_eq!(g.cardinality(), 5);
+        let mut rng = Pcg64::seed_from_u64(2);
+        assert_eq!(g.sample_uniform(&mut rng), None);
+        // Draining a dense group turns it empty.
+        for _ in 0..5 {
+            assert!(g.remove(0));
+        }
+        assert_eq!(g.kind(), GroupKind::Empty);
+    }
+
+    #[test]
+    fn uniform_sampling_covers_all_members() {
+        let g = RadixGroup::from_members(0, GroupKind::Regular, vec![10, 20, 30]);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(g.sample_uniform(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn conversion_between_kinds_preserves_members() {
+        let mut g = RadixGroup::from_members(2, GroupKind::Sparse, vec![1, 4, 6]);
+        g.convert_to(GroupKind::Regular, None);
+        assert_eq!(g.kind(), GroupKind::Regular);
+        assert_eq!(g.contains(4), Some(true));
+        g.convert_to(GroupKind::Dense, None);
+        assert_eq!(g.kind(), GroupKind::Dense);
+        assert_eq!(g.cardinality(), 3);
+        // Converting out of dense needs the member list from the caller.
+        g.convert_to(GroupKind::Sparse, Some(vec![1, 4, 6]));
+        assert_eq!(g.kind(), GroupKind::Sparse);
+        assert_eq!(g.contains(6), Some(true));
+        // Converting to the same kind is a no-op.
+        g.convert_to(GroupKind::Sparse, None);
+        assert_eq!(g.cardinality(), 3);
+    }
+
+    #[test]
+    fn memory_ordering_regular_vs_sparse_vs_dense() {
+        let members: Vec<u32> = (0..50).collect();
+        let regular = RadixGroup::from_members(0, GroupKind::Regular, members.clone());
+        let sparse = RadixGroup::from_members(0, GroupKind::Sparse, members.clone());
+        let dense = RadixGroup::from_members(0, GroupKind::Dense, members);
+        assert!(regular.memory_bytes() > sparse.memory_bytes());
+        assert!(sparse.memory_bytes() > dense.memory_bytes());
+    }
+
+    #[test]
+    fn decimal_group_insert_remove_sample() {
+        let mut d = DecimalGroup::new();
+        assert!(d.is_empty());
+        d.insert(0, 0.54);
+        d.insert(1, 0.26);
+        d.insert(2, 0.20);
+        assert_eq!(d.cardinality(), 3);
+        assert!((d.weight() - 1.0).abs() < 1e-9);
+        // Zero fractions are ignored.
+        d.insert(3, 0.0);
+        assert_eq!(d.cardinality(), 3);
+
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[d.sample(&mut rng).unwrap() as usize] += 1;
+        }
+        assert!((counts[0] as f64 / 60_000.0 - 0.54).abs() < 0.02);
+
+        assert_eq!(d.remove(1), Some(0.26));
+        assert_eq!(d.remove(1), None);
+        assert_eq!(d.cardinality(), 2);
+        assert!((d.weight() - 0.74).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decimal_group_remap() {
+        let mut d = DecimalGroup::new();
+        d.insert(5, 0.3);
+        d.remap(5, 2);
+        assert_eq!(d.remove(5), None);
+        assert_eq!(d.remove(2), Some(0.3));
+        assert!(d.is_empty());
+        assert_eq!(d.weight(), 0.0);
+    }
+
+    #[test]
+    fn decimal_group_empty_sample_is_none() {
+        let d = DecimalGroup::new();
+        let mut rng = Pcg64::seed_from_u64(5);
+        assert_eq!(d.sample(&mut rng), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! # bingo-core
+//!
+//! The core contribution of the Bingo paper: a radix-based bias
+//! factorization sampling engine for dynamically changing weighted graphs.
+//!
+//! * [`radix`] — the bias decomposition `D(w)` and group biases `W(p_k)`
+//!   (§4.1, Equations 3–4).
+//! * [`fixed`] — λ-amortized handling of floating-point biases (§4.3).
+//! * [`group`] — radix groups with the adaptive representations of §5.1
+//!   (dense / one-element / sparse / regular) and the decimal group.
+//! * [`vertex_space`] — the per-vertex two-stage sampling space: inter-group
+//!   alias table + intra-group uniform sampling, with `O(K)` streaming
+//!   updates and batched updates that rebuild once per vertex (§4.2, §5.2).
+//! * [`engine`] — the whole-graph engine: streaming and parallel batched
+//!   ingestion, `O(1)` neighbor sampling, memory and conversion accounting.
+//! * [`radix_base`] — the arbitrary-radix-base extension of §9.2.
+//! * [`partition`] — 1-D partitioning and walker forwarding (§9.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod fixed;
+pub mod group;
+pub mod memory;
+pub mod partition;
+pub mod radix;
+pub mod radix_base;
+pub mod stats;
+pub mod vertex_space;
+
+pub use config::{BingoConfig, Lambda};
+pub use engine::{BatchOutcome, BingoEngine};
+pub use group::{DecimalGroup, GroupKind, RadixGroup};
+pub use memory::MemoryReport;
+pub use stats::{ConversionMatrix, EngineStats};
+pub use vertex_space::VertexSpace;
+
+use bingo_graph::VertexId;
+
+/// Errors produced by the Bingo engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BingoError {
+    /// A vertex id is outside the engine's vertex range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Number of vertices the engine manages.
+        num_vertices: usize,
+    },
+    /// The requested edge does not exist.
+    EdgeNotFound {
+        /// Destination vertex of the missing edge.
+        dst: VertexId,
+    },
+    /// A neighbor index is out of range for the vertex degree.
+    NeighborIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The vertex degree.
+        degree: usize,
+    },
+    /// An edge bias was invalid (non-positive, NaN or infinite).
+    InvalidBias {
+        /// Destination vertex of the offending edge.
+        dst: VertexId,
+    },
+    /// An error bubbled up from the graph substrate.
+    Graph(bingo_graph::GraphError),
+}
+
+impl std::fmt::Display for BingoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BingoError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(f, "vertex {vertex} out of range ({num_vertices} vertices)"),
+            BingoError::EdgeNotFound { dst } => write!(f, "edge to {dst} not found"),
+            BingoError::NeighborIndexOutOfRange { index, degree } => {
+                write!(f, "neighbor index {index} out of range (degree {degree})")
+            }
+            BingoError::InvalidBias { dst } => write!(f, "invalid bias for edge to {dst}"),
+            BingoError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BingoError {}
+
+impl From<bingo_graph::GraphError> for BingoError {
+    fn from(e: bingo_graph::GraphError) -> Self {
+        BingoError::Graph(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, BingoError>;

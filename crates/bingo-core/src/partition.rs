@@ -1,0 +1,260 @@
+//! 1-D graph partitioning and walker forwarding (§9.1).
+//!
+//! Multi-GPU Bingo distributes the graph by 1-D (per-vertex) partitioning
+//! and moves *walkers* between devices rather than shipping sampling
+//! structures. This module reproduces the same scheme at thread scale: the
+//! vertex range is split into contiguous partitions, each partition owns a
+//! [`BingoEngine`] over its local vertices, and a sampling query for a
+//! non-local vertex is "forwarded" to the owning partition (counted, so the
+//! communication volume the paper discusses is observable).
+
+use crate::config::BingoConfig;
+use crate::engine::BingoEngine;
+use crate::Result;
+use bingo_graph::{Bias, DynamicGraph, VertexId};
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maps vertices to partitions by contiguous ranges (1-D partitioning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    num_vertices: usize,
+    num_partitions: usize,
+}
+
+impl Partitioner {
+    /// Create a partitioner for `num_vertices` vertices over
+    /// `num_partitions` partitions (at least 1).
+    pub fn new(num_vertices: usize, num_partitions: usize) -> Self {
+        Partitioner {
+            num_vertices,
+            num_partitions: num_partitions.max(1),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// The partition owning vertex `v`.
+    pub fn owner(&self, v: VertexId) -> usize {
+        if self.num_vertices == 0 {
+            return 0;
+        }
+        let per = self.num_vertices.div_ceil(self.num_partitions);
+        ((v as usize) / per).min(self.num_partitions - 1)
+    }
+
+    /// The contiguous vertex range `[start, end)` of partition `p`.
+    pub fn range(&self, p: usize) -> (usize, usize) {
+        let per = self.num_vertices.div_ceil(self.num_partitions);
+        let start = (p * per).min(self.num_vertices);
+        let end = ((p + 1) * per).min(self.num_vertices);
+        (start, end)
+    }
+}
+
+/// A Bingo deployment partitioned across several engines, with walker
+/// forwarding between partitions.
+#[derive(Debug)]
+pub struct PartitionedEngine {
+    partitioner: Partitioner,
+    engines: Vec<BingoEngine>,
+    forwards: AtomicU64,
+    local_hits: AtomicU64,
+}
+
+impl PartitionedEngine {
+    /// Partition `graph` into `num_partitions` engines.
+    ///
+    /// Every engine keeps the full vertex-id space (so destination ids stay
+    /// valid) but only stores the out-edges of the vertices it owns — the
+    /// 1-D edge partitioning the paper adopts from KnightKing.
+    pub fn build(
+        graph: &DynamicGraph,
+        num_partitions: usize,
+        config: BingoConfig,
+    ) -> Result<Self> {
+        let partitioner = Partitioner::new(graph.num_vertices(), num_partitions);
+        let mut shards: Vec<DynamicGraph> = (0..partitioner.num_partitions())
+            .map(|_| DynamicGraph::new(graph.num_vertices()))
+            .collect();
+        for (src, edge) in graph.edges() {
+            let owner = partitioner.owner(src);
+            shards[owner].insert_edge(src, edge.dst, edge.bias)?;
+        }
+        let engines = shards
+            .iter()
+            .map(|shard| BingoEngine::build(shard, config))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PartitionedEngine {
+            partitioner,
+            engines,
+            forwards: AtomicU64::new(0),
+            local_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The partitioner in use.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// The per-partition engines.
+    pub fn engines(&self) -> &[BingoEngine] {
+        &self.engines
+    }
+
+    /// Total number of cross-partition walker forwards observed so far.
+    pub fn forwards(&self) -> u64 {
+        self.forwards.load(Ordering::Relaxed)
+    }
+
+    /// Total number of partition-local sampling queries observed so far.
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits.load(Ordering::Relaxed)
+    }
+
+    /// Sample a neighbor of `v` from the partition that owns it, counting a
+    /// forward when the query originates from a different partition.
+    pub fn sample_neighbor_from<R: Rng + ?Sized>(
+        &self,
+        querying_partition: usize,
+        v: VertexId,
+        rng: &mut R,
+    ) -> Option<VertexId> {
+        let owner = self.partitioner.owner(v);
+        if owner == querying_partition {
+            self.local_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.forwards.fetch_add(1, Ordering::Relaxed);
+        }
+        self.engines.get(owner)?.sample_neighbor(v, rng)
+    }
+
+    /// Run a biased random walk of `len` steps starting at `start`,
+    /// forwarding the walker between partitions as it crosses ownership
+    /// boundaries (the multi-GPU walking procedure of §9.1). Each step is
+    /// sampled by the partition owning the walker's current vertex; a step
+    /// whose destination lives in a different partition is counted as one
+    /// walker forward.
+    pub fn walk<R: Rng + ?Sized>(&self, start: VertexId, len: usize, rng: &mut R) -> Vec<VertexId> {
+        let mut path = Vec::with_capacity(len + 1);
+        path.push(start);
+        let mut current = start;
+        let mut current_partition = self.partitioner.owner(start);
+        for _ in 0..len {
+            let next = match self.engines[current_partition].sample_neighbor(current, rng) {
+                Some(next) => next,
+                None => break,
+            };
+            let next_partition = self.partitioner.owner(next);
+            if next_partition == current_partition {
+                self.local_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.forwards.fetch_add(1, Ordering::Relaxed);
+            }
+            current = next;
+            current_partition = next_partition;
+            path.push(next);
+        }
+        path
+    }
+
+    /// Streaming insertion routed to the owning partition.
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, bias: Bias) -> Result<()> {
+        let owner = self.partitioner.owner(src);
+        self.engines[owner].insert_edge(src, dst, bias)
+    }
+
+    /// Streaming deletion routed to the owning partition.
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> Result<()> {
+        let owner = self.partitioner.owner(src);
+        self.engines[owner].delete_edge(src, dst)
+    }
+
+    /// Total number of edges across all partitions.
+    pub fn num_edges(&self) -> usize {
+        self.engines.iter().map(BingoEngine::num_edges).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_graph::dynamic_graph::running_example;
+    use bingo_sampling::rng::Pcg64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partitioner_covers_all_vertices_exactly_once() {
+        let p = Partitioner::new(10, 3);
+        let mut counts = vec![0usize; 3];
+        for v in 0..10u32 {
+            counts[p.owner(v)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        // Ranges are consistent with owner().
+        for part in 0..3 {
+            let (start, end) = p.range(part);
+            for v in start..end {
+                assert_eq!(p.owner(v as VertexId), part);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_partitioners() {
+        let p = Partitioner::new(5, 1);
+        assert_eq!(p.owner(4), 0);
+        let p = Partitioner::new(0, 4);
+        assert_eq!(p.owner(0), 0);
+        let p = Partitioner::new(3, 0);
+        assert_eq!(p.num_partitions(), 1);
+    }
+
+    #[test]
+    fn partitioned_engine_preserves_all_edges() {
+        let g = running_example();
+        let pe = PartitionedEngine::build(&g, 3, BingoConfig::default()).unwrap();
+        assert_eq!(pe.num_edges(), g.num_edges());
+        // Edges of vertex 2 live only in its owner's engine.
+        let owner = pe.partitioner().owner(2);
+        assert_eq!(pe.engines()[owner].degree(2), 3);
+        for (p, e) in pe.engines().iter().enumerate() {
+            if p != owner {
+                assert_eq!(e.degree(2), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn walks_cross_partitions_and_count_forwards() {
+        let g = running_example();
+        let pe = PartitionedEngine::build(&g, 3, BingoConfig::default()).unwrap();
+        let mut rng = Pcg64::seed_from_u64(5);
+        let mut total_steps = 0usize;
+        let walks = 50;
+        for _ in 0..walks {
+            let path = pe.walk(0, 10, &mut rng);
+            assert!(!path.is_empty());
+            total_steps += path.len() - 1;
+        }
+        let _ = walks;
+        // Every successful step is either local or forwarded.
+        assert_eq!(pe.forwards() + pe.local_hits(), total_steps as u64);
+        assert!(pe.forwards() > 0, "walks from vertex 0 must cross partitions");
+    }
+
+    #[test]
+    fn updates_are_routed_to_the_owner() {
+        let g = running_example();
+        let mut pe = PartitionedEngine::build(&g, 2, BingoConfig::default()).unwrap();
+        pe.insert_edge(5, 0, Bias::from_int(2)).unwrap();
+        assert_eq!(pe.num_edges(), g.num_edges() + 1);
+        pe.delete_edge(5, 0).unwrap();
+        assert_eq!(pe.num_edges(), g.num_edges());
+        assert!(pe.delete_edge(5, 0).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Radix-based bias decomposition (§4.1).
+//!
+//! Every integer bias `w` is decomposed into its set bits:
+//! `D(w) = { 2^k | w ∧ 2^k ≠ 0 }` (Equation 3). Grouping the sub-biases by
+//! bit position gives the per-group bias `W(p_k) = Σ_i (w_i ∧ 2^k)`
+//! (Equation 4); because every member of group `k` contributes exactly
+//! `2^k`, intra-group sampling is uniform, which is what makes Bingo's
+//! two-stage sampling `O(1)`.
+
+/// Maximum number of radix groups (64-bit biases).
+pub const MAX_GROUPS: usize = 64;
+
+/// Iterator over the set-bit positions of a bias (the decomposition `D(w)`).
+#[derive(Debug, Clone)]
+pub struct RadixDecomposition {
+    remaining: u64,
+}
+
+impl Iterator for RadixDecomposition {
+    type Item = u8;
+
+    #[inline]
+    fn next(&mut self) -> Option<u8> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let bit = self.remaining.trailing_zeros() as u8;
+        self.remaining &= self.remaining - 1;
+        Some(bit)
+    }
+}
+
+/// Decompose an integer bias into its set-bit positions (Equation 3).
+///
+/// `decompose(5)` yields bits `[0, 2]`, i.e. `5 = 2^0 + 2^2`.
+#[inline]
+pub fn decompose(bias: u64) -> RadixDecomposition {
+    RadixDecomposition { remaining: bias }
+}
+
+/// Number of radix groups an integer bias participates in
+/// (`t = popcount(w)` in the space-complexity analysis of §4.4).
+#[inline]
+pub fn popcount(bias: u64) -> u32 {
+    bias.count_ones()
+}
+
+/// Number of groups needed to represent biases up to `max_bias`
+/// (`K = log2(max(w)) + 1`).
+#[inline]
+pub fn groups_for_max_bias(max_bias: u64) -> usize {
+    if max_bias == 0 {
+        0
+    } else {
+        64 - max_bias.leading_zeros() as usize
+    }
+}
+
+/// Whether an integer bias contributes to the radix group of bit `k`
+/// (the membership test `w ∧ 2^k ≠ 0`).
+#[inline]
+pub fn in_group(bias: u64, bit: u8) -> bool {
+    bit < 64 && bias & (1u64 << bit) != 0
+}
+
+/// The sub-bias an integer bias contributes to group `k` (`w ∧ 2^k`).
+#[inline]
+pub fn sub_bias(bias: u64, bit: u8) -> u64 {
+    if bit < 64 {
+        bias & (1u64 << bit)
+    } else {
+        0
+    }
+}
+
+/// Compute all group biases `W(p_k)` for a slice of integer biases
+/// (Equation 4). The returned vector has `groups_for_max_bias(max)` entries.
+pub fn group_biases(biases: &[u64]) -> Vec<u64> {
+    let max = biases.iter().copied().max().unwrap_or(0);
+    let k = groups_for_max_bias(max);
+    let mut groups = vec![0u64; k];
+    for &w in biases {
+        for bit in decompose(w) {
+            groups[bit as usize] += 1u64 << bit;
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_matches_binary_representation() {
+        assert_eq!(decompose(0).collect::<Vec<_>>(), Vec::<u8>::new());
+        assert_eq!(decompose(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(decompose(5).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(decompose(4).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(decompose(3).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(decompose(u64::MAX).count(), 64);
+    }
+
+    #[test]
+    fn decomposition_reconstructs_the_bias() {
+        for w in [1u64, 5, 12, 255, 1023, 0xDEAD_BEEF] {
+            let sum: u64 = decompose(w).map(|b| 1u64 << b).sum();
+            assert_eq!(sum, w);
+        }
+    }
+
+    #[test]
+    fn popcount_and_group_count() {
+        assert_eq!(popcount(5), 2);
+        assert_eq!(popcount(0), 0);
+        assert_eq!(groups_for_max_bias(0), 0);
+        assert_eq!(groups_for_max_bias(1), 1);
+        assert_eq!(groups_for_max_bias(5), 3);
+        assert_eq!(groups_for_max_bias(8), 4);
+        assert_eq!(groups_for_max_bias(u64::MAX), 64);
+    }
+
+    #[test]
+    fn membership_and_sub_bias() {
+        assert!(in_group(5, 0));
+        assert!(!in_group(5, 1));
+        assert!(in_group(5, 2));
+        assert!(!in_group(5, 64));
+        assert_eq!(sub_bias(5, 2), 4);
+        assert_eq!(sub_bias(5, 1), 0);
+        assert_eq!(sub_bias(5, 80), 0);
+    }
+
+    #[test]
+    fn running_example_group_biases() {
+        // Vertex 2: biases 5, 4, 3 → group 2^0 = {5, 3}, 2^1 = {3}, 2^2 = {5, 4}.
+        // Group biases: 2, 2, 8 (as stated in §4.1 of the paper).
+        let groups = group_biases(&[5, 4, 3]);
+        assert_eq!(groups, vec![2, 2, 8]);
+        let total: u64 = groups.iter().sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn group_biases_handle_empty_and_zero() {
+        assert!(group_biases(&[]).is_empty());
+        assert!(group_biases(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn group_bias_totals_equal_bias_totals() {
+        let biases = [7u64, 13, 1, 255, 1024, 9999];
+        let groups = group_biases(&biases);
+        assert_eq!(groups.iter().sum::<u64>(), biases.iter().sum::<u64>());
+    }
+}

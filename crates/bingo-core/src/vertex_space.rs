@@ -1,0 +1,909 @@
+//! Per-vertex hierarchical sampling space (§4).
+//!
+//! A [`VertexSpace`] owns one vertex's adjacency list together with the
+//! radix groups built over it, the decimal group for fractional bias
+//! remainders, and the inter-group alias table. It supports:
+//!
+//! * `O(1)` sampling: alias-table selection of a group followed by uniform
+//!   (or bounded-rejection, for dense groups) intra-group selection.
+//! * `O(K)` streaming insertion and deletion (K = number of radix groups).
+//! * Batched application of many updates with a single rebuild at the end,
+//!   using the two-phase delete-and-swap compaction for the deletions.
+
+use crate::config::{BingoConfig, Lambda};
+use crate::fixed::{choose_lambda, ScaledBias};
+use crate::group::{DecimalGroup, GroupKind, RadixGroup};
+use crate::memory::MemoryReport;
+use crate::radix;
+use crate::stats::ConversionMatrix;
+use crate::{BingoError, Result};
+use bingo_graph::adjacency::{AdjacencyList, Edge};
+use bingo_graph::{Bias, VertexId};
+use bingo_sampling::{AliasTable, Sampler};
+use rand::Rng;
+
+/// Outcome of applying a batch of updates to one vertex.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VertexBatchOutcome {
+    /// Edges inserted.
+    pub inserted: usize,
+    /// Edges deleted.
+    pub deleted: usize,
+    /// Deletions that referenced edges not present in the graph.
+    pub missing_deletes: usize,
+    /// Whether the whole space had to be rebuilt from scratch (λ change).
+    pub full_rebuild: bool,
+}
+
+/// The sampling space of a single vertex.
+#[derive(Debug, Clone)]
+pub struct VertexSpace {
+    adj: AdjacencyList,
+    groups: Vec<RadixGroup>,
+    decimal: DecimalGroup,
+    inter: Option<AliasTable>,
+    lambda: f64,
+    config: BingoConfig,
+    conversions: ConversionMatrix,
+    inter_rebuilds: u64,
+    full_rebuilds: u64,
+}
+
+impl VertexSpace {
+    /// Build the sampling space for an adjacency list.
+    pub fn build(adj: AdjacencyList, config: BingoConfig) -> Self {
+        let mut space = VertexSpace {
+            adj,
+            groups: Vec::new(),
+            decimal: DecimalGroup::new(),
+            inter: None,
+            lambda: 1.0,
+            config,
+            conversions: ConversionMatrix::new(),
+            inter_rebuilds: 0,
+            full_rebuilds: 0,
+        };
+        space.rebuild_from_scratch();
+        space
+    }
+
+    /// The vertex degree.
+    pub fn degree(&self) -> usize {
+        self.adj.degree()
+    }
+
+    /// The adjacency list backing this space.
+    pub fn adjacency(&self) -> &AdjacencyList {
+        &self.adj
+    }
+
+    /// The λ amortization factor currently in use.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The number of radix groups (K).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The radix groups (for inspection in tests and experiments).
+    pub fn groups(&self) -> &[RadixGroup] {
+        &self.groups
+    }
+
+    /// The decimal group.
+    pub fn decimal_group(&self) -> &DecimalGroup {
+        &self.decimal
+    }
+
+    /// Group-conversion statistics accumulated by this vertex.
+    pub fn conversions(&self) -> &ConversionMatrix {
+        &self.conversions
+    }
+
+    /// Number of inter-group alias rebuilds performed.
+    pub fn inter_rebuilds(&self) -> u64 {
+        self.inter_rebuilds
+    }
+
+    /// Number of full space rebuilds performed.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    fn resolve_lambda(&self) -> f64 {
+        let has_float = self.adj.edges().iter().any(|e| !e.bias.is_integral());
+        match self.config.lambda {
+            Lambda::Fixed(l) => l.max(1.0),
+            Lambda::Auto => {
+                if has_float {
+                    let biases: Vec<f64> =
+                        self.adj.edges().iter().map(|e| e.bias.value()).collect();
+                    choose_lambda(&biases, 2.0)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    fn scaled(&self, edge: &Edge) -> ScaledBias {
+        ScaledBias::new(edge.bias, self.lambda)
+    }
+
+    /// Rebuild groups, decimal group, λ and the inter-group alias table from
+    /// the adjacency list. `O(d · K)`.
+    pub fn rebuild_from_scratch(&mut self) {
+        self.full_rebuilds += 1;
+        self.lambda = self.resolve_lambda();
+        self.decimal = DecimalGroup::new();
+        // Collect members per bit.
+        let mut max_bits = 0usize;
+        let scaled: Vec<ScaledBias> = self
+            .adj
+            .edges()
+            .iter()
+            .map(|e| {
+                let s = ScaledBias::new(e.bias, self.lambda);
+                max_bits = max_bits.max(radix::groups_for_max_bias(s.integer));
+                s
+            })
+            .collect();
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); max_bits];
+        for (idx, s) in scaled.iter().enumerate() {
+            for bit in radix::decompose(s.integer) {
+                members[bit as usize].push(idx as u32);
+            }
+            if s.has_fraction() {
+                self.decimal.insert(idx as u32, s.fraction);
+            }
+        }
+        let degree = self.adj.degree();
+        self.groups = members
+            .into_iter()
+            .enumerate()
+            .map(|(bit, m)| {
+                let kind = self.classify(m.len(), degree);
+                RadixGroup::from_members(bit as u8, kind, m)
+            })
+            .collect();
+        self.rebuild_inter();
+    }
+
+    fn classify(&self, cardinality: usize, degree: usize) -> GroupKind {
+        if !self.config.adaptive {
+            return if cardinality == 0 {
+                GroupKind::Empty
+            } else {
+                GroupKind::Regular
+            };
+        }
+        GroupKind::classify(
+            cardinality,
+            degree,
+            self.config.alpha_percent,
+            self.config.beta_percent,
+        )
+    }
+
+    /// Rebuild only the inter-group alias table. `O(K)`.
+    pub fn rebuild_inter(&mut self) {
+        self.inter_rebuilds += 1;
+        let mut weights: Vec<f64> = self.groups.iter().map(RadixGroup::weight).collect();
+        weights.push(self.decimal.weight());
+        let total: f64 = weights.iter().sum();
+        self.inter = if total > 0.0 {
+            AliasTable::new(&weights).ok()
+        } else {
+            None
+        };
+    }
+
+    /// Reclassify every group's representation against the current degree,
+    /// converting representations and recording the conversions (Table 4).
+    pub fn reclassify(&mut self) {
+        let degree = self.adj.degree();
+        let lambda = self.lambda;
+        for gi in 0..self.groups.len() {
+            self.conversions.record_check();
+            let current = self.groups[gi].kind();
+            let desired = self.classify(self.groups[gi].cardinality(), degree);
+            if current == desired {
+                continue;
+            }
+            // Converting out of a dense group requires scanning the
+            // adjacency list to recover the member list.
+            let members_if_dense = if current == GroupKind::Dense {
+                let bit = self.groups[gi].bit();
+                Some(
+                    self.adj
+                        .edges()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| {
+                            radix::in_group(ScaledBias::new(e.bias, lambda).integer, bit)
+                        })
+                        .map(|(i, _)| i as u32)
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            self.groups[gi].convert_to(desired, members_if_dense);
+            self.conversions.record(current, desired);
+        }
+    }
+
+    fn ensure_groups(&mut self, bits: usize) {
+        while self.groups.len() < bits {
+            let bit = self.groups.len() as u8;
+            self.groups.push(RadixGroup::new(bit));
+        }
+    }
+
+    /// Insert the new edge into the radix groups without touching the
+    /// inter-group alias table. Returns `true` when the insertion requires a
+    /// full rebuild (a floating-point bias arrived while λ = 1).
+    fn insert_into_groups(&mut self, idx: u32, bias: Bias) -> bool {
+        if !bias.is_integral() && (self.lambda - 1.0).abs() < f64::EPSILON {
+            if let Lambda::Auto = self.config.lambda {
+                return true;
+            }
+        }
+        let s = ScaledBias::new(bias, self.lambda);
+        self.ensure_groups(radix::groups_for_max_bias(s.integer));
+        for bit in radix::decompose(s.integer) {
+            self.groups[bit as usize].insert(idx);
+        }
+        if s.has_fraction() {
+            self.decimal.insert(idx, s.fraction);
+        }
+        false
+    }
+
+    /// Streaming insertion of an edge (§4.2): append to the adjacency list,
+    /// update the affected groups, rebuild the inter-group alias table.
+    /// `O(K)`.
+    pub fn insert(&mut self, dst: VertexId, bias: Bias) -> Result<()> {
+        if !bias.is_valid() {
+            return Err(BingoError::InvalidBias { dst });
+        }
+        let idx = self.adj.push(Edge::new(dst, bias)) as u32;
+        if self.insert_into_groups(idx, bias) {
+            self.rebuild_from_scratch();
+            return Ok(());
+        }
+        if self.config.reclassify_on_streaming {
+            self.reclassify();
+        }
+        self.rebuild_inter();
+        Ok(())
+    }
+
+    /// Remove the edge at neighbor index `idx` from all group structures
+    /// (but not yet from the adjacency list).
+    fn remove_from_groups(&mut self, idx: u32) {
+        let edge = match self.adj.edge(idx as usize) {
+            Some(e) => *e,
+            None => return,
+        };
+        let s = self.scaled(&edge);
+        for bit in radix::decompose(s.integer) {
+            if let Some(group) = self.groups.get_mut(bit as usize) {
+                group.remove(idx);
+            }
+        }
+        if s.has_fraction() {
+            self.decimal.remove(idx);
+        }
+    }
+
+    /// Propagate an adjacency-list move (`old_idx → new_idx`) to all group
+    /// structures. Must be called *after* the adjacency list was compacted.
+    fn remap_groups(&mut self, old_idx: u32, new_idx: u32) {
+        let edge = match self.adj.edge(new_idx as usize) {
+            Some(e) => *e,
+            None => return,
+        };
+        let s = self.scaled(&edge);
+        for bit in radix::decompose(s.integer) {
+            if let Some(group) = self.groups.get_mut(bit as usize) {
+                group.remap(old_idx, new_idx);
+            }
+        }
+        if s.has_fraction() {
+            self.decimal.remap(old_idx, new_idx);
+        }
+    }
+
+    /// Streaming deletion of the edge at neighbor index `idx` (§4.2):
+    /// locate the edge in its groups via the inverted indices, swap it with
+    /// each group's tail, swap-delete it from the adjacency list, and remap
+    /// the adjacency entry that moved into the hole. `O(K)`.
+    pub fn delete_at(&mut self, idx: usize) -> Result<Edge> {
+        if idx >= self.adj.degree() {
+            return Err(BingoError::NeighborIndexOutOfRange {
+                index: idx,
+                degree: self.adj.degree(),
+            });
+        }
+        self.remove_from_groups(idx as u32);
+        let out = self
+            .adj
+            .swap_delete(idx)
+            .expect("index checked against degree");
+        if let Some(old_last) = out.moved_from {
+            self.remap_groups(old_last as u32, idx as u32);
+        }
+        if self.config.reclassify_on_streaming {
+            self.reclassify();
+        }
+        self.rebuild_inter();
+        Ok(out.removed)
+    }
+
+    /// Streaming deletion of the first edge pointing at `dst`.
+    pub fn delete(&mut self, dst: VertexId) -> Result<Edge> {
+        let idx = self
+            .adj
+            .find(dst)
+            .ok_or(BingoError::EdgeNotFound { dst })?;
+        self.delete_at(idx)
+    }
+
+    /// Update the bias of the first edge pointing at `dst`.
+    ///
+    /// Implemented as delete + insert of the same destination, which is how
+    /// the paper describes bias updates (§4.2).
+    pub fn update_bias(&mut self, dst: VertexId, bias: Bias) -> Result<()> {
+        if !bias.is_valid() {
+            return Err(BingoError::InvalidBias { dst });
+        }
+        self.delete(dst)?;
+        self.insert(dst, bias)
+    }
+
+    /// Apply a per-vertex batch of updates: all insertions first, then all
+    /// deletions through the two-phase delete-and-swap compaction, then a
+    /// single reclassify + inter-group rebuild (§5.2, Figure 10(a)).
+    pub fn apply_batch(
+        &mut self,
+        inserts: &[(VertexId, Bias)],
+        deletes: &[VertexId],
+    ) -> VertexBatchOutcome {
+        let mut outcome = VertexBatchOutcome::default();
+
+        // Phase 1: insertions (append + group updates, no rebuild yet).
+        let mut needs_full_rebuild = false;
+        for &(dst, bias) in inserts {
+            if !bias.is_valid() {
+                continue;
+            }
+            let idx = self.adj.push(Edge::new(dst, bias)) as u32;
+            needs_full_rebuild |= self.insert_into_groups(idx, bias);
+            outcome.inserted += 1;
+        }
+
+        // Phase 2: deletions. Resolve destinations to distinct neighbor
+        // indices (duplicate edges are deleted oldest-first, as the paper
+        // specifies for re-inserted edges).
+        let mut to_delete: Vec<usize> = Vec::with_capacity(deletes.len());
+        let mut taken = vec![false; self.adj.degree()];
+        for &dst in deletes {
+            let found = self
+                .adj
+                .iter()
+                .find(|(i, e)| e.dst == dst && !taken[*i])
+                .map(|(i, _)| i);
+            match found {
+                Some(i) => {
+                    taken[i] = true;
+                    to_delete.push(i);
+                }
+                None => outcome.missing_deletes += 1,
+            }
+        }
+        if !to_delete.is_empty() {
+            // Remove from group structures while neighbor indices are still
+            // valid, then compact the adjacency list in one two-phase pass
+            // and patch the moved indices.
+            for &idx in &to_delete {
+                self.remove_from_groups(idx as u32);
+            }
+            let (_removed, moves) = self.adj.delete_many(&to_delete);
+            for (from, to) in moves {
+                self.remap_groups(from as u32, to as u32);
+            }
+            outcome.deleted = to_delete.len();
+        }
+
+        // Phase 3: one rebuild for the whole batch.
+        if needs_full_rebuild {
+            self.rebuild_from_scratch();
+            outcome.full_rebuild = true;
+        } else {
+            self.reclassify();
+            self.rebuild_inter();
+        }
+        outcome
+    }
+
+    /// Total (λ-scaled) sampling weight of the vertex.
+    pub fn total_weight(&self) -> f64 {
+        self.groups.iter().map(RadixGroup::weight).sum::<f64>() + self.decimal.weight()
+    }
+
+    /// Sample a neighbor index in `O(1)` expected time (Theorem 4.1
+    /// guarantees the distribution equals the bias-proportional one).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let inter = self.inter.as_ref()?;
+        // Bounded retry: a sampled group can only be empty due to floating
+        // point drift in the alias table; retry a few times before giving up.
+        for _ in 0..64 {
+            let g = inter.sample(rng);
+            if g == self.groups.len() {
+                if let Some(idx) = self.decimal.sample(rng) {
+                    return Some(idx as usize);
+                }
+                continue;
+            }
+            let group = &self.groups[g];
+            match group.kind() {
+                GroupKind::Empty => continue,
+                GroupKind::Dense => {
+                    // Bounded rejection sampling over the raw adjacency list:
+                    // the acceptance rate is > α% by construction (§5.1).
+                    let bit = group.bit();
+                    let degree = self.adj.degree();
+                    if degree == 0 {
+                        continue;
+                    }
+                    loop {
+                        let i = rng.gen_range(0..degree);
+                        let edge = self.adj.edge(i).expect("index within degree");
+                        if radix::in_group(self.scaled(edge).integer, bit) {
+                            return Some(i);
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(idx) = group.sample_uniform(rng) {
+                        return Some(idx as usize);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Sample a neighbor vertex id.
+    pub fn sample_neighbor<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<VertexId> {
+        self.sample_index(rng)
+            .and_then(|i| self.adj.edge(i))
+            .map(|e| e.dst)
+    }
+
+    /// Memory accounting for this vertex (Figure 11 breakdown).
+    pub fn memory_report(&self) -> MemoryReport {
+        let mut report = MemoryReport {
+            adjacency_bytes: self.adj.memory_bytes(),
+            inter_group_bytes: self.inter.as_ref().map(AliasTable::memory_bytes).unwrap_or(0),
+            decimal_bytes: self.decimal.memory_bytes(),
+            ..MemoryReport::default()
+        };
+        for g in &self.groups {
+            report.add_group(g.kind(), g.memory_bytes());
+        }
+        report
+    }
+
+    /// Exact per-neighbor transition probabilities implied by the current
+    /// structures. Used by tests to verify Theorem 4.1.
+    pub fn exact_probabilities(&self) -> Vec<f64> {
+        let total: f64 = self.adj.edges().iter().map(|e| e.bias.value()).sum();
+        if total <= 0.0 {
+            return vec![0.0; self.adj.degree()];
+        }
+        self.adj
+            .edges()
+            .iter()
+            .map(|e| e.bias.value() / total)
+            .collect()
+    }
+
+    /// Check every structural invariant of the sampling space. Used by the
+    /// property-based tests; returns a description of the first violation.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let degree = self.adj.degree();
+        // 1. Group cardinalities and memberships match the adjacency biases.
+        for g in &self.groups {
+            let bit = g.bit();
+            let expected: Vec<u32> = self
+                .adj
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| radix::in_group(self.scaled(e).integer, bit))
+                .map(|(i, _)| i as u32)
+                .collect();
+            if g.cardinality() != expected.len() {
+                return Err(format!(
+                    "group 2^{bit}: cardinality {} != expected {}",
+                    g.cardinality(),
+                    expected.len()
+                ));
+            }
+            if let Some(mut members) = g.members() {
+                members.sort_unstable();
+                let mut exp = expected.clone();
+                exp.sort_unstable();
+                if members != exp {
+                    return Err(format!("group 2^{bit}: members {members:?} != {exp:?}"));
+                }
+                for &m in &members {
+                    if m as usize >= degree {
+                        return Err(format!("group 2^{bit}: member {m} out of range"));
+                    }
+                }
+            }
+        }
+        // 2. Decimal group total matches the fractional remainders.
+        let expected_fraction: f64 = self
+            .adj
+            .edges()
+            .iter()
+            .map(|e| self.scaled(e).fraction)
+            .sum();
+        if (self.decimal.weight() - expected_fraction).abs() > 1e-6 {
+            return Err(format!(
+                "decimal weight {} != expected {expected_fraction}",
+                self.decimal.weight()
+            ));
+        }
+        // 3. The inter-group table exists exactly when there is weight.
+        let has_weight = self.total_weight() > 0.0;
+        if has_weight != self.inter.is_some() {
+            return Err("inter-group alias table presence mismatch".to_string());
+        }
+        // 4. Total scaled weight equals λ × total bias.
+        let total_bias: f64 = self.adj.edges().iter().map(|e| e.bias.value()).sum();
+        if (self.total_weight() - total_bias * self.lambda).abs() > 1e-6 * (1.0 + total_bias) {
+            return Err(format!(
+                "total weight {} != lambda × bias total {}",
+                self.total_weight(),
+                total_bias * self.lambda
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_graph::dynamic_graph::running_example;
+    use bingo_sampling::rng::Pcg64;
+    use bingo_sampling::stats::{empirical_distribution, max_abs_deviation};
+    use rand::SeedableRng;
+
+    fn vertex2_space(config: BingoConfig) -> VertexSpace {
+        let g = running_example();
+        VertexSpace::build(g.neighbors(2).unwrap().clone(), config)
+    }
+
+    #[test]
+    fn running_example_groups_match_paper() {
+        // Vertex 2, biases 5, 4, 3: group 2^0 = {edges 0, 2}, 2^1 = {2},
+        // 2^2 = {0, 1}; group biases 2, 2, 8.
+        let space = vertex2_space(BingoConfig::baseline());
+        assert_eq!(space.num_groups(), 3);
+        assert_eq!(space.groups()[0].cardinality(), 2);
+        assert_eq!(space.groups()[1].cardinality(), 1);
+        assert_eq!(space.groups()[2].cardinality(), 2);
+        assert_eq!(space.groups()[0].weight(), 2.0);
+        assert_eq!(space.groups()[1].weight(), 2.0);
+        assert_eq!(space.groups()[2].weight(), 8.0);
+        assert_eq!(space.total_weight(), 12.0);
+        assert_eq!(space.lambda(), 1.0);
+        space.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn theorem_4_1_sampling_distribution_is_preserved() {
+        for config in [BingoConfig::default(), BingoConfig::baseline()] {
+            let space = vertex2_space(config);
+            let mut rng = Pcg64::seed_from_u64(42);
+            let freq = empirical_distribution(
+                |r| space.sample_index(r).unwrap(),
+                3,
+                300_000,
+                &mut rng,
+            );
+            let expected = space.exact_probabilities();
+            assert!(
+                max_abs_deviation(&freq, &expected) < 0.01,
+                "distribution deviates: {freq:?} vs {expected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_neighbor_returns_destinations() {
+        let space = vertex2_space(BingoConfig::default());
+        let mut rng = Pcg64::seed_from_u64(7);
+        for _ in 0..100 {
+            let dst = space.sample_neighbor(&mut rng).unwrap();
+            assert!([1, 4, 5].contains(&dst));
+        }
+    }
+
+    #[test]
+    fn empty_vertex_samples_nothing() {
+        let space = VertexSpace::build(AdjacencyList::new(), BingoConfig::default());
+        let mut rng = Pcg64::seed_from_u64(1);
+        assert_eq!(space.sample_index(&mut rng), None);
+        assert_eq!(space.total_weight(), 0.0);
+        space.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn streaming_insert_matches_paper_figure_5() {
+        // Insert edge (2, 3, 3): bias 3 = 2^0 + 2^1, so groups 2^0 and 2^1
+        // each gain the new neighbor index 3.
+        let mut space = vertex2_space(BingoConfig::baseline());
+        space.insert(3, Bias::from_int(3)).unwrap();
+        assert_eq!(space.degree(), 4);
+        assert_eq!(space.groups()[0].cardinality(), 3);
+        assert_eq!(space.groups()[1].cardinality(), 2);
+        assert_eq!(space.groups()[2].cardinality(), 2);
+        assert_eq!(space.total_weight(), 15.0);
+        space.check_invariants().unwrap();
+
+        // Distribution still matches the biases.
+        let mut rng = Pcg64::seed_from_u64(3);
+        let freq =
+            empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
+        assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
+    }
+
+    #[test]
+    fn streaming_delete_matches_paper_figure_6() {
+        // Delete edge (2, 1, 5): groups 2^0 and 2^2 lose neighbor index 0.
+        let mut space = vertex2_space(BingoConfig::baseline());
+        let removed = space.delete(1).unwrap();
+        assert_eq!(removed.dst, 1);
+        assert_eq!(removed.bias.value(), 5.0);
+        assert_eq!(space.degree(), 2);
+        assert_eq!(space.groups()[0].cardinality(), 1);
+        assert_eq!(space.groups()[1].cardinality(), 1);
+        assert_eq!(space.groups()[2].cardinality(), 1);
+        assert_eq!(space.total_weight(), 7.0);
+        space.check_invariants().unwrap();
+        // Deleting a missing edge fails cleanly.
+        assert!(space.delete(1).is_err());
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips() {
+        let mut space = vertex2_space(BingoConfig::default());
+        let before = space.total_weight();
+        space.insert(3, Bias::from_int(6)).unwrap();
+        space.delete(3).unwrap();
+        assert_eq!(space.total_weight(), before);
+        assert_eq!(space.degree(), 3);
+        space.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalid_operations_are_rejected() {
+        let mut space = vertex2_space(BingoConfig::default());
+        assert!(space.insert(9, Bias::from_int(0)).is_err());
+        assert!(space.delete(99).is_err());
+        assert!(space.delete_at(17).is_err());
+        assert!(space.update_bias(1, Bias::from_float(-1.0)).is_err());
+    }
+
+    #[test]
+    fn update_bias_changes_distribution() {
+        let mut space = vertex2_space(BingoConfig::default());
+        space.update_bias(4, Bias::from_int(100)).unwrap();
+        space.check_invariants().unwrap();
+        let mut rng = Pcg64::seed_from_u64(11);
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            if space.sample_neighbor(&mut rng) == Some(4) {
+                hits += 1;
+            }
+        }
+        // Neighbor 4 now carries 100 / 108 of the weight.
+        assert!(hits as f64 / 10_000.0 > 0.85);
+    }
+
+    #[test]
+    fn floating_point_biases_follow_paper_example() {
+        // §4.3 example with λ fixed at 10.
+        let mut adj = AdjacencyList::new();
+        adj.push(Edge::new(1, Bias::from_float(0.554)));
+        adj.push(Edge::new(4, Bias::from_float(0.726)));
+        adj.push(Edge::new(5, Bias::from_float(0.32)));
+        let config = BingoConfig {
+            lambda: Lambda::Fixed(10.0),
+            ..BingoConfig::default()
+        };
+        let space = VertexSpace::build(adj, config);
+        assert_eq!(space.lambda(), 10.0);
+        // Integer parts 5, 7, 3 → groups 2^0 {5,7,3}, 2^1 {7,3}, 2^2 {5,7}.
+        assert_eq!(space.num_groups(), 3);
+        assert_eq!(space.groups()[0].cardinality(), 3);
+        assert_eq!(space.groups()[1].cardinality(), 2);
+        assert_eq!(space.groups()[2].cardinality(), 2);
+        assert_eq!(space.decimal_group().cardinality(), 3);
+        assert!((space.decimal_group().weight() - 1.0).abs() < 1e-9);
+        space.check_invariants().unwrap();
+
+        // Theorem 4.1 still holds with the decimal group in play.
+        let mut rng = Pcg64::seed_from_u64(5);
+        let freq =
+            empirical_distribution(|r| space.sample_index(r).unwrap(), 3, 300_000, &mut rng);
+        assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
+    }
+
+    #[test]
+    fn auto_lambda_keeps_decimal_group_small() {
+        let mut adj = AdjacencyList::new();
+        for i in 0..20u32 {
+            adj.push(Edge::new(i, Bias::from_float(0.05 + 0.01 * i as f64)));
+        }
+        let space = VertexSpace::build(adj, BingoConfig::default());
+        assert!(space.lambda() > 1.0);
+        let share = space.decimal_group().weight() / space.total_weight();
+        assert!(share < 1.0 / 20.0, "decimal share {share} too large");
+        space.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn float_insert_into_integer_space_triggers_full_rebuild() {
+        let mut space = vertex2_space(BingoConfig::default());
+        assert_eq!(space.lambda(), 1.0);
+        let rebuilds_before = space.full_rebuilds();
+        space.insert(3, Bias::from_float(0.5)).unwrap();
+        assert!(space.full_rebuilds() > rebuilds_before);
+        assert!(space.lambda() > 1.0);
+        space.check_invariants().unwrap();
+        let mut rng = Pcg64::seed_from_u64(9);
+        let freq =
+            empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
+        assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
+    }
+
+    #[test]
+    fn adaptive_classification_creates_dense_and_one_element_groups() {
+        // 10 edges, 9 odd biases (dense 2^0 group), one huge bias for a
+        // one-element group.
+        let mut adj = AdjacencyList::new();
+        for i in 0..9u32 {
+            adj.push(Edge::new(i, Bias::from_int(2 * u64::from(i) + 1)));
+        }
+        adj.push(Edge::new(9, Bias::from_int(1 << 12)));
+        let space = VertexSpace::build(adj, BingoConfig::default());
+        assert_eq!(space.groups()[0].kind(), GroupKind::Dense);
+        assert_eq!(space.groups()[12].kind(), GroupKind::OneElement);
+        space.check_invariants().unwrap();
+
+        // Distribution must still match despite the dense representation.
+        let mut rng = Pcg64::seed_from_u64(13);
+        let freq =
+            empirical_distribution(|r| space.sample_index(r).unwrap(), 10, 400_000, &mut rng);
+        assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
+    }
+
+    #[test]
+    fn baseline_config_only_uses_regular_groups() {
+        let mut adj = AdjacencyList::new();
+        for i in 0..16u32 {
+            adj.push(Edge::new(i, Bias::from_int(u64::from(i) + 1)));
+        }
+        let space = VertexSpace::build(adj, BingoConfig::baseline());
+        for g in space.groups() {
+            assert!(matches!(g.kind(), GroupKind::Regular | GroupKind::Empty));
+        }
+    }
+
+    #[test]
+    fn adaptive_uses_less_memory_than_baseline() {
+        let mut adj = AdjacencyList::new();
+        for i in 0..256u32 {
+            adj.push(Edge::new(i, Bias::from_int(u64::from(i % 63) + 1)));
+        }
+        let adaptive = VertexSpace::build(adj.clone(), BingoConfig::default());
+        let baseline = VertexSpace::build(adj, BingoConfig::baseline());
+        assert!(
+            adaptive.memory_report().sampling_bytes() < baseline.memory_report().sampling_bytes()
+        );
+    }
+
+    #[test]
+    fn batch_apply_inserts_and_deletes_with_single_rebuild() {
+        let mut space = vertex2_space(BingoConfig::default());
+        let rebuilds_before = space.inter_rebuilds();
+        let outcome = space.apply_batch(
+            &[
+                (3, Bias::from_int(3)),
+                (0, Bias::from_int(7)),
+                (5, Bias::from_int(2)),
+            ],
+            &[1, 4, 99],
+        );
+        assert_eq!(outcome.inserted, 3);
+        assert_eq!(outcome.deleted, 2);
+        assert_eq!(outcome.missing_deletes, 1);
+        assert_eq!(space.degree(), 4);
+        // Exactly one inter-group rebuild for the whole batch.
+        assert_eq!(space.inter_rebuilds(), rebuilds_before + 1);
+        space.check_invariants().unwrap();
+
+        let mut rng = Pcg64::seed_from_u64(21);
+        let freq =
+            empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
+        assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
+    }
+
+    #[test]
+    fn batch_deleting_duplicate_edges_removes_both_copies() {
+        let mut adj = AdjacencyList::new();
+        adj.push(Edge::new(1, Bias::from_int(2)));
+        adj.push(Edge::new(1, Bias::from_int(4)));
+        adj.push(Edge::new(2, Bias::from_int(8)));
+        let mut space = VertexSpace::build(adj, BingoConfig::default());
+        let outcome = space.apply_batch(&[], &[1, 1]);
+        assert_eq!(outcome.deleted, 2);
+        assert_eq!(space.degree(), 1);
+        space.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_with_everything_deleted_leaves_empty_space() {
+        let mut space = vertex2_space(BingoConfig::default());
+        let outcome = space.apply_batch(&[], &[1, 4, 5]);
+        assert_eq!(outcome.deleted, 3);
+        assert_eq!(space.degree(), 0);
+        assert_eq!(space.total_weight(), 0.0);
+        let mut rng = Pcg64::seed_from_u64(2);
+        assert_eq!(space.sample_index(&mut rng), None);
+        space.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn conversions_are_recorded_when_groups_change_kind() {
+        // Start with a small degree (dense groups), then grow the degree so
+        // the same group must become regular/sparse.
+        let mut adj = AdjacencyList::new();
+        adj.push(Edge::new(0, Bias::from_int(1)));
+        adj.push(Edge::new(1, Bias::from_int(1)));
+        let mut space = VertexSpace::build(adj, BingoConfig::default());
+        assert_eq!(space.groups()[0].kind(), GroupKind::Dense);
+        for i in 2..40u32 {
+            space.insert(i, Bias::from_int(2)).unwrap();
+        }
+        // Group 2^0 now holds 2 of 40 edges (5%) → sparse.
+        assert_eq!(space.groups()[0].kind(), GroupKind::Sparse);
+        assert!(space.conversions().total_conversions() > 0);
+        space.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn memory_report_counts_every_group() {
+        let space = vertex2_space(BingoConfig::default());
+        let report = space.memory_report();
+        let counted: usize = report.group_counts.iter().sum();
+        let non_empty = space
+            .groups()
+            .iter()
+            .filter(|g| g.kind() != GroupKind::Empty)
+            .count();
+        assert_eq!(counted, non_empty);
+        assert!(report.adjacency_bytes > 0);
+        assert!(report.inter_group_bytes > 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Edge bias values.
+//!
+//! The paper supports both integer biases — radix-decomposed directly — and
+//! floating-point biases, which are scaled by an amortization factor λ and
+//! split into an integer part (radix groups) and a decimal remainder
+//! (a dedicated group, §4.3). [`Bias`] is a thin wrapper over `f64` that
+//! remembers whether the value was constructed as an integer, so the engine
+//! can skip the λ machinery when it is not needed.
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative edge bias (transition weight).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bias {
+    value: f64,
+    integral: bool,
+}
+
+impl Bias {
+    /// Construct a bias from an integer weight.
+    pub fn from_int(value: u64) -> Self {
+        Bias {
+            value: value as f64,
+            integral: true,
+        }
+    }
+
+    /// Construct a bias from a floating-point weight.
+    ///
+    /// Values that happen to be whole numbers are still tracked as
+    /// floating-point; use [`Bias::from_int`] for the integer path.
+    pub fn from_float(value: f64) -> Self {
+        Bias {
+            value,
+            integral: false,
+        }
+    }
+
+    /// The numeric value of the bias.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether the bias was constructed as an integer.
+    #[inline]
+    pub fn is_integral(&self) -> bool {
+        self.integral
+    }
+
+    /// Whether the bias is valid for sampling: finite and strictly positive.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.value.is_finite() && self.value > 0.0
+    }
+
+    /// The integer part of the bias after scaling by `lambda`
+    /// (the λ amortization factor of §4.3).
+    #[inline]
+    pub fn scaled_integer_part(&self, lambda: f64) -> u64 {
+        (self.value * lambda).floor() as u64
+    }
+
+    /// The fractional remainder of the bias after scaling by `lambda`.
+    #[inline]
+    pub fn scaled_fraction(&self, lambda: f64) -> f64 {
+        let scaled = self.value * lambda;
+        scaled - scaled.floor()
+    }
+
+    /// The bias as a raw integer, if it was constructed as one.
+    pub fn as_int(&self) -> Option<u64> {
+        if self.integral {
+            Some(self.value as u64)
+        } else {
+            None
+        }
+    }
+}
+
+impl From<u64> for Bias {
+    fn from(v: u64) -> Self {
+        Bias::from_int(v)
+    }
+}
+
+impl From<f64> for Bias {
+    fn from(v: f64) -> Self {
+        Bias::from_float(v)
+    }
+}
+
+impl std::fmt::Display for Bias {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.integral {
+            write!(f, "{}", self.value as u64)
+        } else {
+            write!(f, "{}", self.value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_bias_round_trips() {
+        let b = Bias::from_int(5);
+        assert_eq!(b.value(), 5.0);
+        assert!(b.is_integral());
+        assert_eq!(b.as_int(), Some(5));
+        assert!(b.is_valid());
+        assert_eq!(format!("{b}"), "5");
+    }
+
+    #[test]
+    fn float_bias_is_not_integral() {
+        let b = Bias::from_float(0.554);
+        assert!(!b.is_integral());
+        assert_eq!(b.as_int(), None);
+        assert!(b.is_valid());
+    }
+
+    #[test]
+    fn invalid_biases_detected() {
+        assert!(!Bias::from_float(0.0).is_valid());
+        assert!(!Bias::from_float(-1.0).is_valid());
+        assert!(!Bias::from_float(f64::NAN).is_valid());
+        assert!(!Bias::from_float(f64::INFINITY).is_valid());
+        assert!(!Bias::from_int(0).is_valid());
+    }
+
+    #[test]
+    fn lambda_scaling_matches_paper_example() {
+        // Paper §4.3: bias 0.554 with λ = 10 → integer part 5, fraction 0.54.
+        let b = Bias::from_float(0.554);
+        assert_eq!(b.scaled_integer_part(10.0), 5);
+        assert!((b.scaled_fraction(10.0) - 0.54).abs() < 1e-9);
+
+        let b = Bias::from_float(0.726);
+        assert_eq!(b.scaled_integer_part(10.0), 7);
+        assert!((b.scaled_fraction(10.0) - 0.26).abs() < 1e-9);
+
+        let b = Bias::from_float(0.32);
+        assert_eq!(b.scaled_integer_part(10.0), 3);
+        assert!((b.scaled_fraction(10.0) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_bias_has_no_fraction_at_unit_lambda() {
+        let b = Bias::from_int(13);
+        assert_eq!(b.scaled_integer_part(1.0), 13);
+        assert_eq!(b.scaled_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Bias = 7u64.into();
+        let b: Bias = 7.5f64.into();
+        assert!(a.is_integral());
+        assert!(!b.is_integral());
+    }
+}

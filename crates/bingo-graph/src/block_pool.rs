@@ -1,0 +1,209 @@
+//! Hornet-style block pool allocator.
+//!
+//! Hornet (Busato et al., HPEC 2018), the dynamic-graph container the paper
+//! adopts on the GPU, stores every adjacency list in a block whose capacity
+//! is a power of two and recycles freed blocks through per-class free lists
+//! so that graph updates do not call the device allocator. This module
+//! reproduces that memory-management strategy for CPU vectors: callers
+//! acquire storage of a given capacity class and release it back to the pool
+//! when an adjacency list grows or a vertex disappears.
+
+use parking_lot::Mutex;
+
+/// Statistics describing the pool's behaviour, used by the memory
+/// experiments and by tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockPoolStats {
+    /// Number of blocks handed out that could be served from a free list.
+    pub reused: usize,
+    /// Number of blocks that required a fresh allocation.
+    pub allocated: usize,
+    /// Number of blocks currently sitting in free lists.
+    pub free_blocks: usize,
+    /// Total capacity (in elements) parked in free lists.
+    pub free_capacity: usize,
+}
+
+/// A pool of reusable `Vec<T>` blocks grouped by power-of-two capacity class.
+#[derive(Debug)]
+pub struct BlockPool<T> {
+    /// `free[class]` holds blocks with capacity `1 << class`.
+    free: Mutex<Vec<Vec<Vec<T>>>>,
+    stats: Mutex<BlockPoolStats>,
+    max_class: usize,
+}
+
+impl<T> Default for BlockPool<T> {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl<T> BlockPool<T> {
+    /// Create a pool managing capacity classes `2^0 .. 2^max_class`.
+    pub fn new(max_class: usize) -> Self {
+        BlockPool {
+            free: Mutex::new((0..=max_class).map(|_| Vec::new()).collect()),
+            stats: Mutex::new(BlockPoolStats::default()),
+            max_class,
+        }
+    }
+
+    /// The capacity class (power-of-two exponent) that fits `len` elements.
+    pub fn class_for(len: usize) -> usize {
+        if len <= 1 {
+            0
+        } else {
+            usize::BITS as usize - (len - 1).leading_zeros() as usize
+        }
+    }
+
+    /// Acquire a block with capacity at least `min_capacity`.
+    pub fn acquire(&self, min_capacity: usize) -> Vec<T> {
+        let class = Self::class_for(min_capacity).min(self.max_class);
+        let capacity = 1usize << class;
+        let mut free = self.free.lock();
+        let mut stats = self.stats.lock();
+        if let Some(mut block) = free[class].pop() {
+            block.clear();
+            stats.reused += 1;
+            stats.free_blocks -= 1;
+            stats.free_capacity -= capacity;
+            block
+        } else {
+            stats.allocated += 1;
+            Vec::with_capacity(capacity)
+        }
+    }
+
+    /// Return a block to the pool for later reuse.
+    pub fn release(&self, block: Vec<T>) {
+        if block.capacity() == 0 {
+            return;
+        }
+        let class = Self::class_for(block.capacity()).min(self.max_class);
+        let mut free = self.free.lock();
+        let mut stats = self.stats.lock();
+        stats.free_blocks += 1;
+        stats.free_capacity += 1usize << class;
+        free[class].push(block);
+    }
+
+    /// Grow a block to the next capacity class, copying its contents, and
+    /// recycle the old storage. Returns the new block.
+    pub fn grow(&self, mut block: Vec<T>) -> Vec<T> {
+        let mut bigger = self.acquire(block.len().max(1) * 2);
+        bigger.append(&mut block);
+        self.release(block);
+        bigger
+    }
+
+    /// Snapshot of the pool statistics.
+    pub fn stats(&self) -> BlockPoolStats {
+        *self.stats.lock()
+    }
+
+    /// Drop every cached free block.
+    pub fn clear(&self) {
+        let mut free = self.free.lock();
+        for class in free.iter_mut() {
+            class.clear();
+        }
+        let mut stats = self.stats.lock();
+        stats.free_blocks = 0;
+        stats.free_capacity = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_for_is_ceiling_log2() {
+        assert_eq!(BlockPool::<u32>::class_for(0), 0);
+        assert_eq!(BlockPool::<u32>::class_for(1), 0);
+        assert_eq!(BlockPool::<u32>::class_for(2), 1);
+        assert_eq!(BlockPool::<u32>::class_for(3), 2);
+        assert_eq!(BlockPool::<u32>::class_for(4), 2);
+        assert_eq!(BlockPool::<u32>::class_for(5), 3);
+        assert_eq!(BlockPool::<u32>::class_for(1024), 10);
+        assert_eq!(BlockPool::<u32>::class_for(1025), 11);
+    }
+
+    #[test]
+    fn acquire_provides_requested_capacity() {
+        let pool: BlockPool<u64> = BlockPool::new(20);
+        let block = pool.acquire(5);
+        assert!(block.capacity() >= 5);
+        assert!(block.is_empty());
+    }
+
+    #[test]
+    fn released_blocks_are_reused() {
+        let pool: BlockPool<u64> = BlockPool::new(20);
+        let mut block = pool.acquire(8);
+        block.extend_from_slice(&[1, 2, 3]);
+        pool.release(block);
+        assert_eq!(pool.stats().free_blocks, 1);
+        let reused = pool.acquire(8);
+        assert!(reused.is_empty());
+        let stats = pool.stats();
+        assert_eq!(stats.reused, 1);
+        assert_eq!(stats.free_blocks, 0);
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let pool: BlockPool<u32> = BlockPool::new(20);
+        let mut block = pool.acquire(2);
+        block.push(7);
+        block.push(9);
+        let grown = pool.grow(block);
+        assert_eq!(grown, vec![7, 9]);
+        assert!(grown.capacity() >= 4);
+        // The old block went back to the pool.
+        assert_eq!(pool.stats().free_blocks, 1);
+    }
+
+    #[test]
+    fn zero_capacity_release_is_ignored() {
+        let pool: BlockPool<u32> = BlockPool::new(20);
+        pool.release(Vec::new());
+        assert_eq!(pool.stats().free_blocks, 0);
+    }
+
+    #[test]
+    fn clear_drops_free_lists() {
+        let pool: BlockPool<u32> = BlockPool::new(20);
+        pool.release(Vec::with_capacity(16));
+        pool.release(Vec::with_capacity(4));
+        assert_eq!(pool.stats().free_blocks, 2);
+        pool.clear();
+        assert_eq!(pool.stats().free_blocks, 0);
+        assert_eq!(pool.stats().free_capacity, 0);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let pool: Arc<BlockPool<u64>> = Arc::new(BlockPool::new(20));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let mut b = p.acquire(i % 32 + 1);
+                        b.push(i as u64);
+                        p.release(b);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.reused + stats.allocated, 400);
+    }
+}

@@ -1,0 +1,379 @@
+//! Synthetic graph generators and bias distributions.
+//!
+//! The paper evaluates on real graphs whose sizes (up to 1.47 billion edges)
+//! are outside laptop scope, so the benchmark harness generates scaled-down
+//! synthetic graphs with matching *shape*: R-MAT for the skewed social /
+//! web graphs and Erdős–Rényi for the near-uniform ones. Bias values are
+//! drawn from the three distributions the paper's microbenchmarks use
+//! (uniform, Gaussian, power-law) or derived from vertex degrees, which is
+//! the paper's default (§6.1 "Bias").
+
+use crate::{Bias, DynamicGraph, VertexId};
+use rand::Rng;
+
+/// Distribution from which edge biases are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BiasDistribution {
+    /// Every edge gets the same integer bias.
+    Constant(u64),
+    /// Uniform integers in `[lo, hi]`.
+    UniformInt {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Rounded Gaussian with the given mean and standard deviation, clamped
+    /// to at least 1.
+    Gaussian {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation of the distribution.
+        std_dev: f64,
+    },
+    /// Discrete power law: `P(w) ∝ w^-alpha` for `w ∈ [1, max]`.
+    PowerLaw {
+        /// Exponent of the power law (> 0).
+        alpha: f64,
+        /// Largest bias value.
+        max: u64,
+    },
+    /// Bias of edge `(u, v)` equals the destination's degree (the paper's
+    /// default, which "naturally follows a power-law distribution").
+    DegreeBased,
+    /// Uniform floating-point biases in `[lo, hi)`.
+    UniformFloat {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl BiasDistribution {
+    /// Draw one bias value. For [`BiasDistribution::DegreeBased`] the caller
+    /// must supply the destination degree via `dst_degree`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, dst_degree: usize) -> Bias {
+        match *self {
+            BiasDistribution::Constant(w) => Bias::from_int(w.max(1)),
+            BiasDistribution::UniformInt { lo, hi } => {
+                let lo = lo.max(1);
+                let hi = hi.max(lo);
+                Bias::from_int(rng.gen_range(lo..=hi))
+            }
+            BiasDistribution::Gaussian { mean, std_dev } => {
+                // Box–Muller transform; avoids a dependency on rand_distr.
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let value = (mean + std_dev * z).round().max(1.0);
+                Bias::from_int(value as u64)
+            }
+            BiasDistribution::PowerLaw { alpha, max } => {
+                // Inverse-CDF sampling of a truncated continuous power law,
+                // then rounded to an integer in [1, max].
+                let max = max.max(1) as f64;
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let exponent = 1.0 - alpha;
+                let value = if exponent.abs() < 1e-9 {
+                    max.powf(u)
+                } else {
+                    (1.0 + u * (max.powf(exponent) - 1.0)).powf(1.0 / exponent)
+                };
+                Bias::from_int(value.round().clamp(1.0, max) as u64)
+            }
+            BiasDistribution::DegreeBased => Bias::from_int(dst_degree.max(1) as u64),
+            BiasDistribution::UniformFloat { lo, hi } => {
+                Bias::from_float(rng.gen_range(lo.max(f64::MIN_POSITIVE)..hi.max(lo + 1e-9)))
+            }
+        }
+    }
+}
+
+/// Synthetic graph topology generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphGenerator {
+    /// Erdős–Rényi `G(n, m)`: `m` edges drawn uniformly at random.
+    ErdosRenyi {
+        /// Number of vertices.
+        vertices: usize,
+        /// Number of directed edges.
+        edges: usize,
+    },
+    /// R-MAT with the standard `(a, b, c, d)` partition probabilities,
+    /// producing the power-law degree skew of social and web graphs.
+    RMat {
+        /// log2 of the number of vertices.
+        scale: u32,
+        /// Average degree (edges = vertices * avg_degree).
+        avg_degree: usize,
+        /// Probability of the top-left quadrant.
+        a: f64,
+        /// Probability of the top-right quadrant.
+        b: f64,
+        /// Probability of the bottom-left quadrant.
+        c: f64,
+    },
+    /// Preferential attachment (Barabási–Albert): each new vertex attaches
+    /// `m` edges to existing vertices proportionally to their degree.
+    PreferentialAttachment {
+        /// Number of vertices.
+        vertices: usize,
+        /// Edges added per new vertex.
+        edges_per_vertex: usize,
+    },
+}
+
+impl GraphGenerator {
+    /// Generate the edge list (without biases).
+    pub fn generate_edges<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, Vec<(VertexId, VertexId)>) {
+        match *self {
+            GraphGenerator::ErdosRenyi { vertices, edges } => {
+                let n = vertices.max(2);
+                let list = (0..edges)
+                    .map(|_| {
+                        let src = rng.gen_range(0..n) as VertexId;
+                        let mut dst = rng.gen_range(0..n) as VertexId;
+                        if dst == src {
+                            dst = (dst + 1) % n as VertexId;
+                        }
+                        (src, dst)
+                    })
+                    .collect();
+                (n, list)
+            }
+            GraphGenerator::RMat {
+                scale,
+                avg_degree,
+                a,
+                b,
+                c,
+            } => {
+                let n = 1usize << scale;
+                let m = n * avg_degree;
+                let mut list = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let (mut src, mut dst) = (0usize, 0usize);
+                    for level in (0..scale).rev() {
+                        let r: f64 = rng.gen();
+                        let (dr, dc) = if r < a {
+                            (0, 0)
+                        } else if r < a + b {
+                            (0, 1)
+                        } else if r < a + b + c {
+                            (1, 0)
+                        } else {
+                            (1, 1)
+                        };
+                        src |= dr << level;
+                        dst |= dc << level;
+                    }
+                    if src == dst {
+                        dst = (dst + 1) % n;
+                    }
+                    list.push((src as VertexId, dst as VertexId));
+                }
+                (n, list)
+            }
+            GraphGenerator::PreferentialAttachment {
+                vertices,
+                edges_per_vertex,
+            } => {
+                let n = vertices.max(2);
+                let m = edges_per_vertex.max(1);
+                // Repeated-vertex list for degree-proportional selection.
+                let mut targets: Vec<VertexId> = vec![0, 1];
+                let mut list = Vec::with_capacity(n * m);
+                list.push((0 as VertexId, 1 as VertexId));
+                for v in 2..n {
+                    for _ in 0..m.min(v) {
+                        let t = targets[rng.gen_range(0..targets.len())];
+                        list.push((v as VertexId, t));
+                        targets.push(v as VertexId);
+                        targets.push(t);
+                    }
+                }
+                (n, list)
+            }
+        }
+    }
+
+    /// Generate a full [`DynamicGraph`] with biases drawn from `bias`.
+    pub fn generate<R: Rng + ?Sized>(&self, bias: BiasDistribution, rng: &mut R) -> DynamicGraph {
+        let (n, edge_list) = self.generate_edges(rng);
+        let mut graph = DynamicGraph::new(n);
+        // First pass without biases to know destination degrees for the
+        // degree-based distribution.
+        let mut in_degree = vec![0usize; n];
+        for &(_, dst) in &edge_list {
+            in_degree[dst as usize] += 1;
+        }
+        for (src, dst) in edge_list {
+            let b = bias.sample(rng, in_degree[dst as usize]);
+            graph
+                .insert_edge(src, dst, b)
+                .expect("generated edges are within range and biases valid");
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sampling_test_rng::Pcg64;
+    use rand::SeedableRng;
+
+    // Small local RNG shim so this crate does not depend on bingo-sampling.
+    mod bingo_sampling_test_rng {
+        use rand::{RngCore, SeedableRng};
+
+        pub struct Pcg64(u64);
+
+        impl RngCore for Pcg64 {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                // SplitMix64: plenty for generator tests.
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let b = self.next_u64().to_le_bytes();
+                    chunk.copy_from_slice(&b[..chunk.len()]);
+                }
+            }
+            fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+                self.fill_bytes(dest);
+                Ok(())
+            }
+        }
+
+        impl SeedableRng for Pcg64 {
+            type Seed = [u8; 8];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Pcg64(u64::from_le_bytes(seed))
+            }
+        }
+    }
+
+    #[test]
+    fn constant_bias_is_constant() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(BiasDistribution::Constant(3).sample(&mut rng, 0).value(), 3.0);
+        }
+    }
+
+    #[test]
+    fn uniform_int_respects_bounds() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        for _ in 0..1000 {
+            let b = BiasDistribution::UniformInt { lo: 2, hi: 9 }.sample(&mut rng, 0);
+            let v = b.value();
+            assert!((2.0..=9.0).contains(&v));
+            assert!(b.is_integral());
+        }
+    }
+
+    #[test]
+    fn gaussian_bias_is_positive_integer() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let dist = BiasDistribution::Gaussian {
+            mean: 16.0,
+            std_dev: 8.0,
+        };
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let b = dist.sample(&mut rng, 0);
+            assert!(b.value() >= 1.0);
+            sum += b.value();
+        }
+        let mean = sum / 2000.0;
+        assert!((mean - 16.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn power_law_is_skewed_toward_small_values() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let dist = BiasDistribution::PowerLaw { alpha: 2.0, max: 1024 };
+        let mut small = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let b = dist.sample(&mut rng, 0);
+            assert!(b.value() >= 1.0 && b.value() <= 1024.0);
+            if b.value() <= 4.0 {
+                small += 1;
+            }
+        }
+        assert!(small as f64 / n as f64 > 0.5);
+    }
+
+    #[test]
+    fn degree_based_bias_uses_destination_degree() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        assert_eq!(BiasDistribution::DegreeBased.sample(&mut rng, 17).value(), 17.0);
+        assert_eq!(BiasDistribution::DegreeBased.sample(&mut rng, 0).value(), 1.0);
+    }
+
+    #[test]
+    fn uniform_float_is_fractional() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let b = BiasDistribution::UniformFloat { lo: 0.1, hi: 1.0 }.sample(&mut rng, 0);
+        assert!(!b.is_integral());
+        assert!(b.value() >= 0.1 && b.value() < 1.0);
+    }
+
+    #[test]
+    fn erdos_renyi_generates_requested_edges() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let g = GraphGenerator::ErdosRenyi {
+            vertices: 100,
+            edges: 500,
+        }
+        .generate(BiasDistribution::Constant(1), &mut rng);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+        // No self loops.
+        for (src, e) in g.edges() {
+            assert_ne!(src, e.dst);
+        }
+    }
+
+    #[test]
+    fn rmat_produces_skewed_degrees() {
+        let mut rng = Pcg64::seed_from_u64(8);
+        let g = GraphGenerator::RMat {
+            scale: 10,
+            avg_degree: 8,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+        .generate(BiasDistribution::DegreeBased, &mut rng);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 1024 * 8);
+        // Skew check: the max degree should be far above the average.
+        assert!(g.max_degree() > 4 * g.avg_degree() as usize);
+    }
+
+    #[test]
+    fn preferential_attachment_connects_every_vertex() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let g = GraphGenerator::PreferentialAttachment {
+            vertices: 200,
+            edges_per_vertex: 3,
+        }
+        .generate(BiasDistribution::UniformInt { lo: 1, hi: 10 }, &mut rng);
+        assert_eq!(g.num_vertices(), 200);
+        // Every vertex from 2.. has out-degree >= 1.
+        for v in 2..200 {
+            assert!(g.degree(v) >= 1, "vertex {v} is isolated");
+        }
+    }
+}

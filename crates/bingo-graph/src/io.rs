@@ -1,0 +1,174 @@
+//! Edge-list I/O.
+//!
+//! The paper loads its datasets from SNAP / KONECT edge lists. This module
+//! reads and writes the same plain-text format:
+//!
+//! ```text
+//! # comment lines start with '#' or '%'
+//! <src> <dst> [bias]
+//! ```
+//!
+//! When the bias column is missing, a bias of 1 is used. Vertex ids may be
+//! sparse; the loader sizes the graph to the largest id seen.
+
+use crate::{Bias, DynamicGraph, GraphError, Result, VertexId};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parse an edge list from any reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DynamicGraph> {
+    let mut edges: Vec<(VertexId, VertexId, Bias)> = Vec::new();
+    let mut max_vertex: VertexId = 0;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let src = parse_vertex(parts.next(), line_no + 1, "missing source vertex")?;
+        let dst = parse_vertex(parts.next(), line_no + 1, "missing destination vertex")?;
+        let bias = match parts.next() {
+            None => Bias::from_int(1),
+            Some(tok) => {
+                if let Ok(int) = tok.parse::<u64>() {
+                    Bias::from_int(int)
+                } else {
+                    let f = tok.parse::<f64>().map_err(|_| GraphError::Parse {
+                        line: line_no + 1,
+                        message: format!("invalid bias '{tok}'"),
+                    })?;
+                    Bias::from_float(f)
+                }
+            }
+        };
+        if !bias.is_valid() {
+            return Err(GraphError::Parse {
+                line: line_no + 1,
+                message: "bias must be positive and finite".to_string(),
+            });
+        }
+        max_vertex = max_vertex.max(src).max(dst);
+        edges.push((src, dst, bias));
+    }
+    let mut graph = DynamicGraph::new(if edges.is_empty() {
+        0
+    } else {
+        max_vertex as usize + 1
+    });
+    for (src, dst, bias) in edges {
+        graph.insert_edge(src, dst, bias)?;
+    }
+    Ok(graph)
+}
+
+fn parse_vertex(token: Option<&str>, line: usize, message: &str) -> Result<VertexId> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: message.to_string(),
+    })?;
+    token.parse::<VertexId>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id '{token}'"),
+    })
+}
+
+/// Load an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<DynamicGraph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Write the graph as an edge list (with biases) to any writer.
+pub fn write_edge_list<W: Write>(graph: &DynamicGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# bingo edge list: src dst bias")?;
+    for (src, edge) in graph.edges() {
+        writeln!(w, "{} {} {}", src, edge.dst, edge.bias)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Save the graph as an edge list to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(graph: &DynamicGraph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic_graph::running_example;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let text = "# comment\n% another comment\n0 1 5\n1 2 3\n\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(
+            g.neighbors(0).unwrap().edge(0).unwrap().bias.value(),
+            5.0
+        );
+        // Missing bias column defaults to 1.
+        assert_eq!(g.neighbors(2).unwrap().edge(0).unwrap().bias.value(), 1.0);
+    }
+
+    #[test]
+    fn parses_float_biases() {
+        let text = "0 1 0.554\n1 0 0.726\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        let b = g.neighbors(0).unwrap().edge(0).unwrap().bias;
+        assert!(!b.is_integral());
+        assert!((b.value() - 0.554).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let bad_vertex = "0 x 1\n";
+        match read_edge_list(bad_vertex.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_bias = "0 1 1\n0 1 -3\n";
+        match read_edge_list(bad_bias.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let missing = "0\n";
+        assert!(matches!(
+            read_edge_list(missing.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing here\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let g = running_example();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.neighbors(2).unwrap().total_bias(), 12.0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = running_example();
+        let path = std::env::temp_dir().join("bingo_io_test_edges.txt");
+        save_edge_list(&g, &path).unwrap();
+        let back = load_edge_list(&path).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+        assert!(load_edge_list("/nonexistent/path/xyz").is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Walker/Vose alias tables.
+//!
+//! The alias method splits the `d` candidates into `d` equally-sized buckets,
+//! each containing at most two candidates, so that a sample is a uniform
+//! bucket choice followed by a single biased coin flip — `O(1)` per sample.
+//! Construction is `O(d)`, and any weight change requires a rebuild, which is
+//! exactly the `O(d)` update cost that motivates Bingo's radix factorization
+//! (Table 1). Bingo itself uses small alias tables for its *inter-group*
+//! sampling stage, where `d` is the number of radix groups (≤ 64).
+
+use crate::{validate_weights, DynamicSampler, Result, Sampler, SamplingError};
+use rand::Rng;
+
+/// One bucket of the alias table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Bucket {
+    /// Probability of keeping the primary candidate (scaled to `[0, 1]`).
+    prob: f64,
+    /// The alternative candidate stored in this bucket.
+    alias: u32,
+}
+
+/// A Walker/Vose alias table over candidates `0..len`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    buckets: Vec<Bucket>,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl AliasTable {
+    /// Build an alias table from the given weights.
+    ///
+    /// Complexity: `O(d)` time and space.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        let total = validate_weights(weights)?;
+        let mut table = AliasTable {
+            buckets: Vec::new(),
+            weights: weights.to_vec(),
+            total,
+        };
+        table.rebuild_internal();
+        Ok(table)
+    }
+
+    /// Build an alias table for a uniform distribution over `n` candidates.
+    pub fn uniform(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(SamplingError::EmptyCandidateSet);
+        }
+        Self::new(&vec![1.0; n])
+    }
+
+    /// The weight of candidate `i`.
+    pub fn weight(&self, i: usize) -> Option<f64> {
+        self.weights.get(i).copied()
+    }
+
+    /// The raw weights backing this table.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Rebuild the table from the current weights (Vose's algorithm).
+    fn rebuild_internal(&mut self) {
+        let d = self.weights.len();
+        self.total = self.weights.iter().sum();
+        let avg = self.total / d as f64;
+        let mut buckets = vec![
+            Bucket {
+                prob: 1.0,
+                alias: 0
+            };
+            d
+        ];
+        // Partition candidates into "small" (below average) and "large".
+        let mut small: Vec<(usize, f64)> = Vec::new();
+        let mut large: Vec<(usize, f64)> = Vec::new();
+        for (i, &w) in self.weights.iter().enumerate() {
+            if w < avg {
+                small.push((i, w));
+            } else {
+                large.push((i, w));
+            }
+        }
+        while let (Some(&(si, sw)), true) = (small.last(), !large.is_empty()) {
+            small.pop();
+            let (li, lw) = large.pop().expect("large is non-empty");
+            buckets[si] = Bucket {
+                prob: sw / avg,
+                alias: li as u32,
+            };
+            let remaining = lw - (avg - sw);
+            if remaining < avg {
+                small.push((li, remaining));
+            } else {
+                large.push((li, remaining));
+            }
+        }
+        // Whatever is left fills its bucket entirely (prob 1.0).
+        for (i, _) in small.into_iter().chain(large) {
+            buckets[i] = Bucket {
+                prob: 1.0,
+                alias: i as u32,
+            };
+        }
+        self.buckets = buckets;
+    }
+
+    /// Number of memory bytes used by the table (buckets plus stored
+    /// weights), used by the memory-accounting experiments.
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets.len() * std::mem::size_of::<Bucket>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Sampler for AliasTable {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        debug_assert!(!self.buckets.is_empty());
+        let i = rng.gen_range(0..self.buckets.len());
+        let bucket = self.buckets[i];
+        if rng.gen::<f64>() < bucket.prob {
+            i
+        } else {
+            bucket.alias as usize
+        }
+    }
+}
+
+impl DynamicSampler for AliasTable {
+    /// Append a candidate. The alias method must rebuild: `O(d)`.
+    fn insert(&mut self, weight: f64) -> Result<usize> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(SamplingError::InvalidWeight {
+                index: self.weights.len(),
+                value: weight,
+            });
+        }
+        self.weights.push(weight);
+        self.rebuild_internal();
+        Ok(self.weights.len() - 1)
+    }
+
+    /// Swap-remove a candidate and rebuild: `O(d)`.
+    fn remove(&mut self, index: usize) -> Result<Option<usize>> {
+        if index >= self.weights.len() {
+            return Err(SamplingError::IndexOutOfBounds {
+                index,
+                len: self.weights.len(),
+            });
+        }
+        self.weights.swap_remove(index);
+        if self.weights.is_empty() {
+            self.buckets.clear();
+            self.total = 0.0;
+            return Ok(None);
+        }
+        self.rebuild_internal();
+        let moved = if index < self.weights.len() {
+            Some(self.weights.len())
+        } else {
+            None
+        };
+        Ok(moved)
+    }
+
+    /// Change a weight and rebuild: `O(d)`.
+    fn update_weight(&mut self, index: usize, weight: f64) -> Result<()> {
+        if index >= self.weights.len() {
+            return Err(SamplingError::IndexOutOfBounds {
+                index,
+                len: self.weights.len(),
+            });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(SamplingError::InvalidWeight {
+                index,
+                value: weight,
+            });
+        }
+        self.weights[index] = weight;
+        self.rebuild_internal();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+    use crate::stats::empirical_distribution;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_and_zero() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_table_has_full_buckets() {
+        let t = AliasTable::uniform(8).unwrap();
+        assert_eq!(t.len(), 8);
+        for b in &t.buckets {
+            assert!((b.prob - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_candidate_always_sampled() {
+        let t = AliasTable::new(&[3.5]).unwrap();
+        let mut rng = Pcg64::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn matches_paper_running_example() {
+        // Vertex 2 of the running example: biases 5, 4, 3.
+        let t = AliasTable::new(&[5.0, 4.0, 3.0]).unwrap();
+        let mut rng = Pcg64::seed_from_u64(42);
+        let freq = empirical_distribution(|r| t.sample(r), 3, 300_000, &mut rng);
+        assert!((freq[0] - 5.0 / 12.0).abs() < 0.01);
+        assert!((freq[1] - 4.0 / 12.0).abs() < 0.01);
+        assert!((freq[2] - 3.0 / 12.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn skewed_distribution_is_respected() {
+        let weights = [100.0, 1.0, 1.0, 1.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = Pcg64::seed_from_u64(2);
+        let freq = empirical_distribution(|r| t.sample(r), 4, 200_000, &mut rng);
+        assert!((freq[0] - 100.0 / 103.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_candidate_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 2.0]).unwrap();
+        let mut rng = Pcg64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn insert_changes_distribution() {
+        let mut t = AliasTable::new(&[1.0, 1.0]).unwrap();
+        let idx = t.insert(2.0).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(t.len(), 3);
+        assert!((t.total_weight() - 4.0).abs() < 1e-12);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let freq = empirical_distribution(|r| t.sample(r), 3, 200_000, &mut rng);
+        assert!((freq[2] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn remove_swaps_last_candidate() {
+        let mut t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let moved = t.remove(1).unwrap();
+        // Candidate 3 (weight 4.0) moved into slot 1.
+        assert_eq!(moved, Some(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.weight(1), Some(4.0));
+        // Removing the final slot moves nothing.
+        let moved = t.remove(2).unwrap();
+        assert_eq!(moved, None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_last_remaining_candidate_empties_table() {
+        let mut t = AliasTable::new(&[1.0]).unwrap();
+        assert_eq!(t.remove(0).unwrap(), None);
+        assert!(t.is_empty());
+        assert_eq!(t.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn update_weight_rebuilds() {
+        let mut t = AliasTable::new(&[1.0, 1.0]).unwrap();
+        t.update_weight(0, 9.0).unwrap();
+        let mut rng = Pcg64::seed_from_u64(5);
+        let freq = empirical_distribution(|r| t.sample(r), 2, 100_000, &mut rng);
+        assert!((freq[0] - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn out_of_bounds_operations_fail() {
+        let mut t = AliasTable::new(&[1.0]).unwrap();
+        assert!(t.remove(5).is_err());
+        assert!(t.update_weight(5, 1.0).is_err());
+        assert!(t.insert(f64::NAN).is_err());
+        assert!(t.update_weight(0, -1.0).is_err());
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_candidates() {
+        let small = AliasTable::uniform(4).unwrap();
+        let large = AliasTable::uniform(400).unwrap();
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+}

@@ -1,0 +1,250 @@
+//! Inverse Transform Sampling (ITS) over a prefix-sum (CDF) array.
+//!
+//! A compact array `C` stores the running sum of the candidate weights; a
+//! sample draws `x ∈ [0, C[d])` uniformly and binary-searches for the first
+//! `C[k] > x`. Sampling is `O(log d)`, construction `O(d)`, appending a
+//! candidate `O(1)`, and deleting or changing an interior weight requires
+//! recomputing the suffix of the prefix sums (`O(d)` worst case) — the cost
+//! profile listed for ITS in Table 1 of the paper.
+
+use crate::{validate_weights, DynamicSampler, Result, Sampler, SamplingError};
+use rand::Rng;
+
+/// A cumulative-distribution-function table for inverse transform sampling.
+#[derive(Debug, Clone)]
+pub struct CdfTable {
+    /// `cdf[i]` is the sum of weights `0..=i`; strictly increasing for
+    /// positive weights.
+    cdf: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl CdfTable {
+    /// Build a CDF table from the given weights. `O(d)`.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        validate_weights(weights)?;
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut running = 0.0;
+        for &w in weights {
+            running += w;
+            cdf.push(running);
+        }
+        Ok(CdfTable {
+            cdf,
+            weights: weights.to_vec(),
+        })
+    }
+
+    /// The weight of candidate `i`.
+    pub fn weight(&self, i: usize) -> Option<f64> {
+        self.weights.get(i).copied()
+    }
+
+    /// The raw weights backing this table.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The prefix-sum array (exposed for tests and benchmarks).
+    pub fn cdf(&self) -> &[f64] {
+        &self.cdf
+    }
+
+    /// Recompute the prefix sums starting at `from`. `O(d - from)`.
+    fn recompute_from(&mut self, from: usize) {
+        let mut running = if from == 0 { 0.0 } else { self.cdf[from - 1] };
+        for i in from..self.weights.len() {
+            running += self.weights[i];
+            self.cdf[i] = running;
+        }
+        self.cdf.truncate(self.weights.len());
+    }
+
+    /// Number of memory bytes used (CDF array plus stored weights).
+    pub fn memory_bytes(&self) -> usize {
+        (self.cdf.len() + self.weights.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+impl Sampler for CdfTable {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.cdf.last().copied().unwrap_or(0.0)
+    }
+
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        debug_assert!(!self.cdf.is_empty());
+        let total = self.total_weight();
+        let x = rng.gen::<f64>() * total;
+        // First index whose cumulative value is strictly greater than x.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+impl DynamicSampler for CdfTable {
+    /// Append a candidate: `O(1)`.
+    fn insert(&mut self, weight: f64) -> Result<usize> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(SamplingError::InvalidWeight {
+                index: self.weights.len(),
+                value: weight,
+            });
+        }
+        let total = self.total_weight();
+        self.weights.push(weight);
+        self.cdf.push(total + weight);
+        Ok(self.weights.len() - 1)
+    }
+
+    /// Swap-remove a candidate: `O(d)` because the suffix of the prefix sums
+    /// must be recomputed.
+    fn remove(&mut self, index: usize) -> Result<Option<usize>> {
+        if index >= self.weights.len() {
+            return Err(SamplingError::IndexOutOfBounds {
+                index,
+                len: self.weights.len(),
+            });
+        }
+        self.weights.swap_remove(index);
+        let moved = if index < self.weights.len() {
+            Some(self.weights.len())
+        } else {
+            None
+        };
+        self.cdf.pop();
+        if !self.weights.is_empty() {
+            self.recompute_from(index.min(self.weights.len().saturating_sub(1)));
+        } else {
+            self.cdf.clear();
+        }
+        Ok(moved)
+    }
+
+    /// Update a weight: `O(d)` suffix recomputation.
+    fn update_weight(&mut self, index: usize, weight: f64) -> Result<()> {
+        if index >= self.weights.len() {
+            return Err(SamplingError::IndexOutOfBounds {
+                index,
+                len: self.weights.len(),
+            });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(SamplingError::InvalidWeight {
+                index,
+                value: weight,
+            });
+        }
+        self.weights[index] = weight;
+        self.recompute_from(index);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+    use crate::stats::empirical_distribution;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_prefix_sum() {
+        let t = CdfTable::new(&[5.0, 4.0, 3.0]).unwrap();
+        assert_eq!(t.cdf(), &[5.0, 9.0, 12.0]);
+        assert_eq!(t.total_weight(), 12.0);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(CdfTable::new(&[]).is_err());
+        assert!(CdfTable::new(&[0.0]).is_err());
+        assert!(CdfTable::new(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let t = CdfTable::new(&[5.0, 4.0, 3.0]).unwrap();
+        let mut rng = Pcg64::seed_from_u64(11);
+        let freq = empirical_distribution(|r| t.sample(r), 3, 300_000, &mut rng);
+        assert!((freq[0] - 5.0 / 12.0).abs() < 0.01);
+        assert!((freq[1] - 4.0 / 12.0).abs() < 0.01);
+        assert!((freq[2] - 3.0 / 12.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_interior_candidate_never_sampled() {
+        let t = CdfTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Pcg64::seed_from_u64(12);
+        for _ in 0..20_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn insert_is_constant_time_append() {
+        let mut t = CdfTable::new(&[1.0]).unwrap();
+        for i in 0..100 {
+            let idx = t.insert(1.0).unwrap();
+            assert_eq!(idx, i + 1);
+        }
+        assert_eq!(t.len(), 101);
+        assert!((t.total_weight() - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_recomputes_suffix() {
+        let mut t = CdfTable::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let moved = t.remove(0).unwrap();
+        assert_eq!(moved, Some(3));
+        assert_eq!(t.weights(), &[4.0, 2.0, 3.0]);
+        assert_eq!(t.cdf(), &[4.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_table() {
+        let mut t = CdfTable::new(&[1.0, 2.0]).unwrap();
+        t.remove(1).unwrap();
+        t.remove(0).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn update_weight_recomputes_cdf() {
+        let mut t = CdfTable::new(&[1.0, 2.0, 3.0]).unwrap();
+        t.update_weight(1, 10.0).unwrap();
+        assert_eq!(t.cdf(), &[1.0, 11.0, 14.0]);
+        let mut rng = Pcg64::seed_from_u64(13);
+        let freq = empirical_distribution(|r| t.sample(r), 3, 200_000, &mut rng);
+        assert!((freq[1] - 10.0 / 14.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut t = CdfTable::new(&[1.0]).unwrap();
+        assert!(t.remove(3).is_err());
+        assert!(t.update_weight(3, 1.0).is_err());
+        assert!(t.insert(-0.5).is_err());
+        assert!(t.update_weight(0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn large_table_sampling_stays_in_bounds() {
+        let weights: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let t = CdfTable::new(&weights).unwrap();
+        let mut rng = Pcg64::seed_from_u64(14);
+        for _ in 0..10_000 {
+            assert!(t.sample(&mut rng) < 1000);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Statistical helpers used by the test suites and the benchmark harness to
+//! check that samplers reproduce the intended distributions (Theorem 4.1 of
+//! the paper: the radix factorization must not change any transition
+//! probability).
+
+use rand::Rng;
+
+/// Run `trials` draws of `sample` over `k` categories and return the observed
+/// relative frequency of each category.
+pub fn empirical_distribution<R, F>(mut sample: F, k: usize, trials: usize, rng: &mut R) -> Vec<f64>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> usize,
+{
+    let mut counts = vec![0usize; k];
+    for _ in 0..trials {
+        let s = sample(rng);
+        assert!(s < k, "sample {s} out of range {k}");
+        counts[s] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / trials as f64)
+        .collect()
+}
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities. Categories with zero expected probability must have zero
+/// observed counts (asserted).
+pub fn chi_square(observed: &[usize], expected_probs: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected_probs.len());
+    let n: usize = observed.iter().sum();
+    let mut stat = 0.0;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        let e = p * n as f64;
+        if e == 0.0 {
+            assert_eq!(o, 0, "observed counts in a zero-probability category");
+            continue;
+        }
+        let d = o as f64 - e;
+        stat += d * d / e;
+    }
+    stat
+}
+
+/// Chi-square statistic of observed counts against a uniform distribution.
+pub fn chi_square_uniformity(observed: &[usize]) -> f64 {
+    let k = observed.len();
+    chi_square(observed, &vec![1.0 / k as f64; k])
+}
+
+/// Maximum absolute difference between an observed frequency vector and the
+/// expected probability vector (an L∞ distance, robust for quick checks).
+pub fn max_abs_deviation(observed_freq: &[f64], expected_probs: &[f64]) -> f64 {
+    observed_freq
+        .iter()
+        .zip(expected_probs)
+        .map(|(o, e)| (o - e).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Normalize a weight vector into a probability vector. Returns an empty
+/// vector when the total weight is zero.
+pub fn normalize(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    weights.iter().map(|w| w / total).collect()
+}
+
+/// Approximate upper critical value of the chi-square distribution at the
+/// 99.9% level using the Wilson–Hilferty cube approximation. Good enough for
+/// the coarse statistical assertions in the test suite.
+pub fn chi_square_critical_999(dof: usize) -> f64 {
+    let k = dof as f64;
+    let z = 3.0902; // 99.9% standard normal quantile
+    let term = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * term * term * term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_distribution_sums_to_one() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let freq = empirical_distribution(|r| r.gen_range(0..4), 4, 10_000, &mut rng);
+        let sum: f64 = freq.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_zero_for_exact_match() {
+        let observed = [25usize, 25, 25, 25];
+        assert_eq!(chi_square(&observed, &[0.25; 4]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_large_for_mismatch() {
+        let observed = [100usize, 0, 0, 0];
+        assert!(chi_square(&observed, &[0.25; 4]) > 100.0);
+    }
+
+    #[test]
+    fn uniform_rng_passes_uniformity_test() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10)] += 1;
+        }
+        assert!(chi_square_uniformity(&counts) < chi_square_critical_999(9));
+    }
+
+    #[test]
+    fn normalize_handles_zero_total() {
+        assert!(normalize(&[0.0, 0.0]).is_empty());
+        let p = normalize(&[1.0, 3.0]);
+        assert_eq!(p, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn max_abs_deviation_detects_worst_category() {
+        let d = max_abs_deviation(&[0.5, 0.5], &[0.4, 0.6]);
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_value_is_increasing_in_dof() {
+        assert!(chi_square_critical_999(10) < chi_square_critical_999(50));
+        // Sanity: 99.9% critical value for 9 dof is roughly 27.9.
+        assert!((chi_square_critical_999(9) - 27.9).abs() < 1.5);
+    }
+}

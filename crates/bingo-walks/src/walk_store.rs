@@ -1,0 +1,365 @@
+//! Incremental maintenance of previously computed walks.
+//!
+//! Section 7.2 of the paper positions Bingo as *orthogonal* to systems such
+//! as Wharf and FIRM, which index previously computed random walks so that,
+//! when the graph changes, only the affected walks are recomputed — "once
+//! the calculated random walks are identified, instead of rebuilding the
+//! sampling space from scratch, Bingo can help them rapidly update the
+//! random walks."
+//!
+//! [`WalkStore`] implements that integration: it stores a corpus of walks
+//! together with an inverted index from vertices to the walk positions that
+//! visit them. When an edge `(u, v)` is inserted or deleted, the store finds
+//! every walk step that left `u` (deletions additionally filter on steps
+//! that took the removed edge), truncates those walks at the affected
+//! position, and re-samples their suffixes from the *updated* engine — which
+//! is exactly where Bingo's `O(1)` sampling after an `O(K)` update pays off.
+
+use crate::apps::WalkSpec;
+use crate::TransitionSampler;
+use bingo_graph::VertexId;
+use bingo_sampling::rng::Pcg64;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Statistics describing one incremental-maintenance pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Walks whose suffix had to be re-sampled.
+    pub walks_refreshed: usize,
+    /// Total steps that were discarded and re-sampled.
+    pub steps_resampled: usize,
+}
+
+/// A corpus of stored walks with an inverted vertex → walk-position index.
+#[derive(Debug, Clone, Default)]
+pub struct WalkStore {
+    walks: Vec<Vec<VertexId>>,
+    /// `index[v]` lists `(walk_id, position)` pairs where vertex `v` occurs.
+    index: Vec<Vec<(u32, u32)>>,
+    target_length: usize,
+    seed: u64,
+}
+
+impl WalkStore {
+    /// Build a store by running `spec` once from every start vertex over
+    /// `sampler` (one walker per vertex, like the paper's evaluation).
+    pub fn generate<S>(sampler: &S, spec: &WalkSpec, seed: u64) -> Self
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        let starts: Vec<VertexId> = (0..sampler.num_vertices() as VertexId).collect();
+        Self::generate_from(sampler, spec, &starts, seed)
+    }
+
+    /// Build a store from explicit start vertices.
+    pub fn generate_from<S>(sampler: &S, spec: &WalkSpec, starts: &[VertexId], seed: u64) -> Self
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        let walks: Vec<Vec<VertexId>> = starts
+            .par_iter()
+            .enumerate()
+            .map(|(i, &start)| {
+                let mut rng = Pcg64::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                spec.walk(sampler, start, &mut rng)
+            })
+            .collect();
+        let mut store = WalkStore {
+            walks,
+            index: Vec::new(),
+            target_length: spec.expected_length(),
+            seed,
+        };
+        store.rebuild_index(sampler.num_vertices());
+        store
+    }
+
+    fn rebuild_index(&mut self, num_vertices: usize) {
+        let mut index: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_vertices];
+        for (walk_id, walk) in self.walks.iter().enumerate() {
+            for (pos, &v) in walk.iter().enumerate() {
+                if (v as usize) < index.len() {
+                    index[v as usize].push((walk_id as u32, pos as u32));
+                }
+            }
+        }
+        self.index = index;
+    }
+
+    /// Number of stored walks.
+    pub fn num_walks(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// The stored walks.
+    pub fn walks(&self) -> &[Vec<VertexId>] {
+        &self.walks
+    }
+
+    /// Total number of steps across all stored walks.
+    pub fn total_steps(&self) -> usize {
+        self.walks.iter().map(|w| w.len().saturating_sub(1)).sum()
+    }
+
+    /// Walk ids that visit vertex `v`.
+    pub fn walks_visiting(&self, v: VertexId) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .index
+            .get(v as usize)
+            .map(|entries| entries.iter().map(|&(w, _)| w as usize).collect())
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Approximate memory used by the stored walks and the inverted index.
+    pub fn memory_bytes(&self) -> usize {
+        let walks: usize = self
+            .walks
+            .iter()
+            .map(|w| w.capacity() * std::mem::size_of::<VertexId>())
+            .sum();
+        let index: usize = self
+            .index
+            .iter()
+            .map(|e| e.capacity() * std::mem::size_of::<(u32, u32)>())
+            .sum();
+        walks + index
+    }
+
+    /// Earliest position in each affected walk that must be invalidated
+    /// because it *departed from* `src` (and, for deletions, stepped to
+    /// `removed_dst`).
+    fn affected_positions(&self, src: VertexId, removed_dst: Option<VertexId>) -> Vec<(usize, usize)> {
+        let mut affected: std::collections::BTreeMap<usize, usize> = Default::default();
+        let Some(entries) = self.index.get(src as usize) else {
+            return Vec::new();
+        };
+        for &(walk_id, pos) in entries {
+            let walk = &self.walks[walk_id as usize];
+            let pos = pos as usize;
+            // A step departs from `src` only if it is not the final vertex.
+            if pos + 1 >= walk.len() {
+                // A walk that *ended* at src could now be extendable after an
+                // insertion; treat it as affected from its last position.
+                if removed_dst.is_none() && walk.len() - 1 < self.target_length {
+                    affected
+                        .entry(walk_id as usize)
+                        .and_modify(|p| *p = (*p).min(pos))
+                        .or_insert(pos);
+                }
+                continue;
+            }
+            match removed_dst {
+                // Deletion: only steps that actually traversed the removed
+                // edge are invalid.
+                Some(dst) if walk[pos + 1] != dst => continue,
+                _ => {}
+            }
+            affected
+                .entry(walk_id as usize)
+                .and_modify(|p| *p = (*p).min(pos))
+                .or_insert(pos);
+        }
+        affected.into_iter().collect()
+    }
+
+    fn resample_suffixes<S>(
+        &mut self,
+        sampler: &S,
+        affected: Vec<(usize, usize)>,
+    ) -> RefreshStats
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        let seed = self.seed;
+        let target = self.target_length;
+        let stats: Vec<(usize, usize, Vec<VertexId>)> = affected
+            .par_iter()
+            .map(|&(walk_id, from_pos)| {
+                let walk = &self.walks[walk_id];
+                let mut rng = Pcg64::seed_from_u64(
+                    seed ^ (walk_id as u64).wrapping_mul(0xA24B_AED4) ^ (from_pos as u64) << 32,
+                );
+                // Keep the prefix up to and including `from_pos`, then
+                // re-sample from the (updated) engine until the target
+                // length is reached again.
+                let mut new_walk: Vec<VertexId> = walk[..=from_pos].to_vec();
+                let prefix_len = new_walk.len();
+                let mut current = new_walk[prefix_len - 1];
+                while new_walk.len() <= target {
+                    match sampler.sample_neighbor(current, &mut rng) {
+                        Some(next) => {
+                            new_walk.push(next);
+                            current = next;
+                        }
+                        None => break,
+                    }
+                }
+                (walk_id, new_walk.len() - prefix_len, new_walk)
+            })
+            .collect();
+        let mut result = RefreshStats::default();
+        for (walk_id, new_steps, new_walk) in stats {
+            result.walks_refreshed += 1;
+            result.steps_resampled += new_steps;
+            self.walks[walk_id] = new_walk;
+        }
+        result
+    }
+
+    /// React to an edge insertion `(src, dst)`: every stored walk that
+    /// departs from `src` is re-sampled from that position so the new edge
+    /// gets its proper probability mass, and walks that had stalled at `src`
+    /// are extended. The `sampler` must already reflect the insertion.
+    pub fn on_edge_inserted<S>(&mut self, sampler: &S, src: VertexId, _dst: VertexId) -> RefreshStats
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        let affected = self.affected_positions(src, None);
+        let stats = self.resample_suffixes(sampler, affected);
+        if stats.walks_refreshed > 0 {
+            self.rebuild_index(sampler.num_vertices());
+        }
+        stats
+    }
+
+    /// React to an edge deletion `(src, dst)`: only walks that traversed the
+    /// removed edge are re-sampled. The `sampler` must already reflect the
+    /// deletion.
+    pub fn on_edge_deleted<S>(&mut self, sampler: &S, src: VertexId, dst: VertexId) -> RefreshStats
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        let affected = self.affected_positions(src, Some(dst));
+        let stats = self.resample_suffixes(sampler, affected);
+        if stats.walks_refreshed > 0 {
+            self.rebuild_index(sampler.num_vertices());
+        }
+        stats
+    }
+
+    /// Verify that every stored walk is a valid path in `sampler`'s current
+    /// graph (used by tests; returns the first invalid step found).
+    pub fn validate<S>(&self, sampler: &S) -> std::result::Result<(), (usize, VertexId, VertexId)>
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        for (walk_id, walk) in self.walks.iter().enumerate() {
+            for pair in walk.windows(2) {
+                if !sampler.has_edge(pair[0], pair[1]) {
+                    return Err((walk_id, pair[0], pair[1]));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::DeepWalkConfig;
+    use bingo_core::{BingoConfig, BingoEngine};
+    use bingo_graph::{Bias, DynamicGraph};
+
+    fn ring_engine(n: usize) -> BingoEngine {
+        let mut g = DynamicGraph::new(n);
+        for v in 0..n as u32 {
+            g.insert_edge(v, (v + 1) % n as u32, Bias::from_int(2)).unwrap();
+            g.insert_edge(v, (v + 2) % n as u32, Bias::from_int(1)).unwrap();
+        }
+        BingoEngine::build(&g, BingoConfig::default()).unwrap()
+    }
+
+    fn spec() -> WalkSpec {
+        WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 12 })
+    }
+
+    #[test]
+    fn generate_builds_one_walk_per_vertex_with_index() {
+        let engine = ring_engine(16);
+        let store = WalkStore::generate(&engine, &spec(), 7);
+        assert_eq!(store.num_walks(), 16);
+        assert_eq!(store.total_steps(), 16 * 12);
+        assert!(store.validate(&engine).is_ok());
+        // Every vertex is the start of its own walk, so it is visited.
+        for v in 0..16u32 {
+            assert!(!store.walks_visiting(v).is_empty());
+        }
+        assert!(store.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn deletion_refreshes_only_walks_using_the_edge() {
+        let mut engine = ring_engine(16);
+        let mut store = WalkStore::generate(&engine, &spec(), 7);
+        // Count walks that traverse the edge (0, 1) before the deletion.
+        let uses_edge = store
+            .walks()
+            .iter()
+            .filter(|w| w.windows(2).any(|p| p[0] == 0 && p[1] == 1))
+            .count();
+        engine.delete_edge(0, 1).unwrap();
+        let stats = store.on_edge_deleted(&engine, 0, 1);
+        assert_eq!(stats.walks_refreshed, uses_edge);
+        // The corpus must be valid against the *updated* graph: no walk may
+        // still traverse the deleted edge.
+        assert!(store.validate(&engine).is_ok());
+    }
+
+    #[test]
+    fn deletion_of_unused_edge_refreshes_nothing() {
+        let mut engine = ring_engine(8);
+        // Add an edge nobody has walked yet (it does not exist during
+        // generation), then delete it again.
+        let store_before = WalkStore::generate(&engine, &spec(), 3);
+        engine.insert_edge(3, 7, Bias::from_int(1)).unwrap();
+        engine.delete_edge(3, 7).unwrap();
+        let mut store = store_before.clone();
+        let stats = store.on_edge_deleted(&engine, 3, 7);
+        assert_eq!(stats.walks_refreshed, 0);
+        assert_eq!(store.walks(), store_before.walks());
+    }
+
+    #[test]
+    fn insertion_gives_the_new_edge_probability_mass() {
+        let mut engine = ring_engine(16);
+        let mut store = WalkStore::generate(&engine, &spec(), 5);
+        // Insert a heavy new edge out of vertex 4 and refresh.
+        engine.insert_edge(4, 12, Bias::from_int(50)).unwrap();
+        let stats = store.on_edge_inserted(&engine, 4, 12);
+        assert!(stats.walks_refreshed > 0);
+        assert!(store.validate(&engine).is_ok());
+        // With bias 50 against 2 + 1, most refreshed departures from 4
+        // should now take the new edge.
+        let departures_via_new: usize = store
+            .walks()
+            .iter()
+            .map(|w| w.windows(2).filter(|p| p[0] == 4 && p[1] == 12).count())
+            .sum();
+        assert!(departures_via_new > 0);
+    }
+
+    #[test]
+    fn refreshed_walks_are_restored_to_target_length() {
+        let mut engine = ring_engine(12);
+        let mut store = WalkStore::generate(&engine, &spec(), 9);
+        engine.delete_edge(5, 6).unwrap();
+        store.on_edge_deleted(&engine, 5, 6);
+        for walk in store.walks() {
+            // The ring (minus one edge) still has an out-edge everywhere, so
+            // every refreshed walk must reach the full target length again.
+            assert_eq!(walk.len(), 13, "walk not restored: {walk:?}");
+        }
+    }
+
+    #[test]
+    fn walks_visiting_unknown_vertex_is_empty() {
+        let engine = ring_engine(4);
+        let store = WalkStore::generate(&engine, &spec(), 1);
+        assert!(store.walks_visiting(99).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build a small weighted graph, create the Bingo engine, run a
+//! few biased random walks, and stream some updates.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bingo::prelude::*;
+
+fn main() {
+    // 1. Build the paper's running example graph (Figure 1, snapshot 1).
+    //    Vertex 2 has three out-edges: (2,1,5), (2,4,4), (2,5,3).
+    let mut graph = DynamicGraph::new(6);
+    let edges = [
+        (0, 1, 6),
+        (0, 2, 7),
+        (1, 2, 5),
+        (2, 1, 5),
+        (2, 4, 4),
+        (2, 5, 3),
+        (3, 2, 5),
+        (4, 3, 1),
+    ];
+    for (src, dst, bias) in edges {
+        graph
+            .insert_edge(src, dst, Bias::from_int(bias))
+            .expect("edge is valid");
+    }
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Build the Bingo sampling engine (radix-factorized sampling spaces).
+    let mut engine = BingoEngine::build(&graph, BingoConfig::default()).expect("engine builds");
+
+    // Inspect vertex 2's radix groups: biases 5, 4, 3 decompose into groups
+    // 2^0 = {5, 3}, 2^1 = {3}, 2^2 = {5, 4} with group biases 2, 2, 8.
+    let space = engine.vertex_space(2).expect("vertex 2 exists");
+    println!("vertex 2 has {} radix groups:", space.num_groups());
+    for group in space.groups() {
+        println!(
+            "  group 2^{}: {} edges, weight {}, representation {:?}",
+            group.bit(),
+            group.cardinality(),
+            group.weight(),
+            group.kind()
+        );
+    }
+
+    // 3. Sample neighbors of vertex 2 in O(1) and check the empirical
+    //    distribution matches the biases 5:4:3.
+    let mut rng = Pcg64::seed_from_u64(42);
+    let mut counts = std::collections::BTreeMap::new();
+    for _ in 0..12_000 {
+        let next = engine.sample_neighbor(2, &mut rng).expect("vertex 2 has edges");
+        *counts.entry(next).or_insert(0u32) += 1;
+    }
+    println!("12,000 samples from vertex 2 (expect ≈ 5000 / 4000 / 3000):");
+    for (neighbor, count) in &counts {
+        println!("  neighbor {neighbor}: {count}");
+    }
+
+    // 4. Stream the updates from Figure 1: insert (2,3,3), then delete (2,1).
+    engine
+        .insert_edge(2, 3, Bias::from_int(3))
+        .expect("insert is valid");
+    engine.delete_edge(2, 1).expect("edge exists");
+    println!(
+        "after updates vertex 2 has degree {} and total weight {}",
+        engine.degree(2),
+        engine.vertex_space(2).unwrap().total_weight()
+    );
+
+    // 5. Run a DeepWalk pass: one 10-step walker per vertex.
+    let walks = WalkEngine::new(7).run_all_vertices(
+        &engine,
+        &WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 10 }),
+    );
+    println!(
+        "DeepWalk: {} walks, {} total steps, first path: {:?}",
+        walks.num_walks(),
+        walks.total_steps(),
+        walks.paths[0]
+    );
+}

@@ -1,0 +1,67 @@
+//! # Bingo
+//!
+//! A Rust reproduction of *Bingo: Radix-based Bias Factorization for Random
+//! Walk on Dynamic Graphs* (EuroSys 2025).
+//!
+//! Bingo is a random-walk engine for dynamically changing weighted graphs.
+//! It decomposes every edge bias into its binary radix components, so that a
+//! graph update only touches the `K = log2(max bias)` radix groups of the
+//! affected vertex instead of all of its `d` neighbours, while sampling stays
+//! `O(1)` through a two-level (inter-group alias table, intra-group uniform)
+//! hierarchy.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`graph`] — dynamic graph substrate (Hornet-style dynamic adjacency
+//!   arrays, generators, update streams, scaled-down dataset stand-ins).
+//! * [`sampling`] — classical Monte Carlo samplers (alias, ITS, rejection,
+//!   reservoir) used both inside Bingo and as baselines.
+//! * [`core`] — the paper's contribution: radix-based bias factorization,
+//!   adaptive group representation, streaming and batched updates.
+//! * [`walks`] — random-walk applications (DeepWalk, node2vec, PPR) and the
+//!   parallel walker engine.
+//! * [`baselines`] — reimplementations of the systems the paper compares
+//!   against (KnightKing, gSampler, FlowWalker).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bingo::prelude::*;
+//!
+//! // Build a small weighted graph.
+//! let mut graph = DynamicGraph::new(6);
+//! graph.insert_edge(2, 1, Bias::from_int(5)).unwrap();
+//! graph.insert_edge(2, 4, Bias::from_int(4)).unwrap();
+//! graph.insert_edge(2, 5, Bias::from_int(3)).unwrap();
+//!
+//! // Build the Bingo sampling engine on top of it.
+//! let mut engine = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+//!
+//! // Sample a neighbour of vertex 2 in O(1).
+//! let mut rng = Pcg64::seed_from_u64(7);
+//! let next = engine.sample_neighbor(2, &mut rng).unwrap();
+//! assert!([1, 4, 5].contains(&next));
+//!
+//! // Stream an update: the new edge is visible to the very next sample.
+//! engine.insert_edge(2, 3, Bias::from_int(3)).unwrap();
+//! ```
+
+pub use bingo_baselines as baselines;
+pub use bingo_core as core;
+pub use bingo_graph as graph;
+pub use bingo_sampling as sampling;
+pub use bingo_walks as walks;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use bingo_core::{BingoConfig, BingoEngine, GroupKind};
+    pub use bingo_graph::{
+        Bias, BiasDistribution, DynamicGraph, GraphGenerator, UpdateBatch, UpdateEvent,
+        UpdateStreamBuilder, VertexId,
+    };
+    pub use bingo_sampling::{rng::Pcg64, AliasTable, CdfTable, Sampler};
+    pub use bingo_walks::{
+        DeepWalkConfig, Node2VecConfig, PprConfig, TransitionSampler, WalkEngine, WalkSpec,
+    };
+    pub use rand::SeedableRng;
+}

@@ -1,0 +1,126 @@
+//! Statistical-equivalence integration tests: after arbitrary update
+//! streams, Bingo's transition distribution must stay identical to the
+//! classical samplers' (Theorem 4.1) and to what the raw biases prescribe.
+
+use bingo::baselines::{FlowWalkerBaseline, GSamplerBaseline, KnightKingBaseline};
+use bingo::prelude::*;
+use bingo::sampling::stats::{chi_square, chi_square_critical_999};
+use bingo::walks::TransitionSampler;
+use bingo_graph::updates::UpdateKind;
+
+fn build_workload(seed: u64) -> DynamicGraph {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let mut graph = GraphGenerator::RMat {
+        scale: 8,
+        avg_degree: 10,
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    }
+    .generate(BiasDistribution::PowerLaw { alpha: 1.6, max: 255 }, &mut rng);
+    // Apply a mixed update stream so the sampling structures have gone
+    // through plenty of insertions and deletions before we measure.
+    let stream =
+        UpdateStreamBuilder::new(UpdateKind::Mixed, 1000).build(&mut graph, 2000, &mut rng);
+    graph.apply_batch(&stream);
+    graph
+}
+
+/// Expected transition probabilities of a vertex straight from the graph.
+fn expected_probs(graph: &DynamicGraph, v: VertexId) -> Vec<f64> {
+    let adj = graph.neighbors(v).unwrap();
+    let total = adj.total_bias();
+    adj.edges().iter().map(|e| e.bias.value() / total).collect()
+}
+
+/// Chi-square test of a sampler against the bias-prescribed distribution,
+/// on the highest-degree vertex (the hardest case for Bingo's groups).
+fn assert_sampler_matches<S: TransitionSampler>(sampler: &S, graph: &DynamicGraph, seed: u64) {
+    let v = (0..graph.num_vertices() as VertexId)
+        .max_by_key(|&v| graph.degree(v))
+        .unwrap();
+    let adj = graph.neighbors(v).unwrap();
+    let expected = expected_probs(graph, v);
+    // Map destination back to neighbor index. Duplicate destinations are
+    // merged into the first matching slot.
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let trials = 200_000;
+    let mut counts = vec![0usize; adj.degree()];
+    for _ in 0..trials {
+        let dst = sampler.sample_neighbor(v, &mut rng).unwrap();
+        let idx = adj.find(dst).unwrap();
+        counts[idx] += 1;
+    }
+    // Merge duplicate destinations before the chi-square test.
+    let mut merged: std::collections::BTreeMap<VertexId, (usize, f64)> = Default::default();
+    for (i, e) in adj.iter() {
+        let entry = merged.entry(e.dst).or_insert((0, 0.0));
+        entry.0 += counts[i];
+        entry.1 += expected[i];
+    }
+    let observed: Vec<usize> = merged.values().map(|&(c, _)| c).collect();
+    let probs: Vec<f64> = merged.values().map(|&(_, p)| p).collect();
+    let stat = chi_square(&observed, &probs);
+    let critical = chi_square_critical_999(observed.len().saturating_sub(1).max(1));
+    assert!(
+        stat < critical * 1.5,
+        "chi-square {stat:.1} exceeds critical {critical:.1} on vertex {v} (degree {})",
+        adj.degree()
+    );
+}
+
+#[test]
+fn bingo_default_matches_bias_distribution_after_updates() {
+    let graph = build_workload(1);
+    let engine = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+    assert_sampler_matches(&engine, &graph, 10);
+}
+
+#[test]
+fn bingo_baseline_config_matches_bias_distribution_after_updates() {
+    let graph = build_workload(2);
+    let engine = BingoEngine::build(&graph, BingoConfig::baseline()).unwrap();
+    assert_sampler_matches(&engine, &graph, 20);
+}
+
+#[test]
+fn all_baselines_match_bias_distribution() {
+    let graph = build_workload(3);
+    assert_sampler_matches(&KnightKingBaseline::build(&graph), &graph, 30);
+    assert_sampler_matches(&GSamplerBaseline::build(&graph), &graph, 31);
+    assert_sampler_matches(&FlowWalkerBaseline::build(&graph), &graph, 32);
+}
+
+#[test]
+fn bingo_stays_correct_after_engine_level_updates() {
+    let graph = build_workload(4);
+    let mut engine = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+    // Hammer the highest-degree vertex with more streaming updates.
+    let v = (0..graph.num_vertices() as VertexId)
+        .max_by_key(|&v| graph.degree(v))
+        .unwrap();
+    for i in 0..100u32 {
+        let dst = (i * 13 + 1) % graph.num_vertices() as u32;
+        let _ = engine.insert_edge(v, dst, Bias::from_int(u64::from(i % 31) + 1));
+    }
+    let snapshot = engine.snapshot_graph();
+    assert_sampler_matches(&engine, &snapshot, 40);
+    engine.check_invariants().unwrap();
+}
+
+#[test]
+fn floating_point_biases_match_distribution() {
+    let mut rng = Pcg64::seed_from_u64(5);
+    let mut graph = DynamicGraph::new(50);
+    for dst in 1..50u32 {
+        let bias = Bias::from_float(0.05 + rng_f(&mut rng) * 3.0);
+        graph.insert_edge(0, dst, bias).unwrap();
+    }
+    let engine = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+    assert_sampler_matches(&engine, &graph, 50);
+}
+
+fn rng_f(rng: &mut Pcg64) -> f64 {
+    use rand::Rng;
+    rng.gen::<f64>()
+}

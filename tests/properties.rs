@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants:
+//!
+//! * Theorem 4.1 — the radix factorization never changes transition
+//!   probabilities, for arbitrary bias vectors.
+//! * The per-vertex sampling space keeps its structural invariants under
+//!   arbitrary interleaved insert/delete sequences, both streaming and
+//!   batched.
+//! * The two-phase delete-and-swap compaction preserves exactly the
+//!   surviving elements and reports valid moves.
+//! * Alias tables and CDF tables stay consistent under arbitrary weights.
+
+use bingo::core::vertex_space::VertexSpace;
+use bingo::core::{BingoConfig, Lambda};
+use bingo::prelude::*;
+use bingo::sampling::{CdfTable, Sampler};
+use bingo_graph::adjacency::{AdjacencyList, Edge};
+use bingo_graph::two_phase_delete_and_swap;
+use proptest::prelude::*;
+
+fn adjacency_from(biases: &[u64]) -> AdjacencyList {
+    let mut adj = AdjacencyList::new();
+    for (i, &b) in biases.iter().enumerate() {
+        adj.push(Edge::new(i as u32, Bias::from_int(b.max(1))));
+    }
+    adj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 4.1: the per-group weights of the factorized space sum to the
+    /// original total bias, and every group's weight is cardinality × 2^k.
+    #[test]
+    fn radix_factorization_preserves_total_bias(
+        biases in prop::collection::vec(1u64..100_000, 1..200)
+    ) {
+        let space = VertexSpace::build(adjacency_from(&biases), BingoConfig::default());
+        let total: u64 = biases.iter().sum();
+        prop_assert!((space.total_weight() - total as f64).abs() < 1e-6);
+        for group in space.groups() {
+            let expected = group.cardinality() as f64 * (1u64 << group.bit()) as f64;
+            prop_assert_eq!(group.weight(), expected);
+        }
+        prop_assert!(space.check_invariants().is_ok());
+    }
+
+    /// The sampling space keeps its invariants under arbitrary interleaved
+    /// streaming insertions and deletions.
+    #[test]
+    fn vertex_space_invariants_hold_under_streaming_ops(
+        initial in prop::collection::vec(1u64..1024, 1..60),
+        ops in prop::collection::vec((0u8..2, 0u32..80, 1u64..1024), 0..80),
+        adaptive in prop::bool::ANY,
+    ) {
+        let config = if adaptive { BingoConfig::default() } else { BingoConfig::baseline() };
+        let mut space = VertexSpace::build(adjacency_from(&initial), config);
+        for (op, dst, bias) in ops {
+            match op {
+                0 => { space.insert(dst, Bias::from_int(bias)).unwrap(); }
+                _ => { let _ = space.delete(dst); }
+            }
+            prop_assert!(space.check_invariants().is_ok(), "{:?}", space.check_invariants());
+        }
+    }
+
+    /// Batched application reaches the same degree and total weight as
+    /// applying the same operations one at a time.
+    #[test]
+    fn batched_and_streaming_vertex_updates_agree(
+        initial in prop::collection::vec(1u64..512, 1..40),
+        inserts in prop::collection::vec((100u32..200, 1u64..512), 0..30),
+        delete_idx in prop::collection::vec(0usize..40, 0..20),
+    ) {
+        let adj = adjacency_from(&initial);
+        // Deletions target destinations present in the initial list.
+        let deletes: Vec<VertexId> = delete_idx
+            .iter()
+            .map(|&i| (i % initial.len()) as VertexId)
+            .collect();
+        let insert_pairs: Vec<(VertexId, Bias)> = inserts
+            .iter()
+            .map(|&(dst, b)| (dst, Bias::from_int(b)))
+            .collect();
+
+        let mut streaming = VertexSpace::build(adj.clone(), BingoConfig::default());
+        for &(dst, bias) in &insert_pairs {
+            streaming.insert(dst, bias).unwrap();
+        }
+        let mut streaming_deleted = 0;
+        for &dst in &deletes {
+            if streaming.delete(dst).is_ok() {
+                streaming_deleted += 1;
+            }
+        }
+
+        let mut batched = VertexSpace::build(adj, BingoConfig::default());
+        let outcome = batched.apply_batch(&insert_pairs, &deletes);
+
+        prop_assert_eq!(outcome.inserted, insert_pairs.len());
+        prop_assert_eq!(outcome.deleted, streaming_deleted);
+        prop_assert_eq!(batched.degree(), streaming.degree());
+        prop_assert!((batched.total_weight() - streaming.total_weight()).abs() < 1e-6);
+        prop_assert!(batched.check_invariants().is_ok());
+    }
+
+    /// Two-phase delete-and-swap removes exactly the requested positions and
+    /// reports moves that land in the compacted range.
+    #[test]
+    fn two_phase_compaction_preserves_survivors(
+        len in 1usize..200,
+        deletes in prop::collection::vec(0usize..220, 0..100),
+    ) {
+        let original: Vec<usize> = (0..len).collect();
+        let mut items = original.clone();
+        let moves = two_phase_delete_and_swap(&mut items, &deletes);
+        let delete_set: std::collections::HashSet<usize> =
+            deletes.iter().copied().filter(|&d| d < len).collect();
+        let mut expected: Vec<usize> = original
+            .iter()
+            .copied()
+            .filter(|v| !delete_set.contains(v))
+            .collect();
+        let mut got = items.clone();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+        for (from, to) in moves {
+            prop_assert!(to < items.len());
+            prop_assert!(from >= items.len());
+        }
+    }
+
+    /// Alias tables and CDF tables agree on the total weight and only
+    /// produce in-range samples for arbitrary weight vectors.
+    #[test]
+    fn alias_and_cdf_tables_are_consistent(
+        weights in prop::collection::vec(0.01f64..1000.0, 1..100),
+        seed in 0u64..1000,
+    ) {
+        let alias = AliasTable::new(&weights).unwrap();
+        let cdf = CdfTable::new(&weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        prop_assert!((alias.total_weight() - total).abs() < 1e-6 * total);
+        prop_assert!((cdf.total_weight() - total).abs() < 1e-6 * total);
+        let mut rng = Pcg64::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(alias.sample(&mut rng) < weights.len());
+            prop_assert!(cdf.sample(&mut rng) < weights.len());
+        }
+    }
+
+    /// Floating-point biases: λ-scaling preserves relative weights for any
+    /// λ choice the engine can make.
+    #[test]
+    fn float_bias_space_preserves_relative_weights(
+        biases in prop::collection::vec(0.01f64..50.0, 2..40),
+        fixed_lambda in prop::option::of(1u32..1000),
+    ) {
+        let mut adj = AdjacencyList::new();
+        for (i, &b) in biases.iter().enumerate() {
+            adj.push(Edge::new(i as u32, Bias::from_float(b)));
+        }
+        let config = BingoConfig {
+            lambda: match fixed_lambda {
+                Some(l) => Lambda::Fixed(f64::from(l)),
+                None => Lambda::Auto,
+            },
+            ..BingoConfig::default()
+        };
+        let space = VertexSpace::build(adj, config);
+        prop_assert!(space.check_invariants().is_ok());
+        let total: f64 = biases.iter().sum();
+        // total_weight = λ × Σ bias.
+        let lambda = space.lambda();
+        prop_assert!((space.total_weight() - lambda * total).abs() < 1e-6 * (1.0 + lambda * total));
+    }
+}
+
+#[test]
+fn proptest_regression_empty_delete_list() {
+    // Plain test guarding a corner proptest may not hit: deleting from an
+    // empty space and batching with empty inputs.
+    let mut space = VertexSpace::build(AdjacencyList::new(), BingoConfig::default());
+    assert!(space.delete(0).is_err());
+    let outcome = space.apply_batch(&[], &[]);
+    assert_eq!(outcome.inserted + outcome.deleted, 0);
+    assert!(space.check_invariants().is_ok());
+}
