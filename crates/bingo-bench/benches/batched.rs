@@ -18,7 +18,11 @@ fn bench_batch_ingestion(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("batch_ingestion");
     group.sample_size(10);
-    for kind in [UpdateKind::InsertOnly, UpdateKind::DeleteOnly, UpdateKind::Mixed] {
+    for kind in [
+        UpdateKind::InsertOnly,
+        UpdateKind::DeleteOnly,
+        UpdateKind::Mixed,
+    ] {
         let (graph, batches) = config.prepare(StandinDataset::LiveJournal, kind);
         let batch = batches[0].clone();
         let label = match kind {

@@ -6,9 +6,7 @@ use bingo_core::{BingoConfig, VertexSpace};
 use bingo_graph::adjacency::{AdjacencyList, Edge};
 use bingo_graph::Bias;
 use bingo_sampling::rng::Pcg64;
-use bingo_sampling::{
-    reservoir_sample_indexed, AliasTable, CdfTable, RejectionSampler, Sampler,
-};
+use bingo_sampling::{reservoir_sample_indexed, AliasTable, CdfTable, RejectionSampler, Sampler};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 

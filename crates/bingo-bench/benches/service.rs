@@ -1,0 +1,83 @@
+//! Criterion bench: sharded walk-service throughput.
+//!
+//! Measures (a) a full walk wave (submit + wait) over a stand-in graph for
+//! 1/2/4/8 shards, and (b) router ingestion of a mixed update batch while
+//! the service is otherwise idle.
+
+use bingo_graph::datasets::StandinDataset;
+use bingo_graph::updates::UpdateKind;
+use bingo_graph::{UpdateStreamBuilder, VertexId};
+use bingo_sampling::rng::Pcg64;
+use bingo_service::{ServiceConfig, WalkService};
+use bingo_walks::{DeepWalkConfig, WalkSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench_walk_waves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_walk_wave");
+    group.sample_size(10);
+    let mut rng = Pcg64::seed_from_u64(0xB5);
+    let graph = StandinDataset::Amazon.build(4_000, &mut rng);
+    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 20 });
+
+    for shards in [1usize, 2, 4, 8] {
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: shards,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service builds");
+        group.bench_with_input(BenchmarkId::new("submit_wait", shards), &shards, |b, _| {
+            b.iter(|| {
+                let ticket = service.submit(spec, &starts).expect("submit");
+                service.wait(ticket).total_steps()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_ingestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_ingest");
+    group.sample_size(10);
+    let mut rng = Pcg64::seed_from_u64(0xB6);
+    let mut graph = StandinDataset::Amazon.build(4_000, &mut rng);
+    let stream =
+        UpdateStreamBuilder::new(UpdateKind::Mixed, 2_000).build(&mut graph, 2_000, &mut rng);
+
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mixed_2k_events", shards),
+            &shards,
+            |b, _| {
+                // Fresh service per measurement: deletions are only valid
+                // against the pristine graph.
+                b.iter_batched(
+                    || {
+                        WalkService::build(
+                            &graph,
+                            ServiceConfig {
+                                num_shards: shards,
+                                ..ServiceConfig::default()
+                            },
+                        )
+                        .expect("service builds")
+                    },
+                    |service| {
+                        let receipt = service.ingest(&stream);
+                        service.sync(receipt);
+                        service.shutdown().total_updates_applied()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_waves, bench_update_ingestion);
+criterion_main!(benches);

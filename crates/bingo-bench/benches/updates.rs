@@ -14,7 +14,10 @@ fn build_adjacency(degree: usize, seed: u64) -> AdjacencyList {
     let mut rng = Pcg64::seed_from_u64(seed);
     let mut adj = AdjacencyList::new();
     for i in 0..degree {
-        adj.push(Edge::new(i as u32, Bias::from_int(rng.gen_range(1..1024u64))));
+        adj.push(Edge::new(
+            i as u32,
+            Bias::from_int(rng.gen_range(1..1024u64)),
+        ));
     }
     adj
 }

@@ -1,13 +1,11 @@
 //! Criterion bench: full walk passes (DeepWalk / node2vec / PPR) over Bingo
 //! and the baselines — the walk-time component of Table 3.
 
+use bingo_baselines::{FlowWalkerBaseline, GSamplerBaseline, KnightKingBaseline};
 use bingo_bench::common::ExperimentConfig;
 use bingo_core::{BingoConfig, BingoEngine};
 use bingo_graph::datasets::StandinDataset;
-use bingo_walks::{
-    DeepWalkConfig, Node2VecConfig, PprConfig, WalkEngine, WalkSpec,
-};
-use bingo_baselines::{FlowWalkerBaseline, GSamplerBaseline, KnightKingBaseline};
+use bingo_walks::{DeepWalkConfig, Node2VecConfig, PprConfig, WalkEngine, WalkSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_walk_applications(c: &mut Criterion) {
@@ -26,7 +24,10 @@ fn bench_walk_applications(c: &mut Criterion) {
     let walk_engine = WalkEngine::new(7);
 
     let specs = [
-        ("deepwalk", WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 20 })),
+        (
+            "deepwalk",
+            WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 20 }),
+        ),
         (
             "node2vec",
             WalkSpec::Node2Vec(Node2VecConfig {

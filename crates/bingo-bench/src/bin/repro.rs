@@ -82,8 +82,14 @@ const EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         name: "fig16",
-        description: "Piecewise breakdown: insertions, deletions and sampling (Bingo vs FlowWalker)",
+        description:
+            "Piecewise breakdown: insertions, deletions and sampling (Bingo vs FlowWalker)",
         run: experiments::fig16,
+    },
+    Experiment {
+        name: "service",
+        description: "Sharded walk service: throughput under streaming updates vs shard count",
+        run: experiments::service,
     },
 ];
 
@@ -164,15 +170,18 @@ fn main() {
         eprintln!("\nrunning {} — {}", experiment.name, experiment.description);
         let start = std::time::Instant::now();
         let table = (experiment.run)(&config);
+        let elapsed = start.elapsed();
         table.print();
         match table.write_csv(experiment.name) {
             Ok(path) => println!("written {}", path.display()),
             Err(e) => eprintln!("could not write CSV for {}: {e}", experiment.name),
         }
+        // Machine-readable one-liner for trajectory capture.
+        println!("{}", table.json_summary(experiment.name, elapsed));
         eprintln!(
             "{} finished in {:.1}s",
             experiment.name,
-            start.elapsed().as_secs_f64()
+            elapsed.as_secs_f64()
         );
     }
 }

@@ -69,7 +69,8 @@ impl ExperimentConfig {
         // Reserve the insertion pool exactly as §6.1 does: 10 × BATCHSIZE
         // edges (bounded by half the graph so tiny stand-ins stay usable).
         let reserve = (total_updates).min(graph.num_edges() / 2);
-        let stream = UpdateStreamBuilder::new(kind, reserve).build(&mut graph, total_updates, &mut rng);
+        let stream =
+            UpdateStreamBuilder::new(kind, reserve).build(&mut graph, total_updates, &mut rng);
         let batches = stream.chunks(self.batch_size.max(1));
         (graph, batches)
     }
@@ -152,6 +153,37 @@ impl ResultTable {
     /// Print to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+
+    /// One-line machine-readable JSON summary of an experiment run, for
+    /// trajectory capture (`BENCH_*.json`-style tooling). Hand-rolled
+    /// because the offline build environment has no serde; cell values are
+    /// emitted as JSON strings with minimal escaping.
+    pub fn json_summary(&self, name: &str, elapsed: Duration) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let headers: Vec<String> = self
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"experiment\":\"{}\",\"title\":\"{}\",\"elapsed_s\":{:.3},\"headers\":[{}],\"rows\":[{}]}}",
+            esc(name),
+            esc(&self.title),
+            elapsed.as_secs_f64(),
+            headers.join(","),
+            rows.join(","),
+        )
     }
 
     /// Write the table as CSV under `results/<name>.csv` (relative to the

@@ -108,7 +108,8 @@ fn with_float_biases(graph: &DynamicGraph, rng: &mut impl Rng) -> DynamicGraph {
     let mut out = DynamicGraph::new(graph.num_vertices());
     for (src, edge) in graph.edges() {
         let b = Bias::from_float(edge.bias.value() + rng.gen::<f64>());
-        out.insert_edge(src, edge.dst, b).expect("copied edge is valid");
+        out.insert_edge(src, edge.dst, b)
+            .expect("copied edge is valid");
     }
     out
 }
@@ -203,7 +204,10 @@ mod tests {
         assert_eq!(t.rows.len(), 5);
         for row in &t.rows {
             let saving: f64 = row[3].parse().unwrap();
-            assert!(saving >= 1.0, "GA must not use more memory than BS: {row:?}");
+            assert!(
+                saving >= 1.0,
+                "GA must not use more memory than BS: {row:?}"
+            );
             let ratios: f64 = row[8..12].iter().map(|s| s.parse::<f64>().unwrap()).sum();
             assert!((ratios - 1.0).abs() < 0.01);
         }
@@ -230,7 +234,10 @@ mod tests {
         for row in &t.rows {
             let mem_ratio: f64 = row[6].parse().unwrap();
             assert!(mem_ratio >= 0.9, "float memory should not shrink: {row:?}");
-            assert!(mem_ratio < 5.0, "float memory overhead should stay moderate: {row:?}");
+            assert!(
+                mem_ratio < 5.0,
+                "float memory overhead should stay moderate: {row:?}"
+            );
         }
     }
 }

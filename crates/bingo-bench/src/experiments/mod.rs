@@ -13,13 +13,16 @@
 //! | Integer vs floating-point bias | Figure 14 | [`memory::fig14`] |
 //! | Batch size / walk length / distribution sweeps | Figure 15 | [`sweeps::fig15a`] etc. |
 //! | Piecewise update & sampling breakdown | Figure 16 | [`updates::fig16`] |
+//! | Sharded walk-service throughput sweep | — (beyond the paper) | [`service::service`] |
 
 pub mod memory;
+pub mod service;
 pub mod sweeps;
 pub mod tables;
 pub mod updates;
 
 pub use memory::{fig11, fig13, fig14};
+pub use service::service;
 pub use sweeps::{fig15a, fig15b, fig15c, fig9};
 pub use tables::{table1, table2, table3, table4};
 pub use updates::{fig12, fig16};

@@ -1,0 +1,114 @@
+//! Sharded-service experiment: walk throughput under streaming updates as
+//! the shard count grows.
+//!
+//! This goes beyond the paper's single-engine evaluation: it measures the
+//! serving layer (`bingo-service`) — concurrent walk waves submitted while
+//! mixed update batches stream through the router — and reports per-run
+//! throughput, forward ratio and queue occupancy. The sweep's shape is the
+//! quantity to watch: steps/s should scale with shards until the forward
+//! ratio and cross-shard queueing eat the gains.
+
+use crate::common::{timed, ExperimentConfig, ResultTable};
+use bingo_graph::datasets::StandinDataset;
+use bingo_graph::updates::UpdateKind;
+use bingo_graph::VertexId;
+use bingo_service::{ServiceConfig, WalkService};
+use bingo_walks::{DeepWalkConfig, WalkSpec};
+
+/// Walk-service throughput sweep over shard counts.
+pub fn service(config: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Service: sharded walk throughput under streaming updates",
+        &[
+            "shards",
+            "walks",
+            "steps",
+            "kstep/s",
+            "updates",
+            "kupd/s",
+            "fwd_pct",
+            "queue_hwm",
+            "mean_lat_ms",
+        ],
+    );
+
+    for &shards in &[1usize, 2, 4, 8] {
+        let (graph, batches) = config.prepare(StandinDataset::Amazon, UpdateKind::Mixed);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: shards,
+                seed: config.seed,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service builds");
+        let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+        let spec = WalkSpec::DeepWalk(DeepWalkConfig {
+            walk_length: config.walk_length,
+        });
+
+        let (results, elapsed) = timed(|| {
+            // One walk wave up front, one after every update batch — walks
+            // and updates interleave inside the shard workers.
+            let mut tickets = vec![service.submit(spec, &starts).expect("submit")];
+            for batch in &batches {
+                service.ingest(batch);
+                tickets.push(service.submit(spec, &starts).expect("submit"));
+            }
+            tickets
+                .into_iter()
+                .map(|t| service.wait(t))
+                .collect::<Vec<_>>()
+        });
+
+        let stats = service.shutdown();
+        let total_walks: usize = results.iter().map(|r| r.paths.len()).sum();
+        let total_steps: u64 = stats.total_steps();
+        let mean_latency_ms = results
+            .iter()
+            .map(|r| r.latency.as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / results.len() as f64;
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        table.push_row(vec![
+            shards.to_string(),
+            total_walks.to_string(),
+            total_steps.to_string(),
+            format!("{:.1}", total_steps as f64 / secs / 1e3),
+            stats.total_updates_applied().to_string(),
+            format!("{:.1}", stats.total_updates_applied() as f64 / secs / 1e3),
+            format!("{:.1}", 100.0 * stats.forward_ratio()),
+            stats
+                .per_shard
+                .iter()
+                .map(|s| s.queue_high_water)
+                .max()
+                .unwrap_or(0)
+                .to_string(),
+            format!("{mean_latency_ms:.2}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_experiment_produces_one_row_per_shard_count() {
+        let config = ExperimentConfig {
+            scale: 8000,
+            batch_size: 100,
+            rounds: 2,
+            walk_length: 5,
+            ..ExperimentConfig::default()
+        };
+        let table = service(&config);
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert!(row[2].parse::<u64>().unwrap() > 0, "steps were taken");
+        }
+    }
+}

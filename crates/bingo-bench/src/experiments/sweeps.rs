@@ -2,12 +2,12 @@
 
 use crate::common::{fmt_mib, ExperimentConfig, ResultTable};
 use crate::experiments::memory::dataset_with_bias;
+use bingo_baselines::GSamplerBaseline;
 use bingo_core::{radix, BingoConfig, BingoEngine};
 use bingo_graph::datasets::StandinDataset;
 use bingo_graph::generators::BiasDistribution;
 use bingo_graph::updates::{UpdateKind, UpdateStreamBuilder};
 use bingo_walks::{DeepWalkConfig, EvaluationWorkflow, IngestMode, WalkSpec};
-use bingo_baselines::GSamplerBaseline;
 use rand::Rng;
 
 /// Figure 9 — fraction of edges that fall into each radix group for
@@ -22,7 +22,13 @@ pub fn fig9(config: &ExperimentConfig) -> ResultTable {
                 std_dev: 128.0,
             },
         ),
-        ("Power-law", BiasDistribution::PowerLaw { alpha: 2.0, max: 1023 }),
+        (
+            "Power-law",
+            BiasDistribution::PowerLaw {
+                alpha: 2.0,
+                max: 1023,
+            },
+        ),
     ];
     let mut table = ResultTable::new(
         "Figure 9: group element ratio per radix group (10-bit biases)",
@@ -70,7 +76,9 @@ pub fn fig15a(config: &ExperimentConfig) -> ResultTable {
         .map(|pct| (total_updates * pct / 100).max(1))
         .collect();
     let mut table = ResultTable::new(
-        format!("Figure 15a: runtime (s) vs batch size — {total_updates} total updates, LJ stand-in"),
+        format!(
+            "Figure 15a: runtime (s) vs batch size — {total_updates} total updates, LJ stand-in"
+        ),
         &["batch_size", "gSampler_s", "Bingo_s"],
     );
     let spec = WalkSpec::DeepWalk(DeepWalkConfig {
@@ -133,7 +141,13 @@ pub fn fig15c(config: &ExperimentConfig) -> ResultTable {
                 std_dev: 32.0,
             },
         ),
-        ("Power-law", BiasDistribution::PowerLaw { alpha: 2.0, max: 255 }),
+        (
+            "Power-law",
+            BiasDistribution::PowerLaw {
+                alpha: 2.0,
+                max: 255,
+            },
+        ),
     ];
     let mut table = ResultTable::new(
         "Figure 15c: Bingo runtime (s) and memory (MiB) vs bias distribution (LJ stand-in)",
@@ -176,7 +190,10 @@ mod tests {
         // Uniform biases: every bit set with probability ~0.5.
         let uniform: Vec<f64> = t.rows[0][1..].iter().map(|s| s.parse().unwrap()).collect();
         for &r in &uniform {
-            assert!((r - 0.5).abs() < 0.05, "uniform ratios should hover at 0.5: {r}");
+            assert!(
+                (r - 0.5).abs() < 0.05,
+                "uniform ratios should hover at 0.5: {r}"
+            );
         }
         // Power-law biases: low bits far more populated than high bits.
         let power: Vec<f64> = t.rows[2][1..].iter().map(|s| s.parse().unwrap()).collect();

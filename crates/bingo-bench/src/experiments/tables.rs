@@ -1,6 +1,7 @@
 //! Tables 1–4 of the paper.
 
 use crate::common::{fmt_mib, timed, ExperimentConfig, ResultTable};
+use bingo_baselines::{FlowWalkerBaseline, GSamplerBaseline, KnightKingBaseline};
 use bingo_core::{BingoConfig, BingoEngine, VertexSpace};
 use bingo_graph::adjacency::{AdjacencyList, Edge};
 use bingo_graph::datasets::StandinDataset;
@@ -8,10 +9,8 @@ use bingo_graph::updates::UpdateKind;
 use bingo_graph::Bias;
 use bingo_sampling::{AliasTable, CdfTable, DynamicSampler, RejectionSampler, Sampler};
 use bingo_walks::{
-    DeepWalkConfig, EvaluationWorkflow, IngestMode, Node2VecConfig, PprConfig,
-    WalkSpec,
+    DeepWalkConfig, EvaluationWorkflow, IngestMode, Node2VecConfig, PprConfig, WalkSpec,
 };
-use bingo_baselines::{FlowWalkerBaseline, GSamplerBaseline, KnightKingBaseline};
 use rand::Rng;
 
 /// Table 1 — complexity comparison of Bingo vs alias / ITS / rejection.
@@ -154,7 +153,10 @@ pub fn table1(config: &ExperimentConfig) -> ResultTable {
 /// stand-ins actually used in this reproduction.
 pub fn table2(config: &ExperimentConfig) -> ResultTable {
     let mut table = ResultTable::new(
-        format!("Table 2: datasets (paper) and stand-ins (scale 1/{})", config.scale),
+        format!(
+            "Table 2: datasets (paper) and stand-ins (scale 1/{})",
+            config.scale
+        ),
         &[
             "dataset",
             "abbr",
@@ -210,7 +212,11 @@ fn walk_spec(app: &str, config: &ExperimentConfig) -> WalkSpec {
 /// FlowWalker for DeepWalk / node2vec / PPR under insertion / deletion /
 /// mixed update streams, on every dataset stand-in.
 pub fn table3(config: &ExperimentConfig) -> ResultTable {
-    table3_filtered(config, &StandinDataset::all(), &["DeepWalk", "node2vec", "PPR"])
+    table3_filtered(
+        config,
+        &StandinDataset::all(),
+        &["DeepWalk", "node2vec", "PPR"],
+    )
 }
 
 /// Table 3 restricted to specific datasets / applications (used for quick

@@ -1,13 +1,13 @@
 //! Figures 12 and 16: update ingestion experiments.
 
 use crate::common::{timed, ExperimentConfig, ResultTable};
+use bingo_baselines::FlowWalkerBaseline;
 use bingo_core::{BingoConfig, BingoEngine};
 use bingo_graph::datasets::StandinDataset;
 use bingo_graph::updates::UpdateKind;
 use bingo_graph::Bias;
 use bingo_sampling::rng::Pcg64;
 use bingo_walks::{DynamicWalkSystem, IngestMode, TransitionSampler};
-use bingo_baselines::FlowWalkerBaseline;
 use rand::{Rng, SeedableRng};
 
 /// Figure 12 — streaming vs batched ingestion throughput (updates per

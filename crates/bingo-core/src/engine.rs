@@ -32,9 +32,22 @@ pub struct BatchOutcome {
 }
 
 /// A radix-factorized sampling engine over a dynamic weighted graph.
+///
+/// An engine normally owns the sampling space of *every* vertex
+/// (`vertex_base == 0`). For sharded deployments ([`build_range`] and
+/// `bingo-service`), an engine owns a contiguous slice
+/// `[vertex_base, vertex_base + spaces.len())` of the vertex-id space: it
+/// stores out-edges only for its owned vertices, while destination ids may
+/// point anywhere in the global graph of `global_vertices` vertices.
+///
+/// [`build_range`]: BingoEngine::build_range
 #[derive(Debug, Clone)]
 pub struct BingoEngine {
     spaces: Vec<VertexSpace>,
+    /// Global vertex id of `spaces[0]` (0 for whole-graph engines).
+    vertex_base: usize,
+    /// Size of the global vertex-id space destinations are validated against.
+    global_vertices: usize,
     config: BingoConfig,
     num_edges: usize,
     stats: EngineStats,
@@ -45,7 +58,30 @@ impl BingoEngine {
     ///
     /// Per-vertex sampling spaces are constructed in parallel.
     pub fn build(graph: &DynamicGraph, config: BingoConfig) -> Result<Self> {
-        let spaces: Vec<VertexSpace> = (0..graph.num_vertices())
+        Self::build_range(graph, 0..graph.num_vertices(), config)
+    }
+
+    /// Build a shard engine owning the out-edges of the contiguous vertex
+    /// range `range` of `graph` (§9.1's 1-D partitioning). The engine only
+    /// stores sampling spaces for the owned vertices, but accepts global
+    /// destination ids up to `graph.num_vertices()`.
+    ///
+    /// Queries for non-owned vertices behave as if the vertex were isolated
+    /// (`degree` 0, `sample_neighbor` → `None`); mutations of non-owned
+    /// sources return [`BingoError::VertexOutOfRange`].
+    pub fn build_range(
+        graph: &DynamicGraph,
+        range: std::ops::Range<usize>,
+        config: BingoConfig,
+    ) -> Result<Self> {
+        let global_vertices = graph.num_vertices();
+        if range.end > global_vertices || range.start > range.end {
+            return Err(BingoError::VertexOutOfRange {
+                vertex: range.end as VertexId,
+                num_vertices: global_vertices,
+            });
+        }
+        let spaces: Vec<VertexSpace> = (range.start..range.end)
             .into_par_iter()
             .map(|v| {
                 let adj = graph
@@ -55,10 +91,13 @@ impl BingoEngine {
                 VertexSpace::build(adj, config)
             })
             .collect();
+        let num_edges = spaces.iter().map(VertexSpace::degree).sum();
         Ok(BingoEngine {
             spaces,
+            vertex_base: range.start,
+            global_vertices,
             config,
-            num_edges: graph.num_edges(),
+            num_edges,
             stats: EngineStats::default(),
         })
     }
@@ -69,15 +108,47 @@ impl BingoEngine {
             spaces: (0..num_vertices)
                 .map(|_| VertexSpace::build(Default::default(), config))
                 .collect(),
+            vertex_base: 0,
+            global_vertices: num_vertices,
             config,
             num_edges: 0,
             stats: EngineStats::default(),
         }
     }
 
-    /// Number of vertices managed by the engine.
+    /// Number of vertices in the global vertex-id space. Equals the number
+    /// of owned vertices for whole-graph engines.
     pub fn num_vertices(&self) -> usize {
+        self.global_vertices
+    }
+
+    /// Global id of the first owned vertex (0 for whole-graph engines).
+    pub fn vertex_base(&self) -> usize {
+        self.vertex_base
+    }
+
+    /// Number of vertices whose out-edges this engine owns.
+    pub fn num_owned(&self) -> usize {
         self.spaces.len()
+    }
+
+    /// The contiguous global-id range of owned vertices.
+    pub fn owned_range(&self) -> std::ops::Range<usize> {
+        self.vertex_base..self.vertex_base + self.spaces.len()
+    }
+
+    /// Whether this engine owns vertex `v`'s out-edges.
+    #[inline]
+    pub fn owns(&self, v: VertexId) -> bool {
+        self.local(v).is_some()
+    }
+
+    /// Map a global vertex id to the local space index, if owned.
+    #[inline]
+    fn local(&self, v: VertexId) -> Option<usize> {
+        (v as usize)
+            .checked_sub(self.vertex_base)
+            .filter(|&i| i < self.spaces.len())
     }
 
     /// Number of directed edges currently present.
@@ -95,45 +166,42 @@ impl BingoEngine {
         self.stats
     }
 
-    /// Out-degree of `v` (0 for out-of-range vertices).
+    /// Out-degree of `v` (0 for out-of-range or non-owned vertices).
     pub fn degree(&self, v: VertexId) -> usize {
-        self.spaces
-            .get(v as usize)
-            .map(VertexSpace::degree)
-            .unwrap_or(0)
+        self.local(v).map(|i| self.spaces[i].degree()).unwrap_or(0)
     }
 
     /// The per-vertex sampling space of `v`.
     pub fn vertex_space(&self, v: VertexId) -> Result<&VertexSpace> {
-        self.spaces
-            .get(v as usize)
+        self.local(v)
+            .map(|i| &self.spaces[i])
             .ok_or(BingoError::VertexOutOfRange {
                 vertex: v,
-                num_vertices: self.spaces.len(),
+                num_vertices: self.global_vertices,
             })
     }
 
     fn vertex_space_mut(&mut self, v: VertexId) -> Result<&mut VertexSpace> {
-        let len = self.spaces.len();
-        self.spaces
-            .get_mut(v as usize)
-            .ok_or(BingoError::VertexOutOfRange {
+        let num_vertices = self.global_vertices;
+        match self.local(v) {
+            Some(i) => Ok(&mut self.spaces[i]),
+            None => Err(BingoError::VertexOutOfRange {
                 vertex: v,
-                num_vertices: len,
-            })
+                num_vertices,
+            }),
+        }
     }
 
     /// Whether the edge `(src, dst)` exists.
     pub fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
-        self.spaces
-            .get(src as usize)
-            .map(|s| s.adjacency().find(dst).is_some())
+        self.local(src)
+            .map(|i| self.spaces[i].adjacency().find(dst).is_some())
             .unwrap_or(false)
     }
 
     /// Bias of the first edge `(src, dst)`, if present.
     pub fn edge_bias(&self, src: VertexId, dst: VertexId) -> Option<f64> {
-        let space = self.spaces.get(src as usize)?;
+        let space = &self.spaces[self.local(src)?];
         let idx = space.adjacency().find(dst)?;
         space.adjacency().edge(idx).map(|e| e.bias.value())
     }
@@ -142,15 +210,15 @@ impl BingoEngine {
     /// expected time. Returns `None` for out-of-range or isolated vertices.
     #[inline]
     pub fn sample_neighbor<R: Rng + ?Sized>(&self, v: VertexId, rng: &mut R) -> Option<VertexId> {
-        self.spaces.get(v as usize)?.sample_neighbor(rng)
+        self.spaces.get(self.local(v)?)?.sample_neighbor(rng)
     }
 
     /// Streaming edge insertion (`O(K)` for the affected vertex).
     pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, bias: Bias) -> Result<()> {
-        if (dst as usize) >= self.spaces.len() {
+        if (dst as usize) >= self.global_vertices {
             return Err(BingoError::VertexOutOfRange {
                 vertex: dst,
-                num_vertices: self.spaces.len(),
+                num_vertices: self.global_vertices,
             });
         }
         self.vertex_space_mut(src)?.insert(dst, bias)?;
@@ -175,10 +243,22 @@ impl BingoEngine {
     /// Add a new isolated vertex and return its id. Vertex insertion is one
     /// of the "other graph updates" of §4.2 that reduce to trivial structure
     /// growth.
+    /// # Panics
+    ///
+    /// Panics on a shard engine whose owned range does not end at the
+    /// global vertex count: growing such a shard would claim ids owned by
+    /// the next shard. Vertex insertion on sharded deployments belongs to
+    /// the last shard (or a re-partitioning), not an interior one.
     pub fn add_vertex(&mut self) -> VertexId {
+        assert_eq!(
+            self.vertex_base + self.spaces.len(),
+            self.global_vertices,
+            "add_vertex on an interior shard engine would steal ids from the next shard"
+        );
         self.spaces
             .push(VertexSpace::build(Default::default(), self.config));
-        (self.spaces.len() - 1) as VertexId
+        self.global_vertices = self.vertex_base + self.spaces.len();
+        (self.vertex_base + self.spaces.len() - 1) as VertexId
     }
 
     /// Delete vertex `v` by removing all of its **out-edges** (the paper
@@ -224,20 +304,29 @@ impl BingoEngine {
     /// deletions, and each vertex rebuilds its sampling space exactly once.
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> BatchOutcome {
         // CPU-side reordering step of Figure 10(a): per-vertex work lists.
-        let mut per_vertex: Vec<Option<(Vec<(VertexId, Bias)>, Vec<VertexId>)>> =
-            vec![None; self.spaces.len()];
+        type VertexOps = Option<(Vec<(VertexId, Bias)>, Vec<VertexId>)>;
+        let mut per_vertex: Vec<VertexOps> = vec![None; self.spaces.len()];
         for event in batch.events() {
-            let src = event.src() as usize;
-            if src >= per_vertex.len() {
+            let Some(src) = self.local(event.src()) else {
                 continue;
-            }
+            };
+            // Destinations are validated like insert_edge does on the
+            // streaming path: an insert to a vertex outside the global id
+            // space would create an edge no walk could ever follow.
+            let valid_dst = |dst: VertexId| (dst as usize) < self.global_vertices;
             let entry = per_vertex[src].get_or_insert_with(|| (Vec::new(), Vec::new()));
             match *event {
-                UpdateEvent::Insert { dst, bias, .. } => entry.0.push((dst, bias)),
+                UpdateEvent::Insert { dst, bias, .. } => {
+                    if valid_dst(dst) {
+                        entry.0.push((dst, bias));
+                    }
+                }
                 UpdateEvent::Delete { dst, .. } => entry.1.push(dst),
                 UpdateEvent::UpdateBias { dst, bias, .. } => {
-                    entry.1.push(dst);
-                    entry.0.push((dst, bias));
+                    if valid_dst(dst) {
+                        entry.1.push(dst);
+                        entry.0.push((dst, bias));
+                    }
                 }
             }
         }
@@ -296,10 +385,11 @@ impl BingoEngine {
     /// Reconstruct a [`DynamicGraph`] snapshot of the engine's current state
     /// (used by tests and by baselines that need a plain graph).
     pub fn snapshot_graph(&self) -> DynamicGraph {
-        let mut g = DynamicGraph::new(self.spaces.len());
-        for (v, space) in self.spaces.iter().enumerate() {
+        let mut g = DynamicGraph::new(self.global_vertices);
+        for (i, space) in self.spaces.iter().enumerate() {
+            let v = (self.vertex_base + i) as VertexId;
             for e in space.adjacency().edges() {
-                g.insert_edge(v as VertexId, e.dst, e.bias)
+                g.insert_edge(v, e.dst, e.bias)
                     .expect("engine state is a valid graph");
             }
         }
@@ -309,8 +399,10 @@ impl BingoEngine {
     /// Verify the structural invariants of every vertex space. Intended for
     /// tests; returns the first violation found.
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
-        for (v, s) in self.spaces.iter().enumerate() {
-            s.check_invariants().map_err(|e| format!("vertex {v}: {e}"))?;
+        for (i, s) in self.spaces.iter().enumerate() {
+            let v = self.vertex_base + i;
+            s.check_invariants()
+                .map_err(|e| format!("vertex {v}: {e}"))?;
         }
         let edges: usize = self.spaces.iter().map(VertexSpace::degree).sum();
         if edges != self.num_edges {
@@ -451,7 +543,10 @@ mod tests {
         let before = engine.num_edges();
         let outcome = engine.apply_batch(&batch);
         assert_eq!(outcome.inserted, batch.num_insertions());
-        assert_eq!(outcome.deleted + outcome.missing_deletes, batch.num_deletions());
+        assert_eq!(
+            outcome.deleted + outcome.missing_deletes,
+            batch.num_deletions()
+        );
         assert_eq!(
             engine.num_edges(),
             before + outcome.inserted - outcome.deleted
@@ -553,6 +648,87 @@ mod tests {
         // Deleting an already-isolated vertex's edges removes nothing.
         assert_eq!(engine.delete_vertex_out_edges(2).unwrap(), 0);
         assert!(engine.delete_vertex_out_edges(99).is_err());
+    }
+
+    #[test]
+    fn range_engine_owns_only_its_slice() {
+        let graph = random_graph(21, 90, 900);
+        let whole = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+        let mid = BingoEngine::build_range(&graph, 30..60, BingoConfig::default()).unwrap();
+
+        assert_eq!(mid.num_vertices(), 90);
+        assert_eq!(mid.num_owned(), 30);
+        assert_eq!(mid.vertex_base(), 30);
+        assert_eq!(mid.owned_range(), 30..60);
+        mid.check_invariants().unwrap();
+
+        let mut owned_edges = 0;
+        for v in 0..90u32 {
+            if (30..60).contains(&(v as usize)) {
+                assert!(mid.owns(v));
+                assert_eq!(mid.degree(v), whole.degree(v), "degree of {v}");
+                owned_edges += mid.degree(v);
+            } else {
+                assert!(!mid.owns(v));
+                assert_eq!(mid.degree(v), 0);
+                let mut rng = Pcg64::seed_from_u64(1);
+                assert_eq!(mid.sample_neighbor(v, &mut rng), None);
+            }
+        }
+        assert_eq!(mid.num_edges(), owned_edges);
+
+        // Sampling an owned vertex returns one of its true neighbors.
+        let v = (30..60u32).max_by_key(|&v| whole.degree(v)).unwrap();
+        if whole.degree(v) > 0 {
+            let mut rng = Pcg64::seed_from_u64(2);
+            let next = mid.sample_neighbor(v, &mut rng).unwrap();
+            assert!(whole.has_edge(v, next));
+        }
+
+        // Mutations are accepted for owned sources (global dst ids are fine)
+        // and rejected for non-owned sources.
+        let mut mid = mid;
+        mid.insert_edge(35, 89, Bias::from_int(7)).unwrap();
+        assert!(mid.has_edge(35, 89));
+        assert!(mid.insert_edge(5, 35, Bias::from_int(1)).is_err());
+        mid.check_invariants().unwrap();
+
+        // A snapshot round-trips through the global id space.
+        let snap = mid.snapshot_graph();
+        assert_eq!(snap.num_vertices(), 90);
+        assert!(snap.has_edge(35, 89));
+    }
+
+    #[test]
+    fn range_engines_partition_all_edges() {
+        let graph = random_graph(22, 100, 1500);
+        let shards: Vec<BingoEngine> = [0..25, 25..50, 50..75, 75..100]
+            .into_iter()
+            .map(|r| BingoEngine::build_range(&graph, r, BingoConfig::default()).unwrap())
+            .collect();
+        let total: usize = shards.iter().map(BingoEngine::num_edges).sum();
+        assert_eq!(total, graph.num_edges());
+        // Batched updates only touch the owning shard.
+        let mut shards = shards;
+        let batch = UpdateBatch::new(vec![
+            UpdateEvent::Insert {
+                src: 10,
+                dst: 90,
+                bias: Bias::from_int(4),
+            },
+            UpdateEvent::Insert {
+                src: 80,
+                dst: 3,
+                bias: Bias::from_int(2),
+            },
+        ]);
+        let outcomes: Vec<_> = shards.iter_mut().map(|s| s.apply_batch(&batch)).collect();
+        assert_eq!(outcomes[0].inserted, 1);
+        assert_eq!(outcomes[1].inserted, 0);
+        assert_eq!(outcomes[2].inserted, 0);
+        assert_eq!(outcomes[3].inserted, 1);
+        assert!(shards[0].has_edge(10, 90));
+        assert!(shards[3].has_edge(80, 3));
     }
 
     #[test]

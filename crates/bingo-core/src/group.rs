@@ -42,7 +42,12 @@ pub enum GroupKind {
 impl GroupKind {
     /// Classify a group by its cardinality and the vertex degree
     /// (Equation 9 with the paper's precedence: dense first).
-    pub fn classify(cardinality: usize, degree: usize, alpha_percent: f64, beta_percent: f64) -> Self {
+    pub fn classify(
+        cardinality: usize,
+        degree: usize,
+        alpha_percent: f64,
+        beta_percent: f64,
+    ) -> Self {
         if cardinality == 0 || degree == 0 {
             GroupKind::Empty
         } else if cardinality as f64 / degree as f64 > alpha_percent / 100.0 {
@@ -482,7 +487,10 @@ mod tests {
         assert_eq!(GroupKind::classify(0, 10, 40.0, 10.0), GroupKind::Empty);
         assert_eq!(GroupKind::classify(5, 10, 40.0, 10.0), GroupKind::Dense);
         // |G| = 1 is one-element regardless of how small the ratio is.
-        assert_eq!(GroupKind::classify(1, 100, 40.0, 10.0), GroupKind::OneElement);
+        assert_eq!(
+            GroupKind::classify(1, 100, 40.0, 10.0),
+            GroupKind::OneElement
+        );
         assert_eq!(GroupKind::classify(1, 5, 40.0, 10.0), GroupKind::OneElement);
         assert_eq!(GroupKind::classify(2, 10, 40.0, 10.0), GroupKind::Regular);
         assert_eq!(GroupKind::classify(2, 100, 40.0, 10.0), GroupKind::Sparse);

@@ -127,9 +127,11 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let mut r = MemoryReport::default();
-        r.adjacency_bytes = 100;
-        r.inter_group_bytes = 10;
+        let mut r = MemoryReport {
+            adjacency_bytes: 100,
+            inter_group_bytes: 10,
+            ..MemoryReport::default()
+        };
         r.add_group(GroupKind::Dense, 1);
         r.add_group(GroupKind::Regular, 40);
         r.add_group(GroupKind::Sparse, 5);

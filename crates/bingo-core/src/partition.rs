@@ -71,11 +71,7 @@ impl PartitionedEngine {
     /// Every engine keeps the full vertex-id space (so destination ids stay
     /// valid) but only stores the out-edges of the vertices it owns — the
     /// 1-D edge partitioning the paper adopts from KnightKing.
-    pub fn build(
-        graph: &DynamicGraph,
-        num_partitions: usize,
-        config: BingoConfig,
-    ) -> Result<Self> {
+    pub fn build(graph: &DynamicGraph, num_partitions: usize, config: BingoConfig) -> Result<Self> {
         let partitioner = Partitioner::new(graph.num_vertices(), num_partitions);
         let mut shards: Vec<DynamicGraph> = (0..partitioner.num_partitions())
             .map(|_| DynamicGraph::new(graph.num_vertices()))
@@ -190,7 +186,7 @@ mod tests {
     #[test]
     fn partitioner_covers_all_vertices_exactly_once() {
         let p = Partitioner::new(10, 3);
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         for v in 0..10u32 {
             counts[p.owner(v)] += 1;
         }
@@ -244,7 +240,10 @@ mod tests {
         let _ = walks;
         // Every successful step is either local or forwarded.
         assert_eq!(pe.forwards() + pe.local_hits(), total_steps as u64);
-        assert!(pe.forwards() > 0, "walks from vertex 0 must cross partitions");
+        assert!(
+            pe.forwards() > 0,
+            "walks from vertex 0 must cross partitions"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl RadixBaseSpace {
     /// Build a space for integer biases with the given radix base
     /// (must be a power of two ≥ 2).
     pub fn build(biases: &[u64], base: u64) -> Self {
-        assert!(base >= 2 && base.is_power_of_two(), "base must be a power of two ≥ 2");
+        assert!(
+            base >= 2 && base.is_power_of_two(),
+            "base must be a power of two ≥ 2"
+        );
         let mut space = RadixBaseSpace {
             base,
             subgroups: Vec::new(),
@@ -225,7 +228,11 @@ impl RadixBaseSpace {
             .flatten()
             .map(AliasTable::memory_bytes)
             .sum::<usize>()
-            + self.inter.as_ref().map(AliasTable::memory_bytes).unwrap_or(0);
+            + self
+                .inter
+                .as_ref()
+                .map(AliasTable::memory_bytes)
+                .unwrap_or(0);
         members + tables + self.biases.capacity() * std::mem::size_of::<u64>()
     }
 }

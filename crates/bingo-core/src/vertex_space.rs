@@ -345,10 +345,7 @@ impl VertexSpace {
 
     /// Streaming deletion of the first edge pointing at `dst`.
     pub fn delete(&mut self, dst: VertexId) -> Result<Edge> {
-        let idx = self
-            .adj
-            .find(dst)
-            .ok_or(BingoError::EdgeNotFound { dst })?;
+        let idx = self.adj.find(dst).ok_or(BingoError::EdgeNotFound { dst })?;
         self.delete_at(idx)
     }
 
@@ -488,7 +485,11 @@ impl VertexSpace {
     pub fn memory_report(&self) -> MemoryReport {
         let mut report = MemoryReport {
             adjacency_bytes: self.adj.memory_bytes(),
-            inter_group_bytes: self.inter.as_ref().map(AliasTable::memory_bytes).unwrap_or(0),
+            inter_group_bytes: self
+                .inter
+                .as_ref()
+                .map(AliasTable::memory_bytes)
+                .unwrap_or(0),
             decimal_bytes: self.decimal.memory_bytes(),
             ..MemoryReport::default()
         };
@@ -614,12 +615,8 @@ mod tests {
         for config in [BingoConfig::default(), BingoConfig::baseline()] {
             let space = vertex2_space(config);
             let mut rng = Pcg64::seed_from_u64(42);
-            let freq = empirical_distribution(
-                |r| space.sample_index(r).unwrap(),
-                3,
-                300_000,
-                &mut rng,
-            );
+            let freq =
+                empirical_distribution(|r| space.sample_index(r).unwrap(), 3, 300_000, &mut rng);
             let expected = space.exact_probabilities();
             assert!(
                 max_abs_deviation(&freq, &expected) < 0.01,
@@ -662,8 +659,7 @@ mod tests {
 
         // Distribution still matches the biases.
         let mut rng = Pcg64::seed_from_u64(3);
-        let freq =
-            empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
+        let freq = empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
         assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
     }
 
@@ -744,8 +740,7 @@ mod tests {
 
         // Theorem 4.1 still holds with the decimal group in play.
         let mut rng = Pcg64::seed_from_u64(5);
-        let freq =
-            empirical_distribution(|r| space.sample_index(r).unwrap(), 3, 300_000, &mut rng);
+        let freq = empirical_distribution(|r| space.sample_index(r).unwrap(), 3, 300_000, &mut rng);
         assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
     }
 
@@ -772,8 +767,7 @@ mod tests {
         assert!(space.lambda() > 1.0);
         space.check_invariants().unwrap();
         let mut rng = Pcg64::seed_from_u64(9);
-        let freq =
-            empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
+        let freq = empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
         assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
     }
 
@@ -844,8 +838,7 @@ mod tests {
         space.check_invariants().unwrap();
 
         let mut rng = Pcg64::seed_from_u64(21);
-        let freq =
-            empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
+        let freq = empirical_distribution(|r| space.sample_index(r).unwrap(), 4, 200_000, &mut rng);
         assert!(max_abs_deviation(&freq, &space.exact_probabilities()) < 0.01);
     }
 

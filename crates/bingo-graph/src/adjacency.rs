@@ -43,6 +43,12 @@ pub struct AdjacencyList {
     edges: Vec<Edge>,
 }
 
+/// Edges removed by [`AdjacencyList::delete_many`], paired with the
+/// neighbor index they occupied.
+pub type RemovedEdges = Vec<(usize, Edge)>;
+/// `(from, to)` index moves applied to surviving edges during compaction.
+pub type EdgeMoves = Vec<(usize, usize)>;
+
 impl AdjacencyList {
     /// Create an empty adjacency list.
     pub fn new() -> Self {
@@ -135,10 +141,7 @@ impl AdjacencyList {
     /// Returns the removed edges (paired with the neighbor index they
     /// occupied) and the `(from, to)` moves applied to surviving edges, so
     /// index structures built on top of the adjacency list can be patched.
-    pub fn delete_many(
-        &mut self,
-        neighbor_indices: &[usize],
-    ) -> (Vec<(usize, Edge)>, Vec<(usize, usize)>) {
+    pub fn delete_many(&mut self, neighbor_indices: &[usize]) -> (RemovedEdges, EdgeMoves) {
         let removed: Vec<(usize, Edge)> = neighbor_indices
             .iter()
             .copied()

@@ -7,10 +7,10 @@
 //! remembers whether the value was constructed as an integer, so the engine
 //! can skip the λ machinery when it is not needed.
 
-use serde::{Deserialize, Serialize};
-
 /// A non-negative edge bias (transition weight).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// serde derives were dropped: the offline build environment has no serde,
+// and nothing in the workspace serializes biases yet.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bias {
     value: f64,
     integral: bool,

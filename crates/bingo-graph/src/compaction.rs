@@ -23,7 +23,10 @@
 /// positions are ignored. The relative order of surviving entries is *not*
 /// preserved (this is a swap-based compaction, like the streaming
 /// delete-and-swap).
-pub fn two_phase_delete_and_swap<T>(items: &mut Vec<T>, delete_positions: &[usize]) -> Vec<(usize, usize)> {
+pub fn two_phase_delete_and_swap<T>(
+    items: &mut Vec<T>,
+    delete_positions: &[usize],
+) -> Vec<(usize, usize)> {
     let len = items.len();
     // Deduplicate and bound-check the deletion set.
     let mut delete: Vec<usize> = delete_positions
@@ -85,8 +88,14 @@ mod tests {
         assert_eq!(got, expected, "survivors mismatch for delete={delete:?}");
         // Moves must reference valid positions and deleted slots as targets.
         for &(from, to) in &moves {
-            assert!(from >= items.len(), "move source {from} should be in the old tail");
-            assert!(to < items.len(), "move target {to} must be in the compacted range");
+            assert!(
+                from >= items.len(),
+                "move source {from} should be in the old tail"
+            );
+            assert!(
+                to < items.len(),
+                "move target {to} must be in the compacted range"
+            );
         }
     }
 

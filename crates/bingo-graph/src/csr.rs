@@ -132,8 +132,13 @@ mod tests {
         assert_eq!(csr.num_edges(), g.num_edges());
         for v in 0..g.num_vertices() as VertexId {
             assert_eq!(csr.degree(v), g.degree(v));
-            let dyn_dsts: Vec<VertexId> =
-                g.neighbors(v).unwrap().edges().iter().map(|e| e.dst).collect();
+            let dyn_dsts: Vec<VertexId> = g
+                .neighbors(v)
+                .unwrap()
+                .edges()
+                .iter()
+                .map(|e| e.dst)
+                .collect();
             assert_eq!(csr.neighbors(v), dyn_dsts.as_slice());
         }
         assert_eq!(csr.biases(2), &[5.0, 4.0, 3.0]);

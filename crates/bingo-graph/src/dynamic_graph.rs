@@ -52,7 +52,11 @@ impl DynamicGraph {
 
     /// Maximum out-degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(AdjacencyList::degree).max().unwrap_or(0)
+        self.adjacency
+            .iter()
+            .map(AdjacencyList::degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average out-degree.

@@ -126,7 +126,10 @@ pub enum GraphGenerator {
 
 impl GraphGenerator {
     /// Generate the edge list (without biases).
-    pub fn generate_edges<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, Vec<(VertexId, VertexId)>) {
+    pub fn generate_edges<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> (usize, Vec<(VertexId, VertexId)>) {
         match *self {
             GraphGenerator::ErdosRenyi { vertices, edges } => {
                 let n = vertices.max(2);
@@ -266,7 +269,10 @@ mod tests {
     fn constant_bias_is_constant() {
         let mut rng = Pcg64::seed_from_u64(1);
         for _ in 0..10 {
-            assert_eq!(BiasDistribution::Constant(3).sample(&mut rng, 0).value(), 3.0);
+            assert_eq!(
+                BiasDistribution::Constant(3).sample(&mut rng, 0).value(),
+                3.0
+            );
         }
     }
 
@@ -301,7 +307,10 @@ mod tests {
     #[test]
     fn power_law_is_skewed_toward_small_values() {
         let mut rng = Pcg64::seed_from_u64(4);
-        let dist = BiasDistribution::PowerLaw { alpha: 2.0, max: 1024 };
+        let dist = BiasDistribution::PowerLaw {
+            alpha: 2.0,
+            max: 1024,
+        };
         let mut small = 0;
         let n = 5000;
         for _ in 0..n {
@@ -317,8 +326,14 @@ mod tests {
     #[test]
     fn degree_based_bias_uses_destination_degree() {
         let mut rng = Pcg64::seed_from_u64(5);
-        assert_eq!(BiasDistribution::DegreeBased.sample(&mut rng, 17).value(), 17.0);
-        assert_eq!(BiasDistribution::DegreeBased.sample(&mut rng, 0).value(), 1.0);
+        assert_eq!(
+            BiasDistribution::DegreeBased.sample(&mut rng, 17).value(),
+            17.0
+        );
+        assert_eq!(
+            BiasDistribution::DegreeBased.sample(&mut rng, 0).value(),
+            1.0
+        );
     }
 
     #[test]

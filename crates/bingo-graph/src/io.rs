@@ -107,10 +107,7 @@ mod tests {
         let g = read_edge_list(text.as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
-        assert_eq!(
-            g.neighbors(0).unwrap().edge(0).unwrap().bias.value(),
-            5.0
-        );
+        assert_eq!(g.neighbors(0).unwrap().edge(0).unwrap().bias.value(), 5.0);
         // Missing bias column defaults to 1.
         assert_eq!(g.neighbors(2).unwrap().edge(0).unwrap().bias.value(), 1.0);
     }

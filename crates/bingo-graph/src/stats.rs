@@ -118,7 +118,11 @@ pub fn summarize(graph: &DynamicGraph) -> GraphSummary {
         max_degree: graph.max_degree(),
         isolated_vertices: isolated,
         bias_min,
-        bias_mean: if edges == 0 { 0.0 } else { bias_sum / edges as f64 },
+        bias_mean: if edges == 0 {
+            0.0
+        } else {
+            bias_sum / edges as f64
+        },
         bias_max,
         degree_powerlaw_alpha: fit_powerlaw_exponent(&degree_histogram(graph)),
     }

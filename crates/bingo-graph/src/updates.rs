@@ -79,6 +79,11 @@ impl UpdateBatch {
         &self.events
     }
 
+    /// Consume the batch, returning the events in ingestion order.
+    pub fn into_events(self) -> Vec<UpdateEvent> {
+        self.events
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -117,6 +122,29 @@ impl UpdateBatch {
             .chunks(chunk_size)
             .map(|c| UpdateBatch::new(c.to_vec()))
             .collect()
+    }
+
+    /// Split the batch by partition owner: `owner(src)` maps every event's
+    /// source vertex to one of `num_partitions` partitions, and the result
+    /// holds one (possibly empty) sub-batch per partition with the original
+    /// event order preserved within each partition.
+    ///
+    /// This is the router-side half of sharded ingestion: each sub-batch can
+    /// be shipped to the engine shard owning those source vertices and
+    /// applied there independently, because update semantics only depend on
+    /// the source vertex's adjacency.
+    pub fn split_by_owner<F>(&self, num_partitions: usize, owner: F) -> Vec<UpdateBatch>
+    where
+        F: Fn(VertexId) -> usize,
+    {
+        let mut parts: Vec<UpdateBatch> = (0..num_partitions.max(1))
+            .map(|_| UpdateBatch::default())
+            .collect();
+        for &event in &self.events {
+            let p = owner(event.src()).min(parts.len() - 1);
+            parts[p].events.push(event);
+        }
+        parts
     }
 }
 
@@ -187,10 +215,8 @@ impl UpdateStreamBuilder {
         rng: &mut R,
     ) -> UpdateBatch {
         // Collect the full edge list and pick `reserve` of them for set B.
-        let mut all_edges: Vec<(VertexId, VertexId, Bias)> = graph
-            .edges()
-            .map(|(src, e)| (src, e.dst, e.bias))
-            .collect();
+        let mut all_edges: Vec<(VertexId, VertexId, Bias)> =
+            graph.edges().map(|(src, e)| (src, e.dst, e.bias)).collect();
         // Fisher-Yates style partial shuffle for the reserved pool.
         let reserve = self.reserve.min(all_edges.len());
         for i in 0..reserve {
@@ -205,10 +231,8 @@ impl UpdateStreamBuilder {
         }
         // Track which A-edges exist so deletions stay valid, and which
         // B-edges have been inserted already.
-        let mut a_edges: Vec<(VertexId, VertexId, Bias)> = graph
-            .edges()
-            .map(|(src, e)| (src, e.dst, e.bias))
-            .collect();
+        let mut a_edges: Vec<(VertexId, VertexId, Bias)> =
+            graph.edges().map(|(src, e)| (src, e.dst, e.bias)).collect();
         let mut b_cursor = 0usize;
         let mut events = Vec::with_capacity(count);
         for i in 0..count {
@@ -338,11 +362,33 @@ mod tests {
     }
 
     #[test]
+    fn split_by_owner_partitions_events_in_order() {
+        let events: Vec<UpdateEvent> = (0..12)
+            .map(|i| UpdateEvent::Delete { src: i, dst: 0 })
+            .collect();
+        let batch = UpdateBatch::new(events);
+        let parts = batch.split_by_owner(3, |v| (v as usize) / 4);
+        assert_eq!(parts.len(), 3);
+        for (p, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), 4);
+            let srcs: Vec<u32> = part.events().iter().map(|e| e.src()).collect();
+            let expected: Vec<u32> = (p as u32 * 4..p as u32 * 4 + 4).collect();
+            assert_eq!(srcs, expected, "partition {p} must preserve order");
+        }
+        let total: usize = parts.iter().map(UpdateBatch::len).sum();
+        assert_eq!(total, batch.len());
+        // Out-of-range owners are clamped to the last partition.
+        let clamped = batch.split_by_owner(2, |_| 99);
+        assert_eq!(clamped[1].len(), 12);
+    }
+
+    #[test]
     fn insert_only_stream_contains_only_insertions() {
         let mut g = test_graph(1);
         let mut rng = StepRng::new(12345, 987_654_321);
-        let batch = UpdateStreamBuilder::new(UpdateKind::InsertOnly, 500).build(&mut g, 400, &mut rng);
-        assert!(batch.len() > 0);
+        let batch =
+            UpdateStreamBuilder::new(UpdateKind::InsertOnly, 500).build(&mut g, 400, &mut rng);
+        assert!(!batch.is_empty());
         assert_eq!(batch.num_deletions(), 0);
         assert_eq!(batch.num_insertions(), batch.len());
     }
@@ -352,7 +398,8 @@ mod tests {
         let mut g = test_graph(2);
         let before = g.num_edges();
         let mut rng = StepRng::new(7, 0x9E3779B97F4A7C15);
-        let batch = UpdateStreamBuilder::new(UpdateKind::DeleteOnly, 0).build(&mut g, 300, &mut rng);
+        let batch =
+            UpdateStreamBuilder::new(UpdateKind::DeleteOnly, 0).build(&mut g, 300, &mut rng);
         assert_eq!(batch.num_insertions(), 0);
         let applied = g.apply_batch(&batch);
         assert_eq!(applied, batch.len());

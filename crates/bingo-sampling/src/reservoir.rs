@@ -28,7 +28,7 @@ where
     let mut best_key = f64::NEG_INFINITY;
     let mut best_idx: Option<usize> = None;
     for (i, w) in weights.into_iter().enumerate() {
-        if !(w > 0.0) || !w.is_finite() {
+        if w <= 0.0 || !w.is_finite() {
             continue;
         }
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
@@ -54,7 +54,7 @@ where
     let mut running = 0.0;
     let mut selected: Option<usize> = None;
     for (i, w) in weights.into_iter().enumerate() {
-        if !(w > 0.0) || !w.is_finite() {
+        if w <= 0.0 || !w.is_finite() {
             continue;
         }
         running += w;
@@ -80,7 +80,7 @@ where
     // in every use in this repository (mini-batch sampling).
     let mut reservoir: Vec<(f64, usize)> = Vec::with_capacity(k);
     for (i, w) in weights.into_iter().enumerate() {
-        if !(w > 0.0) || !w.is_finite() {
+        if w <= 0.0 || !w.is_finite() {
             continue;
         }
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn empty_input_returns_none() {
         let mut rng = Pcg64::seed_from_u64(1);
-        assert_eq!(reservoir_sample_weighted(std::iter::empty(), &mut rng), None);
+        assert_eq!(
+            reservoir_sample_weighted(std::iter::empty(), &mut rng),
+            None
+        );
         assert_eq!(reservoir_sample_indexed(std::iter::empty(), &mut rng), None);
     }
 
@@ -165,7 +168,7 @@ mod tests {
 
     #[test]
     fn uniform_weights_pass_chi_square() {
-        let w = vec![1.0; 16];
+        let w = [1.0; 16];
         let mut rng = Pcg64::seed_from_u64(6);
         let mut counts = vec![0usize; 16];
         for _ in 0..64_000 {

@@ -19,6 +19,7 @@ impl SplitMix64 {
     }
 
     /// Produce the next 64-bit output.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -53,6 +54,7 @@ impl Pcg64 {
     }
 
     /// Advance the state and return 64 pseudo-random bits (PCG-XSL-RR).
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
@@ -125,11 +127,16 @@ impl Xorshift64 {
     /// Create a generator; a zero seed is remapped to a fixed non-zero value.
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
     /// Produce the next 64-bit output.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         let mut x = self.state;

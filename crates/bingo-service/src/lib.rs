@@ -1,0 +1,443 @@
+//! # bingo-service
+//!
+//! A **vertex-sharded, multi-threaded walk service** over the Bingo engine:
+//! the subsystem that serves concurrent random-walk traffic while graph
+//! updates stream in — the serving-layer counterpart of the paper's
+//! single-engine benchmarks, in the spirit of Wharf's
+//! walks-under-streaming-updates setting.
+//!
+//! ## Architecture
+//!
+//! * The vertex space is split into `S` contiguous shards
+//!   (`bingo_core::partition::Partitioner`); each shard's worker thread
+//!   exclusively owns a [`bingo_core::BingoEngine`] built over its range
+//!   with [`bingo_core::BingoEngine::build_range`], so sampling structures
+//!   are never shared or locked.
+//! * An **update router** splits incoming
+//!   [`UpdateBatch`](bingo_graph::UpdateBatch) streams by owning shard
+//!   (`UpdateBatch::split_by_owner` semantics), coalesces streamed events
+//!   per shard, and flushes them as **epochs**: every flush sends one batch
+//!   to every shard and bumps its generation counter after the batch is
+//!   fully applied. Because a worker serially interleaves whole batches
+//!   with walk steps, an in-flight walk step can never observe a torn
+//!   radix group — the epoch totally orders every step against every
+//!   update batch on that shard.
+//! * The **walk scheduler** fans submitted walks out to the shards owning
+//!   their start vertices as resumable
+//!   [`WalkCursor`](bingo_walks::WalkCursor)s. A step whose destination
+//!   belongs to another shard re-enqueues the walker at that shard
+//!   (walker forwarding, §9.1 of the paper). Finished walks are collected
+//!   by ticket and can be deposited into a
+//!   [`WalkStore`](bingo_walks::walk_store::WalkStore).
+//! * Per-shard throughput, occupancy and epoch counters are exposed as
+//!   [`ServiceStats`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bingo_service::{ServiceConfig, WalkService};
+//! use bingo_graph::{Bias, DynamicGraph, UpdateBatch, UpdateEvent};
+//! use bingo_walks::{DeepWalkConfig, WalkSpec};
+//!
+//! // A small ring graph.
+//! let mut graph = DynamicGraph::new(64);
+//! for v in 0..64u32 {
+//!     graph.insert_edge(v, (v + 1) % 64, Bias::from_int(2)).unwrap();
+//!     graph.insert_edge(v, (v + 7) % 64, Bias::from_int(1)).unwrap();
+//! }
+//!
+//! // Serve it from 4 shards.
+//! let service = WalkService::build(
+//!     &graph,
+//!     ServiceConfig { num_shards: 4, ..ServiceConfig::default() },
+//! )
+//! .unwrap();
+//!
+//! // Submit a batch of walks...
+//! let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 10 });
+//! let ticket = service.submit(spec, &[0, 13, 40, 63]).unwrap();
+//!
+//! // ...ingest updates while the walks run...
+//! let receipt = service.ingest(&UpdateBatch::new(vec![UpdateEvent::Insert {
+//!     src: 3,
+//!     dst: 42,
+//!     bias: Bias::from_int(9),
+//! }]));
+//! service.sync(receipt); // wait until visible on every shard
+//!
+//! // ...and collect the results.
+//! let results = service.wait(ticket);
+//! assert_eq!(results.paths.len(), 4);
+//! assert!(results.total_steps() > 0);
+//!
+//! let stats = service.shutdown();
+//! assert_eq!(stats.total_steps() as usize, results.total_steps());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod stats;
+
+pub use service::{
+    IngestReceipt, ServiceConfig, ServiceError, StepTrace, TicketResults, WalkService, WalkTicket,
+};
+pub use stats::{ServiceStats, ShardStatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_graph::{Bias, DynamicGraph, UpdateBatch, UpdateEvent};
+    use bingo_walks::{DeepWalkConfig, Node2VecConfig, PprConfig, WalkSpec};
+
+    fn ring_graph(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(n);
+        for v in 0..n as u32 {
+            g.insert_edge(v, (v + 1) % n as u32, Bias::from_int(2))
+                .unwrap();
+            g.insert_edge(v, (v + 2) % n as u32, Bias::from_int(1))
+                .unwrap();
+        }
+        g
+    }
+
+    fn spec(len: usize) -> WalkSpec {
+        WalkSpec::DeepWalk(DeepWalkConfig { walk_length: len })
+    }
+
+    #[test]
+    fn walks_complete_and_are_valid_paths() {
+        let graph = ring_graph(40);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let ticket = service.submit_all_vertices(spec(12)).unwrap();
+        let results = service.wait(ticket);
+        assert_eq!(results.paths.len(), 40);
+        for (v, path) in results.paths.iter().enumerate() {
+            assert_eq!(path[0], v as u32, "walk {v} starts at its start vertex");
+            assert_eq!(path.len(), 13, "ring has no dead ends");
+            for pair in path.windows(2) {
+                assert!(graph.has_edge(pair[0], pair[1]), "invalid step {pair:?}");
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.total_steps(), 40 * 12);
+        assert_eq!(stats.total_walks_completed(), 40);
+        assert!(
+            stats.total_forwards() > 0,
+            "ring walks must cross shard boundaries"
+        );
+    }
+
+    #[test]
+    fn tickets_are_collected_independently_and_in_any_order() {
+        let graph = ring_graph(24);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 3,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let t1 = service.submit(spec(5), &[0, 1, 2]).unwrap();
+        let t2 = service.submit(spec(7), &[10, 11]).unwrap();
+        assert_ne!(t1, t2);
+        let r2 = service.wait(t2);
+        let r1 = service.wait(t1);
+        assert_eq!(r1.paths.len(), 3);
+        assert_eq!(r2.paths.len(), 2);
+        assert!(r1.paths.iter().all(|p| p.len() == 6));
+        assert!(r2.paths.iter().all(|p| p.len() == 8));
+        assert_eq!(r2.paths[0][0], 10);
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_seed_when_quiescent() {
+        let graph = ring_graph(30);
+        let run = |seed: u64| {
+            let service = WalkService::build(
+                &graph,
+                ServiceConfig {
+                    num_shards: 4,
+                    seed,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap();
+            let ticket = service.submit_all_vertices(spec(9)).unwrap();
+            service.wait(ticket).paths
+        };
+        assert_eq!(run(7), run(7), "same seed, same walks");
+        assert_ne!(run(7), run(8), "different seed, different walks");
+    }
+
+    #[test]
+    fn updates_become_visible_to_later_walks() {
+        // Vertex 0 initially has a single out-edge 0→1; after the update it
+        // has only 0→2 (delete + insert): later walks must take it.
+        let mut graph = DynamicGraph::new(3);
+        graph.insert_edge(0, 1, Bias::from_int(1)).unwrap();
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+
+        let before = service.wait(service.submit(spec(1), &[0]).unwrap());
+        assert_eq!(before.paths[0], vec![0, 1]);
+
+        let receipt = service.ingest(&UpdateBatch::new(vec![
+            UpdateEvent::Delete { src: 0, dst: 1 },
+            UpdateEvent::Insert {
+                src: 0,
+                dst: 2,
+                bias: Bias::from_int(5),
+            },
+        ]));
+        assert_eq!(receipt.epoch, 1);
+        service.sync(receipt);
+
+        let after = service.wait(service.submit(spec(1), &[0]).unwrap());
+        assert_eq!(after.paths[0], vec![0, 2]);
+        let stats = service.stats();
+        assert!(stats.per_shard.iter().all(|s| s.epoch == 1));
+        assert_eq!(stats.total_updates_applied(), 2);
+    }
+
+    #[test]
+    fn streamed_events_coalesce_until_capacity() {
+        let graph = ring_graph(16);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 2,
+                coalesce_capacity: 3,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // Two buffered events: no flush yet.
+        assert!(service
+            .ingest_event(UpdateEvent::Insert {
+                src: 0,
+                dst: 5,
+                bias: Bias::from_int(1),
+            })
+            .is_none());
+        assert!(service
+            .ingest_event(UpdateEvent::Insert {
+                src: 1,
+                dst: 5,
+                bias: Bias::from_int(1),
+            })
+            .is_none());
+        assert_eq!(service.stats().per_shard[0].epoch, 0);
+        // Third event on the same shard triggers the coalesced flush.
+        let receipt = service
+            .ingest_event(UpdateEvent::Insert {
+                src: 2,
+                dst: 5,
+                bias: Bias::from_int(1),
+            })
+            .expect("capacity reached");
+        service.sync(receipt);
+        let stats = service.stats();
+        assert!(stats.per_shard.iter().all(|s| s.epoch == 1));
+        assert_eq!(stats.total_updates_applied(), 3);
+        // An explicit flush with empty buffers still advances the epoch.
+        let receipt = service.flush();
+        assert_eq!(receipt.epoch, 2);
+        service.sync(receipt);
+    }
+
+    #[test]
+    fn concurrent_waiters_all_complete() {
+        // Regression: a ticket completed by another waiter's drain loop
+        // must still wake its owner (no lost-wakeup hang in wait()).
+        let graph = ring_graph(32);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut steps = 0usize;
+                        for round in 0..8 {
+                            let starts: Vec<u32> = (0..32).map(|v| (v + i + round) % 32).collect();
+                            let ticket = service.submit(spec(6), &starts).unwrap();
+                            steps += service.wait(ticket).total_steps();
+                        }
+                        steps
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 8 * 32 * 6);
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_range_destinations_in_batches_are_dropped() {
+        // Regression: an ingested insert with dst outside the vertex space
+        // must not create an edge that livelocks walker forwarding.
+        let graph = ring_graph(8);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let receipt = service.ingest(&UpdateBatch::new(vec![
+            UpdateEvent::Insert {
+                src: 3,
+                dst: 10_000,
+                bias: Bias::from_int(1_000_000),
+            },
+            UpdateEvent::UpdateBias {
+                src: 4,
+                dst: 20_000,
+                bias: Bias::from_int(9),
+            },
+        ]));
+        service.sync(receipt);
+        assert_eq!(service.stats().total_updates_applied(), 0);
+        // Walks from the would-be source terminate normally.
+        let results = service.wait(service.submit(spec(10), &[3, 4]).unwrap());
+        for path in &results.paths {
+            assert_eq!(path.len(), 11);
+            for &v in path {
+                assert!((v as usize) < 8, "walk stayed in the vertex space");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_store_target_is_bounded_for_ppr() {
+        // Regression: PPR with stop_probability 0 has an unbounded
+        // *expected* length; the store's refresh target must use the
+        // deterministic max_length cap instead.
+        let graph = ring_graph(12);
+        let service = WalkService::build(&graph, ServiceConfig::default()).unwrap();
+        let ppr = WalkSpec::Ppr(bingo_walks::PprConfig {
+            stop_probability: 0.0,
+            max_length: 15,
+        });
+        let results = service.wait(service.submit_all_vertices(ppr).unwrap());
+        let mut store = results.into_walk_store(12, 3);
+        // Trigger a refresh; it must re-extend to max_length, not run away.
+        let mut engine =
+            bingo_core::BingoEngine::build(&graph, bingo_core::BingoConfig::default()).unwrap();
+        engine.insert_edge(0, 6, Bias::from_int(50)).unwrap();
+        store.on_edge_inserted(&engine, 0, 6);
+        for walk in store.walks() {
+            assert!(
+                walk.len() <= 16,
+                "refresh respected the cap: {}",
+                walk.len()
+            );
+        }
+    }
+
+    #[test]
+    fn ppr_walks_terminate_probabilistically() {
+        let graph = ring_graph(32);
+        let service = WalkService::build(&graph, ServiceConfig::default()).unwrap();
+        let ticket = service
+            .submit_all_vertices(WalkSpec::Ppr(PprConfig {
+                stop_probability: 0.2,
+                max_length: 50,
+            }))
+            .unwrap();
+        let results = service.wait(ticket);
+        let mean = results.total_steps() as f64 / results.paths.len() as f64;
+        // Expected steps before termination: (1 - 0.2) / 0.2 = 4.
+        assert!(mean > 1.0 && mean < 12.0, "mean PPR length {mean}");
+    }
+
+    #[test]
+    fn submission_errors_are_reported() {
+        let graph = ring_graph(8);
+        let service = WalkService::build(&graph, ServiceConfig::default()).unwrap();
+        assert_eq!(
+            service.submit(spec(3), &[]),
+            Err(ServiceError::EmptySubmission)
+        );
+        assert_eq!(
+            service.submit(spec(3), &[99]),
+            Err(ServiceError::VertexOutOfRange {
+                vertex: 99,
+                num_vertices: 8
+            })
+        );
+        assert!(matches!(
+            service.submit(WalkSpec::Node2Vec(Node2VecConfig::default()), &[0]),
+            Err(ServiceError::UnsupportedSpec(_))
+        ));
+    }
+
+    #[test]
+    fn results_deposit_into_a_walk_store() {
+        let graph = ring_graph(20);
+        let service = WalkService::build(&graph, ServiceConfig::default()).unwrap();
+        let ticket = service.submit_all_vertices(spec(8)).unwrap();
+        let results = service.wait(ticket);
+        let store = results.into_walk_store(20, 5);
+        assert_eq!(store.num_walks(), 20);
+        assert_eq!(store.total_steps(), 20 * 8);
+        for v in 0..20u32 {
+            assert!(!store.walks_visiting(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn traces_record_epochs_when_enabled() {
+        let graph = ring_graph(12);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 3,
+                record_epochs: true,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let r0 = service.wait(service.submit(spec(4), &[0]).unwrap());
+        assert_eq!(r0.traces[0].len(), 4);
+        assert!(r0.traces[0].iter().all(|t| t.epoch == 0));
+
+        let receipt = service.ingest(&UpdateBatch::new(vec![UpdateEvent::Insert {
+            src: 0,
+            dst: 6,
+            bias: Bias::from_int(1),
+        }]));
+        service.sync(receipt);
+        let r1 = service.wait(service.submit(spec(4), &[0]).unwrap());
+        assert!(r1.traces[0].iter().all(|t| t.epoch == 1));
+        // Traced steps match the path.
+        for (trace, pair) in r1.traces[0].iter().zip(r1.paths[0].windows(2)) {
+            assert_eq!(trace.src, pair[0]);
+            assert_eq!(trace.dst, pair[1]);
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! The sharded walk service: shard worker threads, the update router, and
+//! the ticketed walk-submission API.
+
+use crate::stats::{ServiceStats, ShardCounters};
+use bingo_core::partition::Partitioner;
+use bingo_core::{BingoConfig, BingoEngine, BingoError};
+use bingo_graph::{DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
+use bingo_sampling::rng::Pcg64;
+use bingo_walks::walk_store::WalkStore;
+use bingo_walks::{WalkCursor, WalkSpec};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors produced by the walk service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A start vertex is outside the service's vertex range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Number of vertices the service manages.
+        num_vertices: usize,
+    },
+    /// The submitted walk specification is not servable.
+    UnsupportedSpec(&'static str),
+    /// A submission contained no start vertices.
+    EmptySubmission,
+    /// An error bubbled up from the engine layer.
+    Core(BingoError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(f, "vertex {vertex} out of range ({num_vertices} vertices)"),
+            ServiceError::UnsupportedSpec(why) => write!(f, "unsupported walk spec: {why}"),
+            ServiceError::EmptySubmission => write!(f, "no start vertices submitted"),
+            ServiceError::Core(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<BingoError> for ServiceError {
+    fn from(e: BingoError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// Result alias for service operations.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// Configuration of a [`WalkService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of vertex shards (worker threads). At least 1.
+    pub num_shards: usize,
+    /// Seed from which every walker's RNG stream is derived.
+    pub seed: u64,
+    /// Configuration of the per-shard Bingo engines.
+    pub engine: BingoConfig,
+    /// Per-shard router buffer size: streamed events are coalesced until
+    /// any shard's buffer reaches this many events, then flushed to all
+    /// shards as one epoch.
+    pub coalesce_capacity: usize,
+    /// Record, for every walk step, the epoch of the shard that sampled it
+    /// (used by consistency tests; costs one `Vec` push per step).
+    pub record_epochs: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            num_shards: 4,
+            seed: 0x5E41_11CE,
+            engine: BingoConfig::default(),
+            coalesce_capacity: 4096,
+            record_epochs: false,
+        }
+    }
+}
+
+/// One step of a serviced walk, annotated with the generation counter of
+/// the shard that sampled it (recorded when
+/// [`ServiceConfig::record_epochs`] is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Vertex the step departed from.
+    pub src: VertexId,
+    /// Vertex the step arrived at.
+    pub dst: VertexId,
+    /// Shard that owned `src` and sampled the step.
+    pub shard: usize,
+    /// The shard's epoch (update batches applied) when the step was taken.
+    pub epoch: u64,
+}
+
+/// A walker in flight: a resumable cursor plus its private RNG stream.
+struct Walker {
+    ticket: u64,
+    index: u32,
+    cursor: WalkCursor,
+    rng: Pcg64,
+    hops: u32,
+    trace: Vec<StepTrace>,
+}
+
+/// A completed walk on its way back to the service handle.
+struct FinishedWalk {
+    ticket: u64,
+    index: u32,
+    path: Vec<VertexId>,
+    hops: u32,
+    trace: Vec<StepTrace>,
+    /// Worker-side completion time, so ticket latency measures when the
+    /// walk actually finished, not when it was collected.
+    finished_at: Instant,
+}
+
+enum ShardMsg {
+    Walker(Box<Walker>),
+    /// Pre-split update batch for this shard; applying it bumps the shard's
+    /// epoch by one, even when the batch is empty (epochs advance uniformly
+    /// across shards, one per router flush).
+    Update(UpdateBatch),
+    Shutdown,
+}
+
+/// Handle for retrieving the results of one walk submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WalkTicket(u64);
+
+impl WalkTicket {
+    /// The ticket's numeric id.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Receipt returned by update ingestion: the epoch the flushed events
+/// belong to. Once every shard's epoch (see
+/// [`ServiceStats`](crate::ServiceStats)) reaches this value, all events of
+/// this ingest are visible to new walk steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Epoch assigned to the flushed events (0 = nothing flushed yet).
+    pub epoch: u64,
+    /// Events routed in this ingest call.
+    pub events_routed: usize,
+}
+
+/// Results of one walk submission.
+#[derive(Debug, Clone)]
+pub struct TicketResults {
+    /// The ticket these results answer.
+    pub ticket: WalkTicket,
+    /// The application that was run.
+    pub spec: WalkSpec,
+    /// One path per submitted start vertex, in submission order.
+    pub paths: Vec<Vec<VertexId>>,
+    /// Cross-shard hops per walker.
+    pub hops: Vec<u32>,
+    /// Per-step epoch traces (empty unless
+    /// [`ServiceConfig::record_epochs`]).
+    pub traces: Vec<Vec<StepTrace>>,
+    /// Wall-clock time from submission to the last walker finishing.
+    pub latency: Duration,
+}
+
+impl TicketResults {
+    /// Total steps across all walks of this ticket.
+    pub fn total_steps(&self) -> usize {
+        self.paths.iter().map(|p| p.len().saturating_sub(1)).sum()
+    }
+
+    /// Deposit the collected walks into a Wharf-style [`WalkStore`] for
+    /// incremental maintenance, indexed over `num_vertices` vertices.
+    ///
+    /// The store's refresh target is the spec's deterministic step cap
+    /// ([`WalkSpec::max_steps`]), never PPR's unbounded expected length.
+    pub fn into_walk_store(self, num_vertices: usize, seed: u64) -> WalkStore {
+        let target = self.spec.expected_length().min(self.spec.max_steps());
+        WalkStore::from_walks(self.paths, num_vertices, target, seed)
+    }
+}
+
+struct PendingTicket {
+    spec: WalkSpec,
+    walks: Vec<Option<FinishedWalk>>,
+    received: usize,
+    submitted_at: Instant,
+    /// Latest worker-side completion time seen so far.
+    last_finish: Option<Instant>,
+}
+
+struct RouterState {
+    /// Per-shard buffered events awaiting a flush.
+    buffers: Vec<Vec<UpdateEvent>>,
+    /// Number of flush rounds so far == the epoch assigned to the last
+    /// flush. Every flush sends one (possibly empty) batch to every shard,
+    /// so shard epochs advance in lock step.
+    flushes: u64,
+}
+
+/// A vertex-sharded, multi-threaded walk service over the Bingo engine.
+///
+/// See the crate-level documentation for a quickstart. Internally the
+/// service runs one worker thread per shard; each worker exclusively owns a
+/// [`BingoEngine`] built over its contiguous vertex range
+/// ([`BingoEngine::build_range`]) and serially processes an inbox of walker
+/// and update messages — so a walk step can never observe a partially
+/// applied ("torn") update, and the per-shard epoch counter totally orders
+/// steps against update batches.
+pub struct WalkService {
+    partitioner: Partitioner,
+    num_vertices: usize,
+    seed: u64,
+    coalesce_capacity: usize,
+    senders: Vec<Sender<ShardMsg>>,
+    counters: Vec<Arc<ShardCounters>>,
+    owned_counts: Vec<usize>,
+    done_rx: Mutex<Receiver<FinishedWalk>>,
+    pending: Mutex<HashMap<u64, PendingTicket>>,
+    /// Signalled whenever finished walks are absorbed into `pending`, so
+    /// waiters that are not holding the collector lock learn about their
+    /// ticket completing.
+    pending_cv: std::sync::Condvar,
+    router: Mutex<RouterState>,
+    next_ticket: AtomicU64,
+    workers: Vec<JoinHandle<()>>,
+    started_at: Instant,
+}
+
+impl WalkService {
+    /// Build a service over a snapshot of `graph`, partitioning the vertex
+    /// space into [`ServiceConfig::num_shards`] contiguous shards and
+    /// spawning one worker thread per shard.
+    pub fn build(graph: &DynamicGraph, config: ServiceConfig) -> Result<Self> {
+        let num_vertices = graph.num_vertices();
+        let num_shards = config.num_shards.max(1);
+        let partitioner = Partitioner::new(num_vertices, num_shards);
+
+        let mut senders = Vec::with_capacity(num_shards);
+        let mut receivers = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = channel::<ShardMsg>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let counters: Vec<Arc<ShardCounters>> = (0..num_shards)
+            .map(|_| Arc::new(ShardCounters::default()))
+            .collect();
+        let (done_tx, done_rx) = channel::<FinishedWalk>();
+
+        let mut owned_counts = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
+        for (shard_id, rx) in receivers.into_iter().enumerate() {
+            let (start, end) = partitioner.range(shard_id);
+            owned_counts.push(end - start);
+            let engine = BingoEngine::build_range(graph, start..end, config.engine)?;
+            let ctx = ShardContext {
+                shard_id,
+                engine,
+                partitioner,
+                senders: senders.clone(),
+                counters: counters.clone(),
+                done_tx: done_tx.clone(),
+                record_epochs: config.record_epochs,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("bingo-shard-{shard_id}"))
+                .spawn(move || ctx.run(rx))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+
+        Ok(WalkService {
+            partitioner,
+            num_vertices,
+            seed: config.seed,
+            coalesce_capacity: config.coalesce_capacity.max(1),
+            senders,
+            counters,
+            owned_counts,
+            done_rx: Mutex::new(done_rx),
+            pending: Mutex::new(HashMap::new()),
+            pending_cv: std::sync::Condvar::new(),
+            router: Mutex::new(RouterState {
+                buffers: vec![Vec::new(); num_shards],
+                flushes: 0,
+            }),
+            next_ticket: AtomicU64::new(1),
+            workers,
+            started_at: Instant::now(),
+        })
+    }
+
+    /// Number of shards (worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Number of vertices in the serviced graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The vertex partitioner (shard = `partitioner().owner(v)`).
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Submit one walk per start vertex and return a ticket for collecting
+    /// the results with [`WalkService::wait`].
+    ///
+    /// Walkers are fanned out to the shards owning their start vertices and
+    /// hop between shards as the walk crosses ownership boundaries. Updates
+    /// ingested concurrently become visible between steps, never within
+    /// one.
+    ///
+    /// `Node2Vec` specs are rejected: the second-order factor needs edge
+    /// lookups on the *previous* vertex, which may be owned by a different
+    /// shard (tracked as an open item in the roadmap).
+    pub fn submit(&self, spec: WalkSpec, starts: &[VertexId]) -> Result<WalkTicket> {
+        if starts.is_empty() {
+            return Err(ServiceError::EmptySubmission);
+        }
+        if matches!(spec, WalkSpec::Node2Vec(_)) {
+            return Err(ServiceError::UnsupportedSpec(
+                "node2vec's second-order step needs cross-shard edge lookups",
+            ));
+        }
+        for &s in starts {
+            if (s as usize) >= self.num_vertices {
+                return Err(ServiceError::VertexOutOfRange {
+                    vertex: s,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.pending.lock().unwrap().insert(
+            ticket,
+            PendingTicket {
+                spec,
+                walks: (0..starts.len()).map(|_| None).collect(),
+                received: 0,
+                submitted_at: Instant::now(),
+                last_finish: None,
+            },
+        );
+        for (index, &start) in starts.iter().enumerate() {
+            let rng = Pcg64::seed_from_u64(
+                self.seed
+                    ^ ticket.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            );
+            let walker = Box::new(Walker {
+                ticket,
+                index: index as u32,
+                cursor: WalkCursor::new(spec, start),
+                rng,
+                hops: 0,
+                trace: Vec::new(),
+            });
+            let owner = self.partitioner.owner(start);
+            self.counters[owner].on_enqueue();
+            self.senders[owner]
+                .send(ShardMsg::Walker(walker))
+                .expect("shard worker alive");
+        }
+        Ok(WalkTicket(ticket))
+    }
+
+    /// Submit one walker per vertex (the paper's default configuration).
+    pub fn submit_all_vertices(&self, spec: WalkSpec) -> Result<WalkTicket> {
+        let starts: Vec<VertexId> = (0..self.num_vertices as VertexId).collect();
+        self.submit(spec, &starts)
+    }
+
+    /// Block until every walk of `ticket` has finished and return the
+    /// collected results (walks are deposited in submission order).
+    pub fn wait(&self, ticket: WalkTicket) -> TicketResults {
+        loop {
+            {
+                let mut pending = self.pending.lock().unwrap();
+                let entry = pending
+                    .get(&ticket.0)
+                    .expect("unknown or already-collected ticket");
+                if entry.received == entry.walks.len() {
+                    let entry = pending.remove(&ticket.0).expect("entry present");
+                    let latency = entry
+                        .last_finish
+                        .map(|t| t.duration_since(entry.submitted_at))
+                        .unwrap_or_default();
+                    let mut paths = Vec::with_capacity(entry.walks.len());
+                    let mut hops = Vec::with_capacity(entry.walks.len());
+                    let mut traces = Vec::with_capacity(entry.walks.len());
+                    for finished in entry.walks.into_iter() {
+                        let f = finished.expect("all walks received");
+                        paths.push(f.path);
+                        hops.push(f.hops);
+                        traces.push(f.trace);
+                    }
+                    return TicketResults {
+                        ticket,
+                        spec: entry.spec,
+                        paths,
+                        hops,
+                        traces,
+                        latency,
+                    };
+                }
+            }
+            // Not complete: absorb finished walks (possibly for other
+            // tickets) and re-check. Only one waiter drains the channel at
+            // a time; the others sleep on the condvar so a ticket completed
+            // by *another* waiter's drain loop still wakes its owner
+            // (avoiding the lost-wakeup hang of blocking in recv()).
+            match self.done_rx.try_lock() {
+                Ok(rx) => {
+                    match rx.recv_timeout(Duration::from_millis(10)) {
+                        Ok(finished) => {
+                            let mut pending = self.pending.lock().unwrap();
+                            self.absorb(&mut pending, finished);
+                            // Drain whatever else is already queued.
+                            while let Ok(more) = rx.try_recv() {
+                                self.absorb(&mut pending, more);
+                            }
+                            drop(pending);
+                            self.pending_cv.notify_all();
+                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                            panic!("shard workers alive")
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Another waiter is collecting; wait for its signal (with
+                    // a timeout so collector hand-off can never stall us).
+                    let pending = self.pending.lock().unwrap();
+                    let _ = self
+                        .pending_cv
+                        .wait_timeout(pending, Duration::from_millis(10))
+                        .unwrap();
+                }
+            }
+        }
+    }
+
+    fn absorb(
+        &self,
+        pending: &mut std::sync::MutexGuard<'_, HashMap<u64, PendingTicket>>,
+        finished: FinishedWalk,
+    ) {
+        if let Some(entry) = pending.get_mut(&finished.ticket) {
+            let slot = finished.index as usize;
+            if entry.walks[slot].is_none() {
+                entry.received += 1;
+            }
+            entry.last_finish = Some(
+                entry
+                    .last_finish
+                    .map_or(finished.finished_at, |t| t.max(finished.finished_at)),
+            );
+            entry.walks[slot] = Some(finished);
+        }
+    }
+
+    /// Route a batch of update events to their owning shards and flush
+    /// immediately: every shard receives its slice (empty slices included)
+    /// as one new epoch. Returns the receipt carrying that epoch.
+    pub fn ingest(&self, batch: &UpdateBatch) -> IngestReceipt {
+        let splits = batch.split_by_owner(self.num_shards(), |v| self.partitioner.owner(v));
+        let mut router = self.router.lock().unwrap();
+        for (buffer, split) in router.buffers.iter_mut().zip(splits) {
+            buffer.extend(split.into_events());
+        }
+        let epoch = self.flush_locked(&mut router);
+        IngestReceipt {
+            epoch,
+            events_routed: batch.len(),
+        }
+    }
+
+    /// Stream a single event into the router's per-shard buffers. Buffers
+    /// are coalesced until one of them reaches
+    /// [`ServiceConfig::coalesce_capacity`], then all are flushed as one
+    /// epoch. Returns a receipt only when a flush happened.
+    pub fn ingest_event(&self, event: UpdateEvent) -> Option<IngestReceipt> {
+        let mut router = self.router.lock().unwrap();
+        let owner = self.partitioner.owner(event.src());
+        router.buffers[owner].push(event);
+        if router.buffers[owner].len() >= self.coalesce_capacity {
+            let epoch = self.flush_locked(&mut router);
+            Some(IngestReceipt {
+                epoch,
+                events_routed: 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Flush all buffered streamed events to the shards as one epoch.
+    pub fn flush(&self) -> IngestReceipt {
+        let mut router = self.router.lock().unwrap();
+        let epoch = self.flush_locked(&mut router);
+        IngestReceipt {
+            epoch,
+            events_routed: 0,
+        }
+    }
+
+    fn flush_locked(&self, router: &mut RouterState) -> u64 {
+        router.flushes += 1;
+        for (shard, buffer) in router.buffers.iter_mut().enumerate() {
+            let events = std::mem::take(buffer);
+            self.counters[shard].on_enqueue();
+            self.senders[shard]
+                .send(ShardMsg::Update(UpdateBatch::new(events)))
+                .expect("shard worker alive");
+        }
+        router.flushes
+    }
+
+    /// Block until every shard has applied all updates up to and including
+    /// `receipt`'s epoch, i.e. the ingested events are visible to every new
+    /// walk step.
+    pub fn sync(&self, receipt: IngestReceipt) {
+        let mut spins = 0u32;
+        loop {
+            let reached = self
+                .counters
+                .iter()
+                .all(|c| c.epoch.load(Ordering::Acquire) >= receipt.epoch);
+            if reached {
+                return;
+            }
+            // Brief spin for the common fast case, then back off to sleeps
+            // so large batch applies don't compete with a busy-polling
+            // waiter for a core.
+            spins += 1;
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(
+                    100u64.saturating_mul(u64::from((spins - 64).min(10) + 1)),
+                ));
+            }
+        }
+    }
+
+    /// Snapshot of per-shard throughput/occupancy counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            per_shard: self
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.snapshot(i, self.owned_counts[i]))
+                .collect(),
+            uptime: self.started_at.elapsed(),
+        }
+    }
+
+    /// Stop all shard workers and return the final statistics. Outstanding
+    /// tickets should be waited on first; walkers still in flight when the
+    /// shutdown message overtakes them are dropped.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop_workers();
+        let stats = self.stats();
+        // Drop disarms the redundant second stop.
+        stats
+    }
+
+    fn stop_workers(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WalkService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Everything one shard worker thread owns.
+struct ShardContext {
+    shard_id: usize,
+    engine: BingoEngine,
+    partitioner: Partitioner,
+    senders: Vec<Sender<ShardMsg>>,
+    counters: Vec<Arc<ShardCounters>>,
+    done_tx: Sender<FinishedWalk>,
+    record_epochs: bool,
+}
+
+impl ShardContext {
+    fn counters(&self) -> &ShardCounters {
+        &self.counters[self.shard_id]
+    }
+
+    fn run(mut self, rx: Receiver<ShardMsg>) {
+        while let Ok(msg) = rx.recv() {
+            self.counters().on_dequeue();
+            let started = Instant::now();
+            match msg {
+                ShardMsg::Update(batch) => self.apply_update(batch),
+                ShardMsg::Walker(walker) => self.drive_walker(walker),
+                ShardMsg::Shutdown => break,
+            }
+            self.counters()
+                .busy_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn apply_update(&mut self, batch: UpdateBatch) {
+        let outcome = self.engine.apply_batch(&batch);
+        let c = self.counters();
+        c.updates_applied.fetch_add(
+            (outcome.inserted + outcome.deleted) as u64,
+            Ordering::Relaxed,
+        );
+        c.update_batches.fetch_add(1, Ordering::Relaxed);
+        // Publish the new generation *after* the batch is fully applied:
+        // a reader seeing epoch e knows the engine reflects exactly the
+        // first e flushed batches, never a partially applied one.
+        c.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    fn drive_walker(&mut self, mut walker: Box<Walker>) {
+        let c = self.counters();
+        c.walkers_received.fetch_add(1, Ordering::Relaxed);
+        let record = self.record_epochs;
+        loop {
+            let current = walker.cursor.current();
+            // A walker at its deterministic length limit takes no further
+            // sample: finish it here instead of forwarding it to another
+            // shard for a no-op step.
+            if !walker.cursor.is_done() && walker.cursor.at_length_limit() {
+                self.finish_walker(*walker);
+                return;
+            }
+            if !self.engine.owns(current) {
+                // The walk crossed into another shard's range: forward.
+                let owner = self.partitioner.owner(current);
+                if owner == self.shard_id {
+                    // Defensive: a vertex nobody owns (it can only arise
+                    // from a corrupted engine state) would self-forward
+                    // forever; treat it as a dead end instead.
+                    self.finish_walker(*walker);
+                    return;
+                }
+                self.counters()
+                    .walkers_forwarded
+                    .fetch_add(1, Ordering::Relaxed);
+                walker.hops += 1;
+                self.counters[owner].on_enqueue();
+                // A send can only fail during shutdown; drop the walker.
+                let _ = self.senders[owner].send(ShardMsg::Walker(walker));
+                return;
+            }
+            let epoch = self.counters().epoch.load(Ordering::Acquire);
+            match walker.cursor.step(&self.engine, &mut walker.rng) {
+                Some(next) => {
+                    self.counters().steps.fetch_add(1, Ordering::Relaxed);
+                    if record {
+                        walker.trace.push(StepTrace {
+                            src: current,
+                            dst: next,
+                            shard: self.shard_id,
+                            epoch,
+                        });
+                    }
+                }
+                None => {
+                    self.finish_walker(*walker);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish_walker(&self, walker: Walker) {
+        self.counters()
+            .walks_completed
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = self.done_tx.send(FinishedWalk {
+            ticket: walker.ticket,
+            index: walker.index,
+            path: walker.cursor.into_path(),
+            hops: walker.hops,
+            trace: walker.trace,
+            finished_at: Instant::now(),
+        });
+    }
+}

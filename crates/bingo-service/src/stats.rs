@@ -1,0 +1,216 @@
+//! Service observability: per-shard throughput, occupancy and epoch
+//! counters, aggregated into a [`ServiceStats`] snapshot.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters shared between one shard worker and the service
+/// handle. Writers are the worker thread (steps, updates, epoch) and the
+/// message senders (queue depth); readers take relaxed snapshots.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub steps: AtomicU64,
+    pub walkers_received: AtomicU64,
+    pub walkers_forwarded: AtomicU64,
+    pub walks_completed: AtomicU64,
+    pub updates_applied: AtomicU64,
+    pub update_batches: AtomicU64,
+    /// Number of update batches applied so far — the shard's generation
+    /// counter. A walk step that reads epoch `e` observed the engine state
+    /// after exactly `e` batches.
+    pub epoch: AtomicU64,
+    /// Messages currently queued (sender-incremented, worker-decremented).
+    pub queue_depth: AtomicI64,
+    /// Highest queue depth the worker has observed on dequeue.
+    pub queue_high_water: AtomicU64,
+    /// Nanoseconds the worker spent processing messages (vs. idle).
+    pub busy_nanos: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn on_enqueue(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_dequeue(&self) {
+        let depth = self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if depth > 0 {
+            self.queue_high_water
+                .fetch_max(depth as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize, owned_vertices: usize) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            shard,
+            owned_vertices,
+            steps: self.steps.load(Ordering::Relaxed),
+            walkers_received: self.walkers_received.load(Ordering::Relaxed),
+            walkers_forwarded: self.walkers_forwarded.load(Ordering::Relaxed),
+            walks_completed: self.walks_completed.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            update_batches: self.update_batches.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Acquire),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one shard's counters.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStatsSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Number of vertices whose out-edges this shard owns.
+    pub owned_vertices: usize,
+    /// Walk steps sampled by this shard.
+    pub steps: u64,
+    /// Walker messages dequeued (submissions + forwards in).
+    pub walkers_received: u64,
+    /// Walkers forwarded to another shard after crossing an ownership
+    /// boundary.
+    pub walkers_forwarded: u64,
+    /// Walks that terminated on this shard.
+    pub walks_completed: u64,
+    /// Update events applied (insertions + deletions; a reweight counts as
+    /// one delete plus one insert, as in the batched engine).
+    pub updates_applied: u64,
+    /// Update batches applied.
+    pub update_batches: u64,
+    /// The shard's generation counter (== update batches applied).
+    pub epoch: u64,
+    /// Highest observed inbound-queue depth.
+    pub queue_high_water: u64,
+    /// Time spent processing messages.
+    pub busy: Duration,
+}
+
+/// Aggregate service statistics: one snapshot per shard plus uptime.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Per-shard snapshots, indexed by shard id.
+    pub per_shard: Vec<ShardStatsSnapshot>,
+    /// Wall-clock time since the service was built.
+    pub uptime: Duration,
+}
+
+impl ServiceStats {
+    /// Total walk steps across all shards.
+    pub fn total_steps(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.steps).sum()
+    }
+
+    /// Total cross-shard walker forwards.
+    pub fn total_forwards(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.walkers_forwarded).sum()
+    }
+
+    /// Total update events applied across all shards.
+    pub fn total_updates_applied(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.updates_applied).sum()
+    }
+
+    /// Total completed walks.
+    pub fn total_walks_completed(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.walks_completed).sum()
+    }
+
+    /// Walk steps per wall-clock second since service start.
+    pub fn steps_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs > 0.0 {
+            self.total_steps() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of steps whose destination crossed a shard boundary.
+    pub fn forward_ratio(&self) -> f64 {
+        let steps = self.total_steps();
+        if steps > 0 {
+            self.total_forwards() as f64 / steps as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Render a small per-shard table for logs and examples.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>9}\n",
+            "shard", "owned", "steps", "walkers", "forwards", "updates", "batches", "qmax", "busy"
+        ));
+        for s in &self.per_shard {
+            out.push_str(&format!(
+                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>8.3}s\n",
+                s.shard,
+                s.owned_vertices,
+                s.steps,
+                s.walkers_received,
+                s.walkers_forwarded,
+                s.updates_applied,
+                s.update_batches,
+                s.queue_high_water,
+                s.busy.as_secs_f64(),
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} steps ({:.0} steps/s), {} forwards ({:.1}% of steps), {} updates, uptime {:.3}s\n",
+            self.total_steps(),
+            self.steps_per_sec(),
+            self.total_forwards(),
+            100.0 * self.forward_ratio(),
+            self.total_updates_applied(),
+            self.uptime.as_secs_f64(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let c = ShardCounters::default();
+        c.steps.fetch_add(10, Ordering::Relaxed);
+        c.on_enqueue();
+        c.on_enqueue();
+        c.on_dequeue();
+        let snap = c.snapshot(3, 100);
+        assert_eq!(snap.shard, 3);
+        assert_eq!(snap.owned_vertices, 100);
+        assert_eq!(snap.steps, 10);
+        assert_eq!(snap.queue_high_water, 2);
+    }
+
+    #[test]
+    fn aggregate_math() {
+        let stats = ServiceStats {
+            per_shard: vec![
+                ShardStatsSnapshot {
+                    shard: 0,
+                    steps: 30,
+                    walkers_forwarded: 3,
+                    ..Default::default()
+                },
+                ShardStatsSnapshot {
+                    shard: 1,
+                    steps: 70,
+                    walkers_forwarded: 7,
+                    ..Default::default()
+                },
+            ],
+            uptime: Duration::from_secs(2),
+        };
+        assert_eq!(stats.total_steps(), 100);
+        assert_eq!(stats.total_forwards(), 10);
+        assert!((stats.steps_per_sec() - 50.0).abs() < 1e-9);
+        assert!((stats.forward_ratio() - 0.1).abs() < 1e-12);
+        assert!(stats.render().contains("steps/s"));
+    }
+}

@@ -297,9 +297,15 @@ mod tests {
         let engine = community_engine();
         let (seeds, covered) = random_walk_domination(&engine, 2, 4, 6, 3);
         assert_eq!(seeds.len(), 2);
-        assert!(covered >= 8, "2 seeds should cover most of the graph: {covered}");
+        assert!(
+            covered >= 8,
+            "2 seeds should cover most of the graph: {covered}"
+        );
         let first_community = seeds.iter().filter(|&&s| s < 5).count();
-        assert_eq!(first_community, 1, "one seed per community expected: {seeds:?}");
+        assert_eq!(
+            first_community, 1,
+            "one seed per community expected: {seeds:?}"
+        );
     }
 
     #[test]
@@ -320,7 +326,10 @@ mod tests {
         // Hop-0 sampling: at most 2 seeds × 3 samples, plus hop-1 ≤ 6 × 2.
         assert!(batch.num_edges() <= 2 * 3 + 6 * 2);
         for &(src, dst) in &batch.edges {
-            assert!(engine.has_edge(src, dst), "sampled edge ({src},{dst}) missing");
+            assert!(
+                engine.has_edge(src, dst),
+                "sampled edge ({src},{dst}) missing"
+            );
         }
         // Empty fanouts produce only the seeds.
         let empty = sample_mini_batch(&engine, &[3], &[], &mut rng);

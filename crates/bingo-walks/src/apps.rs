@@ -118,50 +118,194 @@ impl WalkSpec {
         }
     }
 
+    /// Hard (deterministic) cap on the number of steps a walk of this spec
+    /// can take: the walk length for the fixed-length applications, the
+    /// `max_length` safety bound for PPR. Unlike
+    /// [`expected_length`](WalkSpec::expected_length) this is always finite
+    /// and is what sizing and refresh targets should be bounded by.
+    pub fn max_steps(&self) -> usize {
+        match self {
+            WalkSpec::DeepWalk(c) => c.walk_length,
+            WalkSpec::Node2Vec(c) => c.walk_length,
+            WalkSpec::Ppr(c) => c.max_length,
+            WalkSpec::SimpleSampling(c) => c.walk_length,
+        }
+    }
+
     /// Run one walk from `start` over `sampler`, returning the visited path
     /// (including the start vertex).
+    ///
+    /// Implemented by driving a [`WalkCursor`] to completion; callers that
+    /// need to interleave walks with other work (the sharded walk service)
+    /// drive the cursor step by step instead.
     pub fn walk<S, R>(&self, sampler: &S, start: VertexId, rng: &mut R) -> Vec<VertexId>
     where
         S: TransitionSampler + ?Sized,
         R: Rng + ?Sized,
     {
-        match *self {
-            WalkSpec::DeepWalk(config) => fixed_length_walk(sampler, start, config.walk_length, rng),
-            WalkSpec::SimpleSampling(config) => {
-                unbiased_walk(sampler, start, config.walk_length, rng)
+        let mut cursor = WalkCursor::new(*self, start);
+        while cursor.step(sampler, rng).is_some() {}
+        cursor.into_path()
+    }
+}
+
+/// Resumable, frontier-friendly walker state.
+///
+/// A `WalkCursor` replaces the walker-owned loop: the owner of the sampling
+/// structure advances the walk one transition at a time with
+/// [`WalkCursor::step`], and can stop, hand the cursor to another shard, or
+/// interleave graph updates between any two steps. All four applications of
+/// [`WalkSpec`] — including node2vec's second-order rejection step and PPR's
+/// probabilistic termination — run through the same cursor, so the sharded
+/// walk service and the single-machine walker engine share per-step logic.
+#[derive(Debug, Clone)]
+pub struct WalkCursor {
+    spec: WalkSpec,
+    path: Vec<VertexId>,
+    done: bool,
+}
+
+impl WalkCursor {
+    /// Create a cursor positioned at `start` with no steps taken.
+    pub fn new(spec: WalkSpec, start: VertexId) -> Self {
+        // Preallocation hint only: clamp so huge PPR max_length values
+        // don't reserve memory walks will rarely use.
+        let mut path =
+            Vec::with_capacity(spec.expected_length().min(spec.max_steps()).min(4095) + 1);
+        path.push(start);
+        WalkCursor {
+            spec,
+            path,
+            done: false,
+        }
+    }
+
+    /// The application this cursor is running.
+    pub fn spec(&self) -> &WalkSpec {
+        &self.spec
+    }
+
+    /// The walker's current vertex (the last vertex of the path).
+    #[inline]
+    pub fn current(&self) -> VertexId {
+        *self.path.last().expect("path always contains the start")
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// Whether the walk has terminated (dead end, target length, or
+    /// probabilistic stop).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Whether the cursor has reached its deterministic length limit, so
+    /// the next [`WalkCursor::step`] returns `None` without sampling. This
+    /// is ownership-independent: a sharded scheduler uses it to finish a
+    /// walker locally instead of forwarding it for a no-op step.
+    /// (PPR's probabilistic stop is not covered — that requires drawing
+    /// randomness.)
+    pub fn at_length_limit(&self) -> bool {
+        self.steps_taken() >= self.spec.max_steps()
+    }
+
+    /// The path visited so far, including the start vertex.
+    pub fn path(&self) -> &[VertexId] {
+        &self.path
+    }
+
+    /// Consume the cursor, returning the visited path.
+    pub fn into_path(self) -> Vec<VertexId> {
+        self.path
+    }
+
+    /// Advance the walk by one transition sampled from `sampler`.
+    ///
+    /// Returns the vertex stepped to, or `None` once the walk has
+    /// terminated (after which the cursor is [`done`](WalkCursor::is_done)
+    /// and further calls keep returning `None` without drawing randomness).
+    ///
+    /// `sampler` must own the out-edges of [`current`](WalkCursor::current);
+    /// in a sharded deployment the caller routes the cursor to the owning
+    /// shard before stepping.
+    pub fn step<S, R>(&mut self, sampler: &S, rng: &mut R) -> Option<VertexId>
+    where
+        S: TransitionSampler + ?Sized,
+        R: Rng + ?Sized,
+    {
+        if self.done {
+            return None;
+        }
+        let current = self.current();
+        let next = match self.spec {
+            WalkSpec::DeepWalk(c) => (self.steps_taken() < c.walk_length)
+                .then(|| sampler.sample_neighbor(current, rng))
+                .flatten(),
+            WalkSpec::SimpleSampling(c) => (self.steps_taken() < c.walk_length)
+                .then(|| sampler.sample_neighbor(current, rng))
+                .flatten(),
+            WalkSpec::Ppr(c) => {
+                if self.steps_taken() >= c.max_length || rng.gen::<f64>() < c.stop_probability {
+                    None
+                } else {
+                    sampler.sample_neighbor(current, rng)
+                }
             }
-            WalkSpec::Node2Vec(config) => node2vec_walk(sampler, start, config, rng),
-            WalkSpec::Ppr(config) => ppr_walk(sampler, start, config, rng),
+            WalkSpec::Node2Vec(c) => {
+                if self.steps_taken() >= c.walk_length {
+                    None
+                } else if self.path.len() == 1 {
+                    // The first step has no history: plain biased sampling.
+                    sampler.sample_neighbor(current, rng)
+                } else {
+                    let prev = self.path[self.path.len() - 2];
+                    node2vec_step(sampler, prev, current, &c, rng)
+                }
+            }
+        };
+        match next {
+            Some(v) => {
+                self.path.push(v);
+                Some(v)
+            }
+            None => {
+                self.done = true;
+                None
+            }
         }
     }
 }
 
 /// First-order biased walk of a fixed length.
-pub fn fixed_length_walk<S, R>(sampler: &S, start: VertexId, length: usize, rng: &mut R) -> Vec<VertexId>
+pub fn fixed_length_walk<S, R>(
+    sampler: &S,
+    start: VertexId,
+    length: usize,
+    rng: &mut R,
+) -> Vec<VertexId>
 where
     S: TransitionSampler + ?Sized,
     R: Rng + ?Sized,
 {
-    let mut path = Vec::with_capacity(length + 1);
-    path.push(start);
-    let mut current = start;
-    for _ in 0..length {
-        match sampler.sample_neighbor(current, rng) {
-            Some(next) => {
-                path.push(next);
-                current = next;
-            }
-            None => break,
-        }
-    }
-    path
+    WalkSpec::DeepWalk(DeepWalkConfig {
+        walk_length: length,
+    })
+    .walk(sampler, start, rng)
 }
 
 /// Unbiased walk: each neighbor is chosen uniformly. Implemented by
 /// rejection over the biased sampler would distort the distribution, so the
 /// unbiased variant samples a neighbor index directly when the sampler
 /// exposes degrees.
-pub fn unbiased_walk<S, R>(sampler: &S, start: VertexId, length: usize, rng: &mut R) -> Vec<VertexId>
+pub fn unbiased_walk<S, R>(
+    sampler: &S,
+    start: VertexId,
+    length: usize,
+    rng: &mut R,
+) -> Vec<VertexId>
 where
     S: TransitionSampler + ?Sized,
     R: Rng + ?Sized,
@@ -218,27 +362,7 @@ where
     S: TransitionSampler + ?Sized,
     R: Rng + ?Sized,
 {
-    let mut path = Vec::with_capacity(config.walk_length + 1);
-    path.push(start);
-    // The first step has no history: plain biased sampling.
-    let first = match sampler.sample_neighbor(start, rng) {
-        Some(v) => v,
-        None => return path,
-    };
-    path.push(first);
-    let mut prev = start;
-    let mut current = first;
-    for _ in 1..config.walk_length {
-        match node2vec_step(sampler, prev, current, &config, rng) {
-            Some(next) => {
-                path.push(next);
-                prev = current;
-                current = next;
-            }
-            None => break,
-        }
-    }
-    path
+    WalkSpec::Node2Vec(config).walk(sampler, start, rng)
 }
 
 /// A personalized-PageRank walk: terminate with `stop_probability` at every
@@ -248,22 +372,7 @@ where
     S: TransitionSampler + ?Sized,
     R: Rng + ?Sized,
 {
-    let mut path = Vec::new();
-    path.push(start);
-    let mut current = start;
-    for _ in 0..config.max_length {
-        if rng.gen::<f64>() < config.stop_probability {
-            break;
-        }
-        match sampler.sample_neighbor(current, rng) {
-            Some(next) => {
-                path.push(next);
-                current = next;
-            }
-            None => break,
-        }
-    }
-    path
+    WalkSpec::Ppr(config).walk(sampler, start, rng)
 }
 
 #[cfg(test)]
@@ -301,8 +410,14 @@ mod tests {
 
     #[test]
     fn walk_spec_names_and_lengths() {
-        assert_eq!(WalkSpec::DeepWalk(DeepWalkConfig::default()).name(), "DeepWalk");
-        assert_eq!(WalkSpec::Node2Vec(Node2VecConfig::default()).name(), "node2vec");
+        assert_eq!(
+            WalkSpec::DeepWalk(DeepWalkConfig::default()).name(),
+            "DeepWalk"
+        );
+        assert_eq!(
+            WalkSpec::Node2Vec(Node2VecConfig::default()).name(),
+            "node2vec"
+        );
         assert_eq!(WalkSpec::Ppr(PprConfig::default()).name(), "PPR");
         assert_eq!(
             WalkSpec::SimpleSampling(SimpleSamplingConfig::default()).name(),
@@ -405,6 +520,61 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(4);
         let path = ppr_walk(&engine, 0, config, &mut rng);
         assert_eq!(path.len(), 26);
+    }
+
+    #[test]
+    fn cursor_stepping_matches_whole_walk_for_a_fixed_seed() {
+        let engine = cyclic_engine();
+        for spec in [
+            WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 12 }),
+            WalkSpec::SimpleSampling(SimpleSamplingConfig { walk_length: 12 }),
+            WalkSpec::Node2Vec(Node2VecConfig {
+                walk_length: 12,
+                p: 0.5,
+                q: 2.0,
+            }),
+            WalkSpec::Ppr(PprConfig {
+                stop_probability: 0.05,
+                max_length: 40,
+            }),
+        ] {
+            let mut rng_walk = Pcg64::seed_from_u64(21);
+            let whole = spec.walk(&engine, 0, &mut rng_walk);
+
+            let mut rng_cursor = Pcg64::seed_from_u64(21);
+            let mut cursor = WalkCursor::new(spec, 0);
+            assert_eq!(cursor.current(), 0);
+            assert_eq!(cursor.steps_taken(), 0);
+            while let Some(next) = cursor.step(&engine, &mut rng_cursor) {
+                assert_eq!(cursor.current(), next);
+            }
+            assert!(cursor.is_done());
+            // Terminated cursors stay terminated without consuming entropy.
+            assert_eq!(cursor.step(&engine, &mut rng_cursor), None);
+            assert_eq!(cursor.path(), whole.as_slice(), "{}", spec.name());
+            assert_eq!(cursor.into_path(), whole);
+        }
+    }
+
+    #[test]
+    fn cursor_respects_walk_length_and_dead_ends() {
+        let engine = engine();
+        // Vertex 5 has no out-edges: the cursor terminates immediately.
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut cursor = WalkCursor::new(WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 4 }), 5);
+        assert_eq!(cursor.step(&engine, &mut rng), None);
+        assert!(cursor.is_done());
+        assert_eq!(cursor.path(), &[5]);
+
+        // A cyclic graph: exactly walk_length steps are taken.
+        let engine = cyclic_engine();
+        let mut cursor = WalkCursor::new(WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 4 }), 0);
+        let mut steps = 0;
+        while cursor.step(&engine, &mut rng).is_some() {
+            steps += 1;
+        }
+        assert_eq!(steps, 4);
+        assert_eq!(cursor.steps_taken(), 4);
     }
 
     #[test]

@@ -127,7 +127,8 @@ mod tests {
             g.insert_edge(v as VertexId, ((v + 1) % n) as VertexId, Bias::from_int(1))
                 .unwrap();
         }
-        g.insert_edge(0, (n / 2) as VertexId, Bias::from_int(3)).unwrap();
+        g.insert_edge(0, (n / 2) as VertexId, Bias::from_int(3))
+            .unwrap();
         BingoEngine::build(&g, BingoConfig::default()).unwrap()
     }
 

@@ -33,9 +33,11 @@ pub mod walk_store;
 pub mod workflow;
 
 pub use analytics::{personalized_pagerank, random_walk_domination, sample_mini_batch, MiniBatch};
-pub use apps::{DeepWalkConfig, Node2VecConfig, PprConfig, SimpleSamplingConfig, WalkSpec};
-pub use walk_store::{RefreshStats, WalkStore};
+pub use apps::{
+    DeepWalkConfig, Node2VecConfig, PprConfig, SimpleSamplingConfig, WalkCursor, WalkSpec,
+};
 pub use engine::{WalkEngine, WalkResults};
+pub use walk_store::{RefreshStats, WalkStore};
 pub use workflow::{EvaluationWorkflow, IngestMode, IngestStats, RoundReport, WorkflowReport};
 
 use bingo_core::BingoEngine;
@@ -118,10 +120,7 @@ impl DynamicWalkSystem for BingoEngine {
             }
             IngestMode::Batched => {
                 let outcome = self.apply_batch(batch);
-                (
-                    outcome.inserted + outcome.deleted,
-                    outcome.missing_deletes,
-                )
+                (outcome.inserted + outcome.deleted, outcome.missing_deletes)
             }
         };
         IngestStats {

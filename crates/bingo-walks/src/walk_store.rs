@@ -75,6 +75,25 @@ impl WalkStore {
         store
     }
 
+    /// Build a store from walks computed elsewhere (e.g. collected from the
+    /// sharded walk service). `target_length` is the length refreshed walks
+    /// are re-extended to, and `seed` drives suffix re-sampling.
+    pub fn from_walks(
+        walks: Vec<Vec<VertexId>>,
+        num_vertices: usize,
+        target_length: usize,
+        seed: u64,
+    ) -> Self {
+        let mut store = WalkStore {
+            walks,
+            index: Vec::new(),
+            target_length,
+            seed,
+        };
+        store.rebuild_index(num_vertices);
+        store
+    }
+
     fn rebuild_index(&mut self, num_vertices: usize) {
         let mut index: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_vertices];
         for (walk_id, walk) in self.walks.iter().enumerate() {
@@ -132,7 +151,11 @@ impl WalkStore {
     /// Earliest position in each affected walk that must be invalidated
     /// because it *departed from* `src` (and, for deletions, stepped to
     /// `removed_dst`).
-    fn affected_positions(&self, src: VertexId, removed_dst: Option<VertexId>) -> Vec<(usize, usize)> {
+    fn affected_positions(
+        &self,
+        src: VertexId,
+        removed_dst: Option<VertexId>,
+    ) -> Vec<(usize, usize)> {
         let mut affected: std::collections::BTreeMap<usize, usize> = Default::default();
         let Some(entries) = self.index.get(src as usize) else {
             return Vec::new();
@@ -166,11 +189,7 @@ impl WalkStore {
         affected.into_iter().collect()
     }
 
-    fn resample_suffixes<S>(
-        &mut self,
-        sampler: &S,
-        affected: Vec<(usize, usize)>,
-    ) -> RefreshStats
+    fn resample_suffixes<S>(&mut self, sampler: &S, affected: Vec<(usize, usize)>) -> RefreshStats
     where
         S: TransitionSampler + ?Sized,
     {
@@ -214,7 +233,12 @@ impl WalkStore {
     /// departs from `src` is re-sampled from that position so the new edge
     /// gets its proper probability mass, and walks that had stalled at `src`
     /// are extended. The `sampler` must already reflect the insertion.
-    pub fn on_edge_inserted<S>(&mut self, sampler: &S, src: VertexId, _dst: VertexId) -> RefreshStats
+    pub fn on_edge_inserted<S>(
+        &mut self,
+        sampler: &S,
+        src: VertexId,
+        _dst: VertexId,
+    ) -> RefreshStats
     where
         S: TransitionSampler + ?Sized,
     {
@@ -268,8 +292,10 @@ mod tests {
     fn ring_engine(n: usize) -> BingoEngine {
         let mut g = DynamicGraph::new(n);
         for v in 0..n as u32 {
-            g.insert_edge(v, (v + 1) % n as u32, Bias::from_int(2)).unwrap();
-            g.insert_edge(v, (v + 2) % n as u32, Bias::from_int(1)).unwrap();
+            g.insert_edge(v, (v + 1) % n as u32, Bias::from_int(2))
+                .unwrap();
+            g.insert_edge(v, (v + 2) % n as u32, Bias::from_int(1))
+                .unwrap();
         }
         BingoEngine::build(&g, BingoConfig::default()).unwrap()
     }

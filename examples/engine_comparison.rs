@@ -48,8 +48,11 @@ fn main() {
         graph.num_edges()
     );
 
-    let stream = UpdateStreamBuilder::new(UpdateKind::Mixed, ROUNDS * BATCH_SIZE)
-        .build(&mut graph, ROUNDS * BATCH_SIZE, &mut rng);
+    let stream = UpdateStreamBuilder::new(UpdateKind::Mixed, ROUNDS * BATCH_SIZE).build(
+        &mut graph,
+        ROUNDS * BATCH_SIZE,
+        &mut rng,
+    );
     let batches = stream.chunks(BATCH_SIZE);
     println!(
         "workload: {} rounds × {} mixed updates + DeepWalk (length {WALK_LENGTH}, one walker per vertex)\n",

@@ -54,7 +54,9 @@ fn main() {
     let mut rng = Pcg64::seed_from_u64(42);
     let mut counts = std::collections::BTreeMap::new();
     for _ in 0..12_000 {
-        let next = engine.sample_neighbor(2, &mut rng).expect("vertex 2 has edges");
+        let next = engine
+            .sample_neighbor(2, &mut rng)
+            .expect("vertex 2 has edges");
         *counts.entry(next).or_insert(0u32) += 1;
     }
     println!("12,000 samples from vertex 2 (expect ≈ 5000 / 4000 / 3000):");

@@ -47,8 +47,11 @@ fn main() {
     );
 
     // Pre-generate the daily update batches using the paper's A/B protocol.
-    let stream = UpdateStreamBuilder::new(bingo::graph::updates::UpdateKind::Mixed, DAYS * DAILY_UPDATES)
-        .build(&mut graph, DAYS * DAILY_UPDATES, &mut rng);
+    let stream = UpdateStreamBuilder::new(
+        bingo::graph::updates::UpdateKind::Mixed,
+        DAYS * DAILY_UPDATES,
+    )
+    .build(&mut graph, DAYS * DAILY_UPDATES, &mut rng);
     let daily_batches = stream.chunks(DAILY_UPDATES);
 
     let mut engine = BingoEngine::build(&graph, BingoConfig::default()).expect("engine builds");

@@ -1,0 +1,129 @@
+//! Sharded walk service under load: ≥4 shards serve concurrent walk waves
+//! while a stream of ≥10k edge insert/delete/reweight events is ingested,
+//! then the final sampling distribution is validated with a chi-square
+//! test against the fully-updated graph and per-shard `ServiceStats` are
+//! printed.
+//!
+//! ```text
+//! cargo run --release --example service_throughput
+//! ```
+
+use bingo::prelude::*;
+use bingo::sampling::stats::{chi_square, chi_square_critical_999};
+use bingo::service::ServiceConfig;
+use bingo_graph::updates::UpdateKind;
+use std::collections::BTreeMap;
+
+const SHARDS: usize = 4;
+const TOTAL_EVENTS: usize = 12_000;
+const BATCH_SIZE: usize = 600;
+const WALK_LEN: usize = 20;
+
+fn main() {
+    // A scaled-down LiveJournal stand-in plus a mixed update stream.
+    let mut rng = Pcg64::seed_from_u64(0x5E71CE);
+    let mut graph = bingo::graph::datasets::StandinDataset::LiveJournal.build(1_000, &mut rng);
+    let stream = UpdateStreamBuilder::new(UpdateKind::Mixed, TOTAL_EVENTS).build(
+        &mut graph,
+        TOTAL_EVENTS,
+        &mut rng,
+    );
+    let batches = stream.chunks(BATCH_SIZE);
+    println!(
+        "graph: {} vertices, {} edges; update stream: {} events in {} batches",
+        graph.num_vertices(),
+        graph.num_edges(),
+        stream.len(),
+        batches.len()
+    );
+
+    // Serve walks from SHARDS shards while the stream is ingested.
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards: SHARDS,
+            seed: 0x7417,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service builds");
+    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig {
+        walk_length: WALK_LEN,
+    });
+
+    let t0 = std::time::Instant::now();
+    let mut tickets = vec![service.submit(spec, &starts).expect("submit")];
+    let mut last_receipt = None;
+    for batch in &batches {
+        last_receipt = Some(service.ingest(batch));
+        tickets.push(service.submit(spec, &starts).expect("submit"));
+    }
+    let waves: Vec<TicketResults> = tickets.into_iter().map(|t| service.wait(t)).collect();
+    let elapsed = t0.elapsed();
+    service.sync(last_receipt.expect("at least one batch"));
+
+    let total_steps: usize = waves.iter().map(TicketResults::total_steps).sum();
+    let total_walks: usize = waves.iter().map(|w| w.paths.len()).sum();
+    println!(
+        "\nserved {} walks ({} steps) across {} waves while ingesting {} events: {:.3}s ({:.0} ksteps/s)",
+        total_walks,
+        total_steps,
+        waves.len(),
+        stream.len(),
+        elapsed.as_secs_f64(),
+        total_steps as f64 / elapsed.as_secs_f64() / 1e3,
+    );
+
+    // Validate the post-update sampling distribution: mirror the stream
+    // onto the initial graph, pick the busiest vertex, and chi-square the
+    // service's transitions against the mirrored edge biases.
+    let mut mirror = graph.clone();
+    mirror.apply_batch(&stream);
+    let v = (0..mirror.num_vertices() as VertexId)
+        .max_by_key(|&v| mirror.degree(v))
+        .expect("non-empty graph");
+    let mut expected: BTreeMap<VertexId, f64> = BTreeMap::new();
+    for e in mirror.neighbors(v).expect("vertex in range").edges() {
+        *expected.entry(e.dst).or_insert(0.0) += e.bias.value();
+    }
+    let total_bias: f64 = expected.values().sum();
+    let probs: Vec<f64> = expected.values().map(|w| w / total_bias).collect();
+
+    let trials = 60_000;
+    let ticket = service
+        .submit(
+            WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 1 }),
+            &vec![v; trials],
+        )
+        .expect("submit");
+    let results = service.wait(ticket);
+    let mut counts: BTreeMap<VertexId, usize> = expected.keys().map(|&dst| (dst, 0)).collect();
+    for path in &results.paths {
+        *counts.get_mut(&path[1]).expect("sampled an alive edge") += 1;
+    }
+    let observed: Vec<usize> = counts.values().copied().collect();
+    let stat = chi_square(&observed, &probs);
+    let critical = chi_square_critical_999(probs.len() - 1) * 1.5;
+    println!(
+        "\nchi-square validation at vertex {v} (degree {}, {} distinct dsts): \
+         stat {stat:.2} vs critical {critical:.2} → {}",
+        mirror.degree(v),
+        probs.len(),
+        if stat < critical { "PASS" } else { "FAIL" }
+    );
+
+    let stats = service.shutdown();
+    println!("\nper-shard service stats:\n{}", stats.render());
+
+    assert!(stream.len() >= 10_000, "example must ingest >= 10k events");
+    assert!(
+        stats
+            .per_shard
+            .iter()
+            .all(|s| s.epoch == batches.len() as u64),
+        "every shard applied every batch"
+    );
+    assert!(stat < critical, "sampling distribution diverged");
+    println!("ok");
+}

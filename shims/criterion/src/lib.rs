@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the authoring API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BenchmarkId`, `BatchSize`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — backed by a simple calibrated wall-clock loop that
+//! reports the median per-iteration time. No statistical regression
+//! analysis, plots, or saved baselines; good enough to compare relative
+//! costs on one machine, which is all the repository's benches are for.
+//!
+//! Environment knobs: `BINGO_BENCH_QUICK=1` caps measurement at one sample
+//! per benchmark (used in CI smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("alias", 1024)` renders as `alias/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified only by a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// How per-iteration setup output is batched. Only a hint in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values: many per measurement batch.
+    SmallInput,
+    /// Large setup values: few per batch.
+    LargeInput,
+    /// One setup value per iteration.
+    PerIteration,
+}
+
+/// Prevent the compiler from optimising a value away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Timing loop handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit in ~2ms?
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.samples.push(elapsed / iters as u32);
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 1..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Measure `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] with mutable access to the input.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn default_samples() -> usize {
+    if std::env::var_os("BINGO_BENCH_QUICK").is_some() {
+        1
+    } else {
+        10
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = self.sample_count.min(n.max(1));
+        self
+    }
+
+    /// Ignored in the shim (criterion compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher, input);
+        report(&self.name, &id.name, bencher.median());
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        report(&self.name, &id.name, bencher.median());
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function`'s flexible argument.
+pub trait IntoBenchmarkId {
+    /// Perform the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+fn report(group: &str, bench: &str, median: Duration) {
+    println!("{group}/{bench:<40} median {median:>12.3?}");
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_count: default_samples(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(default_samples());
+        f(&mut bencher);
+        report("", name, bencher.median());
+        self
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's entry point: `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| black_box(2u64).wrapping_mul(3));
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(2);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 2);
+        assert!(b.median() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("alias", 1024).name, "alias/1024");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! rayon entry points the workspace uses (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`) with **sequential** execution. The combinator surface
+//! matches rayon where the two differ from `std::iter::Iterator` — notably
+//! `reduce(identity, op)`.
+//!
+//! Results are identical to rayon's (rayon's order-preserving combinators
+//! make parallel map/collect deterministic); only wall-clock scaling is
+//! lost. The multi-threaded data path of this repository is the shard-worker
+//! architecture in `bingo-service`, which uses `std::thread` directly.
+
+#![forbid(unsafe_code)]
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Map every item through `f`.
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items for which `f` returns `Some`.
+    pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Flatten nested iterables.
+    pub fn flatten(self) -> ParIter<std::iter::Flatten<I>>
+    where
+        I::Item: IntoIterator,
+    {
+        ParIter(self.0.flatten())
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: fold from an identity element.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Rayon accepts a minimum split length; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a (sequentially executed) parallel iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` on shared references (slices, vectors, maps, …).
+pub trait IntoParallelRefIterator<'data> {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator;
+    /// Iterate by shared reference.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` on exclusive references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator;
+    /// Iterate by exclusive reference.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    //! Rayon-compatible prelude.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn zip_and_mut_iteration() {
+        let mut a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x += y);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn rayon_style_reduce() {
+        let total = (1..=10u64).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 55);
+    }
+}

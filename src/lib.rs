@@ -22,6 +22,9 @@
 //!   parallel walker engine.
 //! * [`baselines`] — reimplementations of the systems the paper compares
 //!   against (KnightKing, gSampler, FlowWalker).
+//! * [`service`] — the serving layer: a vertex-sharded, multi-threaded walk
+//!   service that answers concurrent walk requests while graph updates
+//!   stream in, with per-shard epoch counters and walker forwarding.
 //!
 //! ## Quickstart
 //!
@@ -45,11 +48,38 @@
 //! // Stream an update: the new edge is visible to the very next sample.
 //! engine.insert_edge(2, 3, Bias::from_int(3)).unwrap();
 //! ```
+//!
+//! ## Serving walks under streaming updates
+//!
+//! For concurrent walk traffic with updates streaming in, use the sharded
+//! walk service:
+//!
+//! ```
+//! use bingo::prelude::*;
+//!
+//! let mut graph = DynamicGraph::new(32);
+//! for v in 0..32u32 {
+//!     graph.insert_edge(v, (v + 1) % 32, Bias::from_int(1)).unwrap();
+//! }
+//! let service = WalkService::build(&graph, ServiceConfig::default()).unwrap();
+//! let ticket = service
+//!     .submit(WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 5 }), &[0, 16])
+//!     .unwrap();
+//! let receipt = service.ingest(&UpdateBatch::new(vec![UpdateEvent::Insert {
+//!     src: 4,
+//!     dst: 20,
+//!     bias: Bias::from_int(3),
+//! }]));
+//! service.sync(receipt);
+//! let results = service.wait(ticket);
+//! assert_eq!(results.paths.len(), 2);
+//! ```
 
 pub use bingo_baselines as baselines;
 pub use bingo_core as core;
 pub use bingo_graph as graph;
 pub use bingo_sampling as sampling;
+pub use bingo_service as service;
 pub use bingo_walks as walks;
 
 /// Commonly used types, re-exported for convenience.
@@ -60,8 +90,12 @@ pub mod prelude {
         UpdateStreamBuilder, VertexId,
     };
     pub use bingo_sampling::{rng::Pcg64, AliasTable, CdfTable, Sampler};
+    pub use bingo_service::{
+        IngestReceipt, ServiceConfig, ServiceStats, TicketResults, WalkService, WalkTicket,
+    };
     pub use bingo_walks::{
-        DeepWalkConfig, Node2VecConfig, PprConfig, TransitionSampler, WalkEngine, WalkSpec,
+        DeepWalkConfig, Node2VecConfig, PprConfig, TransitionSampler, WalkCursor, WalkEngine,
+        WalkSpec,
     };
     pub use rand::SeedableRng;
 }

@@ -86,11 +86,8 @@ fn float_bias_engine_handles_mixed_update_workloads() {
             .unwrap();
     }
     let mut stream_graph = graph.clone();
-    let stream = UpdateStreamBuilder::new(UpdateKind::Mixed, 1000).build(
-        &mut stream_graph,
-        1200,
-        &mut rng,
-    );
+    let stream =
+        UpdateStreamBuilder::new(UpdateKind::Mixed, 1000).build(&mut stream_graph, 1200, &mut rng);
     let mut engine = BingoEngine::build(&stream_graph, BingoConfig::default()).unwrap();
     let outcome = engine.apply_batch(&stream);
     assert_eq!(outcome.inserted, stream.num_insertions());
@@ -120,7 +117,14 @@ fn fixed_lambda_matches_paper_example_at_engine_scale() {
     };
     let engine = BingoEngine::build(&graph, config).unwrap();
     assert_eq!(engine.vertex_space(0).unwrap().lambda(), 10.0);
-    assert_eq!(engine.vertex_space(0).unwrap().decimal_group().cardinality(), 2);
+    assert_eq!(
+        engine
+            .vertex_space(0)
+            .unwrap()
+            .decimal_group()
+            .cardinality(),
+        2
+    );
     engine.check_invariants().unwrap();
 }
 

@@ -17,7 +17,13 @@ fn build_workload(seed: u64) -> DynamicGraph {
         b: 0.19,
         c: 0.19,
     }
-    .generate(BiasDistribution::PowerLaw { alpha: 1.6, max: 255 }, &mut rng);
+    .generate(
+        BiasDistribution::PowerLaw {
+            alpha: 1.6,
+            max: 255,
+        },
+        &mut rng,
+    );
     // Apply a mixed update stream so the sampling structures have gone
     // through plenty of insertions and deletions before we measure.
     let stream =

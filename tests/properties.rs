@@ -1,5 +1,10 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants:
+//! Property-based tests on the core data structures and invariants.
+//!
+//! Originally written with proptest; the offline build environment has no
+//! registry access, so the same properties are exercised with a hand-rolled
+//! randomized-case loop (64 seeded cases per property, like the original
+//! `ProptestConfig::with_cases(64)`), which keeps failures reproducible:
+//! every assertion message carries the case seed.
 //!
 //! * Theorem 4.1 — the radix factorization never changes transition
 //!   probabilities, for arbitrary bias vectors.
@@ -13,10 +18,12 @@
 use bingo::core::vertex_space::VertexSpace;
 use bingo::core::{BingoConfig, Lambda};
 use bingo::prelude::*;
-use bingo::sampling::{CdfTable, Sampler};
+use bingo::sampling::CdfTable;
 use bingo_graph::adjacency::{AdjacencyList, Edge};
 use bingo_graph::two_phase_delete_and_swap;
-use proptest::prelude::*;
+use rand::Rng;
+
+const CASES: u64 = 64;
 
 fn adjacency_from(biases: &[u64]) -> AdjacencyList {
     let mut adj = AdjacencyList::new();
@@ -26,62 +33,97 @@ fn adjacency_from(biases: &[u64]) -> AdjacencyList {
     adj
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random vector with length in `len_range` and elements in `value_range`.
+fn random_vec(
+    rng: &mut Pcg64,
+    len_range: std::ops::Range<usize>,
+    value_range: std::ops::Range<u64>,
+) -> Vec<u64> {
+    let len = rng.gen_range(len_range);
+    (0..len)
+        .map(|_| rng.gen_range(value_range.clone()))
+        .collect()
+}
 
-    /// Theorem 4.1: the per-group weights of the factorized space sum to the
-    /// original total bias, and every group's weight is cardinality × 2^k.
-    #[test]
-    fn radix_factorization_preserves_total_bias(
-        biases in prop::collection::vec(1u64..100_000, 1..200)
-    ) {
+/// Theorem 4.1: the per-group weights of the factorized space sum to the
+/// original total bias, and every group's weight is cardinality × 2^k.
+#[test]
+fn radix_factorization_preserves_total_bias() {
+    for case in 0..CASES {
+        let mut rng = Pcg64::seed_from_u64(0xFAC7_0000 + case);
+        let biases = random_vec(&mut rng, 1..200, 1..100_000);
         let space = VertexSpace::build(adjacency_from(&biases), BingoConfig::default());
         let total: u64 = biases.iter().sum();
-        prop_assert!((space.total_weight() - total as f64).abs() < 1e-6);
+        assert!(
+            (space.total_weight() - total as f64).abs() < 1e-6,
+            "case {case}: total weight mismatch"
+        );
         for group in space.groups() {
             let expected = group.cardinality() as f64 * (1u64 << group.bit()) as f64;
-            prop_assert_eq!(group.weight(), expected);
+            assert_eq!(group.weight(), expected, "case {case}");
         }
-        prop_assert!(space.check_invariants().is_ok());
+        assert!(space.check_invariants().is_ok(), "case {case}");
     }
+}
 
-    /// The sampling space keeps its invariants under arbitrary interleaved
-    /// streaming insertions and deletions.
-    #[test]
-    fn vertex_space_invariants_hold_under_streaming_ops(
-        initial in prop::collection::vec(1u64..1024, 1..60),
-        ops in prop::collection::vec((0u8..2, 0u32..80, 1u64..1024), 0..80),
-        adaptive in prop::bool::ANY,
-    ) {
-        let config = if adaptive { BingoConfig::default() } else { BingoConfig::baseline() };
+/// The sampling space keeps its invariants under arbitrary interleaved
+/// streaming insertions and deletions.
+#[test]
+fn vertex_space_invariants_hold_under_streaming_ops() {
+    for case in 0..CASES {
+        let mut rng = Pcg64::seed_from_u64(0x57E4_0000 + case);
+        let initial = random_vec(&mut rng, 1..60, 1..1024);
+        let adaptive = rng.gen_bool(0.5);
+        let config = if adaptive {
+            BingoConfig::default()
+        } else {
+            BingoConfig::baseline()
+        };
         let mut space = VertexSpace::build(adjacency_from(&initial), config);
-        for (op, dst, bias) in ops {
+        let num_ops = rng.gen_range(0..80usize);
+        for _ in 0..num_ops {
+            let op: u8 = rng.gen_range(0..2u8);
+            let dst: u32 = rng.gen_range(0..80u32);
+            let bias = rng.gen_range(1..1024u64);
             match op {
-                0 => { space.insert(dst, Bias::from_int(bias)).unwrap(); }
-                _ => { let _ = space.delete(dst); }
+                0 => {
+                    space.insert(dst, Bias::from_int(bias)).unwrap();
+                }
+                _ => {
+                    let _ = space.delete(dst);
+                }
             }
-            prop_assert!(space.check_invariants().is_ok(), "{:?}", space.check_invariants());
+            assert!(
+                space.check_invariants().is_ok(),
+                "case {case}: {:?}",
+                space.check_invariants()
+            );
         }
     }
+}
 
-    /// Batched application reaches the same degree and total weight as
-    /// applying the same operations one at a time.
-    #[test]
-    fn batched_and_streaming_vertex_updates_agree(
-        initial in prop::collection::vec(1u64..512, 1..40),
-        inserts in prop::collection::vec((100u32..200, 1u64..512), 0..30),
-        delete_idx in prop::collection::vec(0usize..40, 0..20),
-    ) {
-        let adj = adjacency_from(&initial);
+/// Batched application reaches the same degree and total weight as applying
+/// the same operations one at a time.
+#[test]
+fn batched_and_streaming_vertex_updates_agree() {
+    for case in 0..CASES {
+        let mut rng = Pcg64::seed_from_u64(0xBA7C_0000 + case);
+        let initial = random_vec(&mut rng, 1..40, 1..512);
+        let num_inserts = rng.gen_range(0..30usize);
+        let insert_pairs: Vec<(VertexId, Bias)> = (0..num_inserts)
+            .map(|_| {
+                (
+                    rng.gen_range(100..200u32),
+                    Bias::from_int(rng.gen_range(1..512u64)),
+                )
+            })
+            .collect();
+        let num_deletes = rng.gen_range(0..20usize);
         // Deletions target destinations present in the initial list.
-        let deletes: Vec<VertexId> = delete_idx
-            .iter()
-            .map(|&i| (i % initial.len()) as VertexId)
+        let deletes: Vec<VertexId> = (0..num_deletes)
+            .map(|_| (rng.gen_range(0..40usize) % initial.len()) as VertexId)
             .collect();
-        let insert_pairs: Vec<(VertexId, Bias)> = inserts
-            .iter()
-            .map(|&(dst, b)| (dst, Bias::from_int(b)))
-            .collect();
+        let adj = adjacency_from(&initial);
 
         let mut streaming = VertexSpace::build(adj.clone(), BingoConfig::default());
         for &(dst, bias) in &insert_pairs {
@@ -97,20 +139,28 @@ proptest! {
         let mut batched = VertexSpace::build(adj, BingoConfig::default());
         let outcome = batched.apply_batch(&insert_pairs, &deletes);
 
-        prop_assert_eq!(outcome.inserted, insert_pairs.len());
-        prop_assert_eq!(outcome.deleted, streaming_deleted);
-        prop_assert_eq!(batched.degree(), streaming.degree());
-        prop_assert!((batched.total_weight() - streaming.total_weight()).abs() < 1e-6);
-        prop_assert!(batched.check_invariants().is_ok());
+        assert_eq!(outcome.inserted, insert_pairs.len(), "case {case}");
+        assert_eq!(outcome.deleted, streaming_deleted, "case {case}");
+        assert_eq!(batched.degree(), streaming.degree(), "case {case}");
+        assert!(
+            (batched.total_weight() - streaming.total_weight()).abs() < 1e-6,
+            "case {case}"
+        );
+        assert!(batched.check_invariants().is_ok(), "case {case}");
     }
+}
 
-    /// Two-phase delete-and-swap removes exactly the requested positions and
-    /// reports moves that land in the compacted range.
-    #[test]
-    fn two_phase_compaction_preserves_survivors(
-        len in 1usize..200,
-        deletes in prop::collection::vec(0usize..220, 0..100),
-    ) {
+/// Two-phase delete-and-swap removes exactly the requested positions and
+/// reports moves that land in the compacted range.
+#[test]
+fn two_phase_compaction_preserves_survivors() {
+    for case in 0..CASES {
+        let mut rng = Pcg64::seed_from_u64(0xC0DE_0000 + case);
+        let len = rng.gen_range(1..200usize);
+        let num_deletes = rng.gen_range(0..100usize);
+        let deletes: Vec<usize> = (0..num_deletes)
+            .map(|_| rng.gen_range(0..220usize))
+            .collect();
         let original: Vec<usize> = (0..len).collect();
         let mut items = original.clone();
         let moves = two_phase_delete_and_swap(&mut items, &deletes);
@@ -124,39 +174,53 @@ proptest! {
         let mut got = items.clone();
         expected.sort_unstable();
         got.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
         for (from, to) in moves {
-            prop_assert!(to < items.len());
-            prop_assert!(from >= items.len());
+            assert!(to < items.len(), "case {case}");
+            assert!(from >= items.len(), "case {case}");
         }
     }
+}
 
-    /// Alias tables and CDF tables agree on the total weight and only
-    /// produce in-range samples for arbitrary weight vectors.
-    #[test]
-    fn alias_and_cdf_tables_are_consistent(
-        weights in prop::collection::vec(0.01f64..1000.0, 1..100),
-        seed in 0u64..1000,
-    ) {
+/// Alias tables and CDF tables agree on the total weight and only produce
+/// in-range samples for arbitrary weight vectors.
+#[test]
+fn alias_and_cdf_tables_are_consistent() {
+    for case in 0..CASES {
+        let mut rng = Pcg64::seed_from_u64(0xA11A_0000 + case);
+        let len = rng.gen_range(1..100usize);
+        let weights: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01..1000.0f64)).collect();
         let alias = AliasTable::new(&weights).unwrap();
         let cdf = CdfTable::new(&weights).unwrap();
         let total: f64 = weights.iter().sum();
-        prop_assert!((alias.total_weight() - total).abs() < 1e-6 * total);
-        prop_assert!((cdf.total_weight() - total).abs() < 1e-6 * total);
-        let mut rng = Pcg64::seed_from_u64(seed);
+        assert!(
+            (alias.total_weight() - total).abs() < 1e-6 * total,
+            "case {case}"
+        );
+        assert!(
+            (cdf.total_weight() - total).abs() < 1e-6 * total,
+            "case {case}"
+        );
         for _ in 0..50 {
-            prop_assert!(alias.sample(&mut rng) < weights.len());
-            prop_assert!(cdf.sample(&mut rng) < weights.len());
+            assert!(alias.sample(&mut rng) < weights.len(), "case {case}");
+            assert!(cdf.sample(&mut rng) < weights.len(), "case {case}");
         }
     }
+}
 
-    /// Floating-point biases: λ-scaling preserves relative weights for any
-    /// λ choice the engine can make.
-    #[test]
-    fn float_bias_space_preserves_relative_weights(
-        biases in prop::collection::vec(0.01f64..50.0, 2..40),
-        fixed_lambda in prop::option::of(1u32..1000),
-    ) {
+/// Floating-point biases: λ-scaling preserves relative weights for any λ
+/// choice the engine can make.
+#[test]
+fn float_bias_space_preserves_relative_weights() {
+    for case in 0..CASES {
+        let mut rng = Pcg64::seed_from_u64(0xF10A_0000 + case);
+        let len = rng.gen_range(2..40usize);
+        let biases: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01..50.0f64)).collect();
+        let fixed_lambda = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1..1000u32))
+        } else {
+            None
+        };
         let mut adj = AdjacencyList::new();
         for (i, &b) in biases.iter().enumerate() {
             adj.push(Edge::new(i as u32, Bias::from_float(b)));
@@ -169,18 +233,21 @@ proptest! {
             ..BingoConfig::default()
         };
         let space = VertexSpace::build(adj, config);
-        prop_assert!(space.check_invariants().is_ok());
+        assert!(space.check_invariants().is_ok(), "case {case}");
         let total: f64 = biases.iter().sum();
         // total_weight = λ × Σ bias.
         let lambda = space.lambda();
-        prop_assert!((space.total_weight() - lambda * total).abs() < 1e-6 * (1.0 + lambda * total));
+        assert!(
+            (space.total_weight() - lambda * total).abs() < 1e-6 * (1.0 + lambda * total),
+            "case {case}"
+        );
     }
 }
 
 #[test]
-fn proptest_regression_empty_delete_list() {
-    // Plain test guarding a corner proptest may not hit: deleting from an
-    // empty space and batching with empty inputs.
+fn regression_empty_delete_list() {
+    // Plain test guarding a corner the random cases may not hit: deleting
+    // from an empty space and batching with empty inputs.
     let mut space = VertexSpace::build(AdjacencyList::new(), BingoConfig::default());
     assert!(space.delete(0).is_err());
     let outcome = space.apply_batch(&[], &[]);

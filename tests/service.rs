@@ -1,0 +1,270 @@
+//! Integration tests for the sharded walk service (`bingo-service`):
+//!
+//! * statistical equivalence — sampling through 4 shards must reproduce the
+//!   single-engine edge-transition distribution (chi-square test);
+//! * update/walk interleaving — while update batches stream in, every walk
+//!   step must traverse an edge that was alive at the epoch the owning
+//!   shard had reached when it sampled the step (no torn or stale groups).
+
+use bingo::prelude::*;
+use bingo::sampling::stats::{chi_square, chi_square_critical_999};
+use bingo::service::ServiceConfig;
+use bingo_graph::updates::UpdateKind;
+use bingo_graph::UpdateStreamBuilder;
+use std::collections::HashMap;
+
+/// A graph whose vertex 0 has neighbors owned by all four shards, with
+/// biases spanning several radix groups.
+fn cross_shard_fanout_graph() -> (DynamicGraph, Vec<(VertexId, u64)>) {
+    let n = 40;
+    let mut graph = DynamicGraph::new(n);
+    let fanout: Vec<(VertexId, u64)> = vec![
+        (5, 5),
+        (9, 60),
+        (12, 4),
+        (15, 3),
+        (22, 17),
+        (28, 1),
+        (33, 8),
+        (38, 2),
+    ];
+    for &(dst, w) in &fanout {
+        graph.insert_edge(0, dst, Bias::from_int(w)).unwrap();
+    }
+    // Give every vertex an out-edge so multi-step walks never dead-end.
+    for v in 1..n as u32 {
+        graph
+            .insert_edge(v, (v + 1) % n as u32, Bias::from_int(1))
+            .unwrap();
+    }
+    (graph, fanout)
+}
+
+#[test]
+fn sharded_sampling_matches_single_engine_distribution() {
+    let (graph, fanout) = cross_shard_fanout_graph();
+    let single = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+
+    // Expected transition probabilities out of vertex 0, read back from the
+    // single engine so the test really compares service vs engine.
+    let total: f64 = fanout
+        .iter()
+        .map(|&(dst, _)| single.edge_bias(0, dst).unwrap())
+        .sum();
+    let probs: Vec<f64> = fanout
+        .iter()
+        .map(|&(dst, _)| single.edge_bias(0, dst).unwrap() / total)
+        .collect();
+    let slot: HashMap<VertexId, usize> = fanout
+        .iter()
+        .enumerate()
+        .map(|(i, &(dst, _))| (dst, i))
+        .collect();
+
+    let trials = 60_000;
+
+    // Sharded service: one-step walks from vertex 0.
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards: 4,
+            seed: 0xD15B,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(service.num_shards(), 4);
+    let starts = vec![0 as VertexId; trials];
+    let ticket = service
+        .submit(
+            WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 1 }),
+            &starts,
+        )
+        .unwrap();
+    let results = service.wait(ticket);
+    let mut service_counts = vec![0usize; fanout.len()];
+    for path in &results.paths {
+        assert_eq!(path.len(), 2, "every walk takes exactly one step");
+        service_counts[slot[&path[1]]] += 1;
+    }
+
+    // Single engine: the same number of direct samples.
+    let mut rng = Pcg64::seed_from_u64(0x51);
+    let mut engine_counts = vec![0usize; fanout.len()];
+    for _ in 0..trials {
+        let dst = single.sample_neighbor(0, &mut rng).unwrap();
+        engine_counts[slot[&dst]] += 1;
+    }
+
+    let critical = chi_square_critical_999(fanout.len() - 1) * 1.5;
+    let service_stat = chi_square(&service_counts, &probs);
+    let engine_stat = chi_square(&engine_counts, &probs);
+    assert!(
+        service_stat < critical,
+        "sharded distribution off: chi2 {service_stat:.2} vs critical {critical:.2} ({service_counts:?})"
+    );
+    assert!(
+        engine_stat < critical,
+        "single-engine distribution off: chi2 {engine_stat:.2} vs critical {critical:.2}"
+    );
+
+    // All sampling happened on vertex 0's owner shard, and one-step
+    // walkers finish where their last step was taken instead of being
+    // forwarded for a no-op step (the scheduler's length-limit check).
+    let stats = service.shutdown();
+    assert_eq!(stats.total_steps(), trials as u64);
+    assert_eq!(stats.total_forwards(), 0);
+    assert_eq!(stats.per_shard[0].steps, trials as u64);
+}
+
+#[test]
+fn concurrent_updates_and_walks_respect_epoch_liveness() {
+    // Build a base graph plus a valid mixed update stream.
+    let mut rng = Pcg64::seed_from_u64(0xEC0);
+    let mut graph = GraphGenerator::ErdosRenyi {
+        vertices: 200,
+        edges: 3000,
+    }
+    .generate(BiasDistribution::UniformInt { lo: 1, hi: 63 }, &mut rng);
+    let stream = UpdateStreamBuilder::new(UpdateKind::Mixed, 800).build(&mut graph, 600, &mut rng);
+    let batches = stream.chunks(100);
+
+    let num_shards = 4;
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards,
+            seed: 0xE90C,
+            record_epochs: true,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let partitioner = service.partitioner();
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 20 });
+
+    // Interleave: one wave of walks between every pair of update batches,
+    // WITHOUT waiting for the walks before ingesting the next batch.
+    let mut tickets = Vec::new();
+    let starts: Vec<VertexId> = (0..200).collect();
+    tickets.push(service.submit(spec, &starts).unwrap());
+    let mut last_receipt = None;
+    for batch in &batches {
+        let receipt = service.ingest(batch);
+        last_receipt = Some(receipt);
+        tickets.push(service.submit(spec, &starts).unwrap());
+    }
+    // One final quiesced wave: every step must see the last epoch.
+    let receipt = last_receipt.expect("at least one batch");
+    service.sync(receipt);
+    let final_ticket = service.submit(spec, &starts).unwrap();
+
+    let waves: Vec<_> = tickets.into_iter().map(|t| service.wait(t)).collect();
+    let final_wave = service.wait(final_ticket);
+
+    // Mirror the router: per-shard edge-multiset timeline, one snapshot per
+    // epoch. Shard s at epoch e holds the initial owned edges plus the
+    // first e per-shard slices of the update stream.
+    let mut live: Vec<HashMap<(VertexId, VertexId), i64>> = vec![HashMap::new(); num_shards];
+    for (src, edge) in graph.edges() {
+        *live[partitioner.owner(src)]
+            .entry((src, edge.dst))
+            .or_insert(0) += 1;
+    }
+    let mut snapshots: Vec<Vec<HashMap<(VertexId, VertexId), i64>>> = vec![live.clone()];
+    for batch in &batches {
+        let splits = batch.split_by_owner(num_shards, |v| partitioner.owner(v));
+        for (shard, split) in splits.iter().enumerate() {
+            for event in split.events() {
+                match *event {
+                    UpdateEvent::Insert { src, dst, .. } => {
+                        *live[shard].entry((src, dst)).or_insert(0) += 1;
+                    }
+                    UpdateEvent::Delete { src, dst } => {
+                        if let Some(c) = live[shard].get_mut(&(src, dst)) {
+                            if *c > 0 {
+                                *c -= 1;
+                            }
+                        }
+                    }
+                    UpdateEvent::UpdateBias { .. } => { /* liveness unchanged */ }
+                }
+            }
+        }
+        snapshots.push(live.clone());
+    }
+
+    // Every traced step must traverse an edge alive at its (shard, epoch).
+    let mut checked = 0usize;
+    for wave in waves.iter().chain(std::iter::once(&final_wave)) {
+        for (path, trace) in wave.paths.iter().zip(&wave.traces) {
+            assert_eq!(trace.len(), path.len() - 1, "one trace entry per step");
+            for t in trace {
+                assert_eq!(
+                    partitioner.owner(t.src),
+                    t.shard,
+                    "steps are sampled by the owner of their source"
+                );
+                let epoch = t.epoch as usize;
+                assert!(epoch < snapshots.len(), "epoch within the flushed range");
+                let alive = snapshots[epoch][t.shard]
+                    .get(&(t.src, t.dst))
+                    .copied()
+                    .unwrap_or(0);
+                assert!(
+                    alive > 0,
+                    "step {}→{} on shard {} not alive at epoch {}",
+                    t.src,
+                    t.dst,
+                    t.shard,
+                    t.epoch
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 1000, "enough steps were checked ({checked})");
+
+    // The quiesced wave must run entirely at the final epoch.
+    let final_epoch = batches.len() as u64;
+    for trace in &final_wave.traces {
+        for t in trace {
+            assert_eq!(t.epoch, final_epoch, "post-sync steps see every update");
+        }
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.per_shard.iter().map(|s| s.epoch).max().unwrap(),
+        final_epoch
+    );
+    assert_eq!(stats.total_updates_applied() as usize, {
+        // Deletions of already-deleted duplicates are skipped by the
+        // engine, exactly as the mirror skips them; insertions all apply.
+        let mut mirror_applied = 0usize;
+        let mut live: HashMap<(VertexId, VertexId), i64> = HashMap::new();
+        for (src, edge) in graph.edges() {
+            *live.entry((src, edge.dst)).or_insert(0) += 1;
+        }
+        for batch in &batches {
+            for event in batch.events() {
+                match *event {
+                    UpdateEvent::Insert { src, dst, .. } => {
+                        *live.entry((src, dst)).or_insert(0) += 1;
+                        mirror_applied += 1;
+                    }
+                    UpdateEvent::Delete { src, dst } => {
+                        if let Some(c) = live.get_mut(&(src, dst)) {
+                            if *c > 0 {
+                                *c -= 1;
+                                mirror_applied += 1;
+                            }
+                        }
+                    }
+                    UpdateEvent::UpdateBias { .. } => mirror_applied += 2,
+                }
+            }
+        }
+        mirror_applied
+    });
+}
