@@ -9,7 +9,7 @@ use bingo_graph::updates::UpdateKind;
 use bingo_graph::{UpdateStreamBuilder, VertexId};
 use bingo_sampling::rng::Pcg64;
 use bingo_service::{ServiceConfig, WalkService};
-use bingo_walks::{DeepWalkConfig, WalkSpec};
+use bingo_walks::{DeepWalkConfig, Node2VecConfig, WalkSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
@@ -22,6 +22,40 @@ fn bench_walk_waves(c: &mut Criterion) {
     let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 20 });
 
     for shards in [1usize, 2, 4, 8] {
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: shards,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service builds");
+        group.bench_with_input(BenchmarkId::new("submit_wait", shards), &shards, |b, _| {
+            b.iter(|| {
+                let ticket = service.submit(spec, &starts).expect("submit");
+                service.wait(ticket).total_steps()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_node2vec_waves(c: &mut Criterion) {
+    // Second-order waves: each cross-shard forward additionally captures
+    // and ships the previous vertex's adjacency fingerprint, so this
+    // measures the carried-context overhead on top of plain forwarding.
+    let mut group = c.benchmark_group("service_node2vec_wave");
+    group.sample_size(10);
+    let mut rng = Pcg64::seed_from_u64(0xB7);
+    let graph = StandinDataset::Amazon.build(4_000, &mut rng);
+    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let spec = WalkSpec::Node2Vec(Node2VecConfig {
+        walk_length: 20,
+        p: 0.5,
+        q: 2.0,
+    });
+
+    for shards in [1usize, 4] {
         let service = WalkService::build(
             &graph,
             ServiceConfig {
@@ -79,5 +113,10 @@ fn bench_update_ingestion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_walk_waves, bench_update_ingestion);
+criterion_group!(
+    benches,
+    bench_walk_waves,
+    bench_node2vec_waves,
+    bench_update_ingestion
+);
 criterion_main!(benches);

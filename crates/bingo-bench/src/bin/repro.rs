@@ -91,6 +91,11 @@ const EXPERIMENTS: &[Experiment] = &[
         description: "Sharded walk service: throughput under streaming updates vs shard count",
         run: experiments::service,
     },
+    Experiment {
+        name: "service_node2vec",
+        description: "Sharded node2vec vs single engine: second-order chi-square equivalence",
+        run: experiments::service_node2vec,
+    },
 ];
 
 fn print_usage() {

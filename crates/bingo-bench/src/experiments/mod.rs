@@ -14,6 +14,7 @@
 //! | Batch size / walk length / distribution sweeps | Figure 15 | [`sweeps::fig15a`] etc. |
 //! | Piecewise update & sampling breakdown | Figure 16 | [`updates::fig16`] |
 //! | Sharded walk-service throughput sweep | — (beyond the paper) | [`service::service`] |
+//! | Sharded node2vec equivalence (chi-square) | — (beyond the paper) | [`service::service_node2vec`] |
 
 pub mod memory;
 pub mod service;
@@ -22,7 +23,7 @@ pub mod tables;
 pub mod updates;
 
 pub use memory::{fig11, fig13, fig14};
-pub use service::service;
+pub use service::{service, service_node2vec};
 pub use sweeps::{fig15a, fig15b, fig15c, fig9};
 pub use tables::{table1, table2, table3, table4};
 pub use updates::{fig12, fig16};

@@ -9,11 +9,16 @@
 //! ratio and cross-shard queueing eat the gains.
 
 use crate::common::{timed, ExperimentConfig, ResultTable};
+use bingo_core::{BingoConfig, BingoEngine};
 use bingo_graph::datasets::StandinDataset;
 use bingo_graph::updates::UpdateKind;
-use bingo_graph::VertexId;
+use bingo_graph::{Bias, DynamicGraph, VertexId};
+use bingo_sampling::rng::Pcg64;
+use bingo_sampling::stats::{chi_square, chi_square_critical_999};
 use bingo_service::{ServiceConfig, WalkService};
-use bingo_walks::{DeepWalkConfig, WalkSpec};
+use bingo_walks::{DeepWalkConfig, Node2VecConfig, WalkSpec};
+use rand::SeedableRng;
+use std::collections::HashMap;
 
 /// Walk-service throughput sweep over shard counts.
 pub fn service(config: &ExperimentConfig) -> ResultTable {
@@ -92,6 +97,147 @@ pub fn service(config: &ExperimentConfig) -> ResultTable {
     table
 }
 
+/// The hub graph of the node2vec equivalence experiment: vertex 0 routes
+/// almost all first steps to a hub on another shard, whose fan-out mixes a
+/// backtrack edge (factor 1/p), a distance-1 edge (factor 1), and
+/// distance-2 edges (factor 1/q) — so the second transition's analytic
+/// distribution depends on the *previous* vertex's adjacency, which a
+/// sharded deployment can only know through the forwarded context.
+fn node2vec_hub_graph(n: usize) -> (DynamicGraph, VertexId, Vec<(VertexId, u64)>) {
+    let n = n.max(40);
+    let hub = (n / 2 + n / 8) as VertexId;
+    let near = (n / 4) as VertexId; // out-neighbor of vertex 0 → factor 1
+    let mut graph = DynamicGraph::new(n);
+    graph.insert_edge(0, hub, Bias::from_int(60)).unwrap();
+    graph.insert_edge(0, near, Bias::from_int(1)).unwrap();
+    let fanout: Vec<(VertexId, u64)> = vec![
+        (0, 3),
+        (near, 4),
+        ((n / 8) as VertexId, 2),
+        ((n / 3) as VertexId, 6),
+        ((3 * n / 4) as VertexId, 5),
+        ((n - 1) as VertexId, 1),
+    ];
+    for &(dst, w) in &fanout {
+        graph.insert_edge(hub, dst, Bias::from_int(w)).unwrap();
+    }
+    for v in 1..n as u32 {
+        if v != hub {
+            graph
+                .insert_edge(v, (v + 1) % n as u32, Bias::from_int(1))
+                .unwrap();
+        }
+    }
+    (graph, hub, fanout)
+}
+
+/// node2vec-on-service equivalence: for every shard count, run 2-step
+/// node2vec walks on the hub graph through the sharded service *and* a
+/// single engine, chi-squaring both against the analytic second-order
+/// distribution. A sharded deployment without the forwarded adjacency
+/// context would misclassify the distance-1 candidate as distance-2 and
+/// fail the test decisively.
+pub fn service_node2vec(config: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Service: sharded node2vec vs single engine (second-order chi-square)",
+        &[
+            "shards",
+            "trials",
+            "via_hub_pct",
+            "chi2_service",
+            "chi2_single",
+            "critical",
+            "ctx_bytes",
+            "fwd",
+            "pass",
+        ],
+    );
+
+    let p = 0.5;
+    let q = 2.0;
+    let spec = WalkSpec::Node2Vec(Node2VecConfig {
+        walk_length: 2,
+        p,
+        q,
+    });
+    // Scale the trial count down for quick runs (unit tests), up for real
+    // ones; chi-square needs a few thousand samples per bucket.
+    let trials = (400_000 / config.scale.max(1) as usize).clamp(4_000, 60_000);
+    let (graph, hub, fanout) = node2vec_hub_graph(64);
+
+    // Analytic second-step distribution out of the hub given prev = 0.
+    let factor = |dst: VertexId| -> f64 {
+        if dst == 0 {
+            1.0 / p
+        } else if graph.has_edge(0, dst) {
+            1.0
+        } else {
+            1.0 / q
+        }
+    };
+    let masses: Vec<f64> = fanout
+        .iter()
+        .map(|&(dst, w)| w as f64 * factor(dst))
+        .collect();
+    let total: f64 = masses.iter().sum();
+    let probs: Vec<f64> = masses.iter().map(|m| m / total).collect();
+    let slot: HashMap<VertexId, usize> = fanout
+        .iter()
+        .enumerate()
+        .map(|(i, &(dst, _))| (dst, i))
+        .collect();
+    let critical = chi_square_critical_999(fanout.len() - 1) * 1.5;
+
+    // Single-engine reference counts (shared across shard rows).
+    let single = BingoEngine::build(&graph, BingoConfig::default()).expect("engine builds");
+    let mut rng = Pcg64::seed_from_u64(config.seed ^ 0x51E5);
+    let mut single_counts = vec![0usize; fanout.len()];
+    for _ in 0..trials {
+        let path = spec.walk(&single, 0, &mut rng);
+        if path.len() == 3 && path[1] == hub {
+            single_counts[slot[&path[2]]] += 1;
+        }
+    }
+    let chi2_single = chi_square(&single_counts, &probs);
+
+    for &shards in &[1usize, 2, 4, 8] {
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: shards,
+                seed: config.seed ^ shards as u64,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service builds");
+        let starts = vec![0 as VertexId; trials];
+        let results = service.wait(service.submit(spec, &starts).expect("node2vec servable"));
+        let mut counts = vec![0usize; fanout.len()];
+        let mut via_hub = 0usize;
+        for path in &results.paths {
+            if path.len() == 3 && path[1] == hub {
+                counts[slot[&path[2]]] += 1;
+                via_hub += 1;
+            }
+        }
+        let stats = service.shutdown();
+        let chi2_service = chi_square(&counts, &probs);
+        let pass = chi2_service < critical && chi2_single < critical;
+        table.push_row(vec![
+            shards.to_string(),
+            trials.to_string(),
+            format!("{:.1}", 100.0 * via_hub as f64 / trials as f64),
+            format!("{chi2_service:.2}"),
+            format!("{chi2_single:.2}"),
+            format!("{critical:.2}"),
+            stats.total_context_bytes().to_string(),
+            stats.total_forwards().to_string(),
+            if pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +256,21 @@ mod tests {
         for row in &table.rows {
             assert!(row[2].parse::<u64>().unwrap() > 0, "steps were taken");
         }
+    }
+
+    #[test]
+    fn node2vec_service_experiment_passes_chi_square_at_every_shard_count() {
+        let config = ExperimentConfig {
+            scale: 50, // → 8000 trials
+            ..ExperimentConfig::default()
+        };
+        let table = service_node2vec(&config);
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "PASS", "row {row:?}");
+        }
+        // Multi-shard rows forwarded walkers with carried context.
+        let ctx: u64 = table.rows[2][6].parse().unwrap();
+        assert!(ctx > 0, "4-shard run must ship context bytes");
     }
 }

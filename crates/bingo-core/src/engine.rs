@@ -213,6 +213,18 @@ impl BingoEngine {
         self.spaces.get(self.local(v)?)?.sample_neighbor(rng)
     }
 
+    /// Sorted, deduplicated out-neighbor ids of `v` — the compact adjacency
+    /// fingerprint a sharded deployment attaches to forwarded second-order
+    /// walkers (membership queries against a vertex another shard owns).
+    /// Returns `None` when this engine does not own `v`.
+    pub fn neighbor_fingerprint(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        let space = self.spaces.get(self.local(v)?)?;
+        let mut adj: Vec<VertexId> = space.adjacency().edges().iter().map(|e| e.dst).collect();
+        adj.sort_unstable();
+        adj.dedup();
+        Some(adj)
+    }
+
     /// Streaming edge insertion (`O(K)` for the affected vertex).
     pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, bias: Bias) -> Result<()> {
         if (dst as usize) >= self.global_vertices {

@@ -1,0 +1,451 @@
+//! The unified walk front-end: one request API over both execution
+//! backends.
+//!
+//! [`WalkClient`] dispatches a [`WalkRequest`] — a builder carrying the
+//! walk model, start vertices, seed, in-flight bound, and collection mode —
+//! identically to a local [`BingoEngine`] (synchronous, in-process) or a
+//! sharded [`WalkService`] (concurrent worker threads), returning a common
+//! [`WalkHandle`] for `wait`/`try_collect`. Application code chooses a
+//! backend once, at client construction, and never changes after that.
+//!
+//! ```
+//! use bingo_core::{BingoConfig, BingoEngine};
+//! use bingo_graph::{Bias, DynamicGraph};
+//! use bingo_service::{ServiceConfig, WalkClient, WalkRequest, WalkService};
+//! use bingo_walks::{DeepWalkConfig, Node2VecConfig, WalkSpec};
+//!
+//! let mut graph = DynamicGraph::new(32);
+//! for v in 0..32u32 {
+//!     graph.insert_edge(v, (v + 1) % 32, Bias::from_int(2)).unwrap();
+//!     graph.insert_edge(v, (v + 5) % 32, Bias::from_int(1)).unwrap();
+//! }
+//!
+//! // The same request, served by either backend.
+//! let request = || {
+//!     WalkRequest::spec(WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 8 }))
+//!         .starts(vec![0, 7, 21])
+//!         .seed(42)
+//! };
+//!
+//! let engine = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+//! let local = WalkClient::local(&engine).submit(request()).unwrap().wait();
+//!
+//! let service = WalkService::build(&graph, ServiceConfig::default()).unwrap();
+//! let client = WalkClient::sharded(&service);
+//! let sharded = client.submit(request()).unwrap().wait();
+//!
+//! assert_eq!(local.num_walks, 3);
+//! assert_eq!(sharded.num_walks, 3);
+//! assert_eq!(local.total_steps, 3 * 8);
+//! assert_eq!(sharded.total_steps, 3 * 8);
+//!
+//! // Second-order models are served by both backends too — the service
+//! // forwards the model-declared context between shards.
+//! let n2v = WalkRequest::spec(WalkSpec::Node2Vec(Node2VecConfig {
+//!     walk_length: 6,
+//!     p: 0.5,
+//!     q: 2.0,
+//! }))
+//! .all_vertices();
+//! let out = client.submit(n2v).unwrap().wait();
+//! assert_eq!(out.num_walks, 32);
+//! ```
+
+use crate::service::{Result, ServiceError, WalkTicket};
+use crate::WalkService;
+use bingo_core::BingoEngine;
+use bingo_graph::VertexId;
+use bingo_walks::{SharedWalkModel, WalkEngine, WalkSpec};
+use std::collections::VecDeque;
+
+/// What a [`WalkHandle`] accumulates and returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectionMode {
+    /// Keep every visited path (the default).
+    #[default]
+    Paths,
+    /// Fold each finished walk into per-vertex visit counts and drop the
+    /// paths — what PPR/SimRank-style consumers aggregate anyway. Combined
+    /// with [`WalkRequest::max_in_flight`], peak path memory is bounded by
+    /// one chunk on both backends (the local backend folds chunk by chunk;
+    /// the service backend absorbs each ticket as it completes).
+    VisitCounts,
+}
+
+/// A builder describing one batch of walks, independent of the backend
+/// that will execute it.
+#[derive(Debug, Clone)]
+pub struct WalkRequest {
+    model: SharedWalkModel,
+    starts: Option<Vec<VertexId>>,
+    seed: Option<u64>,
+    max_in_flight: usize,
+    mode: CollectionMode,
+}
+
+impl WalkRequest {
+    /// Request walks of an arbitrary [`WalkModel`](bingo_walks::WalkModel).
+    pub fn model(model: SharedWalkModel) -> Self {
+        WalkRequest {
+            model,
+            starts: None,
+            seed: None,
+            max_in_flight: 0,
+            mode: CollectionMode::default(),
+        }
+    }
+
+    /// Request walks of a built-in [`WalkSpec`].
+    pub fn spec(spec: WalkSpec) -> Self {
+        Self::model(spec.to_model())
+    }
+
+    /// Explicit start vertices, one walk per entry (in order).
+    pub fn starts(mut self, starts: Vec<VertexId>) -> Self {
+        self.starts = Some(starts);
+        self
+    }
+
+    /// One walk per vertex of the backing graph — the paper's default
+    /// walker configuration. This is the default when no starts are given.
+    pub fn all_vertices(mut self) -> Self {
+        self.starts = None;
+        self
+    }
+
+    /// Seed for the walker RNG streams. Defaults to the backend's seed
+    /// (the service's [`ServiceConfig::seed`](crate::ServiceConfig::seed),
+    /// or the walk engine default locally).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Cap the number of walkers in flight at once: starts are split into
+    /// chunks of at most `n`, and the next chunk only starts once the
+    /// previous one completed (service backend) or was folded into the
+    /// accumulator (local backend). `0` (the default) runs everything as
+    /// one chunk.
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n;
+        self
+    }
+
+    /// How results are accumulated and returned.
+    pub fn collect(mut self, mode: CollectionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// The aggregated outcome of one [`WalkRequest`].
+#[derive(Debug, Clone, Default)]
+pub struct WalkOutput {
+    /// Every visited path, in submission order (empty under
+    /// [`CollectionMode::VisitCounts`]).
+    pub paths: Vec<Vec<VertexId>>,
+    /// Per-vertex visit counts (populated only under
+    /// [`CollectionMode::VisitCounts`]).
+    pub visit_counts: Option<Vec<u64>>,
+    /// Number of walks executed.
+    pub num_walks: usize,
+    /// Total steps taken across all walks.
+    pub total_steps: usize,
+}
+
+enum Backend<'a> {
+    Local(&'a BingoEngine),
+    Service(&'a WalkService),
+}
+
+/// A backend-agnostic walk submission front-end: construct it over a local
+/// engine ([`WalkClient::local`]) or a sharded service
+/// ([`WalkClient::sharded`]) and submit [`WalkRequest`]s. See the module
+/// documentation for a tour.
+pub struct WalkClient<'a> {
+    backend: Backend<'a>,
+}
+
+impl<'a> WalkClient<'a> {
+    /// A client executing requests synchronously on a single in-process
+    /// engine.
+    pub fn local(engine: &'a BingoEngine) -> Self {
+        WalkClient {
+            backend: Backend::Local(engine),
+        }
+    }
+
+    /// A client executing requests on a sharded [`WalkService`].
+    pub fn sharded(service: &'a WalkService) -> Self {
+        WalkClient {
+            backend: Backend::Service(service),
+        }
+    }
+
+    /// Number of vertices the backend serves.
+    pub fn num_vertices(&self) -> usize {
+        match &self.backend {
+            Backend::Local(engine) => engine.num_vertices(),
+            Backend::Service(service) => service.num_vertices(),
+        }
+    }
+
+    /// Submit a request and return a handle for collecting the results.
+    ///
+    /// On the local backend the walks run synchronously inside this call
+    /// and the handle is immediately complete; on the service backend the
+    /// walks run on the shard workers and the handle tracks outstanding
+    /// tickets (respecting [`WalkRequest::max_in_flight`]).
+    pub fn submit(&self, request: WalkRequest) -> Result<WalkHandle<'a>> {
+        let num_vertices = self.num_vertices();
+        let starts = request
+            .starts
+            .unwrap_or_else(|| (0..num_vertices as VertexId).collect());
+        if starts.is_empty() {
+            return Err(ServiceError::EmptySubmission);
+        }
+        for &s in &starts {
+            if (s as usize) >= num_vertices {
+                return Err(ServiceError::VertexOutOfRange {
+                    vertex: s,
+                    num_vertices,
+                });
+            }
+        }
+        let mut acc = Accumulator::new(request.mode, num_vertices);
+        let chunk = if request.max_in_flight == 0 {
+            starts.len()
+        } else {
+            request.max_in_flight
+        };
+        match &self.backend {
+            Backend::Local(engine) => {
+                let base_seed = request.seed.unwrap_or(WalkEngine::default().seed);
+                // Walk chunk by chunk, folding each chunk's paths into the
+                // accumulator before the next runs: under `VisitCounts` +
+                // `max_in_flight` the peak path memory is one chunk, like
+                // the service backend's in-flight bound. Each chunk salts
+                // the seed so walkers in different chunks draw distinct
+                // RNG streams (a single chunk reproduces `base_seed`
+                // exactly).
+                for (ci, chunk_starts) in starts.chunks(chunk).enumerate() {
+                    let walk_engine = WalkEngine::new(
+                        base_seed ^ (ci as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                    );
+                    let results = walk_engine.run_model(*engine, &request.model, chunk_starts);
+                    for path in results.paths {
+                        acc.push(path);
+                    }
+                }
+                Ok(WalkHandle {
+                    service: None,
+                    model: request.model,
+                    seed: request.seed,
+                    queued: VecDeque::new(),
+                    in_flight: None,
+                    acc: Some(acc),
+                })
+            }
+            Backend::Service(service) => {
+                let mut queued: VecDeque<Vec<VertexId>> =
+                    starts.chunks(chunk).map(<[VertexId]>::to_vec).collect();
+                let first = queued.pop_front().expect("starts are non-empty");
+                let in_flight = Some(Self::submit_chunk(
+                    service,
+                    &request.model,
+                    &first,
+                    request.seed,
+                )?);
+                Ok(WalkHandle {
+                    service: Some(service),
+                    model: request.model,
+                    seed: request.seed,
+                    queued,
+                    in_flight,
+                    acc: Some(acc),
+                })
+            }
+        }
+    }
+
+    fn submit_chunk(
+        service: &WalkService,
+        model: &SharedWalkModel,
+        starts: &[VertexId],
+        seed: Option<u64>,
+    ) -> Result<WalkTicket> {
+        match seed {
+            Some(seed) => service.submit_model_seeded(model.clone(), starts, seed),
+            None => service.submit_model(model.clone(), starts),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Accumulator {
+    Paths {
+        paths: Vec<Vec<VertexId>>,
+        total_steps: usize,
+    },
+    Counts {
+        counts: Vec<u64>,
+        num_walks: usize,
+        total_steps: usize,
+    },
+}
+
+impl Accumulator {
+    fn new(mode: CollectionMode, num_vertices: usize) -> Self {
+        match mode {
+            CollectionMode::Paths => Accumulator::Paths {
+                paths: Vec::new(),
+                total_steps: 0,
+            },
+            CollectionMode::VisitCounts => Accumulator::Counts {
+                counts: vec![0; num_vertices],
+                num_walks: 0,
+                total_steps: 0,
+            },
+        }
+    }
+
+    fn push(&mut self, path: Vec<VertexId>) {
+        match self {
+            Accumulator::Paths { paths, total_steps } => {
+                *total_steps += path.len().saturating_sub(1);
+                paths.push(path);
+            }
+            Accumulator::Counts {
+                counts,
+                num_walks,
+                total_steps,
+            } => {
+                *total_steps += path.len().saturating_sub(1);
+                *num_walks += 1;
+                for v in path {
+                    if let Some(slot) = counts.get_mut(v as usize) {
+                        *slot += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn into_output(self) -> WalkOutput {
+        match self {
+            Accumulator::Paths { paths, total_steps } => WalkOutput {
+                num_walks: paths.len(),
+                total_steps,
+                paths,
+                visit_counts: None,
+            },
+            Accumulator::Counts {
+                counts,
+                num_walks,
+                total_steps,
+            } => WalkOutput {
+                paths: Vec::new(),
+                visit_counts: Some(counts),
+                num_walks,
+                total_steps,
+            },
+        }
+    }
+}
+
+/// Handle to an in-progress [`WalkRequest`]: block with
+/// [`WalkHandle::wait`] or poll with [`WalkHandle::try_collect`].
+pub struct WalkHandle<'a> {
+    service: Option<&'a WalkService>,
+    model: SharedWalkModel,
+    seed: Option<u64>,
+    queued: VecDeque<Vec<VertexId>>,
+    in_flight: Option<WalkTicket>,
+    /// `None` once the output has been handed out by `try_collect`.
+    acc: Option<Accumulator>,
+}
+
+impl WalkHandle<'_> {
+    /// Whether every walk of the request has finished and been absorbed.
+    pub fn is_complete(&self) -> bool {
+        self.in_flight.is_none() && self.queued.is_empty()
+    }
+
+    /// Walks absorbed into the handle so far (all of them on the local
+    /// backend; completed chunks on the service backend). Zero after the
+    /// output has been taken by a successful `try_collect`.
+    pub fn walks_collected(&self) -> usize {
+        match &self.acc {
+            Some(Accumulator::Paths { paths, .. }) => paths.len(),
+            Some(Accumulator::Counts { num_walks, .. }) => *num_walks,
+            None => 0,
+        }
+    }
+
+    fn absorb(&mut self, results: crate::TicketResults) -> Result<()> {
+        let acc = self.acc.as_mut().expect("output not taken while in flight");
+        for path in results.paths {
+            acc.push(path);
+        }
+        // Submit the next chunk only once accepted: on a rejection (e.g.
+        // `ServiceError::Saturated`) the chunk stays queued, so a caller
+        // that retries `try_collect` after backing off loses nothing.
+        if let Some(service) = self.service {
+            if let Some(next) = self.queued.front() {
+                let ticket = WalkClient::submit_chunk(service, &self.model, next, self.seed)?;
+                self.queued.pop_front();
+                self.in_flight = Some(ticket);
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until the whole request has finished and return the output.
+    ///
+    /// With [`WalkRequest::max_in_flight`] set, remaining chunks are
+    /// submitted as their predecessors complete; a chunk rejected by
+    /// admission control ([`ServiceError::Saturated`]) makes this panic —
+    /// use [`WalkHandle::wait_checked`] (or `try_collect` polling) when
+    /// the service runs with a bounded inbox.
+    pub fn wait(self) -> WalkOutput {
+        self.wait_checked().expect("chunk resubmission accepted")
+    }
+
+    /// Like [`WalkHandle::wait`], but chunk resubmission failures (e.g.
+    /// [`ServiceError::Saturated`] under `max_in_flight`) are returned
+    /// instead of panicking.
+    pub fn wait_checked(mut self) -> Result<WalkOutput> {
+        while let Some(ticket) = self.in_flight.take() {
+            let results = self
+                .service
+                .expect("in-flight tickets only exist on the service backend")
+                .wait(ticket);
+            self.absorb(results)?;
+        }
+        Ok(self
+            .acc
+            .take()
+            .expect("output already taken by try_collect")
+            .into_output())
+    }
+
+    /// Non-blocking poll: absorb finished chunks, submit queued ones, and
+    /// return the output once everything completed. Returns `Ok(None)`
+    /// while walks are still in flight — and also after the output has
+    /// already been handed out by a previous successful call.
+    pub fn try_collect(&mut self) -> Result<Option<WalkOutput>> {
+        while let Some(ticket) = self.in_flight {
+            let service = self
+                .service
+                .expect("in-flight tickets only exist on the service backend");
+            match service.try_wait(ticket) {
+                Some(results) => {
+                    self.in_flight = None;
+                    self.absorb(results)?;
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(self.acc.take().map(Accumulator::into_output))
+    }
+}

@@ -26,11 +26,22 @@
 //!   their start vertices as resumable
 //!   [`WalkCursor`](bingo_walks::WalkCursor)s. A step whose destination
 //!   belongs to another shard re-enqueues the walker at that shard
-//!   (walker forwarding, §9.1 of the paper). Finished walks are collected
-//!   by ticket and can be deposited into a
-//!   [`WalkStore`](bingo_walks::walk_store::WalkStore).
-//! * Per-shard throughput, occupancy and epoch counters are exposed as
-//!   [`ServiceStats`].
+//!   (walker forwarding, §9.1 of the paper). Walks are described either by
+//!   a built-in [`WalkSpec`](bingo_walks::WalkSpec) or by any custom
+//!   [`WalkModel`](bingo_walks::WalkModel) trait object
+//!   ([`WalkService::submit_model`]). Second-order models (node2vec) are
+//!   served too: a forwarding shard attaches the model-declared context —
+//!   a sorted adjacency fingerprint of the walker's previous vertex — so
+//!   the receiving shard answers membership queries without cross-shard
+//!   edge lookups. Finished walks are collected by ticket and can be
+//!   deposited into a [`WalkStore`](bingo_walks::walk_store::WalkStore).
+//! * The [`WalkClient`] facade serves the same [`WalkRequest`]s from
+//!   either a sharded service or a plain in-process
+//!   [`BingoEngine`](bingo_core::BingoEngine) — one front-end, two
+//!   backends.
+//! * Per-shard throughput, occupancy, epoch, and forwarded-context-bytes
+//!   counters are exposed as [`ServiceStats`]; admission control is
+//!   available via [`ServiceConfig::max_inbox`].
 //!
 //! ## Quickstart
 //!
@@ -77,11 +88,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod service;
 pub mod stats;
 
+pub use client::{CollectionMode, WalkClient, WalkHandle, WalkOutput, WalkRequest};
 pub use service::{
-    IngestReceipt, ServiceConfig, ServiceError, StepTrace, TicketResults, WalkService, WalkTicket,
+    ContextTrace, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceError, StepTrace,
+    TicketResults, WalkService, WalkTicket,
 };
 pub use stats::{ServiceStats, ShardStatsSnapshot};
 
@@ -390,10 +404,150 @@ mod tests {
                 num_vertices: 8
             })
         );
-        assert!(matches!(
-            service.submit(WalkSpec::Node2Vec(Node2VecConfig::default()), &[0]),
-            Err(ServiceError::UnsupportedSpec(_))
-        ));
+    }
+
+    #[test]
+    fn node2vec_submissions_are_served() {
+        // The former hard rejection of second-order specs is gone: the
+        // carried adjacency-fingerprint context makes node2vec servable.
+        let graph = ring_graph(24);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let ticket = service
+            .submit(
+                WalkSpec::Node2Vec(Node2VecConfig {
+                    walk_length: 10,
+                    p: 0.5,
+                    q: 2.0,
+                }),
+                &[0, 6, 13, 23],
+            )
+            .expect("node2vec is servable");
+        let results = service.wait(ticket);
+        assert_eq!(results.paths.len(), 4);
+        assert_eq!(results.model.name(), "node2vec");
+        for path in &results.paths {
+            assert_eq!(path.len(), 11, "ring has no dead ends");
+            for pair in path.windows(2) {
+                assert!(graph.has_edge(pair[0], pair[1]), "invalid step {pair:?}");
+            }
+        }
+        let stats = service.shutdown();
+        assert!(stats.total_forwards() > 0, "ring walks cross shards");
+        assert!(
+            stats.total_context_bytes() > 0,
+            "forwarded node2vec walkers carry context"
+        );
+    }
+
+    #[test]
+    fn bounded_inboxes_reject_oversized_submissions() {
+        let graph = ring_graph(16);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 2,
+                max_inbox: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // 5 walkers aimed at shard 0's inbox (capacity 4) must be refused
+        // atomically — nothing enqueued, error carries the shard.
+        let err = service
+            .submit(spec(3), &[0, 1, 2, 3, 4])
+            .expect_err("submission exceeds the inbox bound");
+        assert!(
+            matches!(
+                err,
+                ServiceError::Saturated {
+                    shard: 0,
+                    capacity: 4,
+                    ..
+                }
+            ),
+            "unexpected error {err:?}"
+        );
+        // A fitting submission still goes through.
+        let ok = service.submit(spec(3), &[0, 1, 8, 9]).unwrap();
+        let results = service.wait(ok);
+        assert_eq!(results.paths.len(), 4);
+        let stats = service.shutdown();
+        assert_eq!(stats.total_saturated_rejections(), 1);
+        assert_eq!(stats.total_walks_completed(), 4);
+    }
+
+    #[test]
+    fn custom_models_run_on_the_service() {
+        use bingo_walks::model::{StepSampler, Transition, WalkModel, WalkState};
+        use rand::RngCore;
+        use std::sync::Arc;
+
+        /// A fixed-length walk that stops early at even-numbered vertices
+        /// after the half-way point — exercising a model the built-in enum
+        /// cannot express.
+        #[derive(Debug)]
+        struct HalfEvenStop {
+            length: usize,
+        }
+
+        impl WalkModel for HalfEvenStop {
+            fn name(&self) -> &str {
+                "half-even-stop"
+            }
+            fn expected_length(&self) -> usize {
+                self.length
+            }
+            fn max_steps(&self) -> usize {
+                self.length
+            }
+            fn step(
+                &self,
+                state: &WalkState,
+                sampler: &dyn StepSampler,
+                rng: &mut dyn RngCore,
+            ) -> Transition {
+                if state.steps_taken() >= self.length
+                    || (state.steps_taken() * 2 >= self.length && state.current().is_multiple_of(2))
+                {
+                    return Transition::Terminate;
+                }
+                match sampler.sample_neighbor_dyn(state.current(), rng) {
+                    Some(next) => Transition::Step(next),
+                    None => Transition::Terminate,
+                }
+            }
+        }
+
+        let graph = ring_graph(20);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 3,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let ticket = service
+            .submit_model(Arc::new(HalfEvenStop { length: 12 }), &[1, 5, 11])
+            .unwrap();
+        let results = service.wait(ticket);
+        assert_eq!(results.model.name(), "half-even-stop");
+        for path in &results.paths {
+            assert!(path.len() <= 13);
+            let last = *path.last().unwrap();
+            // Terminated at the cap, or at an even vertex past half-way.
+            assert!(path.len() == 13 || last % 2 == 0);
+            for pair in path.windows(2) {
+                assert!(graph.has_edge(pair[0], pair[1]));
+            }
+        }
     }
 
     #[test]

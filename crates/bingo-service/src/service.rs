@@ -7,7 +7,7 @@ use bingo_core::{BingoConfig, BingoEngine, BingoError};
 use bingo_graph::{DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
 use bingo_sampling::rng::Pcg64;
 use bingo_walks::walk_store::WalkStore;
-use bingo_walks::{WalkCursor, WalkSpec};
+use bingo_walks::{CarriedContext, ContextRequirement, SharedWalkModel, WalkCursor, WalkSpec};
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,10 +26,18 @@ pub enum ServiceError {
         /// Number of vertices the service manages.
         num_vertices: usize,
     },
-    /// The submitted walk specification is not servable.
-    UnsupportedSpec(&'static str),
     /// A submission contained no start vertices.
     EmptySubmission,
+    /// A shard's inbox is at [`ServiceConfig::max_inbox`]: the submission
+    /// was rejected for admission control (no walker was enqueued).
+    Saturated {
+        /// The shard whose inbox is full.
+        shard: usize,
+        /// Messages queued on that shard when the submission was rejected.
+        queued: usize,
+        /// The configured inbox bound.
+        capacity: usize,
+    },
     /// An error bubbled up from the engine layer.
     Core(BingoError),
 }
@@ -41,8 +49,15 @@ impl std::fmt::Display for ServiceError {
                 vertex,
                 num_vertices,
             } => write!(f, "vertex {vertex} out of range ({num_vertices} vertices)"),
-            ServiceError::UnsupportedSpec(why) => write!(f, "unsupported walk spec: {why}"),
             ServiceError::EmptySubmission => write!(f, "no start vertices submitted"),
+            ServiceError::Saturated {
+                shard,
+                queued,
+                capacity,
+            } => write!(
+                f,
+                "shard {shard} inbox saturated ({queued} queued, capacity {capacity})"
+            ),
             ServiceError::Core(e) => write!(f, "engine error: {e}"),
         }
     }
@@ -59,6 +74,18 @@ impl From<BingoError> for ServiceError {
 /// Result alias for service operations.
 pub type Result<T> = std::result::Result<T, ServiceError>;
 
+/// How the vertex space is split into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Equal vertex counts per shard (contiguous uniform ranges).
+    #[default]
+    Uniform,
+    /// Contiguous ranges balanced by out-degree
+    /// ([`Partitioner::balanced_by_degree`]): on skewed graphs this
+    /// equalizes per-shard sampling load instead of vertex counts.
+    DegreeBalanced,
+}
+
 /// Configuration of a [`WalkService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -72,9 +99,18 @@ pub struct ServiceConfig {
     /// any shard's buffer reaches this many events, then flushed to all
     /// shards as one epoch.
     pub coalesce_capacity: usize,
-    /// Record, for every walk step, the epoch of the shard that sampled it
-    /// (used by consistency tests; costs one `Vec` push per step).
+    /// Record, for every walk step, the epoch of the shard that sampled it,
+    /// and every forwarded-context snapshot (used by consistency tests;
+    /// costs one `Vec` push per step).
     pub record_epochs: bool,
+    /// Admission bound on each shard's inbox: a submission is rejected with
+    /// [`ServiceError::Saturated`] when it would push a shard's queue depth
+    /// past this many messages. `0` (the default) keeps inboxes unbounded.
+    /// The bound applies to walk admission only — in-flight walker forwards
+    /// and update batches are never dropped.
+    pub max_inbox: usize,
+    /// How the vertex space is split into shards.
+    pub partition: PartitionStrategy,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +121,8 @@ impl Default for ServiceConfig {
             engine: BingoConfig::default(),
             coalesce_capacity: 4096,
             record_epochs: false,
+            max_inbox: 0,
+            partition: PartitionStrategy::Uniform,
         }
     }
 }
@@ -104,6 +142,22 @@ pub struct StepTrace {
     pub epoch: u64,
 }
 
+/// One forwarded-context capture: the previous vertex whose adjacency was
+/// snapshotted and the sorted fingerprint that travelled with the walker
+/// (recorded when [`ServiceConfig::record_epochs`] is set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextTrace {
+    /// The vertex whose out-adjacency was captured (the walker's previous
+    /// vertex at forward time).
+    pub vertex: VertexId,
+    /// The sorted adjacency fingerprint attached to the walker.
+    pub adjacency: Vec<VertexId>,
+    /// Shard that owned `vertex` and captured the snapshot.
+    pub shard: usize,
+    /// The capturing shard's epoch at capture time.
+    pub epoch: u64,
+}
+
 /// A walker in flight: a resumable cursor plus its private RNG stream.
 struct Walker {
     ticket: u64,
@@ -112,6 +166,7 @@ struct Walker {
     rng: Pcg64,
     hops: u32,
     trace: Vec<StepTrace>,
+    contexts: Vec<ContextTrace>,
 }
 
 /// A completed walk on its way back to the service handle.
@@ -121,6 +176,7 @@ struct FinishedWalk {
     path: Vec<VertexId>,
     hops: u32,
     trace: Vec<StepTrace>,
+    contexts: Vec<ContextTrace>,
     /// Worker-side completion time, so ticket latency measures when the
     /// walk actually finished, not when it was collected.
     finished_at: Instant,
@@ -148,7 +204,7 @@ impl WalkTicket {
 
 /// Receipt returned by update ingestion: the epoch the flushed events
 /// belong to. Once every shard's epoch (see
-/// [`ServiceStats`](crate::ServiceStats)) reaches this value, all events of
+/// [`ServiceStats`]) reaches this value, all events of
 /// this ingest are visible to new walk steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestReceipt {
@@ -163,8 +219,8 @@ pub struct IngestReceipt {
 pub struct TicketResults {
     /// The ticket these results answer.
     pub ticket: WalkTicket,
-    /// The application that was run.
-    pub spec: WalkSpec,
+    /// The walk model that was run.
+    pub model: SharedWalkModel,
     /// One path per submitted start vertex, in submission order.
     pub paths: Vec<Vec<VertexId>>,
     /// Cross-shard hops per walker.
@@ -172,6 +228,9 @@ pub struct TicketResults {
     /// Per-step epoch traces (empty unless
     /// [`ServiceConfig::record_epochs`]).
     pub traces: Vec<Vec<StepTrace>>,
+    /// Forwarded-context captures per walker (empty unless
+    /// [`ServiceConfig::record_epochs`]).
+    pub contexts: Vec<Vec<ContextTrace>>,
     /// Wall-clock time from submission to the last walker finishing.
     pub latency: Duration,
 }
@@ -185,16 +244,16 @@ impl TicketResults {
     /// Deposit the collected walks into a Wharf-style [`WalkStore`] for
     /// incremental maintenance, indexed over `num_vertices` vertices.
     ///
-    /// The store's refresh target is the spec's deterministic step cap
-    /// ([`WalkSpec::max_steps`]), never PPR's unbounded expected length.
+    /// The store's refresh target is the model's deterministic step cap,
+    /// never PPR's unbounded expected length.
     pub fn into_walk_store(self, num_vertices: usize, seed: u64) -> WalkStore {
-        let target = self.spec.expected_length().min(self.spec.max_steps());
+        let target = self.model.expected_length().min(self.model.max_steps());
         WalkStore::from_walks(self.paths, num_vertices, target, seed)
     }
 }
 
 struct PendingTicket {
-    spec: WalkSpec,
+    model: SharedWalkModel,
     walks: Vec<Option<FinishedWalk>>,
     received: usize,
     submitted_at: Instant,
@@ -220,11 +279,21 @@ struct RouterState {
 /// and update messages — so a walk step can never observe a partially
 /// applied ("torn") update, and the per-shard epoch counter totally orders
 /// steps against update batches.
+///
+/// Walks are submitted either as built-in [`WalkSpec`]s
+/// ([`WalkService::submit`]) or as arbitrary
+/// [`WalkModel`](bingo_walks::WalkModel) trait objects
+/// ([`WalkService::submit_model`]). Second-order models (node2vec) are
+/// fully supported: when a walker crosses a shard boundary, the owning
+/// shard captures the previous vertex's sorted adjacency fingerprint and
+/// forwards it with the cursor, so the receiving shard can answer the
+/// model's membership queries without a cross-shard edge lookup.
 pub struct WalkService {
     partitioner: Partitioner,
     num_vertices: usize,
     seed: u64,
     coalesce_capacity: usize,
+    max_inbox: usize,
     senders: Vec<Sender<ShardMsg>>,
     counters: Vec<Arc<ShardCounters>>,
     owned_counts: Vec<usize>,
@@ -242,12 +311,16 @@ pub struct WalkService {
 
 impl WalkService {
     /// Build a service over a snapshot of `graph`, partitioning the vertex
-    /// space into [`ServiceConfig::num_shards`] contiguous shards and
-    /// spawning one worker thread per shard.
+    /// space into [`ServiceConfig::num_shards`] contiguous shards (uniform
+    /// or degree-balanced per [`ServiceConfig::partition`]) and spawning
+    /// one worker thread per shard.
     pub fn build(graph: &DynamicGraph, config: ServiceConfig) -> Result<Self> {
         let num_vertices = graph.num_vertices();
         let num_shards = config.num_shards.max(1);
-        let partitioner = Partitioner::new(num_vertices, num_shards);
+        let partitioner = match config.partition {
+            PartitionStrategy::Uniform => Partitioner::new(num_vertices, num_shards),
+            PartitionStrategy::DegreeBalanced => Partitioner::balanced_by_degree(graph, num_shards),
+        };
 
         let mut senders = Vec::with_capacity(num_shards);
         let mut receivers = Vec::with_capacity(num_shards);
@@ -270,7 +343,7 @@ impl WalkService {
             let ctx = ShardContext {
                 shard_id,
                 engine,
-                partitioner,
+                partitioner: partitioner.clone(),
                 senders: senders.clone(),
                 counters: counters.clone(),
                 done_tx: done_tx.clone(),
@@ -288,6 +361,7 @@ impl WalkService {
             num_vertices,
             seed: config.seed,
             coalesce_capacity: config.coalesce_capacity.max(1),
+            max_inbox: config.max_inbox,
             senders,
             counters,
             owned_counts,
@@ -316,7 +390,7 @@ impl WalkService {
 
     /// The vertex partitioner (shard = `partitioner().owner(v)`).
     pub fn partitioner(&self) -> Partitioner {
-        self.partitioner
+        self.partitioner.clone()
     }
 
     /// Submit one walk per start vertex and return a ticket for collecting
@@ -325,19 +399,39 @@ impl WalkService {
     /// Walkers are fanned out to the shards owning their start vertices and
     /// hop between shards as the walk crosses ownership boundaries. Updates
     /// ingested concurrently become visible between steps, never within
-    /// one.
-    ///
-    /// `Node2Vec` specs are rejected: the second-order factor needs edge
-    /// lookups on the *previous* vertex, which may be owned by a different
-    /// shard (tracked as an open item in the roadmap).
+    /// one. All built-in specs are servable, including `Node2Vec`: its
+    /// second-order membership queries are answered from the carried
+    /// adjacency fingerprint captured at forward time.
     pub fn submit(&self, spec: WalkSpec, starts: &[VertexId]) -> Result<WalkTicket> {
+        self.submit_model(spec.to_model(), starts)
+    }
+
+    /// Submit one walk per start vertex for an arbitrary
+    /// [`WalkModel`](bingo_walks::WalkModel).
+    pub fn submit_model(&self, model: SharedWalkModel, starts: &[VertexId]) -> Result<WalkTicket> {
+        self.submit_inner(model, starts, None)
+    }
+
+    /// [`WalkService::submit_model`] with a per-submission seed overriding
+    /// [`ServiceConfig::seed`] (used by the `WalkClient` facade so local
+    /// and sharded requests share one seeding knob).
+    pub fn submit_model_seeded(
+        &self,
+        model: SharedWalkModel,
+        starts: &[VertexId],
+        seed: u64,
+    ) -> Result<WalkTicket> {
+        self.submit_inner(model, starts, Some(seed))
+    }
+
+    fn submit_inner(
+        &self,
+        model: SharedWalkModel,
+        starts: &[VertexId],
+        seed: Option<u64>,
+    ) -> Result<WalkTicket> {
         if starts.is_empty() {
             return Err(ServiceError::EmptySubmission);
-        }
-        if matches!(spec, WalkSpec::Node2Vec(_)) {
-            return Err(ServiceError::UnsupportedSpec(
-                "node2vec's second-order step needs cross-shard edge lookups",
-            ));
         }
         for &s in starts {
             if (s as usize) >= self.num_vertices {
@@ -347,12 +441,40 @@ impl WalkService {
                 });
             }
         }
+        if self.max_inbox > 0 {
+            // Admission control: reject the whole submission up front when
+            // any target shard cannot absorb its share. The check is a
+            // racy snapshot — concurrent submitters can overshoot by one
+            // batch — but a bound enforced at admission keeps inboxes from
+            // growing without limit under sustained overload.
+            let mut planned = vec![0usize; self.num_shards()];
+            for &s in starts {
+                planned[self.partitioner.owner(s)] += 1;
+            }
+            for (shard, &extra) in planned.iter().enumerate() {
+                if extra == 0 {
+                    continue;
+                }
+                let queued = self.counters[shard].queue_depth().max(0) as usize;
+                if queued + extra > self.max_inbox {
+                    self.counters[shard]
+                        .saturated_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::Saturated {
+                        shard,
+                        queued,
+                        capacity: self.max_inbox,
+                    });
+                }
+            }
+        }
 
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let base_seed = seed.unwrap_or(self.seed);
         self.pending.lock().unwrap().insert(
             ticket,
             PendingTicket {
-                spec,
+                model: model.clone(),
                 walks: (0..starts.len()).map(|_| None).collect(),
                 received: 0,
                 submitted_at: Instant::now(),
@@ -361,17 +483,18 @@ impl WalkService {
         );
         for (index, &start) in starts.iter().enumerate() {
             let rng = Pcg64::seed_from_u64(
-                self.seed
+                base_seed
                     ^ ticket.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407),
             );
             let walker = Box::new(Walker {
                 ticket,
                 index: index as u32,
-                cursor: WalkCursor::new(spec, start),
+                cursor: WalkCursor::with_model(model.clone(), start),
                 rng,
                 hops: 0,
                 trace: Vec::new(),
+                contexts: Vec::new(),
             });
             let owner = self.partitioner.owner(start);
             self.counters[owner].on_enqueue();
@@ -388,38 +511,77 @@ impl WalkService {
         self.submit(spec, &starts)
     }
 
+    /// Extract `ticket`'s results if every one of its walks has finished.
+    /// The caller must hold the `pending` lock.
+    fn take_if_complete(
+        &self,
+        pending: &mut HashMap<u64, PendingTicket>,
+        ticket: WalkTicket,
+    ) -> Option<TicketResults> {
+        let entry = pending
+            .get(&ticket.0)
+            .expect("unknown or already-collected ticket");
+        if entry.received != entry.walks.len() {
+            return None;
+        }
+        let entry = pending.remove(&ticket.0).expect("entry present");
+        let latency = entry
+            .last_finish
+            .map(|t| t.duration_since(entry.submitted_at))
+            .unwrap_or_default();
+        let mut paths = Vec::with_capacity(entry.walks.len());
+        let mut hops = Vec::with_capacity(entry.walks.len());
+        let mut traces = Vec::with_capacity(entry.walks.len());
+        let mut contexts = Vec::with_capacity(entry.walks.len());
+        for finished in entry.walks.into_iter() {
+            let f = finished.expect("all walks received");
+            paths.push(f.path);
+            hops.push(f.hops);
+            traces.push(f.trace);
+            contexts.push(f.contexts);
+        }
+        Some(TicketResults {
+            ticket,
+            model: entry.model,
+            paths,
+            hops,
+            traces,
+            contexts,
+            latency,
+        })
+    }
+
+    /// Absorb any already-finished walks without blocking, then return
+    /// `ticket`'s results if it is complete. Never blocks; use
+    /// [`WalkService::wait`] to park until completion.
+    pub fn try_wait(&self, ticket: WalkTicket) -> Option<TicketResults> {
+        {
+            let mut pending = self.pending.lock().unwrap();
+            if let Some(results) = self.take_if_complete(&mut pending, ticket) {
+                return Some(results);
+            }
+        }
+        if let Ok(rx) = self.done_rx.try_lock() {
+            let mut pending = self.pending.lock().unwrap();
+            while let Ok(finished) = rx.try_recv() {
+                self.absorb(&mut pending, finished);
+            }
+            let results = self.take_if_complete(&mut pending, ticket);
+            drop(pending);
+            self.pending_cv.notify_all();
+            return results;
+        }
+        None
+    }
+
     /// Block until every walk of `ticket` has finished and return the
     /// collected results (walks are deposited in submission order).
     pub fn wait(&self, ticket: WalkTicket) -> TicketResults {
         loop {
             {
                 let mut pending = self.pending.lock().unwrap();
-                let entry = pending
-                    .get(&ticket.0)
-                    .expect("unknown or already-collected ticket");
-                if entry.received == entry.walks.len() {
-                    let entry = pending.remove(&ticket.0).expect("entry present");
-                    let latency = entry
-                        .last_finish
-                        .map(|t| t.duration_since(entry.submitted_at))
-                        .unwrap_or_default();
-                    let mut paths = Vec::with_capacity(entry.walks.len());
-                    let mut hops = Vec::with_capacity(entry.walks.len());
-                    let mut traces = Vec::with_capacity(entry.walks.len());
-                    for finished in entry.walks.into_iter() {
-                        let f = finished.expect("all walks received");
-                        paths.push(f.path);
-                        hops.push(f.hops);
-                        traces.push(f.trace);
-                    }
-                    return TicketResults {
-                        ticket,
-                        spec: entry.spec,
-                        paths,
-                        hops,
-                        traces,
-                        latency,
-                    };
+                if let Some(results) = self.take_if_complete(&mut pending, ticket) {
+                    return results;
                 }
             }
             // Not complete: absorb finished walks (possibly for other
@@ -459,11 +621,7 @@ impl WalkService {
         }
     }
 
-    fn absorb(
-        &self,
-        pending: &mut std::sync::MutexGuard<'_, HashMap<u64, PendingTicket>>,
-        finished: FinishedWalk,
-    ) {
+    fn absorb(&self, pending: &mut HashMap<u64, PendingTicket>, finished: FinishedWalk) {
         if let Some(entry) = pending.get_mut(&finished.ticket) {
             let slot = finished.index as usize;
             if entry.walks[slot].is_none() {
@@ -646,6 +804,42 @@ impl ShardContext {
         c.epoch.fetch_add(1, Ordering::Release);
     }
 
+    /// Capture the model-declared cross-shard context before forwarding:
+    /// for second-order models, a sorted adjacency fingerprint of the
+    /// walker's previous vertex — which this shard owns, because it just
+    /// sampled the step that left it.
+    fn attach_forward_context(&self, walker: &mut Walker) {
+        if walker.cursor.required_context() != ContextRequirement::PreviousAdjacency {
+            return;
+        }
+        let state = walker.cursor.state();
+        let Some(prev) = state.prev() else {
+            return; // no history yet: the model's first step needs none
+        };
+        if state.carried_context().is_some() || !self.engine.owns(prev) {
+            return;
+        }
+        let Some(adjacency) = self.engine.neighbor_fingerprint(prev) else {
+            return;
+        };
+        let ctx = CarriedContext {
+            vertex: prev,
+            adjacency,
+        };
+        self.counters()
+            .context_bytes_forwarded
+            .fetch_add(ctx.byte_len() as u64, Ordering::Relaxed);
+        if self.record_epochs {
+            walker.contexts.push(ContextTrace {
+                vertex: ctx.vertex,
+                adjacency: ctx.adjacency.clone(),
+                shard: self.shard_id,
+                epoch: self.counters().epoch.load(Ordering::Acquire),
+            });
+        }
+        walker.cursor.set_forward_context(ctx.adjacency);
+    }
+
     fn drive_walker(&mut self, mut walker: Box<Walker>) {
         let c = self.counters();
         c.walkers_received.fetch_add(1, Ordering::Relaxed);
@@ -669,6 +863,7 @@ impl ShardContext {
                     self.finish_walker(*walker);
                     return;
                 }
+                self.attach_forward_context(&mut walker);
                 self.counters()
                     .walkers_forwarded
                     .fetch_add(1, Ordering::Relaxed);
@@ -709,6 +904,7 @@ impl ShardContext {
             path: walker.cursor.into_path(),
             hops: walker.hops,
             trace: walker.trace,
+            contexts: walker.contexts,
             finished_at: Instant::now(),
         });
     }

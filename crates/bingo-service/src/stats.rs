@@ -25,6 +25,12 @@ pub(crate) struct ShardCounters {
     pub queue_high_water: AtomicU64,
     /// Nanoseconds the worker spent processing messages (vs. idle).
     pub busy_nanos: AtomicU64,
+    /// Bytes of forwarded-context snapshots (adjacency fingerprints for
+    /// second-order models) this shard attached to outbound walkers.
+    pub context_bytes_forwarded: AtomicU64,
+    /// Submissions rejected because this shard's inbox was at its
+    /// configured `max_inbox` bound.
+    pub saturated_rejections: AtomicU64,
 }
 
 impl ShardCounters {
@@ -40,6 +46,12 @@ impl ShardCounters {
         }
     }
 
+    /// Current inbox occupancy (momentary; can read slightly negative
+    /// during a concurrent enqueue/dequeue race).
+    pub(crate) fn queue_depth(&self) -> i64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn snapshot(&self, shard: usize, owned_vertices: usize) -> ShardStatsSnapshot {
         ShardStatsSnapshot {
             shard,
@@ -51,8 +63,11 @@ impl ShardCounters {
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             update_batches: self.update_batches.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Acquire),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            context_bytes_forwarded: self.context_bytes_forwarded.load(Ordering::Relaxed),
+            saturated_rejections: self.saturated_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,10 +95,17 @@ pub struct ShardStatsSnapshot {
     pub update_batches: u64,
     /// The shard's generation counter (== update batches applied).
     pub epoch: u64,
+    /// Inbox occupancy (messages queued) at snapshot time.
+    pub queue_depth: i64,
     /// Highest observed inbound-queue depth.
     pub queue_high_water: u64,
     /// Time spent processing messages.
     pub busy: Duration,
+    /// Bytes of forwarded-context snapshots attached to outbound walkers
+    /// (second-order models only).
+    pub context_bytes_forwarded: u64,
+    /// Submissions rejected at this shard's inbox bound.
+    pub saturated_rejections: u64,
 }
 
 /// Aggregate service statistics: one snapshot per shard plus uptime.
@@ -116,6 +138,24 @@ impl ServiceStats {
         self.per_shard.iter().map(|s| s.walks_completed).sum()
     }
 
+    /// Total bytes of forwarded-context snapshots shipped between shards.
+    pub fn total_context_bytes(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.context_bytes_forwarded)
+            .sum()
+    }
+
+    /// Total submissions rejected for inbox saturation.
+    pub fn total_saturated_rejections(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.saturated_rejections).sum()
+    }
+
+    /// Total messages currently queued across all shard inboxes.
+    pub fn total_queue_depth(&self) -> i64 {
+        self.per_shard.iter().map(|s| s.queue_depth).sum()
+    }
+
     /// Walk steps per wall-clock second since service start.
     pub fn steps_per_sec(&self) -> f64 {
         let secs = self.uptime.as_secs_f64();
@@ -140,12 +180,21 @@ impl ServiceStats {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>9}\n",
-            "shard", "owned", "steps", "walkers", "forwards", "updates", "batches", "qmax", "busy"
+            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>8}  {:>9}\n",
+            "shard",
+            "owned",
+            "steps",
+            "walkers",
+            "forwards",
+            "updates",
+            "batches",
+            "qmax",
+            "ctx_kb",
+            "busy"
         ));
         for s in &self.per_shard {
             out.push_str(&format!(
-                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>8.3}s\n",
+                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>8.1}  {:>8.3}s\n",
                 s.shard,
                 s.owned_vertices,
                 s.steps,
@@ -154,16 +203,20 @@ impl ServiceStats {
                 s.updates_applied,
                 s.update_batches,
                 s.queue_high_water,
+                s.context_bytes_forwarded as f64 / 1024.0,
                 s.busy.as_secs_f64(),
             ));
         }
         out.push_str(&format!(
-            "total: {} steps ({:.0} steps/s), {} forwards ({:.1}% of steps), {} updates, uptime {:.3}s\n",
+            "total: {} steps ({:.0} steps/s), {} forwards ({:.1}% of steps), {} updates, \
+             {} context bytes, {} saturation rejections, uptime {:.3}s\n",
             self.total_steps(),
             self.steps_per_sec(),
             self.total_forwards(),
             100.0 * self.forward_ratio(),
             self.total_updates_applied(),
+            self.total_context_bytes(),
+            self.total_saturated_rejections(),
             self.uptime.as_secs_f64(),
         ));
         out

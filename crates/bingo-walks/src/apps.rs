@@ -1,23 +1,34 @@
-//! Random-walk applications (§2.2, §6.1).
+//! Built-in walk applications (§2.2, §6.1) and the resumable walk cursor.
 //!
 //! * **Biased DeepWalk** — first-order walks of a fixed length; each step
 //!   samples a neighbor proportionally to the edge bias.
 //! * **node2vec** — second-order walks: the transition bias is additionally
-//!   multiplied by `1/p`, `1` or `1/q` depending on the distance between the
-//!   previous vertex and the candidate (Equation 1). Following KnightKing
-//!   (and the paper, which adopts KnightKing's approach for second-order
-//!   applications), the second-order factor is applied by rejection: sample
-//!   a candidate from the static bias distribution, then accept it with
-//!   probability `f(w, v) / max(f)`.
+//!   multiplied by `1/p`, `1` or `1/q` depending on the relation between the
+//!   previous vertex and the candidate (Equation 1), applied by
+//!   KnightKing-style rejection.
 //! * **Personalized PageRank (PPR)** — walks terminate at every step with a
 //!   fixed probability (1/80 in the evaluation, for an expected length of
 //!   80).
 //! * **Simple sampling** — unbiased fixed-length walks (the
 //!   `random_walk_simple_sampling` kernel of §6).
+//!
+//! The walk *semantics* live in [`model`](crate::model) as
+//! [`WalkModel`](crate::model::WalkModel) implementations; [`WalkSpec`] is
+//! a thin, serializable constructor layer
+//! that names a built-in model and its parameters. Execution — whether a
+//! whole walk ([`WalkSpec::walk`]), one step at a time ([`WalkCursor`]), a
+//! parallel pass ([`WalkEngine`](crate::WalkEngine)) or the sharded service
+//! — always goes through the trait, so custom models plug in everywhere a
+//! spec does.
 
+use crate::model::{
+    ContextRequirement, DeepWalkModel, Node2VecModel, PprModel, SharedWalkModel,
+    SimpleSamplingModel, Transition, WalkState,
+};
 use crate::TransitionSampler;
 use bingo_graph::VertexId;
-use rand::Rng;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
 
 /// Configuration of biased DeepWalk.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,7 +95,14 @@ impl Default for SimpleSamplingConfig {
     }
 }
 
-/// A fully-specified walk application.
+/// A fully-specified built-in walk application.
+///
+/// This is the constructor layer over the open [`WalkModel`] API: each
+/// variant names a built-in model plus its parameters, and
+/// [`WalkSpec::to_model`] instantiates it. Code that executes walks never
+/// matches on this enum — it drives the model returned by `to_model`.
+///
+/// [`WalkModel`]: crate::model::WalkModel
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WalkSpec {
     /// Biased DeepWalk.
@@ -98,6 +116,17 @@ pub enum WalkSpec {
 }
 
 impl WalkSpec {
+    /// Instantiate the built-in [`WalkModel`](crate::model::WalkModel) this
+    /// spec describes — the single place where the enum is interpreted.
+    pub fn to_model(&self) -> SharedWalkModel {
+        match *self {
+            WalkSpec::DeepWalk(config) => Arc::new(DeepWalkModel { config }),
+            WalkSpec::Node2Vec(config) => Arc::new(Node2VecModel { config }),
+            WalkSpec::Ppr(config) => Arc::new(PprModel { config }),
+            WalkSpec::SimpleSampling(config) => Arc::new(SimpleSamplingModel { config }),
+        }
+    }
+
     /// Short name used in reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -109,6 +138,10 @@ impl WalkSpec {
     }
 
     /// Expected (or exact) number of steps per walk, used for sizing.
+    ///
+    /// Allocation-free mirror of the model's
+    /// [`expected_length`](crate::model::WalkModel::expected_length) (the
+    /// `spec_names_match_model_names` test keeps the two in lock step).
     pub fn expected_length(&self) -> usize {
         match self {
             WalkSpec::DeepWalk(c) => c.walk_length,
@@ -119,10 +152,9 @@ impl WalkSpec {
     }
 
     /// Hard (deterministic) cap on the number of steps a walk of this spec
-    /// can take: the walk length for the fixed-length applications, the
-    /// `max_length` safety bound for PPR. Unlike
-    /// [`expected_length`](WalkSpec::expected_length) this is always finite
-    /// and is what sizing and refresh targets should be bounded by.
+    /// can take. Unlike [`expected_length`](WalkSpec::expected_length) this
+    /// is always finite and is what sizing and refresh targets should be
+    /// bounded by.
     pub fn max_steps(&self) -> usize {
         match self {
             WalkSpec::DeepWalk(c) => c.walk_length,
@@ -154,46 +186,79 @@ impl WalkSpec {
 /// A `WalkCursor` replaces the walker-owned loop: the owner of the sampling
 /// structure advances the walk one transition at a time with
 /// [`WalkCursor::step`], and can stop, hand the cursor to another shard, or
-/// interleave graph updates between any two steps. All four applications of
-/// [`WalkSpec`] — including node2vec's second-order rejection step and PPR's
-/// probabilistic termination — run through the same cursor, so the sharded
-/// walk service and the single-machine walker engine share per-step logic.
+/// interleave graph updates between any two steps. Every application —
+/// built-in or user-defined — runs through the same cursor by implementing
+/// [`WalkModel`](crate::model::WalkModel), so the sharded walk service and
+/// the single-machine walker engine share per-step logic.
 #[derive(Debug, Clone)]
 pub struct WalkCursor {
-    spec: WalkSpec,
+    model: SharedWalkModel,
+    state: WalkState,
     path: Vec<VertexId>,
     done: bool,
 }
 
 impl WalkCursor {
-    /// Create a cursor positioned at `start` with no steps taken.
+    /// Create a cursor positioned at `start` running a built-in spec.
     pub fn new(spec: WalkSpec, start: VertexId) -> Self {
+        Self::with_model(spec.to_model(), start)
+    }
+
+    /// Create a cursor positioned at `start` running an arbitrary model.
+    pub fn with_model(model: SharedWalkModel, start: VertexId) -> Self {
         // Preallocation hint only: clamp so huge PPR max_length values
         // don't reserve memory walks will rarely use.
         let mut path =
-            Vec::with_capacity(spec.expected_length().min(spec.max_steps()).min(4095) + 1);
+            Vec::with_capacity(model.expected_length().min(model.max_steps()).min(4095) + 1);
         path.push(start);
+        let state = model.init(start);
         WalkCursor {
-            spec,
+            model,
+            state,
             path,
             done: false,
         }
     }
 
-    /// The application this cursor is running.
-    pub fn spec(&self) -> &WalkSpec {
-        &self.spec
+    /// The model this cursor is running.
+    pub fn model(&self) -> &SharedWalkModel {
+        &self.model
+    }
+
+    /// The cross-shard context the model needs with a forwarded walker.
+    pub fn required_context(&self) -> ContextRequirement {
+        self.model.required_context()
+    }
+
+    /// The walker's model-visible state (current/previous vertex, carried
+    /// context).
+    pub fn state(&self) -> &WalkState {
+        &self.state
+    }
+
+    /// Attach a forwarded-context snapshot of the previous vertex's sorted
+    /// out-adjacency, captured by the shard that owns it. Returns `false`
+    /// (and attaches nothing) when the walk has no previous vertex yet.
+    pub fn set_forward_context(&mut self, adjacency: Vec<VertexId>) -> bool {
+        let Some(prev) = self.state.prev() else {
+            return false;
+        };
+        self.state.set_carried(crate::model::CarriedContext {
+            vertex: prev,
+            adjacency,
+        });
+        true
     }
 
     /// The walker's current vertex (the last vertex of the path).
     #[inline]
     pub fn current(&self) -> VertexId {
-        *self.path.last().expect("path always contains the start")
+        self.state.current()
     }
 
     /// Number of steps taken so far.
     pub fn steps_taken(&self) -> usize {
-        self.path.len() - 1
+        self.state.steps_taken()
     }
 
     /// Whether the walk has terminated (dead end, target length, or
@@ -206,10 +271,10 @@ impl WalkCursor {
     /// the next [`WalkCursor::step`] returns `None` without sampling. This
     /// is ownership-independent: a sharded scheduler uses it to finish a
     /// walker locally instead of forwarding it for a no-op step.
-    /// (PPR's probabilistic stop is not covered — that requires drawing
+    /// (Probabilistic stops — PPR — are not covered: those require drawing
     /// randomness.)
     pub fn at_length_limit(&self) -> bool {
-        self.steps_taken() >= self.spec.max_steps()
+        self.steps_taken() >= self.model.max_steps()
     }
 
     /// The path visited so far, including the start vertex.
@@ -222,7 +287,7 @@ impl WalkCursor {
         self.path
     }
 
-    /// Advance the walk by one transition sampled from `sampler`.
+    /// Advance the walk by one transition produced by the model.
     ///
     /// Returns the vertex stepped to, or `None` once the walk has
     /// terminated (after which the cursor is [`done`](WalkCursor::is_done)
@@ -239,140 +304,24 @@ impl WalkCursor {
         if self.done {
             return None;
         }
-        let current = self.current();
-        let next = match self.spec {
-            WalkSpec::DeepWalk(c) => (self.steps_taken() < c.walk_length)
-                .then(|| sampler.sample_neighbor(current, rng))
-                .flatten(),
-            WalkSpec::SimpleSampling(c) => (self.steps_taken() < c.walk_length)
-                .then(|| sampler.sample_neighbor(current, rng))
-                .flatten(),
-            WalkSpec::Ppr(c) => {
-                if self.steps_taken() >= c.max_length || rng.gen::<f64>() < c.stop_probability {
-                    None
-                } else {
-                    sampler.sample_neighbor(current, rng)
-                }
+        // Erase the generics at the trait boundary: `&mut R` is itself an
+        // RngCore (and Sized), so it coerces to `&mut dyn RngCore` even
+        // when `R` is unsized; `SamplerBridge` does the same for `S`.
+        let mut reborrow: &mut R = rng;
+        let dyn_rng: &mut dyn RngCore = &mut reborrow;
+        let bridge = crate::model::SamplerBridge(sampler);
+        match self.model.step(&self.state, &bridge, dyn_rng) {
+            Transition::Step(next) => {
+                self.state.advance(next);
+                self.path.push(next);
+                Some(next)
             }
-            WalkSpec::Node2Vec(c) => {
-                if self.steps_taken() >= c.walk_length {
-                    None
-                } else if self.path.len() == 1 {
-                    // The first step has no history: plain biased sampling.
-                    sampler.sample_neighbor(current, rng)
-                } else {
-                    let prev = self.path[self.path.len() - 2];
-                    node2vec_step(sampler, prev, current, &c, rng)
-                }
-            }
-        };
-        match next {
-            Some(v) => {
-                self.path.push(v);
-                Some(v)
-            }
-            None => {
+            Transition::Terminate => {
                 self.done = true;
                 None
             }
         }
     }
-}
-
-/// First-order biased walk of a fixed length.
-pub fn fixed_length_walk<S, R>(
-    sampler: &S,
-    start: VertexId,
-    length: usize,
-    rng: &mut R,
-) -> Vec<VertexId>
-where
-    S: TransitionSampler + ?Sized,
-    R: Rng + ?Sized,
-{
-    WalkSpec::DeepWalk(DeepWalkConfig {
-        walk_length: length,
-    })
-    .walk(sampler, start, rng)
-}
-
-/// Unbiased walk: each neighbor is chosen uniformly. Implemented by
-/// rejection over the biased sampler would distort the distribution, so the
-/// unbiased variant samples a neighbor index directly when the sampler
-/// exposes degrees.
-pub fn unbiased_walk<S, R>(
-    sampler: &S,
-    start: VertexId,
-    length: usize,
-    rng: &mut R,
-) -> Vec<VertexId>
-where
-    S: TransitionSampler + ?Sized,
-    R: Rng + ?Sized,
-{
-    // Without direct neighbor indexing on the trait, unbiased steps reuse
-    // the biased sampler; for the engines in this repository "simple
-    // sampling" is evaluated on graphs with unit biases, where the two
-    // coincide.
-    fixed_length_walk(sampler, start, length, rng)
-}
-
-/// One node2vec step from `current` with previous vertex `prev`, using
-/// KnightKing-style rejection over the statically-biased sampler.
-pub fn node2vec_step<S, R>(
-    sampler: &S,
-    prev: VertexId,
-    current: VertexId,
-    config: &Node2VecConfig,
-    rng: &mut R,
-) -> Option<VertexId>
-where
-    S: TransitionSampler + ?Sized,
-    R: Rng + ?Sized,
-{
-    let inv_p = 1.0 / config.p;
-    let inv_q = 1.0 / config.q;
-    let max_factor = inv_p.max(1.0).max(inv_q);
-    // Expected number of trials is bounded by max_factor / min_factor; cap
-    // defensively to avoid pathological loops on adversarial parameters.
-    for _ in 0..10_000 {
-        let candidate = sampler.sample_neighbor(current, rng)?;
-        let factor = if candidate == prev {
-            inv_p
-        } else if sampler.has_edge(prev, candidate) || sampler.has_edge(candidate, prev) {
-            1.0
-        } else {
-            inv_q
-        };
-        if rng.gen::<f64>() * max_factor < factor {
-            return Some(candidate);
-        }
-    }
-    None
-}
-
-/// A full node2vec walk.
-pub fn node2vec_walk<S, R>(
-    sampler: &S,
-    start: VertexId,
-    config: Node2VecConfig,
-    rng: &mut R,
-) -> Vec<VertexId>
-where
-    S: TransitionSampler + ?Sized,
-    R: Rng + ?Sized,
-{
-    WalkSpec::Node2Vec(config).walk(sampler, start, rng)
-}
-
-/// A personalized-PageRank walk: terminate with `stop_probability` at every
-/// step.
-pub fn ppr_walk<S, R>(sampler: &S, start: VertexId, config: PprConfig, rng: &mut R) -> Vec<VertexId>
-where
-    S: TransitionSampler + ?Sized,
-    R: Rng + ?Sized,
-{
-    WalkSpec::Ppr(config).walk(sampler, start, rng)
 }
 
 #[cfg(test)]
@@ -431,10 +380,26 @@ mod tests {
     }
 
     #[test]
+    fn spec_names_match_model_names() {
+        for spec in [
+            WalkSpec::DeepWalk(DeepWalkConfig::default()),
+            WalkSpec::Node2Vec(Node2VecConfig::default()),
+            WalkSpec::Ppr(PprConfig::default()),
+            WalkSpec::SimpleSampling(SimpleSamplingConfig::default()),
+        ] {
+            let model = spec.to_model();
+            assert_eq!(spec.name(), model.name());
+            assert_eq!(spec.expected_length(), model.expected_length());
+            assert_eq!(spec.max_steps(), model.max_steps());
+        }
+    }
+
+    #[test]
     fn fixed_length_walk_respects_length_and_edges() {
         let engine = cyclic_engine();
         let mut rng = Pcg64::seed_from_u64(1);
-        let path = fixed_length_walk(&engine, 0, 40, &mut rng);
+        let path =
+            WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 40 }).walk(&engine, 0, &mut rng);
         assert_eq!(path.len(), 41);
         for pair in path.windows(2) {
             assert!(engine.has_edge(pair[0], pair[1]), "invalid step {pair:?}");
@@ -446,7 +411,8 @@ mod tests {
         let engine = engine();
         let mut rng = Pcg64::seed_from_u64(2);
         // Vertex 5 has no out-edges in the running example.
-        let path = fixed_length_walk(&engine, 5, 10, &mut rng);
+        let path =
+            WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 10 }).walk(&engine, 5, &mut rng);
         assert_eq!(path, vec![5]);
     }
 
@@ -454,16 +420,16 @@ mod tests {
     fn node2vec_low_p_backtracks_more_than_high_p() {
         let engine = cyclic_engine();
         let count_backtracks = |p: f64, q: f64, seed: u64| {
-            let config = Node2VecConfig {
+            let spec = WalkSpec::Node2Vec(Node2VecConfig {
                 walk_length: 60,
                 p,
                 q,
-            };
+            });
             let mut rng = Pcg64::seed_from_u64(seed);
             let mut backtracks = 0usize;
             for start in [0u32, 1, 2, 3] {
                 for _ in 0..200 {
-                    let path = node2vec_walk(&engine, start, config, &mut rng);
+                    let path = spec.walk(&engine, start, &mut rng);
                     for w in path.windows(3) {
                         if w[0] == w[2] {
                             backtracks += 1;
@@ -485,7 +451,7 @@ mod tests {
     fn node2vec_walks_are_valid_paths() {
         let engine = cyclic_engine();
         let mut rng = Pcg64::seed_from_u64(9);
-        let path = node2vec_walk(&engine, 0, Node2VecConfig::default(), &mut rng);
+        let path = WalkSpec::Node2Vec(Node2VecConfig::default()).walk(&engine, 0, &mut rng);
         assert!(path.len() > 2);
         for pair in path.windows(2) {
             assert!(engine.has_edge(pair[0], pair[1]));
@@ -495,15 +461,15 @@ mod tests {
     #[test]
     fn ppr_walk_length_matches_expectation() {
         let engine = cyclic_engine();
-        let config = PprConfig {
+        let spec = WalkSpec::Ppr(PprConfig {
             stop_probability: 0.1,
             max_length: 1000,
-        };
+        });
         let mut rng = Pcg64::seed_from_u64(3);
         let mut total = 0usize;
         let n = 20_000;
         for _ in 0..n {
-            total += ppr_walk(&engine, 0, config, &mut rng).len() - 1;
+            total += spec.walk(&engine, 0, &mut rng).len() - 1;
         }
         let mean = total as f64 / n as f64;
         // Expected number of steps before termination is (1 - s) / s = 9.
@@ -513,12 +479,12 @@ mod tests {
     #[test]
     fn ppr_walk_respects_max_length() {
         let engine = cyclic_engine();
-        let config = PprConfig {
+        let spec = WalkSpec::Ppr(PprConfig {
             stop_probability: 0.0,
             max_length: 25,
-        };
+        });
         let mut rng = Pcg64::seed_from_u64(4);
-        let path = ppr_walk(&engine, 0, config, &mut rng);
+        let path = spec.walk(&engine, 0, &mut rng);
         assert_eq!(path.len(), 26);
     }
 
@@ -557,6 +523,70 @@ mod tests {
     }
 
     #[test]
+    fn boxed_model_walks_match_enum_spec_walks_step_for_step() {
+        // Trait-object safety: a cursor over `Arc<dyn WalkModel>` built by
+        // hand must reproduce the spec-built cursor exactly under the same
+        // seed, for every built-in application.
+        use crate::model::{DeepWalkModel, Node2VecModel, PprModel, SimpleSamplingModel};
+        let engine = cyclic_engine();
+        let cases: Vec<(WalkSpec, SharedWalkModel)> = vec![
+            (
+                WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 15 }),
+                Arc::new(DeepWalkModel {
+                    config: DeepWalkConfig { walk_length: 15 },
+                }),
+            ),
+            (
+                WalkSpec::Node2Vec(Node2VecConfig {
+                    walk_length: 15,
+                    p: 0.25,
+                    q: 4.0,
+                }),
+                Arc::new(Node2VecModel {
+                    config: Node2VecConfig {
+                        walk_length: 15,
+                        p: 0.25,
+                        q: 4.0,
+                    },
+                }),
+            ),
+            (
+                WalkSpec::Ppr(PprConfig {
+                    stop_probability: 0.1,
+                    max_length: 30,
+                }),
+                Arc::new(PprModel {
+                    config: PprConfig {
+                        stop_probability: 0.1,
+                        max_length: 30,
+                    },
+                }),
+            ),
+            (
+                WalkSpec::SimpleSampling(SimpleSamplingConfig { walk_length: 15 }),
+                Arc::new(SimpleSamplingModel {
+                    config: SimpleSamplingConfig { walk_length: 15 },
+                }),
+            ),
+        ];
+        for (spec, model) in cases {
+            let mut rng_spec = Pcg64::seed_from_u64(0xB0);
+            let mut rng_model = Pcg64::seed_from_u64(0xB0);
+            let mut spec_cursor = WalkCursor::new(spec, 1);
+            let mut model_cursor = WalkCursor::with_model(model, 1);
+            loop {
+                let a = spec_cursor.step(&engine, &mut rng_spec);
+                let b = model_cursor.step(&engine, &mut rng_model);
+                assert_eq!(a, b, "{} diverged", spec.name());
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(spec_cursor.path(), model_cursor.path());
+        }
+    }
+
+    #[test]
     fn cursor_respects_walk_length_and_dead_ends() {
         let engine = engine();
         // Vertex 5 has no out-edges: the cursor terminates immediately.
@@ -575,6 +605,28 @@ mod tests {
         }
         assert_eq!(steps, 4);
         assert_eq!(cursor.steps_taken(), 4);
+        assert!(cursor.at_length_limit());
+    }
+
+    #[test]
+    fn cursor_tracks_model_state_and_forward_context() {
+        let engine = cyclic_engine();
+        let mut rng = Pcg64::seed_from_u64(8);
+        let mut cursor = WalkCursor::new(WalkSpec::Node2Vec(Node2VecConfig::default()), 0);
+        assert_eq!(
+            cursor.required_context(),
+            ContextRequirement::PreviousAdjacency
+        );
+        // No previous vertex yet: context cannot attach.
+        assert!(!cursor.set_forward_context(vec![1, 2]));
+        cursor.step(&engine, &mut rng).unwrap();
+        assert!(cursor.set_forward_context(vec![1, 2]));
+        let ctx = cursor.state().carried_context().unwrap();
+        assert_eq!(ctx.vertex, 0);
+        assert_eq!(ctx.adjacency, vec![1, 2]);
+        // The next locally-sampled step drops the single-use snapshot.
+        cursor.step(&engine, &mut rng).unwrap();
+        assert!(cursor.state().carried_context().is_none());
     }
 
     #[test]

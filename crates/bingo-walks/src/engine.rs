@@ -5,7 +5,8 @@
 //! walker derives its own RNG stream from the run seed, so results are
 //! deterministic for a given seed regardless of the number of threads.
 
-use crate::apps::WalkSpec;
+use crate::apps::{WalkCursor, WalkSpec};
+use crate::model::SharedWalkModel;
 use crate::TransitionSampler;
 use bingo_graph::VertexId;
 use bingo_sampling::rng::Pcg64;
@@ -89,13 +90,31 @@ impl WalkEngine {
     where
         S: TransitionSampler + ?Sized,
     {
+        self.run_model(sampler, &spec.to_model(), starts)
+    }
+
+    /// Run an arbitrary [`WalkModel`](crate::model::WalkModel) from the
+    /// given start vertices, one walker per start, in parallel. This is the
+    /// execution primitive; [`WalkEngine::run`] is sugar over it for the
+    /// built-in specs.
+    pub fn run_model<S>(
+        &self,
+        sampler: &S,
+        model: &SharedWalkModel,
+        starts: &[VertexId],
+    ) -> WalkResults
+    where
+        S: TransitionSampler + ?Sized,
+    {
         let seed = self.seed;
         let paths: Vec<Vec<VertexId>> = starts
             .par_iter()
             .enumerate()
             .map(|(i, &start)| {
                 let mut rng = Pcg64::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-                spec.walk(sampler, start, &mut rng)
+                let mut cursor = WalkCursor::with_model(model.clone(), start);
+                while cursor.step(sampler, &mut rng).is_some() {}
+                cursor.into_path()
             })
             .collect();
         WalkResults { paths }
@@ -110,6 +129,15 @@ impl WalkEngine {
     {
         let starts: Vec<VertexId> = (0..sampler.num_vertices() as VertexId).collect();
         self.run(sampler, spec, &starts)
+    }
+
+    /// One walker per vertex, for an arbitrary model.
+    pub fn run_all_vertices_model<S>(&self, sampler: &S, model: &SharedWalkModel) -> WalkResults
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        let starts: Vec<VertexId> = (0..sampler.num_vertices() as VertexId).collect();
+        self.run_model(sampler, model, &starts)
     }
 }
 

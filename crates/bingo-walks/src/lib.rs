@@ -10,8 +10,12 @@
 //! every baseline system implement, so the applications, the walker engine,
 //! and the evaluation workflow are shared across all systems.
 //!
-//! * [`apps`] — the walk applications (DeepWalk, node2vec, PPR, simple
-//!   sampling) and their per-step logic.
+//! * [`model`] — the pluggable [`WalkModel`] trait: a
+//!   walk application as an object-safe state machine, plus the built-in
+//!   implementations. Every execution layer drives models through this
+//!   trait; custom applications plug into all of them.
+//! * [`apps`] — the built-in application configurations, the thin
+//!   [`WalkSpec`] constructor layer, and the resumable [`WalkCursor`].
 //! * [`engine`] — the parallel walker engine: one RNG stream per walker,
 //!   rayon-parallel execution, visit-count aggregation.
 //! * [`workflow`] — the paper's evaluation loop (§6.1): rounds of update
@@ -29,6 +33,7 @@
 pub mod analytics;
 pub mod apps;
 pub mod engine;
+pub mod model;
 pub mod walk_store;
 pub mod workflow;
 
@@ -37,6 +42,10 @@ pub use apps::{
     DeepWalkConfig, Node2VecConfig, PprConfig, SimpleSamplingConfig, WalkCursor, WalkSpec,
 };
 pub use engine::{WalkEngine, WalkResults};
+pub use model::{
+    CarriedContext, ContextRequirement, SharedWalkModel, StepSampler, Transition, WalkModel,
+    WalkState,
+};
 pub use walk_store::{RefreshStats, WalkStore};
 pub use workflow::{EvaluationWorkflow, IngestMode, IngestStats, RoundReport, WorkflowReport};
 

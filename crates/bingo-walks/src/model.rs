@@ -1,0 +1,699 @@
+//! The pluggable walk-model API.
+//!
+//! Bingo's thesis is that radix-based bias factorization serves *arbitrary*
+//! biased walk applications on dynamic graphs — so the walk semantics must
+//! not be a closed enum baked into the execution layers. [`WalkModel`] is
+//! the open interface: a walk application is a small state machine that,
+//! given the walker's [`WalkState`] and a sampling surface, produces one
+//! [`Transition`] at a time. Every execution backend in this repository —
+//! [`WalkCursor`](crate::WalkCursor) single-stepping, the parallel
+//! [`WalkEngine`](crate::WalkEngine), [`WalkStore`](crate::WalkStore)
+//! generation, and the sharded `bingo-service` — drives models exclusively
+//! through this trait. The legacy [`WalkSpec`](crate::WalkSpec) enum
+//! survives only as a thin constructor layer over the built-in models.
+//!
+//! The trait is **object-safe**: backends hold `Arc<dyn WalkModel>`, so
+//! user-defined applications plug in without touching any execution code.
+//!
+//! ## Cross-shard context
+//!
+//! Second-order models consult state beyond the current vertex: node2vec's
+//! distance factor needs membership queries against the *previous* vertex's
+//! adjacency, which in a sharded deployment may be owned by another shard.
+//! A model declares this need through
+//! [`WalkModel::required_context`]; the sharded service then captures a
+//! compact snapshot of the previous vertex's adjacency (a sorted
+//! `Vec<VertexId>` fingerprint) on the owning shard *before* forwarding the
+//! walker, and the model answers membership queries from the carried
+//! snapshot via [`WalkState::prev_adjacent`]. This removes the cross-shard
+//! edge-lookup problem that previously forced the service to reject
+//! node2vec submissions.
+//!
+//! ## Writing a custom model
+//!
+//! A model not in the built-in set — a "temperature-biased" walk whose
+//! termination probability rises as the walk cools — in a dozen lines:
+//!
+//! ```
+//! use bingo_walks::model::{
+//!     ContextRequirement, StepSampler, Transition, WalkModel, WalkState,
+//! };
+//! use bingo_walks::WalkCursor;
+//! use bingo_core::{BingoConfig, BingoEngine};
+//! use bingo_graph::{Bias, DynamicGraph};
+//! use bingo_sampling::rng::Pcg64;
+//! use rand::{Rng, RngCore, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! /// Terminate with probability `1 - exp(-steps / tau)`: early steps are
+//! /// nearly always taken, late steps nearly never.
+//! #[derive(Debug)]
+//! struct TemperatureWalk {
+//!     tau: f64,
+//!     max_steps: usize,
+//! }
+//!
+//! impl WalkModel for TemperatureWalk {
+//!     fn name(&self) -> &str {
+//!         "temperature"
+//!     }
+//!     fn expected_length(&self) -> usize {
+//!         self.tau.ceil() as usize
+//!     }
+//!     fn max_steps(&self) -> usize {
+//!         self.max_steps
+//!     }
+//!     fn required_context(&self) -> ContextRequirement {
+//!         ContextRequirement::None // first-order: nothing to carry
+//!     }
+//!     fn step(
+//!         &self,
+//!         state: &WalkState,
+//!         sampler: &dyn StepSampler,
+//!         rng: &mut dyn RngCore,
+//!     ) -> Transition {
+//!         if state.steps_taken() >= self.max_steps {
+//!             return Transition::Terminate;
+//!         }
+//!         let survive = (-(state.steps_taken() as f64) / self.tau).exp();
+//!         if rng.gen::<f64>() >= survive {
+//!             return Transition::Terminate;
+//!         }
+//!         match sampler.sample_neighbor_dyn(state.current(), rng) {
+//!             Some(next) => Transition::Step(next),
+//!             None => Transition::Terminate,
+//!         }
+//!     }
+//! }
+//!
+//! // Drive it exactly like a built-in application.
+//! let mut graph = DynamicGraph::new(8);
+//! for v in 0..8u32 {
+//!     graph.insert_edge(v, (v + 1) % 8, Bias::from_int(1)).unwrap();
+//! }
+//! let engine = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+//! let model: Arc<dyn WalkModel> = Arc::new(TemperatureWalk { tau: 4.0, max_steps: 32 });
+//! let mut rng = Pcg64::seed_from_u64(7);
+//! let mut cursor = WalkCursor::with_model(model, 0);
+//! while cursor.step(&engine, &mut rng).is_some() {}
+//! assert!(cursor.path().len() <= 33);
+//! ```
+
+use crate::TransitionSampler;
+use bingo_graph::VertexId;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// Cross-shard state a model needs alongside a forwarded walker.
+///
+/// Declared once per model through [`WalkModel::required_context`]; the
+/// sharded service inspects it when a walker crosses an ownership boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextRequirement {
+    /// The model only reads the walker's current vertex: nothing beyond the
+    /// cursor itself has to travel with a forwarded walker.
+    None,
+    /// The model issues membership queries against the *previous* vertex's
+    /// out-adjacency (second-order applications such as node2vec). The
+    /// forwarding shard must attach a sorted adjacency fingerprint of the
+    /// previous vertex ([`WalkState::carried_context`]) because the
+    /// receiving shard does not own that vertex's edges.
+    PreviousAdjacency,
+}
+
+/// The outcome of asking a model for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Move the walker to this vertex.
+    Step(VertexId),
+    /// The walk is over (target length, dead end, or probabilistic stop).
+    Terminate,
+}
+
+/// A sorted out-adjacency snapshot of one vertex, captured by the shard
+/// that owns it and carried with a forwarded walker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarriedContext {
+    /// The vertex whose adjacency was snapshotted.
+    pub vertex: VertexId,
+    /// The vertex's out-neighbors, sorted ascending and deduplicated — a
+    /// fingerprint supporting `O(log d)` membership queries.
+    pub adjacency: Vec<VertexId>,
+}
+
+impl CarriedContext {
+    /// Approximate wire size of this snapshot in bytes.
+    pub fn byte_len(&self) -> usize {
+        std::mem::size_of::<VertexId>() * (self.adjacency.len() + 1)
+    }
+}
+
+/// Walker-private state visible to a [`WalkModel`] at every step.
+///
+/// The executing cursor owns and advances this state; models only read it.
+/// It deliberately excludes the visited path — models that need history
+/// beyond `prev` should not exist in a forwardable walker (the path lives
+/// with the cursor, not on the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkState {
+    current: VertexId,
+    prev: Option<VertexId>,
+    steps_taken: usize,
+    carried: Option<CarriedContext>,
+}
+
+impl WalkState {
+    /// Fresh state positioned at `start` with no steps taken.
+    pub fn new(start: VertexId) -> Self {
+        WalkState {
+            current: start,
+            prev: None,
+            steps_taken: 0,
+            carried: None,
+        }
+    }
+
+    /// The walker's current vertex.
+    #[inline]
+    pub fn current(&self) -> VertexId {
+        self.current
+    }
+
+    /// The vertex the walker stepped from, `None` before the first step.
+    #[inline]
+    pub fn prev(&self) -> Option<VertexId> {
+        self.prev
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// The carried cross-shard context, if a forwarding shard attached one.
+    pub fn carried_context(&self) -> Option<&CarriedContext> {
+        self.carried.as_ref()
+    }
+
+    /// Whether the edge `prev → candidate` exists, answered from the
+    /// carried adjacency snapshot when present (the sharded case — the
+    /// local sampler does not own `prev`) and from `sampler` otherwise.
+    ///
+    /// Returns `false` when the walk has no previous vertex yet.
+    pub fn prev_adjacent(&self, candidate: VertexId, sampler: &dyn StepSampler) -> bool {
+        let Some(prev) = self.prev else {
+            return false;
+        };
+        match &self.carried {
+            Some(ctx) if ctx.vertex == prev => ctx.adjacency.binary_search(&candidate).is_ok(),
+            _ => sampler.has_edge(prev, candidate),
+        }
+    }
+
+    /// Record one taken transition: `prev ← current`, `current ← next`.
+    /// Any carried context is dropped — after a locally-sampled step the
+    /// previous vertex is owned by the stepping shard again.
+    pub(crate) fn advance(&mut self, next: VertexId) {
+        self.prev = Some(self.current);
+        self.current = next;
+        self.steps_taken += 1;
+        self.carried = None;
+    }
+
+    /// Attach a forwarded-context snapshot (used by the sharded service
+    /// right before handing the walker to another shard).
+    pub(crate) fn set_carried(&mut self, ctx: CarriedContext) {
+        self.carried = Some(ctx);
+    }
+}
+
+/// Object-safe sampling surface handed to [`WalkModel::step`].
+///
+/// This is [`TransitionSampler`] with the generic RNG parameter erased so
+/// that `dyn WalkModel` stays a valid type; every `TransitionSampler`
+/// implements it automatically.
+pub trait StepSampler {
+    /// Number of vertices in the graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Sample one out-neighbor of `v` proportionally to the edge biases.
+    fn sample_neighbor_dyn(&self, v: VertexId, rng: &mut dyn RngCore) -> Option<VertexId>;
+
+    /// Whether the edge `(src, dst)` exists *in this sampler's view* — a
+    /// range-sharded engine answers `false` for vertices it does not own,
+    /// which is exactly why second-order models route membership through
+    /// [`WalkState::prev_adjacent`] instead of calling this directly.
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool;
+}
+
+impl<S: TransitionSampler + ?Sized> StepSampler for S {
+    fn num_vertices(&self) -> usize {
+        TransitionSampler::num_vertices(self)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        TransitionSampler::degree(self, v)
+    }
+
+    #[inline]
+    fn sample_neighbor_dyn(&self, v: VertexId, mut rng: &mut dyn RngCore) -> Option<VertexId> {
+        TransitionSampler::sample_neighbor(self, v, &mut rng)
+    }
+
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        TransitionSampler::has_edge(self, src, dst)
+    }
+}
+
+/// Sized adapter over a (possibly unsized) [`TransitionSampler`] reference,
+/// so the execution layers can hand `&dyn StepSampler` to a model even when
+/// their sampler generic is `?Sized`.
+pub struct SamplerBridge<'a, S: TransitionSampler + ?Sized>(pub &'a S);
+
+impl<S: TransitionSampler + ?Sized> StepSampler for SamplerBridge<'_, S> {
+    fn num_vertices(&self) -> usize {
+        TransitionSampler::num_vertices(self.0)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        TransitionSampler::degree(self.0, v)
+    }
+
+    #[inline]
+    fn sample_neighbor_dyn(&self, v: VertexId, mut rng: &mut dyn RngCore) -> Option<VertexId> {
+        TransitionSampler::sample_neighbor(self.0, v, &mut rng)
+    }
+
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        TransitionSampler::has_edge(self.0, src, dst)
+    }
+}
+
+/// A pluggable walk application: per-walk state initialisation plus a
+/// one-transition step function.
+///
+/// Implementations must be cheap to share (`Send + Sync`; backends clone an
+/// `Arc<dyn WalkModel>` per walker) and deterministic given the RNG stream:
+/// all randomness must come from the `rng` argument, in a fixed draw order,
+/// so a walk is reproducible for a seed regardless of which backend drives
+/// it.
+pub trait WalkModel: Send + Sync + std::fmt::Debug {
+    /// Short human-readable application name used in reports.
+    fn name(&self) -> &str;
+
+    /// Expected (or exact) number of steps per walk, used for sizing.
+    fn expected_length(&self) -> usize;
+
+    /// Hard deterministic cap on the number of steps a walk can take.
+    /// Unlike [`expected_length`](WalkModel::expected_length) this is
+    /// always finite; schedulers use it to finish walkers without drawing
+    /// randomness ([`WalkCursor::at_length_limit`](crate::WalkCursor::at_length_limit)).
+    fn max_steps(&self) -> usize;
+
+    /// What cross-shard state this model needs carried with a forwarded
+    /// walker. Defaults to [`ContextRequirement::None`].
+    fn required_context(&self) -> ContextRequirement {
+        ContextRequirement::None
+    }
+
+    /// Create the walker state for a walk starting at `start`.
+    fn init(&self, start: VertexId) -> WalkState {
+        WalkState::new(start)
+    }
+
+    /// Produce the next transition for a walker in `state`.
+    ///
+    /// The executor applies a returned [`Transition::Step`] to the state
+    /// (and the path); the model never mutates state itself. A model that
+    /// has reached its termination condition must return
+    /// [`Transition::Terminate`] *without* drawing randomness when the
+    /// condition is deterministic (length caps), so that finished walks
+    /// stay reproducible under schedulers that probe for completion.
+    fn step(
+        &self,
+        state: &WalkState,
+        sampler: &dyn StepSampler,
+        rng: &mut dyn RngCore,
+    ) -> Transition;
+}
+
+/// A shareable, type-erased walk model — what every backend stores.
+pub type SharedWalkModel = Arc<dyn WalkModel>;
+
+// ---------------------------------------------------------------------------
+// Built-in models
+// ---------------------------------------------------------------------------
+
+use crate::apps::{DeepWalkConfig, Node2VecConfig, PprConfig, SimpleSamplingConfig};
+use rand::Rng;
+
+/// Biased DeepWalk: first-order, fixed length, one biased sample per step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeepWalkModel {
+    /// The application parameters.
+    pub config: DeepWalkConfig,
+}
+
+impl WalkModel for DeepWalkModel {
+    fn name(&self) -> &str {
+        "DeepWalk"
+    }
+
+    fn expected_length(&self) -> usize {
+        self.config.walk_length
+    }
+
+    fn max_steps(&self) -> usize {
+        self.config.walk_length
+    }
+
+    fn step(
+        &self,
+        state: &WalkState,
+        sampler: &dyn StepSampler,
+        rng: &mut dyn RngCore,
+    ) -> Transition {
+        if state.steps_taken() >= self.config.walk_length {
+            return Transition::Terminate;
+        }
+        match sampler.sample_neighbor_dyn(state.current(), rng) {
+            Some(next) => Transition::Step(next),
+            None => Transition::Terminate,
+        }
+    }
+}
+
+/// Unbiased simple sampling — evaluated on unit-bias graphs, where the
+/// biased sampler and the uniform sampler coincide (§6's
+/// `random_walk_simple_sampling` kernel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleSamplingModel {
+    /// The application parameters.
+    pub config: SimpleSamplingConfig,
+}
+
+impl WalkModel for SimpleSamplingModel {
+    fn name(&self) -> &str {
+        "SimpleSampling"
+    }
+
+    fn expected_length(&self) -> usize {
+        self.config.walk_length
+    }
+
+    fn max_steps(&self) -> usize {
+        self.config.walk_length
+    }
+
+    fn step(
+        &self,
+        state: &WalkState,
+        sampler: &dyn StepSampler,
+        rng: &mut dyn RngCore,
+    ) -> Transition {
+        if state.steps_taken() >= self.config.walk_length {
+            return Transition::Terminate;
+        }
+        match sampler.sample_neighbor_dyn(state.current(), rng) {
+            Some(next) => Transition::Step(next),
+            None => Transition::Terminate,
+        }
+    }
+}
+
+/// Personalized PageRank: terminate with a fixed probability at every step,
+/// hard-capped at `max_length`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PprModel {
+    /// The application parameters.
+    pub config: PprConfig,
+}
+
+impl WalkModel for PprModel {
+    fn name(&self) -> &str {
+        "PPR"
+    }
+
+    fn expected_length(&self) -> usize {
+        (1.0 / self.config.stop_probability).round() as usize
+    }
+
+    fn max_steps(&self) -> usize {
+        self.config.max_length
+    }
+
+    fn step(
+        &self,
+        state: &WalkState,
+        sampler: &dyn StepSampler,
+        rng: &mut dyn RngCore,
+    ) -> Transition {
+        if state.steps_taken() >= self.config.max_length
+            || rng.gen::<f64>() < self.config.stop_probability
+        {
+            return Transition::Terminate;
+        }
+        match sampler.sample_neighbor_dyn(state.current(), rng) {
+            Some(next) => Transition::Step(next),
+            None => Transition::Terminate,
+        }
+    }
+}
+
+/// node2vec: second-order walks. The transition bias is additionally
+/// multiplied by `1/p`, `1` or `1/q` depending on whether the candidate is
+/// the previous vertex, an out-neighbor of the previous vertex, or neither
+/// (Equation 1). Following KnightKing (and the paper, which adopts
+/// KnightKing's approach for second-order applications), the factor is
+/// applied by rejection: sample from the static bias distribution, accept
+/// with probability `f / max(f)`.
+///
+/// The distance factor is evaluated on the **directed out-adjacency of the
+/// previous vertex** (`prev → candidate`), so a single membership
+/// fingerprint of `prev` fully determines the factor — which is what lets
+/// the sharded service forward node2vec walkers with a compact carried
+/// context and still reproduce the single-engine transition distribution
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node2VecModel {
+    /// The application parameters.
+    pub config: Node2VecConfig,
+}
+
+impl WalkModel for Node2VecModel {
+    fn name(&self) -> &str {
+        "node2vec"
+    }
+
+    fn expected_length(&self) -> usize {
+        self.config.walk_length
+    }
+
+    fn max_steps(&self) -> usize {
+        self.config.walk_length
+    }
+
+    fn required_context(&self) -> ContextRequirement {
+        ContextRequirement::PreviousAdjacency
+    }
+
+    fn step(
+        &self,
+        state: &WalkState,
+        sampler: &dyn StepSampler,
+        mut rng: &mut dyn RngCore,
+    ) -> Transition {
+        if state.steps_taken() >= self.config.walk_length {
+            return Transition::Terminate;
+        }
+        let current = state.current();
+        let Some(prev) = state.prev() else {
+            // The first step has no history: plain biased sampling.
+            return match sampler.sample_neighbor_dyn(current, rng) {
+                Some(next) => Transition::Step(next),
+                None => Transition::Terminate,
+            };
+        };
+        let inv_p = 1.0 / self.config.p;
+        let inv_q = 1.0 / self.config.q;
+        let max_factor = inv_p.max(1.0).max(inv_q);
+        // Expected number of trials is bounded by max_factor / min_factor;
+        // cap defensively to avoid pathological loops on adversarial
+        // parameters.
+        for _ in 0..10_000 {
+            let Some(candidate) = sampler.sample_neighbor_dyn(current, &mut rng) else {
+                return Transition::Terminate;
+            };
+            let factor = if candidate == prev {
+                inv_p
+            } else if state.prev_adjacent(candidate, sampler) {
+                1.0
+            } else {
+                inv_q
+            };
+            if rng.gen::<f64>() * max_factor < factor {
+                return Transition::Step(candidate);
+            }
+        }
+        Transition::Terminate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sampling::rng::Pcg64;
+    use rand::SeedableRng;
+
+    /// A fixed fan-out sampler for exercising models without an engine.
+    #[derive(Debug)]
+    struct FanSampler {
+        n: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    }
+
+    impl TransitionSampler for FanSampler {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+        fn degree(&self, v: VertexId) -> usize {
+            self.edges.iter().filter(|&&(s, _)| s == v).count()
+        }
+        fn sample_neighbor<R: Rng + ?Sized>(&self, v: VertexId, rng: &mut R) -> Option<VertexId> {
+            let out: Vec<VertexId> = self
+                .edges
+                .iter()
+                .filter(|&&(s, _)| s == v)
+                .map(|&(_, d)| d)
+                .collect();
+            if out.is_empty() {
+                None
+            } else {
+                Some(out[rng.gen_range(0..out.len())])
+            }
+        }
+        fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+            self.edges.contains(&(src, dst))
+        }
+        fn edge_bias(&self, src: VertexId, dst: VertexId) -> Option<f64> {
+            TransitionSampler::has_edge(self, src, dst).then_some(1.0)
+        }
+    }
+
+    fn fan() -> FanSampler {
+        FanSampler {
+            n: 5,
+            edges: vec![(0, 1), (1, 2), (1, 0), (2, 3), (3, 4), (4, 0)],
+        }
+    }
+
+    #[test]
+    fn deepwalk_model_terminates_at_length() {
+        let model = DeepWalkModel {
+            config: DeepWalkConfig { walk_length: 0 },
+        };
+        let mut rng = Pcg64::seed_from_u64(1);
+        let state = WalkState::new(0);
+        assert_eq!(
+            model.step(&state, &fan(), &mut rng),
+            Transition::Terminate,
+            "length-0 walk takes no step and draws no randomness"
+        );
+    }
+
+    #[test]
+    fn state_advance_tracks_prev_and_drops_context() {
+        let mut state = WalkState::new(3);
+        state.set_carried(CarriedContext {
+            vertex: 3,
+            adjacency: vec![1, 4],
+        });
+        assert!(state.carried_context().is_some());
+        state.advance(4);
+        assert_eq!(state.current(), 4);
+        assert_eq!(state.prev(), Some(3));
+        assert_eq!(state.steps_taken(), 1);
+        assert!(
+            state.carried_context().is_none(),
+            "carried context is single-use"
+        );
+    }
+
+    #[test]
+    fn prev_adjacent_prefers_carried_snapshot_over_sampler() {
+        let sampler = fan();
+        let mut state = WalkState::new(1);
+        state.advance(2); // prev = 1
+                          // Without a snapshot the sampler answers: 1 → 0 exists.
+        assert!(state.prev_adjacent(0, &sampler));
+        assert!(!state.prev_adjacent(3, &sampler));
+        // A snapshot claiming a different adjacency wins (the sharded case,
+        // where the local sampler does not own prev and would answer false).
+        state.set_carried(CarriedContext {
+            vertex: 1,
+            adjacency: vec![3],
+        });
+        assert!(state.prev_adjacent(3, &sampler));
+        assert!(!state.prev_adjacent(0, &sampler));
+    }
+
+    #[test]
+    fn node2vec_model_declares_previous_adjacency_context() {
+        let n2v = Node2VecModel {
+            config: Node2VecConfig::default(),
+        };
+        assert_eq!(
+            n2v.required_context(),
+            ContextRequirement::PreviousAdjacency
+        );
+        let dw = DeepWalkModel {
+            config: DeepWalkConfig::default(),
+        };
+        assert_eq!(dw.required_context(), ContextRequirement::None);
+    }
+
+    #[test]
+    fn models_are_object_safe_and_usable_boxed() {
+        let models: Vec<Box<dyn WalkModel>> = vec![
+            Box::new(DeepWalkModel {
+                config: DeepWalkConfig { walk_length: 3 },
+            }),
+            Box::new(Node2VecModel {
+                config: Node2VecConfig::default(),
+            }),
+            Box::new(PprModel {
+                config: PprConfig::default(),
+            }),
+            Box::new(SimpleSamplingModel {
+                config: SimpleSamplingConfig { walk_length: 3 },
+            }),
+        ];
+        let sampler = fan();
+        let mut rng = Pcg64::seed_from_u64(9);
+        for model in &models {
+            let state = model.init(0);
+            assert_eq!(state.current(), 0);
+            // One step through the erased surface must produce a transition.
+            let t = model.step(&state, &sampler, &mut rng);
+            match t {
+                Transition::Step(v) => assert!(TransitionSampler::has_edge(&sampler, 0, v)),
+                Transition::Terminate => {}
+            }
+            assert!(!model.name().is_empty());
+            assert!(model.max_steps() > 0);
+        }
+    }
+
+    #[test]
+    fn carried_context_byte_len_counts_vertex_and_adjacency() {
+        let ctx = CarriedContext {
+            vertex: 7,
+            adjacency: vec![1, 2, 3],
+        };
+        assert_eq!(ctx.byte_len(), 4 * std::mem::size_of::<VertexId>());
+    }
+}

@@ -15,7 +15,8 @@
 //! position, and re-samples their suffixes from the *updated* engine — which
 //! is exactly where Bingo's `O(1)` sampling after an `O(K)` update pays off.
 
-use crate::apps::WalkSpec;
+use crate::apps::{WalkCursor, WalkSpec};
+use crate::model::SharedWalkModel;
 use crate::TransitionSampler;
 use bingo_graph::VertexId;
 use bingo_sampling::rng::Pcg64;
@@ -48,12 +49,36 @@ impl WalkStore {
     where
         S: TransitionSampler + ?Sized,
     {
-        let starts: Vec<VertexId> = (0..sampler.num_vertices() as VertexId).collect();
-        Self::generate_from(sampler, spec, &starts, seed)
+        Self::generate_model(sampler, &spec.to_model(), seed)
     }
 
     /// Build a store from explicit start vertices.
     pub fn generate_from<S>(sampler: &S, spec: &WalkSpec, starts: &[VertexId], seed: u64) -> Self
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        Self::generate_model_from(sampler, &spec.to_model(), starts, seed)
+    }
+
+    /// Build a store by running an arbitrary
+    /// [`WalkModel`](crate::model::WalkModel) once from every vertex.
+    pub fn generate_model<S>(sampler: &S, model: &SharedWalkModel, seed: u64) -> Self
+    where
+        S: TransitionSampler + ?Sized,
+    {
+        let starts: Vec<VertexId> = (0..sampler.num_vertices() as VertexId).collect();
+        Self::generate_model_from(sampler, model, &starts, seed)
+    }
+
+    /// Build a store by driving an arbitrary model from explicit start
+    /// vertices — the generation primitive every spec-based constructor
+    /// routes through.
+    pub fn generate_model_from<S>(
+        sampler: &S,
+        model: &SharedWalkModel,
+        starts: &[VertexId],
+        seed: u64,
+    ) -> Self
     where
         S: TransitionSampler + ?Sized,
     {
@@ -62,13 +87,15 @@ impl WalkStore {
             .enumerate()
             .map(|(i, &start)| {
                 let mut rng = Pcg64::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-                spec.walk(sampler, start, &mut rng)
+                let mut cursor = WalkCursor::with_model(model.clone(), start);
+                while cursor.step(sampler, &mut rng).is_some() {}
+                cursor.into_path()
             })
             .collect();
         let mut store = WalkStore {
             walks,
             index: Vec::new(),
-            target_length: spec.expected_length(),
+            target_length: model.expected_length(),
             seed,
         };
         store.rebuild_index(sampler.num_vertices());

@@ -1,11 +1,15 @@
 //! Quickstart: build a small weighted graph, create the Bingo engine, run a
-//! few biased random walks, and stream some updates.
+//! few biased random walks, stream some updates, and plug a custom walk
+//! model into the unified `WalkClient` front-end.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use bingo::prelude::*;
+use bingo::walks::model::StepSampler;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
 
 fn main() {
     // 1. Build the paper's running example graph (Figure 1, snapshot 1).
@@ -85,5 +89,62 @@ fn main() {
         walks.num_walks(),
         walks.total_steps(),
         walks.paths[0]
+    );
+
+    // 6. Walk applications are pluggable: implement `WalkModel` and submit
+    //    it through the unified `WalkClient` — the same request would run
+    //    unchanged on a sharded `WalkService`.
+    #[derive(Debug)]
+    struct TemperatureWalk {
+        tau: f64,
+        max_steps: usize,
+    }
+
+    impl WalkModel for TemperatureWalk {
+        fn name(&self) -> &str {
+            "temperature"
+        }
+        fn expected_length(&self) -> usize {
+            self.tau.ceil() as usize
+        }
+        fn max_steps(&self) -> usize {
+            self.max_steps
+        }
+        fn step(
+            &self,
+            state: &WalkState,
+            sampler: &dyn StepSampler,
+            rng: &mut dyn RngCore,
+        ) -> Transition {
+            // Survive a step with probability exp(-steps / tau): the walk
+            // "cools" as it lengthens.
+            let survive = (-(state.steps_taken() as f64) / self.tau).exp();
+            if state.steps_taken() >= self.max_steps || rng.gen::<f64>() >= survive {
+                return Transition::Terminate;
+            }
+            match sampler.sample_neighbor_dyn(state.current(), rng) {
+                Some(next) => Transition::Step(next),
+                None => Transition::Terminate,
+            }
+        }
+    }
+
+    let client = WalkClient::local(&engine);
+    let output = client
+        .submit(
+            WalkRequest::model(Arc::new(TemperatureWalk {
+                tau: 5.0,
+                max_steps: 30,
+            }))
+            .all_vertices()
+            .seed(11),
+        )
+        .expect("request is valid")
+        .wait();
+    println!(
+        "custom temperature model via WalkClient: {} walks, {} steps, mean length {:.2}",
+        output.num_walks,
+        output.total_steps,
+        output.total_steps as f64 / output.num_walks as f64
     );
 }

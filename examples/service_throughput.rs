@@ -4,13 +4,20 @@
 //! test against the fully-updated graph and per-shard `ServiceStats` are
 //! printed.
 //!
+//! The wave workload runs twice — once on the uniform vertex split and
+//! once on the degree-balanced split (`Partitioner::balanced_by_degree`) —
+//! and prints the per-shard step share of both, showing how the balanced
+//! split spreads the power-law load that the uniform split piles onto
+//! shard 0. A node2vec wave (served through the `WalkClient` facade)
+//! exercises the forwarded-context path.
+//!
 //! ```text
 //! cargo run --release --example service_throughput
 //! ```
 
 use bingo::prelude::*;
 use bingo::sampling::stats::{chi_square, chi_square_critical_999};
-use bingo::service::ServiceConfig;
+use bingo::service::{PartitionStrategy, ServiceConfig};
 use bingo_graph::updates::UpdateKind;
 use std::collections::BTreeMap;
 
@@ -18,6 +25,51 @@ const SHARDS: usize = 4;
 const TOTAL_EVENTS: usize = 12_000;
 const BATCH_SIZE: usize = 600;
 const WALK_LEN: usize = 20;
+
+/// Run the wave workload (one walk wave up front, one after every update
+/// batch) on a fresh service with the given partition strategy, returning
+/// the final stats and the wave results.
+fn serve_waves(
+    graph: &DynamicGraph,
+    batches: &[UpdateBatch],
+    partition: PartitionStrategy,
+) -> (ServiceStats, Vec<TicketResults>, std::time::Duration) {
+    let service = WalkService::build(
+        graph,
+        ServiceConfig {
+            num_shards: SHARDS,
+            seed: 0x7417,
+            partition,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service builds");
+    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig {
+        walk_length: WALK_LEN,
+    });
+
+    let t0 = std::time::Instant::now();
+    let mut tickets = vec![service.submit(spec, &starts).expect("submit")];
+    let mut last_receipt = None;
+    for batch in batches {
+        last_receipt = Some(service.ingest(batch));
+        tickets.push(service.submit(spec, &starts).expect("submit"));
+    }
+    let waves: Vec<TicketResults> = tickets.into_iter().map(|t| service.wait(t)).collect();
+    let elapsed = t0.elapsed();
+    service.sync(last_receipt.expect("at least one batch"));
+    (service.shutdown(), waves, elapsed)
+}
+
+fn step_share(stats: &ServiceStats) -> Vec<f64> {
+    let total = stats.total_steps().max(1) as f64;
+    stats
+        .per_shard
+        .iter()
+        .map(|s| 100.0 * s.steps as f64 / total)
+        .collect()
+}
 
 fn main() {
     // A scaled-down LiveJournal stand-in plus a mixed update stream.
@@ -37,49 +89,58 @@ fn main() {
         batches.len()
     );
 
-    // Serve walks from SHARDS shards while the stream is ingested.
-    let service = WalkService::build(
-        &graph,
-        ServiceConfig {
-            num_shards: SHARDS,
-            seed: 0x7417,
-            ..ServiceConfig::default()
-        },
-    )
-    .expect("service builds");
-    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
-    let spec = WalkSpec::DeepWalk(DeepWalkConfig {
-        walk_length: WALK_LEN,
-    });
-
-    let t0 = std::time::Instant::now();
-    let mut tickets = vec![service.submit(spec, &starts).expect("submit")];
-    let mut last_receipt = None;
-    for batch in &batches {
-        last_receipt = Some(service.ingest(batch));
-        tickets.push(service.submit(spec, &starts).expect("submit"));
-    }
-    let waves: Vec<TicketResults> = tickets.into_iter().map(|t| service.wait(t)).collect();
-    let elapsed = t0.elapsed();
-    service.sync(last_receipt.expect("at least one batch"));
+    // Same wave workload on both partition strategies: the power-law
+    // stand-in concentrates degree in the low vertex ids, so the uniform
+    // split overloads shard 0 while the degree-balanced split evens out
+    // the per-shard step share.
+    let (uniform_stats, _, uniform_elapsed) =
+        serve_waves(&graph, &batches, PartitionStrategy::Uniform);
+    let (stats, waves, elapsed) = serve_waves(&graph, &batches, PartitionStrategy::DegreeBalanced);
+    println!("\nper-shard step share (% of all steps sampled):");
+    println!(
+        "  uniform split:          {:?}",
+        step_share(&uniform_stats)
+            .iter()
+            .map(|s| format!("{s:.1}%"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  degree-balanced split:  {:?}",
+        step_share(&stats)
+            .iter()
+            .map(|s| format!("{s:.1}%"))
+            .collect::<Vec<_>>()
+    );
 
     let total_steps: usize = waves.iter().map(TicketResults::total_steps).sum();
     let total_walks: usize = waves.iter().map(|w| w.paths.len()).sum();
     println!(
-        "\nserved {} walks ({} steps) across {} waves while ingesting {} events: {:.3}s ({:.0} ksteps/s)",
+        "\nserved {} walks ({} steps) across {} waves while ingesting {} events: \
+         {:.3}s balanced vs {:.3}s uniform ({:.0} ksteps/s balanced)",
         total_walks,
         total_steps,
         waves.len(),
         stream.len(),
         elapsed.as_secs_f64(),
+        uniform_elapsed.as_secs_f64(),
         total_steps as f64 / elapsed.as_secs_f64() / 1e3,
     );
 
-    // Validate the post-update sampling distribution: mirror the stream
-    // onto the initial graph, pick the busiest vertex, and chi-square the
-    // service's transitions against the mirrored edge biases.
+    // Validate the post-update sampling distribution on a fresh balanced
+    // service over the fully-updated graph: pick the busiest vertex and
+    // chi-square the service's transitions against the edge biases.
     let mut mirror = graph.clone();
     mirror.apply_batch(&stream);
+    let service = WalkService::build(
+        &mirror,
+        ServiceConfig {
+            num_shards: SHARDS,
+            seed: 0x7418,
+            partition: PartitionStrategy::DegreeBalanced,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service builds");
     let v = (0..mirror.num_vertices() as VertexId)
         .max_by_key(|&v| mirror.degree(v))
         .expect("non-empty graph");
@@ -113,8 +174,32 @@ fn main() {
         if stat < critical { "PASS" } else { "FAIL" }
     );
 
-    let stats = service.shutdown();
-    println!("\nper-shard service stats:\n{}", stats.render());
+    // A node2vec wave through the unified client: the second-order factor
+    // needs the previous vertex's adjacency, which crosses shards inside
+    // forwarded context fingerprints.
+    let client = WalkClient::sharded(&service);
+    let n2v = client
+        .submit(
+            WalkRequest::spec(WalkSpec::Node2Vec(Node2VecConfig {
+                walk_length: WALK_LEN,
+                p: 0.5,
+                q: 2.0,
+            }))
+            .all_vertices()
+            .collect(CollectionMode::VisitCounts),
+        )
+        .expect("submit node2vec")
+        .wait();
+    println!(
+        "node2vec wave via WalkClient: {} walks, {} steps",
+        n2v.num_walks, n2v.total_steps
+    );
+
+    let final_stats = service.shutdown();
+    println!(
+        "\nper-shard service stats (validation service):\n{}",
+        final_stats.render()
+    );
 
     assert!(stream.len() >= 10_000, "example must ingest >= 10k events");
     assert!(
@@ -125,5 +210,19 @@ fn main() {
         "every shard applied every batch"
     );
     assert!(stat < critical, "sampling distribution diverged");
+    assert_eq!(n2v.num_walks, mirror.num_vertices(), "node2vec wave served");
+    assert!(
+        final_stats.total_context_bytes() > 0,
+        "node2vec forwards carried context"
+    );
+    let uniform_max = step_share(&uniform_stats)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    let balanced_max = step_share(&stats).into_iter().fold(0.0f64, f64::max);
+    assert!(
+        balanced_max <= uniform_max + 1e-9,
+        "degree-balanced split must not increase the hottest shard's share \
+         ({balanced_max:.1}% vs {uniform_max:.1}%)"
+    );
     println!("ok");
 }

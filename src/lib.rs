@@ -18,8 +18,8 @@
 //!   reservoir) used both inside Bingo and as baselines.
 //! * [`core`] — the paper's contribution: radix-based bias factorization,
 //!   adaptive group representation, streaming and batched updates.
-//! * [`walks`] — random-walk applications (DeepWalk, node2vec, PPR) and the
-//!   parallel walker engine.
+//! * [`walks`] — random-walk applications (DeepWalk, node2vec, PPR) behind
+//!   the pluggable `WalkModel` trait, and the parallel walker engine.
 //! * [`baselines`] — reimplementations of the systems the paper compares
 //!   against (KnightKing, gSampler, FlowWalker).
 //! * [`service`] — the serving layer: a vertex-sharded, multi-threaded walk
@@ -91,11 +91,13 @@ pub mod prelude {
     };
     pub use bingo_sampling::{rng::Pcg64, AliasTable, CdfTable, Sampler};
     pub use bingo_service::{
-        IngestReceipt, ServiceConfig, ServiceStats, TicketResults, WalkService, WalkTicket,
+        CollectionMode, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceStats,
+        TicketResults, WalkClient, WalkOutput, WalkRequest, WalkService, WalkTicket,
     };
     pub use bingo_walks::{
-        DeepWalkConfig, Node2VecConfig, PprConfig, TransitionSampler, WalkCursor, WalkEngine,
-        WalkSpec,
+        ContextRequirement, DeepWalkConfig, Node2VecConfig, PprConfig, SharedWalkModel,
+        StepSampler, Transition, TransitionSampler, WalkCursor, WalkEngine, WalkModel, WalkSpec,
+        WalkState,
     };
     pub use rand::SeedableRng;
 }

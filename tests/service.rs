@@ -1,7 +1,11 @@
 //! Integration tests for the sharded walk service (`bingo-service`):
 //!
 //! * statistical equivalence — sampling through 4 shards must reproduce the
-//!   single-engine edge-transition distribution (chi-square test);
+//!   single-engine edge-transition distribution (chi-square test), for
+//!   first-order walks *and* for node2vec's second-order transitions
+//!   (which require the forwarded adjacency-fingerprint context);
+//! * forwarded-context integrity — every context snapshot attached to a
+//!   forwarded walker must equal the previous vertex's true adjacency;
 //! * update/walk interleaving — while update batches stream in, every walk
 //!   step must traverse an edge that was alive at the epoch the owning
 //!   shard had reached when it sampled the step (no torn or stale groups).
@@ -267,4 +271,256 @@ fn concurrent_updates_and_walks_respect_epoch_liveness() {
         }
         mirror_applied
     });
+}
+
+/// A 4-shard graph engineered so node2vec's second transition out of vertex
+/// `HUB` has an analytically known distribution that *depends on the
+/// previous vertex's adjacency*: candidate 15 is an out-neighbor of the
+/// start vertex (distance factor 1), candidate 0 is the start itself
+/// (factor 1/p), and the rest are at distance 2 (factor 1/q). Walkers start
+/// on shard 0 and the hub lives on shard 2, so the second step can only be
+/// sampled correctly if the forwarding shard shipped vertex 0's adjacency
+/// fingerprint along with the walker.
+const HUB: VertexId = 25;
+
+fn node2vec_fanout_graph() -> (DynamicGraph, Vec<(VertexId, u64)>) {
+    let n = 40;
+    let mut graph = DynamicGraph::new(n);
+    // Start vertex 0: a dominant edge to the hub plus one edge to 15 that
+    // puts 15 at distance 1 from the start.
+    graph.insert_edge(0, HUB, Bias::from_int(50)).unwrap();
+    graph.insert_edge(0, 15, Bias::from_int(1)).unwrap();
+    // The hub's fan-out spans all four shards.
+    let fanout: Vec<(VertexId, u64)> = vec![
+        (0, 3),  // backtrack → factor 1/p
+        (15, 4), // out-neighbor of prev → factor 1
+        (5, 2),  // distance 2 → factor 1/q
+        (12, 6), // distance 2 → factor 1/q
+        (33, 5), // distance 2 → factor 1/q
+        (38, 1), // distance 2 → factor 1/q
+    ];
+    for &(dst, w) in &fanout {
+        graph.insert_edge(HUB, dst, Bias::from_int(w)).unwrap();
+    }
+    // Liveness edges elsewhere (never sampled by the 2-step walks below,
+    // but they keep the graph free of accidental dead ends).
+    for v in 1..n as u32 {
+        if v != HUB {
+            graph
+                .insert_edge(v, (v + 1) % n as u32, Bias::from_int(1))
+                .unwrap();
+        }
+    }
+    (graph, fanout)
+}
+
+#[test]
+fn sharded_node2vec_matches_single_engine_distribution() {
+    let (graph, fanout) = node2vec_fanout_graph();
+    let p = 0.5;
+    let q = 2.0;
+    let spec = WalkSpec::Node2Vec(Node2VecConfig {
+        walk_length: 2,
+        p,
+        q,
+    });
+
+    // Analytic second-step distribution out of HUB given prev = 0: the
+    // rejection sampler accepts candidate x with probability ∝ bias(x) ·
+    // factor(x), factor = 1/p for the backtrack, 1 for out-neighbors of
+    // the previous vertex, 1/q otherwise.
+    let factor = |dst: VertexId| -> f64 {
+        if dst == 0 {
+            1.0 / p
+        } else if graph.has_edge(0, dst) {
+            1.0
+        } else {
+            1.0 / q
+        }
+    };
+    let masses: Vec<f64> = fanout
+        .iter()
+        .map(|&(dst, w)| w as f64 * factor(dst))
+        .collect();
+    let total: f64 = masses.iter().sum();
+    let probs: Vec<f64> = masses.iter().map(|m| m / total).collect();
+    let slot: HashMap<VertexId, usize> = fanout
+        .iter()
+        .enumerate()
+        .map(|(i, &(dst, _))| (dst, i))
+        .collect();
+
+    let trials = 60_000;
+
+    // Sharded service: 2-step node2vec walks from vertex 0. The first step
+    // lands on HUB (shard 2) with probability 50/51; the walker is
+    // forwarded from shard 0 with vertex 0's adjacency fingerprint.
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards: 4,
+            seed: 0x20D2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let starts = vec![0 as VertexId; trials];
+    let results = service.wait(service.submit(spec, &starts).unwrap());
+    let mut service_counts = vec![0usize; fanout.len()];
+    let mut service_total = 0usize;
+    for path in &results.paths {
+        if path.len() == 3 && path[1] == HUB {
+            service_counts[slot[&path[2]]] += 1;
+            service_total += 1;
+        }
+    }
+
+    // Single engine: the same walks, same analytic expectation.
+    let single = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+    let mut rng = Pcg64::seed_from_u64(0x51E5);
+    let mut engine_counts = vec![0usize; fanout.len()];
+    let mut engine_total = 0usize;
+    for _ in 0..trials {
+        let path = spec.walk(&single, 0, &mut rng);
+        if path.len() == 3 && path[1] == HUB {
+            engine_counts[slot[&path[2]]] += 1;
+            engine_total += 1;
+        }
+    }
+
+    assert!(service_total > trials * 9 / 10, "most walks route via HUB");
+    assert!(engine_total > trials * 9 / 10);
+
+    let critical = chi_square_critical_999(fanout.len() - 1) * 1.5;
+    let service_stat = chi_square(&service_counts, &probs);
+    let engine_stat = chi_square(&engine_counts, &probs);
+    assert!(
+        service_stat < critical,
+        "sharded node2vec off: chi2 {service_stat:.2} vs critical {critical:.2} ({service_counts:?})"
+    );
+    assert!(
+        engine_stat < critical,
+        "single-engine node2vec off: chi2 {engine_stat:.2} vs critical {critical:.2} ({engine_counts:?})"
+    );
+
+    // The context actually travelled: forwarded second-order walkers
+    // shipped adjacency bytes between shards.
+    let stats = service.shutdown();
+    assert!(stats.total_forwards() > 0);
+    assert!(
+        stats.total_context_bytes() > 0,
+        "node2vec forwards must carry the previous vertex's fingerprint"
+    );
+}
+
+#[test]
+fn forwarded_context_matches_true_adjacency() {
+    let (graph, _) = node2vec_fanout_graph();
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards: 4,
+            seed: 0xC0DE,
+            record_epochs: true,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let partitioner = service.partitioner();
+    let spec = WalkSpec::Node2Vec(Node2VecConfig {
+        walk_length: 12,
+        p: 0.5,
+        q: 2.0,
+    });
+    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let results = service.wait(service.submit(spec, &starts).unwrap());
+
+    let mut captured = 0usize;
+    for contexts in &results.contexts {
+        for ctx in contexts {
+            // The capture happened on the shard owning the snapshotted
+            // vertex...
+            assert_eq!(
+                partitioner.owner(ctx.vertex),
+                ctx.shard,
+                "context captured by the owner of vertex {}",
+                ctx.vertex
+            );
+            // ...and the fingerprint is exactly that vertex's sorted true
+            // out-adjacency (the graph saw no updates in this test).
+            let mut expected: Vec<VertexId> = graph
+                .neighbors(ctx.vertex)
+                .expect("vertex in range")
+                .edges()
+                .iter()
+                .map(|e| e.dst)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(
+                ctx.adjacency, expected,
+                "carried context of vertex {} diverged",
+                ctx.vertex
+            );
+            captured += 1;
+        }
+    }
+    assert!(
+        captured > 0,
+        "multi-shard node2vec must capture forwarded contexts"
+    );
+    let stats = service.shutdown();
+    assert!(stats.total_context_bytes() > 0);
+}
+
+#[test]
+fn walk_client_serves_both_backends_with_chunked_polling() {
+    let (graph, _) = node2vec_fanout_graph();
+    let n = graph.num_vertices();
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 6 });
+
+    // Local backend: synchronous, complete at submit time.
+    let engine = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+    let local_out = WalkClient::local(&engine)
+        .submit(WalkRequest::spec(spec).all_vertices().seed(9))
+        .unwrap()
+        .wait();
+    assert_eq!(local_out.num_walks, n);
+    assert!(local_out.total_steps > 0);
+
+    // Service backend with an in-flight cap and visit-count collection:
+    // poll try_collect until the chunks drain.
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards: 4,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let client = WalkClient::sharded(&service);
+    let mut handle = client
+        .submit(
+            WalkRequest::spec(spec)
+                .all_vertices()
+                .seed(9)
+                .max_in_flight(7)
+                .collect(CollectionMode::VisitCounts),
+        )
+        .unwrap();
+    let output = loop {
+        if let Some(out) = handle.try_collect().unwrap() {
+            break out;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(output.num_walks, n);
+    assert!(output.paths.is_empty(), "visit-count mode drops paths");
+    let counts = output.visit_counts.expect("visit counts collected");
+    assert_eq!(counts.len(), n);
+    // Every walk contributes path-length vertices: steps + 1 per walk.
+    assert_eq!(
+        counts.iter().sum::<u64>() as usize,
+        output.total_steps + output.num_walks
+    );
 }
