@@ -147,7 +147,9 @@ pub fn service_node2vec(config: &ExperimentConfig) -> ResultTable {
             "chi2_service",
             "chi2_single",
             "critical",
-            "ctx_bytes",
+            "ctx_bytes_raw",
+            "ctx_bytes_sent",
+            "cache_hit_rate",
             "fwd",
             "pass",
         ],
@@ -230,7 +232,9 @@ pub fn service_node2vec(config: &ExperimentConfig) -> ResultTable {
             format!("{chi2_service:.2}"),
             format!("{chi2_single:.2}"),
             format!("{critical:.2}"),
+            stats.total_context_bytes_raw().to_string(),
             stats.total_context_bytes().to_string(),
+            format!("{:.3}", stats.context_cache_hit_rate()),
             stats.total_forwards().to_string(),
             if pass { "PASS" } else { "FAIL" }.to_string(),
         ]);
@@ -269,8 +273,16 @@ mod tests {
         for row in &table.rows {
             assert_eq!(row.last().unwrap(), "PASS", "row {row:?}");
         }
-        // Multi-shard rows forwarded walkers with carried context.
-        let ctx: u64 = table.rows[2][6].parse().unwrap();
-        assert!(ctx > 0, "4-shard run must ship context bytes");
+        // Multi-shard rows forwarded walkers with carried context, and the
+        // wave-shared snapshot cache shrank the materialized bytes.
+        // This experiment's captured context (vertex 0, degree 2) is
+        // smaller than a reuse handle, so bytes cannot shrink — but reuse
+        // must happen and billing must never exceed the raw baseline.
+        let raw: u64 = table.rows[2][6].parse().unwrap();
+        let sent: u64 = table.rows[2][7].parse().unwrap();
+        let hit_rate: f64 = table.rows[2][8].parse().unwrap();
+        assert!(raw > 0, "4-shard run must account baseline context bytes");
+        assert!(sent > 0 && sent <= raw, "billing is capped by the baseline");
+        assert!(hit_rate > 0.0, "snapshot cache must be hit within a wave");
     }
 }

@@ -1,0 +1,82 @@
+//! Epoch-versioned adjacency-fingerprint provider (KnightKing-style static
+//! caches for hot hubs).
+//!
+//! Sharded deployments attach a membership snapshot of a walker's previous
+//! vertex to every forwarded second-order walker. Hubs dominate that
+//! traffic — a power-law graph forwards the same few high-degree
+//! fingerprints thousands of times per wave — so rebuilding the sorted
+//! adjacency `Vec` per forward is the dominant allocation cost.
+//! The provider removes it: the top-k owned vertices by degree get
+//! their fingerprints built **once per engine generation** and held behind
+//! `Arc`s (handing one out is a pointer clone), while cold vertices are
+//! built on demand. Any structural mutation of the engine's edge set (insert
+//! or delete — reweights keep membership intact) invalidates the provider; the hot set is rebuilt lazily on the next request, so
+//! workloads that never capture context (first-order walks) never pay for
+//! it.
+//!
+//! The provider is owned by [`BingoEngine`](crate::BingoEngine) and used
+//! through [`BingoEngine::context_fingerprint`](crate::BingoEngine::context_fingerprint).
+
+use bingo_graph::VertexId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Activity counters of the engine's context provider (monotonic over the
+/// engine's lifetime, not reset by invalidation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextProviderStats {
+    /// Fingerprint requests served from the hot-hub set (`Arc` clone).
+    pub hot_hits: u64,
+    /// Fingerprint requests that built a cold vertex's snapshot on demand.
+    pub cold_builds: u64,
+    /// Times the hot set was (re)built after an invalidation.
+    pub hot_rebuilds: u64,
+}
+
+/// Per-generation cache of hot-hub adjacency fingerprints.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ContextProvider {
+    /// Snapshots of the top-k owned vertices by degree, valid for the
+    /// current engine generation.
+    hot: HashMap<VertexId, Arc<Vec<VertexId>>>,
+    /// Whether `hot` reflects the current generation.
+    built: bool,
+    stats: ContextProviderStats,
+}
+
+impl ContextProvider {
+    /// Drop every snapshot; the hot set is rebuilt lazily on the next
+    /// [`ContextProvider::get`] after [`ContextProvider::install_hot`].
+    pub(crate) fn invalidate(&mut self) {
+        self.hot.clear();
+        self.built = false;
+    }
+
+    pub(crate) fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// Install a freshly built hot set for the current generation.
+    pub(crate) fn install_hot(&mut self, hot: HashMap<VertexId, Arc<Vec<VertexId>>>) {
+        self.hot = hot;
+        self.built = true;
+        self.stats.hot_rebuilds += 1;
+    }
+
+    /// Look up `v` in the hot set (counts a hit on success).
+    pub(crate) fn get(&mut self, v: VertexId) -> Option<Arc<Vec<VertexId>>> {
+        let fp = self.hot.get(&v).cloned();
+        if fp.is_some() {
+            self.stats.hot_hits += 1;
+        }
+        fp
+    }
+
+    pub(crate) fn count_cold_build(&mut self) {
+        self.stats.cold_builds += 1;
+    }
+
+    pub(crate) fn stats(&self) -> ContextProviderStats {
+        self.stats
+    }
+}

@@ -8,6 +8,7 @@
 //! which is the CPU equivalent of the paper's per-vertex GPU kernels.
 
 use crate::config::BingoConfig;
+use crate::context::{ContextProvider, ContextProviderStats};
 use crate::memory::MemoryReport;
 use crate::stats::{ConversionMatrix, EngineStats};
 use crate::vertex_space::VertexSpace;
@@ -15,6 +16,7 @@ use crate::{BingoError, Result};
 use bingo_graph::{Bias, DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
 use rand::Rng;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Outcome of ingesting a batch of updates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,6 +53,10 @@ pub struct BingoEngine {
     config: BingoConfig,
     num_edges: usize,
     stats: EngineStats,
+    /// Hot-hub fingerprint cache for the forwarded-context path; lazily
+    /// built, invalidated by every structural edge mutation (bias-only
+    /// reweights keep it).
+    context: ContextProvider,
 }
 
 impl BingoEngine {
@@ -99,6 +105,7 @@ impl BingoEngine {
             config,
             num_edges,
             stats: EngineStats::default(),
+            context: ContextProvider::default(),
         })
     }
 
@@ -113,6 +120,7 @@ impl BingoEngine {
             config,
             num_edges: 0,
             stats: EngineStats::default(),
+            context: ContextProvider::default(),
         }
     }
 
@@ -217,12 +225,74 @@ impl BingoEngine {
     /// fingerprint a sharded deployment attaches to forwarded second-order
     /// walkers (membership queries against a vertex another shard owns).
     /// Returns `None` when this engine does not own `v`.
+    ///
+    /// This always allocates a fresh `Vec`; the forwarded-context hot path
+    /// should use [`BingoEngine::context_fingerprint`], which serves hot
+    /// hubs from an epoch-versioned `Arc` cache instead.
     pub fn neighbor_fingerprint(&self, v: VertexId) -> Option<Vec<VertexId>> {
         let space = self.spaces.get(self.local(v)?)?;
+        Some(Self::fingerprint_of(space))
+    }
+
+    fn fingerprint_of(space: &VertexSpace) -> Vec<VertexId> {
         let mut adj: Vec<VertexId> = space.adjacency().edges().iter().map(|e| e.dst).collect();
         adj.sort_unstable();
         adj.dedup();
-        Some(adj)
+        adj
+    }
+
+    fn build_hot_set(
+        spaces: &[VertexSpace],
+        base: usize,
+        k: usize,
+    ) -> std::collections::HashMap<VertexId, Arc<Vec<VertexId>>> {
+        if k == 0 || spaces.is_empty() {
+            return std::collections::HashMap::new();
+        }
+        let mut by_degree: Vec<(usize, usize)> = spaces
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.degree(), i))
+            .collect();
+        let k = k.min(by_degree.len());
+        by_degree.select_nth_unstable_by(k - 1, |a, b| b.0.cmp(&a.0));
+        by_degree.truncate(k);
+        by_degree
+            .into_iter()
+            .filter(|&(degree, _)| degree > 0)
+            .map(|(_, i)| {
+                (
+                    (base + i) as VertexId,
+                    Arc::new(Self::fingerprint_of(&spaces[i])),
+                )
+            })
+            .collect()
+    }
+
+    /// The adjacency fingerprint of `v` for the forwarded-context path:
+    /// hot hubs (the top [`BingoConfig::context_hot_hubs`] owned vertices
+    /// by degree, snapshotted once per engine generation and invalidated by
+    /// every structural edge mutation) are served as `Arc` clones; cold
+    /// vertices are
+    /// encoded on demand. Returns the fingerprint and whether it came from
+    /// the hot cache. `None` when this engine does not own `v`.
+    pub fn context_fingerprint(&mut self, v: VertexId) -> Option<(Arc<Vec<VertexId>>, bool)> {
+        let i = self.local(v)?;
+        if !self.context.is_built() {
+            let hot =
+                Self::build_hot_set(&self.spaces, self.vertex_base, self.config.context_hot_hubs);
+            self.context.install_hot(hot);
+        }
+        if let Some(fp) = self.context.get(v) {
+            return Some((fp, true));
+        }
+        self.context.count_cold_build();
+        Some((Arc::new(Self::fingerprint_of(&self.spaces[i])), false))
+    }
+
+    /// Monotonic activity counters of the hot-hub context provider.
+    pub fn context_provider_stats(&self) -> ContextProviderStats {
+        self.context.stats()
     }
 
     /// Streaming edge insertion (`O(K)` for the affected vertex).
@@ -236,6 +306,7 @@ impl BingoEngine {
         self.vertex_space_mut(src)?.insert(dst, bias)?;
         self.num_edges += 1;
         self.stats.insertions += 1;
+        self.context.invalidate();
         Ok(())
     }
 
@@ -244,10 +315,14 @@ impl BingoEngine {
         self.vertex_space_mut(src)?.delete(dst)?;
         self.num_edges -= 1;
         self.stats.deletions += 1;
+        self.context.invalidate();
         Ok(())
     }
 
     /// Streaming bias update of the edge `(src, dst)`.
+    ///
+    /// Context fingerprints stay valid: they are membership sets over the
+    /// neighbor ids, which a bias change never alters.
     pub fn update_bias(&mut self, src: VertexId, dst: VertexId, bias: Bias) -> Result<()> {
         self.vertex_space_mut(src)?.update_bias(dst, bias)
     }
@@ -286,6 +361,7 @@ impl BingoEngine {
         let outcome = space.apply_batch(&[], &dsts);
         self.num_edges -= outcome.deleted;
         self.stats.deletions += outcome.deleted as u64;
+        self.context.invalidate();
         Ok(outcome.deleted)
     }
 
@@ -318,6 +394,7 @@ impl BingoEngine {
         // CPU-side reordering step of Figure 10(a): per-vertex work lists.
         type VertexOps = Option<(Vec<(VertexId, Bias)>, Vec<VertexId>)>;
         let mut per_vertex: Vec<VertexOps> = vec![None; self.spaces.len()];
+        let mut structural = false;
         for event in batch.events() {
             let Some(src) = self.local(event.src()) else {
                 continue;
@@ -331,10 +408,16 @@ impl BingoEngine {
                 UpdateEvent::Insert { dst, bias, .. } => {
                     if valid_dst(dst) {
                         entry.0.push((dst, bias));
+                        structural = true;
                     }
                 }
-                UpdateEvent::Delete { dst, .. } => entry.1.push(dst),
+                UpdateEvent::Delete { dst, .. } => {
+                    entry.1.push(dst);
+                    structural = true;
+                }
                 UpdateEvent::UpdateBias { dst, bias, .. } => {
+                    // Reweights keep the neighbor-id set intact, so they do
+                    // not count as structural for fingerprint invalidation.
                     if valid_dst(dst) {
                         entry.1.push(dst);
                         entry.0.push((dst, bias));
@@ -371,6 +454,13 @@ impl BingoEngine {
         self.stats.insertions += total.inserted as u64;
         self.stats.deletions += total.deleted as u64;
         self.stats.batches += 1;
+        if structural {
+            // Inserts/deletes change neighbor-id membership, so cached
+            // fingerprints of touched vertices are stale. Empty flushes and
+            // bias-only batches leave the hot set intact — epoch ticks
+            // without adjacency changes must not evict it.
+            self.context.invalidate();
+        }
         total
     }
 
@@ -741,6 +831,100 @@ mod tests {
         assert_eq!(outcomes[3].inserted, 1);
         assert!(shards[0].has_edge(10, 90));
         assert!(shards[3].has_edge(80, 3));
+    }
+
+    #[test]
+    fn context_fingerprints_cache_hot_hubs_per_generation() {
+        let graph = random_graph(31, 120, 2400);
+        let mut engine = BingoEngine::build(
+            &graph,
+            BingoConfig {
+                context_hot_hubs: 8,
+                ..BingoConfig::default()
+            },
+        )
+        .unwrap();
+        let hub = (0..120u32).max_by_key(|&v| engine.degree(v)).unwrap();
+        let cold = (0..120u32).min_by_key(|&v| engine.degree(v)).unwrap();
+        assert_ne!(hub, cold);
+
+        // The hub is served from the hot set, as the same Arc each time.
+        let (fp1, hot1) = engine.context_fingerprint(hub).unwrap();
+        let (fp2, hot2) = engine.context_fingerprint(hub).unwrap();
+        assert!(hot1 && hot2, "top-degree vertex is in the hot set");
+        assert!(
+            Arc::ptr_eq(&fp1, &fp2),
+            "hot snapshots are shared, not rebuilt"
+        );
+        assert_eq!(Some(fp1.as_ref().clone()), engine.neighbor_fingerprint(hub));
+
+        // A min-degree vertex is encoded on demand.
+        let (_, hot_cold) = engine.context_fingerprint(cold).unwrap();
+        assert!(!hot_cold, "min-degree vertex is not in an 8-entry hot set");
+
+        let stats = engine.context_provider_stats();
+        assert_eq!(stats.hot_rebuilds, 1);
+        assert_eq!(stats.hot_hits, 2);
+        assert_eq!(stats.cold_builds, 1);
+
+        // A mutation invalidates; the next request rebuilds the hot set and
+        // reflects the new adjacency.
+        let dst = (0..120u32).find(|&d| !engine.has_edge(hub, d)).unwrap();
+        engine.insert_edge(hub, dst, Bias::from_int(3)).unwrap();
+        let (fp3, hot3) = engine.context_fingerprint(hub).unwrap();
+        assert!(hot3);
+        assert!(!Arc::ptr_eq(&fp1, &fp3), "stale snapshot dropped");
+        assert!(fp3.binary_search(&dst).is_ok(), "new edge visible");
+        assert_eq!(engine.context_provider_stats().hot_rebuilds, 2);
+
+        // Batched updates invalidate too.
+        let batch = UpdateBatch::new(vec![UpdateEvent::Delete { src: hub, dst }]);
+        engine.apply_batch(&batch);
+        let (fp4, _) = engine.context_fingerprint(hub).unwrap();
+        assert!(fp4.binary_search(&dst).is_err(), "deleted edge gone");
+        let rebuilds = engine.context_provider_stats().hot_rebuilds;
+
+        // Bias-only changes keep the cache: membership is unchanged, so
+        // both the streaming reweight and a bias-only batch must serve the
+        // same Arc without a rebuild.
+        let neighbor = fp4[0];
+        engine
+            .update_bias(hub, neighbor, Bias::from_int(7))
+            .unwrap();
+        let (fp5, _) = engine.context_fingerprint(hub).unwrap();
+        assert!(
+            Arc::ptr_eq(&fp4, &fp5),
+            "streaming reweight keeps snapshots"
+        );
+        engine.apply_batch(&UpdateBatch::new(vec![UpdateEvent::UpdateBias {
+            src: hub,
+            dst: neighbor,
+            bias: Bias::from_int(9),
+        }]));
+        let (fp6, _) = engine.context_fingerprint(hub).unwrap();
+        assert!(Arc::ptr_eq(&fp4, &fp6), "bias-only batch keeps snapshots");
+        assert_eq!(engine.context_provider_stats().hot_rebuilds, rebuilds);
+
+        // Non-owned vertices have no fingerprint.
+        let mut shard = BingoEngine::build_range(&graph, 0..10, BingoConfig::default()).unwrap();
+        assert!(shard.context_fingerprint(50).is_none());
+    }
+
+    #[test]
+    fn context_hot_hubs_zero_disables_prebuilding() {
+        let graph = random_graph(32, 40, 400);
+        let mut engine = BingoEngine::build(
+            &graph,
+            BingoConfig {
+                context_hot_hubs: 0,
+                ..BingoConfig::default()
+            },
+        )
+        .unwrap();
+        let hub = (0..40u32).max_by_key(|&v| engine.degree(v)).unwrap();
+        let (_, hot) = engine.context_fingerprint(hub).unwrap();
+        assert!(!hot, "no hot set when disabled");
+        assert_eq!(engine.context_provider_stats().cold_builds, 1);
     }
 
     #[test]

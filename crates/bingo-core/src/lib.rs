@@ -13,6 +13,9 @@
 //!   updates and batched updates that rebuild once per vertex (§4.2, §5.2).
 //! * [`engine`] — the whole-graph engine: streaming and parallel batched
 //!   ingestion, `O(1)` neighbor sampling, memory and conversion accounting.
+//! * [`context`] — the epoch-versioned adjacency-fingerprint provider with
+//!   KnightKing-style hot-hub caches, backing the sharded service's
+//!   forwarded second-order context.
 //! * [`radix_base`] — the arbitrary-radix-base extension of §9.2.
 //! * [`partition`] — 1-D partitioning and walker forwarding (§9.1).
 
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod context;
 pub mod engine;
 pub mod fixed;
 pub mod group;
@@ -31,6 +35,7 @@ pub mod stats;
 pub mod vertex_space;
 
 pub use config::{BingoConfig, Lambda};
+pub use context::ContextProviderStats;
 pub use engine::{BatchOutcome, BingoEngine};
 pub use group::{DecimalGroup, GroupKind, RadixGroup};
 pub use memory::MemoryReport;

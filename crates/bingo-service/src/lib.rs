@@ -31,16 +31,25 @@
 //!   [`WalkModel`](bingo_walks::WalkModel) trait object
 //!   ([`WalkService::submit_model`]). Second-order models (node2vec) are
 //!   served too: a forwarding shard attaches the model-declared context —
-//!   a sorted adjacency fingerprint of the walker's previous vertex — so
-//!   the receiving shard answers membership queries without cross-shard
-//!   edge lookups. Finished walks are collected by ticket and can be
+//!   a membership snapshot of the walker's previous vertex — so the
+//!   receiving shard answers membership queries without cross-shard edge
+//!   lookups. Snapshots are compact and cheap: the engine pre-builds hot
+//!   hubs once per epoch (`bingo_core::context`), each shard encodes a
+//!   `(vertex, epoch)` snapshot at most once per
+//!   [`ServiceConfig::context_encoding`] (exact / delta-varint / opt-in
+//!   Bloom — see `bingo_walks::model` for the wire formats), and every
+//!   walker forwarded in the same wave shares it as an `Arc` clone. A
+//!   missing capture is **not** silently served as "no edge": the
+//!   fallback is counted per shard (`context_misses`) and asserted on in
+//!   debug builds. Finished walks are collected by ticket and can be
 //!   deposited into a [`WalkStore`](bingo_walks::walk_store::WalkStore).
 //! * The [`WalkClient`] facade serves the same [`WalkRequest`]s from
 //!   either a sharded service or a plain in-process
 //!   [`BingoEngine`](bingo_core::BingoEngine) — one front-end, two
 //!   backends.
-//! * Per-shard throughput, occupancy, epoch, and forwarded-context-bytes
-//!   counters are exposed as [`ServiceStats`]; admission control is
+//! * Per-shard throughput, occupancy, epoch, and forwarded-context
+//!   counters (raw vs materialized bytes, snapshot cache hits/misses,
+//!   capture faults) are exposed as [`ServiceStats`]; admission control is
 //!   available via [`ServiceConfig::max_inbox`].
 //!
 //! ## Quickstart
@@ -95,9 +104,14 @@ pub mod stats;
 pub use client::{CollectionMode, WalkClient, WalkHandle, WalkOutput, WalkRequest};
 pub use service::{
     ContextTrace, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceError, StepTrace,
-    TicketResults, WalkService, WalkTicket,
+    TicketResults, WalkService, WalkTicket, CONTEXT_HANDLE_BYTES,
 };
 pub use stats::{ServiceStats, ShardStatsSnapshot};
+
+// The context-encoding knob of `ServiceConfig` lives in `bingo-walks`
+// (walk-model layer); re-exported so service users configure it without a
+// direct `bingo-walks` dependency.
+pub use bingo_walks::{ContextEncoding, ContextMembership};
 
 #[cfg(test)]
 mod tests {

@@ -5,9 +5,12 @@ use crate::stats::{ServiceStats, ShardCounters};
 use bingo_core::partition::Partitioner;
 use bingo_core::{BingoConfig, BingoEngine, BingoError};
 use bingo_graph::{DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
-use bingo_sampling::rng::Pcg64;
+use bingo_sampling::rng::{Pcg64, SplitMix64};
 use bingo_walks::walk_store::WalkStore;
-use bingo_walks::{CarriedContext, ContextRequirement, SharedWalkModel, WalkCursor, WalkSpec};
+use bingo_walks::{
+    CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, SharedWalkModel,
+    WalkCursor, WalkSpec,
+};
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,6 +114,13 @@ pub struct ServiceConfig {
     pub max_inbox: usize,
     /// How the vertex space is split into shards.
     pub partition: PartitionStrategy,
+    /// Wire encoding of the membership snapshots attached to forwarded
+    /// second-order walkers. The default ([`ContextEncoding::Exact`]) keeps
+    /// membership answers bit-identical to a single engine;
+    /// [`ContextEncoding::Delta`] shrinks the bytes without changing
+    /// answers; [`ContextEncoding::Bloom`] is smallest but approximate
+    /// (see `bingo_walks::model` for the format table).
+    pub context_encoding: ContextEncoding,
 }
 
 impl Default for ServiceConfig {
@@ -123,8 +133,31 @@ impl Default for ServiceConfig {
             record_epochs: false,
             max_inbox: 0,
             partition: PartitionStrategy::Uniform,
+            context_encoding: ContextEncoding::Exact,
         }
     }
+}
+
+/// Bytes billed for re-forwarding a snapshot already shipped this epoch: a
+/// `(vertex, epoch)` handle instead of the payload. In-process this is an
+/// `Arc` clone; the constant models what a wire protocol with a receiver-
+/// side snapshot cache would resend. Snapshots whose payload is smaller
+/// than the handle are billed at payload size (a real protocol would just
+/// inline them).
+pub const CONTEXT_HANDLE_BYTES: usize = 16;
+
+/// Derive one walker's RNG seed from the submission seed and its
+/// `(ticket, index)` coordinates.
+///
+/// Each component is folded in through a SplitMix64 finalizer round, so the
+/// map from `(base, ticket, index)` to seeds has no exploitable algebraic
+/// structure. The previous scheme XORed two odd-constant products, which
+/// preserves low-bit linear structure (the parity of the seed was the
+/// parity of `base ^ ticket ^ index`) and admits colliding
+/// `(ticket, index)` pairs — identical Pcg64 streams for distinct walkers.
+fn walker_seed(base: u64, ticket: u64, index: u64) -> u64 {
+    let t = SplitMix64::new(base ^ ticket.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next();
+    SplitMix64::new(t ^ index.wrapping_mul(0xA24B_AED4_963E_E407)).next()
 }
 
 /// One step of a serviced walk, annotated with the generation counter of
@@ -143,19 +176,27 @@ pub struct StepTrace {
 }
 
 /// One forwarded-context capture: the previous vertex whose adjacency was
-/// snapshotted and the sorted fingerprint that travelled with the walker
+/// snapshotted and the membership snapshot that travelled with the walker
 /// (recorded when [`ServiceConfig::record_epochs`] is set).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContextTrace {
     /// The vertex whose out-adjacency was captured (the walker's previous
     /// vertex at forward time).
     pub vertex: VertexId,
-    /// The sorted adjacency fingerprint attached to the walker.
+    /// The sorted adjacency fingerprint the snapshot represents (decoded;
+    /// empty for the one-way Bloom encoding).
     pub adjacency: Vec<VertexId>,
     /// Shard that owned `vertex` and captured the snapshot.
     pub shard: usize,
     /// The capturing shard's epoch at capture time.
     pub epoch: u64,
+    /// Bytes billed to `context_bytes_forwarded` for this forward: the
+    /// snapshot's wire size on a cache miss, [`CONTEXT_HANDLE_BYTES`] on a
+    /// hit.
+    pub bytes_sent: usize,
+    /// Whether the snapshot was reused from the shard's `(vertex, epoch)`
+    /// cache.
+    pub cache_hit: bool,
 }
 
 /// A walker in flight: a resumable cursor plus its private RNG stream.
@@ -167,6 +208,9 @@ struct Walker {
     hops: u32,
     trace: Vec<StepTrace>,
     contexts: Vec<ContextTrace>,
+    /// Second-order membership queries degraded by a missing carried
+    /// context (capture faults), accumulated across shards.
+    context_misses: u64,
 }
 
 /// A completed walk on its way back to the service handle.
@@ -177,6 +221,8 @@ struct FinishedWalk {
     hops: u32,
     trace: Vec<StepTrace>,
     contexts: Vec<ContextTrace>,
+    /// Capture faults this walk experienced (see `Walker::context_misses`).
+    context_misses: u64,
     /// Worker-side completion time, so ticket latency measures when the
     /// walk actually finished, not when it was collected.
     finished_at: Instant,
@@ -285,9 +331,11 @@ struct RouterState {
 /// [`WalkModel`](bingo_walks::WalkModel) trait objects
 /// ([`WalkService::submit_model`]). Second-order models (node2vec) are
 /// fully supported: when a walker crosses a shard boundary, the owning
-/// shard captures the previous vertex's sorted adjacency fingerprint and
-/// forwards it with the cursor, so the receiving shard can answer the
-/// model's membership queries without a cross-shard edge lookup.
+/// shard captures a membership snapshot of the previous vertex's adjacency
+/// (encoded per [`ServiceConfig::context_encoding`], built at most once per
+/// `(vertex, epoch)` and `Arc`-shared across the wave) and forwards it with
+/// the cursor, so the receiving shard can answer the model's membership
+/// queries without a cross-shard edge lookup.
 pub struct WalkService {
     partitioner: Partitioner,
     num_vertices: usize,
@@ -348,6 +396,8 @@ impl WalkService {
                 counters: counters.clone(),
                 done_tx: done_tx.clone(),
                 record_epochs: config.record_epochs,
+                context_encoding: config.context_encoding,
+                context_cache: HashMap::new(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("bingo-shard-{shard_id}"))
@@ -482,11 +532,7 @@ impl WalkService {
             },
         );
         for (index, &start) in starts.iter().enumerate() {
-            let rng = Pcg64::seed_from_u64(
-                base_seed
-                    ^ ticket.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407),
-            );
+            let rng = Pcg64::seed_from_u64(walker_seed(base_seed, ticket, index as u64));
             let walker = Box::new(Walker {
                 ticket,
                 index: index as u32,
@@ -495,6 +541,7 @@ impl WalkService {
                 hops: 0,
                 trace: Vec::new(),
                 contexts: Vec::new(),
+                context_misses: 0,
             });
             let owner = self.partitioner.owner(start);
             self.counters[owner].on_enqueue();
@@ -506,7 +553,26 @@ impl WalkService {
     }
 
     /// Submit one walker per vertex (the paper's default configuration).
+    ///
+    /// On a zero-vertex graph "one walker per vertex" is a perfectly valid
+    /// request for nothing: it returns an immediately-complete ticket whose
+    /// results hold no walks, rather than an [`ServiceError::EmptySubmission`]
+    /// error (which is reserved for explicitly empty start lists).
     pub fn submit_all_vertices(&self, spec: WalkSpec) -> Result<WalkTicket> {
+        if self.num_vertices == 0 {
+            let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+            self.pending.lock().unwrap().insert(
+                ticket,
+                PendingTicket {
+                    model: spec.to_model(),
+                    walks: Vec::new(),
+                    received: 0,
+                    submitted_at: Instant::now(),
+                    last_finish: None,
+                },
+            );
+            return Ok(WalkTicket(ticket));
+        }
         let starts: Vec<VertexId> = (0..self.num_vertices as VertexId).collect();
         self.submit(spec, &starts)
     }
@@ -622,6 +688,19 @@ impl WalkService {
     }
 
     fn absorb(&self, pending: &mut HashMap<u64, PendingTicket>, finished: FinishedWalk) {
+        // Loud in debug builds (and deliberately on the *collector* thread:
+        // a worker-thread panic would strand the walk and hang `wait()`
+        // instead of failing the test): a capture fault means a forwarding
+        // shard failed to attach second-order context and the membership
+        // answer silently degraded. Release builds keep serving; the fault
+        // stays visible as `ServiceStats::total_context_misses`.
+        debug_assert!(
+            finished.context_misses == 0,
+            "walk {}#{} answered {} second-order membership queries without              carried context on a non-owning shard",
+            finished.ticket,
+            finished.index,
+            finished.context_misses,
+        );
         if let Some(entry) = pending.get_mut(&finished.ticket) {
             let slot = finished.index as usize;
             if entry.walks[slot].is_none() {
@@ -768,6 +847,12 @@ struct ShardContext {
     counters: Vec<Arc<ShardCounters>>,
     done_tx: Sender<FinishedWalk>,
     record_epochs: bool,
+    /// Wire encoding for captured membership snapshots.
+    context_encoding: ContextEncoding,
+    /// Encoded snapshots captured this epoch, reused (`Arc` clone) by every
+    /// walker forwarded in the same wave. Cleared whenever an update batch
+    /// actually carries events (empty epoch ticks keep it warm).
+    context_cache: HashMap<VertexId, CarriedContext>,
 }
 
 impl ShardContext {
@@ -791,6 +876,17 @@ impl ShardContext {
     }
 
     fn apply_update(&mut self, batch: UpdateBatch) {
+        let structural = batch
+            .events()
+            .iter()
+            .any(|e| !matches!(e, UpdateEvent::UpdateBias { .. }));
+        if structural {
+            // Snapshots captured under the previous epoch may describe
+            // adjacencies this batch changes. Bias-only batches (and empty
+            // epoch ticks) keep the cache warm: fingerprints are membership
+            // sets, which reweights never alter.
+            self.context_cache.clear();
+        }
         let outcome = self.engine.apply_batch(&batch);
         let c = self.counters();
         c.updates_applied.fetch_add(
@@ -805,10 +901,19 @@ impl ShardContext {
     }
 
     /// Capture the model-declared cross-shard context before forwarding:
-    /// for second-order models, a sorted adjacency fingerprint of the
-    /// walker's previous vertex — which this shard owns, because it just
-    /// sampled the step that left it.
-    fn attach_forward_context(&self, walker: &mut Walker) {
+    /// for second-order models, a membership snapshot of the walker's
+    /// previous vertex — which this shard owns, because it just sampled the
+    /// step that left it.
+    ///
+    /// Snapshots are encoded per [`ServiceConfig::context_encoding`], built
+    /// at most once per `(vertex, epoch)` (hot hubs come pre-built from the
+    /// engine's context provider) and shared across every walker forwarded
+    /// in the same wave as an `Arc` clone. Byte accounting distinguishes
+    /// the exact-`Vec` baseline (`context_bytes_raw`: what PR-2's format
+    /// shipped per forward) from the bytes actually materialized
+    /// (`context_bytes_forwarded`: the encoded payload on a cache miss, a
+    /// [`CONTEXT_HANDLE_BYTES`] handle on a hit).
+    fn attach_forward_context(&mut self, walker: &mut Walker) {
         if walker.cursor.required_context() != ContextRequirement::PreviousAdjacency {
             return;
         }
@@ -819,25 +924,45 @@ impl ShardContext {
         if state.carried_context().is_some() || !self.engine.owns(prev) {
             return;
         }
-        let Some(adjacency) = self.engine.neighbor_fingerprint(prev) else {
-            return;
+        let (ctx, cache_hit) = match self.context_cache.get(&prev) {
+            Some(cached) => (cached.clone(), true),
+            None => {
+                let Some((raw, _hot)) = self.engine.context_fingerprint(prev) else {
+                    return;
+                };
+                let ctx = self.context_encoding.encode(prev, raw);
+                self.context_cache.insert(prev, ctx.clone());
+                (ctx, false)
+            }
         };
-        let ctx = CarriedContext {
-            vertex: prev,
-            adjacency,
+        let bytes_sent = if cache_hit {
+            CONTEXT_HANDLE_BYTES.min(ctx.byte_len())
+        } else {
+            ctx.byte_len()
         };
-        self.counters()
-            .context_bytes_forwarded
-            .fetch_add(ctx.byte_len() as u64, Ordering::Relaxed);
+        let c = self.counters();
+        c.context_bytes_raw.fetch_add(
+            CarriedContext::exact_wire_len(ctx.membership.len()) as u64,
+            Ordering::Relaxed,
+        );
+        c.context_bytes_forwarded
+            .fetch_add(bytes_sent as u64, Ordering::Relaxed);
+        if cache_hit {
+            c.context_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.context_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
         if self.record_epochs {
             walker.contexts.push(ContextTrace {
                 vertex: ctx.vertex,
-                adjacency: ctx.adjacency.clone(),
+                adjacency: ctx.membership.decoded().unwrap_or_default(),
                 shard: self.shard_id,
-                epoch: self.counters().epoch.load(Ordering::Acquire),
+                epoch: c.epoch.load(Ordering::Acquire),
+                bytes_sent,
+                cache_hit,
             });
         }
-        walker.cursor.set_forward_context(ctx.adjacency);
+        walker.cursor.set_forward_context(ctx);
     }
 
     fn drive_walker(&mut self, mut walker: Box<Walker>) {
@@ -874,7 +999,22 @@ impl ShardContext {
                 return;
             }
             let epoch = self.counters().epoch.load(Ordering::Acquire);
-            match walker.cursor.step(&self.engine, &mut walker.rng) {
+            let stepped = walker.cursor.step(&self.engine, &mut walker.rng);
+            let context_misses = walker.cursor.take_context_misses();
+            if context_misses > 0 {
+                // A second-order membership query fell back to this shard's
+                // engine for a vertex it does not own: the forwarding shard
+                // failed to attach (or attached a mismatched) context. Keep
+                // serving — the distribution degrades instead of the walk
+                // dying — count it here, and let the collector side
+                // `debug_assert!` on it (panicking this worker thread would
+                // hang every waiter instead of failing loudly).
+                walker.context_misses += context_misses;
+                self.counters()
+                    .context_misses
+                    .fetch_add(context_misses, Ordering::Relaxed);
+            }
+            match stepped {
                 Some(next) => {
                     self.counters().steps.fetch_add(1, Ordering::Relaxed);
                     if record {
@@ -901,11 +1041,58 @@ impl ShardContext {
         let _ = self.done_tx.send(FinishedWalk {
             ticket: walker.ticket,
             index: walker.index,
+            context_misses: walker.context_misses,
             path: walker.cursor.into_path(),
             hops: walker.hops,
             trace: walker.trace,
             contexts: walker.contexts,
             finished_at: Instant::now(),
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use std::collections::HashSet;
+
+    #[test]
+    fn walker_seeds_do_not_collide_across_ticket_index_pairs() {
+        // Regression for the XOR-of-two-products seeding scheme: distinct
+        // (ticket, index) pairs must map to distinct seeds. A few thousand
+        // pairs over several base seeds; any collision means two walkers
+        // share one Pcg64 stream.
+        for base in [0u64, 0x5E41_11CE, u64::MAX] {
+            let mut seen = HashSet::new();
+            for ticket in 1..=100u64 {
+                for index in 0..50u64 {
+                    assert!(
+                        seen.insert(walker_seed(base, ticket, index)),
+                        "seed collision at base {base:#x}, pair ({ticket}, {index})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walker_seed_has_no_linear_low_bit_structure() {
+        // The old scheme's seed parity equaled parity(base ^ ticket ^
+        // index), so half the low-bit patterns could never occur. The
+        // finalized seeds must hit both parities for fixed-parity inputs.
+        let parities: HashSet<u64> = (0..16u64)
+            .map(|i| walker_seed(7, 2 * i, 0) & 1) // even tickets only
+            .collect();
+        assert_eq!(parities.len(), 2, "both low-bit values occur");
+    }
+
+    #[test]
+    fn walker_seeds_produce_distinct_streams() {
+        let mut a = Pcg64::seed_from_u64(walker_seed(9, 1, 0));
+        let mut b = Pcg64::seed_from_u64(walker_seed(9, 1, 1));
+        let draws_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(draws_a, draws_b);
     }
 }

@@ -25,9 +25,26 @@ pub(crate) struct ShardCounters {
     pub queue_high_water: AtomicU64,
     /// Nanoseconds the worker spent processing messages (vs. idle).
     pub busy_nanos: AtomicU64,
-    /// Bytes of forwarded-context snapshots (adjacency fingerprints for
-    /// second-order models) this shard attached to outbound walkers.
+    /// Bytes of forwarded-context snapshots (membership fingerprints for
+    /// second-order models) this shard actually materialized on outbound
+    /// walkers: the encoded payload the first time a `(vertex, epoch)`
+    /// snapshot ships, a small handle for every reuse.
     pub context_bytes_forwarded: AtomicU64,
+    /// Bytes the exact-`Vec` wire format (no caching, no compact encoding)
+    /// would have shipped for the same forwards — the baseline
+    /// `context_bytes_forwarded` is measured against.
+    pub context_bytes_raw: AtomicU64,
+    /// Forwards whose membership snapshot was reused from this shard's
+    /// `(vertex, epoch)` cache.
+    pub context_cache_hits: AtomicU64,
+    /// Forwards whose snapshot had to be encoded (cold vertex or first use
+    /// this epoch).
+    pub context_cache_misses: AtomicU64,
+    /// Second-order membership queries that fell back to this shard's
+    /// engine for a vertex it does not own because the forwarded context
+    /// was missing or mismatched (capture faults — should stay zero; the
+    /// worker also `debug_assert!`s on it).
+    pub context_misses: AtomicU64,
     /// Submissions rejected because this shard's inbox was at its
     /// configured `max_inbox` bound.
     pub saturated_rejections: AtomicU64,
@@ -67,6 +84,10 @@ impl ShardCounters {
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             context_bytes_forwarded: self.context_bytes_forwarded.load(Ordering::Relaxed),
+            context_bytes_raw: self.context_bytes_raw.load(Ordering::Relaxed),
+            context_cache_hits: self.context_cache_hits.load(Ordering::Relaxed),
+            context_cache_misses: self.context_cache_misses.load(Ordering::Relaxed),
+            context_misses: self.context_misses.load(Ordering::Relaxed),
             saturated_rejections: self.saturated_rejections.load(Ordering::Relaxed),
         }
     }
@@ -101,9 +122,20 @@ pub struct ShardStatsSnapshot {
     pub queue_high_water: u64,
     /// Time spent processing messages.
     pub busy: Duration,
-    /// Bytes of forwarded-context snapshots attached to outbound walkers
-    /// (second-order models only).
+    /// Bytes of forwarded-context snapshots actually materialized on
+    /// outbound walkers (second-order models only): encoded payload on a
+    /// cache miss, a handle on a hit.
     pub context_bytes_forwarded: u64,
+    /// Bytes the exact-`Vec` format would have shipped for the same
+    /// forwards (the pre-cache baseline).
+    pub context_bytes_raw: u64,
+    /// Forwards served from the shard's `(vertex, epoch)` snapshot cache.
+    pub context_cache_hits: u64,
+    /// Forwards that encoded a fresh snapshot.
+    pub context_cache_misses: u64,
+    /// Second-order membership queries degraded by a missing/mismatched
+    /// carried context (capture faults; should be zero).
+    pub context_misses: u64,
     /// Submissions rejected at this shard's inbox bound.
     pub saturated_rejections: u64,
 }
@@ -138,12 +170,60 @@ impl ServiceStats {
         self.per_shard.iter().map(|s| s.walks_completed).sum()
     }
 
-    /// Total bytes of forwarded-context snapshots shipped between shards.
+    /// Total bytes of forwarded-context snapshots actually materialized on
+    /// the wire between shards (after snapshot reuse and compact encoding).
     pub fn total_context_bytes(&self) -> u64 {
         self.per_shard
             .iter()
             .map(|s| s.context_bytes_forwarded)
             .sum()
+    }
+
+    /// Total bytes the exact-`Vec` wire format would have shipped for the
+    /// same forwards — the baseline for the shrink factor.
+    pub fn total_context_bytes_raw(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.context_bytes_raw).sum()
+    }
+
+    /// Total forwards served from a shard's `(vertex, epoch)` snapshot
+    /// cache.
+    pub fn total_context_cache_hits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.context_cache_hits).sum()
+    }
+
+    /// Total forwards that encoded a fresh snapshot.
+    pub fn total_context_cache_misses(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.context_cache_misses).sum()
+    }
+
+    /// Fraction of context-carrying forwards served from the snapshot
+    /// caches (0 when nothing was forwarded).
+    pub fn context_cache_hit_rate(&self) -> f64 {
+        let hits = self.total_context_cache_hits();
+        let total = hits + self.total_context_cache_misses();
+        if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// How many times smaller the materialized context bytes are than the
+    /// exact-`Vec` baseline (1.0 when nothing was forwarded).
+    pub fn context_shrink_factor(&self) -> f64 {
+        let sent = self.total_context_bytes();
+        if sent > 0 {
+            self.total_context_bytes_raw() as f64 / sent as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Total second-order membership queries degraded by a missing or
+    /// mismatched carried context (capture faults; nonzero indicates a
+    /// forwarding bug, not load).
+    pub fn total_context_misses(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.context_misses).sum()
     }
 
     /// Total submissions rejected for inbox saturation.
@@ -180,7 +260,7 @@ impl ServiceStats {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>8}  {:>9}\n",
+            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10}  {:>8}  {:>6}  {:>9}\n",
             "shard",
             "owned",
             "steps",
@@ -189,12 +269,20 @@ impl ServiceStats {
             "updates",
             "batches",
             "qmax",
+            "ctx_raw_kb",
             "ctx_kb",
+            "hit%",
             "busy"
         ));
         for s in &self.per_shard {
+            let ctx_total = s.context_cache_hits + s.context_cache_misses;
+            let hit_pct = if ctx_total > 0 {
+                100.0 * s.context_cache_hits as f64 / ctx_total as f64
+            } else {
+                0.0
+            };
             out.push_str(&format!(
-                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>8.1}  {:>8.3}s\n",
+                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10.1}  {:>8.1}  {:>6.1}  {:>8.3}s\n",
                 s.shard,
                 s.owned_vertices,
                 s.steps,
@@ -203,19 +291,26 @@ impl ServiceStats {
                 s.updates_applied,
                 s.update_batches,
                 s.queue_high_water,
+                s.context_bytes_raw as f64 / 1024.0,
                 s.context_bytes_forwarded as f64 / 1024.0,
+                hit_pct,
                 s.busy.as_secs_f64(),
             ));
         }
         out.push_str(&format!(
             "total: {} steps ({:.0} steps/s), {} forwards ({:.1}% of steps), {} updates, \
-             {} context bytes, {} saturation rejections, uptime {:.3}s\n",
+             context {} -> {} bytes ({:.1}x shrink, {:.1}% cache hits, {} capture faults), \
+             {} saturation rejections, uptime {:.3}s\n",
             self.total_steps(),
             self.steps_per_sec(),
             self.total_forwards(),
             100.0 * self.forward_ratio(),
             self.total_updates_applied(),
+            self.total_context_bytes_raw(),
             self.total_context_bytes(),
+            self.context_shrink_factor(),
+            100.0 * self.context_cache_hit_rate(),
+            self.total_context_misses(),
             self.total_saturated_rejections(),
             self.uptime.as_secs_f64(),
         ));
@@ -265,5 +360,45 @@ mod tests {
         assert!((stats.steps_per_sec() - 50.0).abs() < 1e-9);
         assert!((stats.forward_ratio() - 0.1).abs() < 1e-12);
         assert!(stats.render().contains("steps/s"));
+    }
+
+    #[test]
+    fn context_aggregates_and_hit_rate() {
+        let stats = ServiceStats {
+            per_shard: vec![
+                ShardStatsSnapshot {
+                    shard: 0,
+                    context_bytes_raw: 8000,
+                    context_bytes_forwarded: 700,
+                    context_cache_hits: 90,
+                    context_cache_misses: 10,
+                    context_misses: 0,
+                    ..Default::default()
+                },
+                ShardStatsSnapshot {
+                    shard: 1,
+                    context_bytes_raw: 2000,
+                    context_bytes_forwarded: 300,
+                    context_cache_hits: 30,
+                    context_cache_misses: 70,
+                    context_misses: 2,
+                    ..Default::default()
+                },
+            ],
+            uptime: Duration::from_secs(1),
+        };
+        assert_eq!(stats.total_context_bytes_raw(), 10_000);
+        assert_eq!(stats.total_context_bytes(), 1_000);
+        assert!((stats.context_shrink_factor() - 10.0).abs() < 1e-12);
+        assert_eq!(stats.total_context_cache_hits(), 120);
+        assert_eq!(stats.total_context_cache_misses(), 80);
+        assert!((stats.context_cache_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(stats.total_context_misses(), 2);
+        assert!(stats.render().contains("capture faults"));
+
+        // Nothing forwarded: neutral defaults, no division by zero.
+        let idle = ServiceStats::default();
+        assert_eq!(idle.context_cache_hit_rate(), 0.0);
+        assert_eq!(idle.context_shrink_factor(), 1.0);
     }
 }

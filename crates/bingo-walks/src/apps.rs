@@ -236,17 +236,22 @@ impl WalkCursor {
         &self.state
     }
 
-    /// Attach a forwarded-context snapshot of the previous vertex's sorted
-    /// out-adjacency, captured by the shard that owns it. Returns `false`
-    /// (and attaches nothing) when the walk has no previous vertex yet.
-    pub fn set_forward_context(&mut self, adjacency: Vec<VertexId>) -> bool {
-        let Some(prev) = self.state.prev() else {
+    /// Drain the state's missing-context fault counter (see
+    /// [`WalkState::take_context_misses`]).
+    pub fn take_context_misses(&self) -> u64 {
+        self.state.take_context_misses()
+    }
+
+    /// Attach a forwarded-context membership snapshot of the previous
+    /// vertex's out-adjacency, captured by the shard that owns it. Returns
+    /// `false` (and attaches nothing) when the walk has no previous vertex
+    /// yet or when the snapshot describes a different vertex — attaching a
+    /// mismatched snapshot would only surface later as a membership fault.
+    pub fn set_forward_context(&mut self, context: crate::model::CarriedContext) -> bool {
+        if self.state.prev() != Some(context.vertex) {
             return false;
-        };
-        self.state.set_carried(crate::model::CarriedContext {
-            vertex: prev,
-            adjacency,
-        });
+        }
+        self.state.set_carried(context);
         true
     }
 
@@ -617,13 +622,16 @@ mod tests {
             cursor.required_context(),
             ContextRequirement::PreviousAdjacency
         );
+        use crate::model::CarriedContext;
         // No previous vertex yet: context cannot attach.
-        assert!(!cursor.set_forward_context(vec![1, 2]));
+        assert!(!cursor.set_forward_context(CarriedContext::exact(0, vec![1, 2])));
         cursor.step(&engine, &mut rng).unwrap();
-        assert!(cursor.set_forward_context(vec![1, 2]));
+        // A snapshot for the wrong vertex is refused too.
+        assert!(!cursor.set_forward_context(CarriedContext::exact(99, vec![1, 2])));
+        assert!(cursor.set_forward_context(CarriedContext::exact(0, vec![1, 2])));
         let ctx = cursor.state().carried_context().unwrap();
         assert_eq!(ctx.vertex, 0);
-        assert_eq!(ctx.adjacency, vec![1, 2]);
+        assert_eq!(ctx.membership.decoded(), Some(vec![1, 2]));
         // The next locally-sampled step drops the single-use snapshot.
         cursor.step(&engine, &mut rng).unwrap();
         assert!(cursor.state().carried_context().is_none());

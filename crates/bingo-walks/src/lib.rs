@@ -43,7 +43,8 @@ pub use apps::{
 };
 pub use engine::{WalkEngine, WalkResults};
 pub use model::{
-    CarriedContext, ContextRequirement, SharedWalkModel, StepSampler, Transition, WalkModel,
+    BloomFingerprint, CarriedContext, ContextEncoding, ContextMembership, ContextRequirement,
+    ContextSnapshot, DeltaFingerprint, SharedWalkModel, StepSampler, Transition, WalkModel,
     WalkState,
 };
 pub use walk_store::{RefreshStats, WalkStore};
@@ -74,6 +75,16 @@ pub trait TransitionSampler: Sync {
 
     /// Bias of the edge `(src, dst)`, if present.
     fn edge_bias(&self, src: VertexId, dst: VertexId) -> Option<f64>;
+
+    /// Whether this sampler owns `v`'s out-edges — i.e. whether
+    /// [`TransitionSampler::has_edge`] answers authoritatively for
+    /// `src == v`. Defaults to `true` (whole-graph samplers); range-sharded
+    /// engines override it so second-order membership fallbacks can detect
+    /// a missing carried context instead of silently reading "no edge"
+    /// (see `bingo_walks::model`'s missing-context-fault docs).
+    fn owns_vertex(&self, _v: VertexId) -> bool {
+        true
+    }
 }
 
 /// A sampler that can also ingest graph updates — the interface the
@@ -112,6 +123,10 @@ impl TransitionSampler for BingoEngine {
 
     fn edge_bias(&self, src: VertexId, dst: VertexId) -> Option<f64> {
         BingoEngine::edge_bias(self, src, dst)
+    }
+
+    fn owns_vertex(&self, v: VertexId) -> bool {
+        BingoEngine::owns(self, v)
     }
 }
 

@@ -22,12 +22,50 @@
 //! adjacency, which in a sharded deployment may be owned by another shard.
 //! A model declares this need through
 //! [`WalkModel::required_context`]; the sharded service then captures a
-//! compact snapshot of the previous vertex's adjacency (a sorted
-//! `Vec<VertexId>` fingerprint) on the owning shard *before* forwarding the
-//! walker, and the model answers membership queries from the carried
-//! snapshot via [`WalkState::prev_adjacent`]. This removes the cross-shard
-//! edge-lookup problem that previously forced the service to reject
-//! node2vec submissions.
+//! compact membership snapshot of the previous vertex's adjacency on the
+//! owning shard *before* forwarding the walker, and the model answers
+//! membership queries from the carried snapshot via
+//! [`WalkState::prev_adjacent`]. This removes the cross-shard edge-lookup
+//! problem that previously forced the service to reject node2vec
+//! submissions.
+//!
+//! ### Carried-context wire formats
+//!
+//! A [`CarriedContext`] is the pair `(vertex, membership)` where the
+//! membership structure is one of three versioned representations
+//! ([`ContextSnapshot`]), all queried through the [`ContextMembership`]
+//! trait:
+//!
+//! | version | variant | exact? | payload |
+//! |--------:|---------|--------|---------|
+//! | 1 | [`ContextSnapshot::Exact`] | yes | the sorted, deduplicated out-neighbor ids as raw `VertexId`s (4 bytes each) — PR-2's original format |
+//! | 2 | [`ContextSnapshot::Delta`] | yes | LEB128 varints of the gaps between consecutive sorted ids ([`DeltaFingerprint`]); ~4–8× smaller on clustered id ranges, identical membership answers |
+//! | 3 | [`ContextSnapshot::Bloom`] | **no** | a Bloom filter ([`BloomFingerprint`]) sized at a configured bits-per-key; no false negatives, but a tunable false-*positive* rate |
+//!
+//! The wire envelope is one version byte plus the 4-byte snapshot vertex id
+//! plus the payload ([`CarriedContext::byte_len`]). Encodings are selected
+//! by [`ContextEncoding`] (a deployment knob, not a per-walker one);
+//! [`ContextEncoding::Exact`] is the default so sharded and single-engine
+//! runs answer membership queries *identically*. `Delta` is also exact —
+//! it changes only the byte size. `Bloom` is opt-in because a false
+//! positive makes node2vec misclassify a distance-2 candidate as
+//! distance 1 with probability ≈ the filter's false-positive rate, which
+//! slightly biases the transition distribution (analytic chi-square
+//! equivalence holds only for the exact representations).
+//!
+//! ### Missing-context faults
+//!
+//! When a second-order model queries [`WalkState::prev_adjacent`] and no
+//! valid snapshot is carried, the query falls back to the local sampler.
+//! On a whole-graph sampler this is the correct answer; on a range-sharded
+//! sampler that does **not** own the previous vertex it would silently
+//! answer "no edge" and skew node2vec's distance factor. That condition is
+//! a *capture fault* (the forwarding shard failed to attach context), so
+//! `prev_adjacent` detects it via [`StepSampler::owns_vertex`] and counts
+//! it ([`WalkState::take_context_misses`]); the sharded service drains the
+//! counter into its per-shard `context_misses` statistic and
+//! `debug_assert!`s that it stays zero, so a capture failure is loud in
+//! tests instead of a quiet distribution skew.
 //!
 //! ## Writing a custom model
 //!
@@ -101,7 +139,9 @@
 
 use crate::TransitionSampler;
 use bingo_graph::VertexId;
+use bingo_sampling::rng::SplitMix64;
 use rand::RngCore;
+use std::cell::Cell;
 use std::sync::Arc;
 
 /// Cross-shard state a model needs alongside a forwarded walker.
@@ -130,21 +170,376 @@ pub enum Transition {
     Terminate,
 }
 
-/// A sorted out-adjacency snapshot of one vertex, captured by the shard
-/// that owns it and carried with a forwarded walker.
+/// How a forwarded-context membership snapshot is encoded on the wire.
+///
+/// A deployment-level knob (the sharded service reads it from its config):
+/// every snapshot captured by a service uses the same encoding, so the
+/// receiving side never has to negotiate. See the module docs for the
+/// format table and the exactness caveats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContextEncoding {
+    /// Version 1: the sorted adjacency ids verbatim (exact, the default).
+    #[default]
+    Exact,
+    /// Version 2: delta-encoded LEB128 varints over the sorted ids (exact,
+    /// ~4–8× smaller on clustered id ranges).
+    Delta,
+    /// Version 3: a Bloom filter with the given bits-per-key budget
+    /// (approximate — false positives at roughly `0.6185^bits_per_key`;
+    /// never false negatives). Opt-in: it trades a small distribution bias
+    /// in second-order models for the smallest wire size.
+    Bloom {
+        /// Filter bits budgeted per adjacency entry (clamped to ≥ 1;
+        /// 10 gives ≈ 1% false positives).
+        bits_per_key: u8,
+    },
+}
+
+impl ContextEncoding {
+    /// Encode `adjacency` (the sorted, deduplicated out-neighbors of
+    /// `vertex`, shared behind an `Arc` so hot snapshots are reused without
+    /// copying) into a carried context in this encoding.
+    pub fn encode(&self, vertex: VertexId, adjacency: Arc<Vec<VertexId>>) -> CarriedContext {
+        let membership = match *self {
+            ContextEncoding::Exact => ContextSnapshot::Exact(adjacency),
+            ContextEncoding::Delta => {
+                ContextSnapshot::Delta(Arc::new(DeltaFingerprint::encode(&adjacency)))
+            }
+            ContextEncoding::Bloom { bits_per_key } => {
+                ContextSnapshot::Bloom(Arc::new(BloomFingerprint::build(&adjacency, bits_per_key)))
+            }
+        };
+        CarriedContext { vertex, membership }
+    }
+}
+
+/// Membership-query surface shared by every carried-context representation.
+///
+/// [`WalkState::prev_adjacent`] answers second-order membership through
+/// this trait, so models are agnostic to which wire format travelled with
+/// the walker.
+pub trait ContextMembership {
+    /// Whether `candidate` is (possibly: for approximate representations)
+    /// a member of the snapshotted adjacency.
+    fn contains(&self, candidate: VertexId) -> bool;
+
+    /// Payload wire size in bytes (excluding the shared envelope).
+    fn byte_len(&self) -> usize;
+
+    /// Number of adjacency entries the snapshot represents.
+    fn len(&self) -> usize;
+
+    /// Whether the snapshot is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `false` for representations that can return false positives.
+    fn is_exact(&self) -> bool;
+
+    /// Wire-format version tag (1 = exact, 2 = delta, 3 = Bloom).
+    fn wire_version(&self) -> u8;
+}
+
+impl ContextMembership for Vec<VertexId> {
+    fn contains(&self, candidate: VertexId) -> bool {
+        self.binary_search(&candidate).is_ok()
+    }
+
+    fn byte_len(&self) -> usize {
+        std::mem::size_of::<VertexId>() * self.len()
+    }
+
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn wire_version(&self) -> u8 {
+        1
+    }
+}
+
+/// Version-2 membership payload: the gaps between consecutive sorted ids,
+/// LEB128-varint encoded. Exact (decodes back to the original fingerprint);
+/// membership is a linear decode with early exit, `O(d)` worst case —
+/// acceptable because node2vec issues a handful of queries per step and the
+/// decode touches ~1 byte per neighbor on clustered graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaFingerprint {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl DeltaFingerprint {
+    /// Delta-encode a sorted, deduplicated id slice.
+    pub fn encode(sorted: &[VertexId]) -> Self {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
+            "input sorted+deduped"
+        );
+        let mut bytes = Vec::with_capacity(sorted.len() + sorted.len() / 2);
+        let mut prev = 0u32;
+        for (i, &v) in sorted.iter().enumerate() {
+            // First entry stores the id itself; the rest store strictly
+            // positive gaps.
+            let mut gap = if i == 0 { v } else { v - prev };
+            prev = v;
+            loop {
+                let byte = (gap & 0x7F) as u8;
+                gap >>= 7;
+                if gap == 0 {
+                    bytes.push(byte);
+                    break;
+                }
+                bytes.push(byte | 0x80);
+            }
+        }
+        DeltaFingerprint {
+            bytes,
+            len: sorted.len(),
+        }
+    }
+
+    /// Iterate the decoded ids in ascending order.
+    fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        let mut pos = 0usize;
+        let mut prev = 0u32;
+        let mut first = true;
+        std::iter::from_fn(move || {
+            if pos >= self.bytes.len() {
+                return None;
+            }
+            let mut gap = 0u32;
+            let mut shift = 0u32;
+            loop {
+                let byte = self.bytes[pos];
+                pos += 1;
+                gap |= u32::from(byte & 0x7F) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            prev = if first { gap } else { prev + gap };
+            first = false;
+            Some(prev)
+        })
+    }
+
+    /// Decode back to the sorted id vector (tests, trace recording).
+    pub fn decode(&self) -> Vec<VertexId> {
+        self.iter().collect()
+    }
+}
+
+impl ContextMembership for DeltaFingerprint {
+    fn contains(&self, candidate: VertexId) -> bool {
+        for v in self.iter() {
+            if v == candidate {
+                return true;
+            }
+            if v > candidate {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn wire_version(&self) -> u8 {
+        2
+    }
+}
+
+/// Version-3 membership payload: a Bloom filter over the adjacency ids with
+/// SplitMix64 double hashing. No false negatives; false positives at
+/// roughly `0.6185^bits_per_key`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFingerprint {
+    bits: Vec<u64>,
+    num_bits: u64,
+    hashes: u32,
+    len: usize,
+}
+
+impl BloomFingerprint {
+    /// Build a filter over `items` with `bits_per_key` filter bits per
+    /// entry (clamped to ≥ 1) and the matching optimal hash count.
+    pub fn build(items: &[VertexId], bits_per_key: u8) -> Self {
+        let bpk = usize::from(bits_per_key.max(1));
+        let num_bits = (items.len().max(1) * bpk).next_multiple_of(64) as u64;
+        let hashes = ((bpk as f64) * std::f64::consts::LN_2)
+            .round()
+            .clamp(1.0, 16.0) as u32;
+        let mut filter = BloomFingerprint {
+            bits: vec![0u64; (num_bits / 64) as usize],
+            num_bits,
+            hashes,
+            len: items.len(),
+        };
+        for &v in items {
+            let (h1, h2) = Self::hash_pair(v);
+            for i in 0..filter.hashes {
+                let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % filter.num_bits;
+                filter.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        filter
+    }
+
+    fn hash_pair(v: VertexId) -> (u64, u64) {
+        let mut sm = SplitMix64::new(u64::from(v));
+        (sm.next(), sm.next() | 1)
+    }
+
+    /// The configured number of probe hashes.
+    pub fn num_hashes(&self) -> u32 {
+        self.hashes
+    }
+}
+
+impl ContextMembership for BloomFingerprint {
+    fn contains(&self, candidate: VertexId) -> bool {
+        let (h1, h2) = Self::hash_pair(candidate);
+        (0..self.hashes).all(|i| {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    fn byte_len(&self) -> usize {
+        self.bits.len() * std::mem::size_of::<u64>() + 2 // bits + hash-count/len header
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn wire_version(&self) -> u8 {
+        3
+    }
+}
+
+/// A versioned membership snapshot: the payload of a [`CarriedContext`].
+///
+/// Every variant holds its representation behind an `Arc`, so a hot
+/// vertex's snapshot is captured once per epoch and shared by every walker
+/// forwarded in the same wave — attaching it to another walker is an `Arc`
+/// clone, not a `Vec` copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextSnapshot {
+    /// v1: sorted, deduplicated out-neighbor ids (binary-searchable).
+    Exact(Arc<Vec<VertexId>>),
+    /// v2: delta-varint encoded sorted ids (exact, compact).
+    Delta(Arc<DeltaFingerprint>),
+    /// v3: Bloom filter (approximate, smallest).
+    Bloom(Arc<BloomFingerprint>),
+}
+
+impl ContextSnapshot {
+    /// The decoded sorted adjacency, for exact representations (`None` for
+    /// Bloom, which is one-way).
+    pub fn decoded(&self) -> Option<Vec<VertexId>> {
+        match self {
+            ContextSnapshot::Exact(adj) => Some(adj.as_ref().clone()),
+            ContextSnapshot::Delta(d) => Some(d.decode()),
+            ContextSnapshot::Bloom(_) => None,
+        }
+    }
+}
+
+impl ContextMembership for ContextSnapshot {
+    fn contains(&self, candidate: VertexId) -> bool {
+        match self {
+            ContextSnapshot::Exact(adj) => adj.as_ref().contains(candidate),
+            ContextSnapshot::Delta(d) => d.contains(candidate),
+            ContextSnapshot::Bloom(b) => b.contains(candidate),
+        }
+    }
+
+    fn byte_len(&self) -> usize {
+        match self {
+            ContextSnapshot::Exact(adj) => ContextMembership::byte_len(adj.as_ref()),
+            ContextSnapshot::Delta(d) => d.byte_len(),
+            ContextSnapshot::Bloom(b) => b.byte_len(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ContextSnapshot::Exact(adj) => adj.len(),
+            ContextSnapshot::Delta(d) => ContextMembership::len(d.as_ref()),
+            ContextSnapshot::Bloom(b) => ContextMembership::len(b.as_ref()),
+        }
+    }
+
+    fn is_exact(&self) -> bool {
+        !matches!(self, ContextSnapshot::Bloom(_))
+    }
+
+    fn wire_version(&self) -> u8 {
+        match self {
+            ContextSnapshot::Exact(_) => 1,
+            ContextSnapshot::Delta(_) => 2,
+            ContextSnapshot::Bloom(_) => 3,
+        }
+    }
+}
+
+/// Bytes of the shared wire envelope: one version byte plus the snapshot
+/// vertex id.
+pub const CONTEXT_ENVELOPE_BYTES: usize = 1 + std::mem::size_of::<VertexId>();
+
+/// A membership snapshot of one vertex's out-adjacency, captured by the
+/// shard that owns it and carried with a forwarded walker. See the module
+/// docs for the wire formats.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CarriedContext {
     /// The vertex whose adjacency was snapshotted.
     pub vertex: VertexId,
-    /// The vertex's out-neighbors, sorted ascending and deduplicated — a
-    /// fingerprint supporting `O(log d)` membership queries.
-    pub adjacency: Vec<VertexId>,
+    /// The versioned membership representation.
+    pub membership: ContextSnapshot,
 }
 
 impl CarriedContext {
-    /// Approximate wire size of this snapshot in bytes.
+    /// Build a version-1 (exact) context from a sorted, deduplicated
+    /// adjacency vector.
+    pub fn exact(vertex: VertexId, adjacency: Vec<VertexId>) -> Self {
+        CarriedContext {
+            vertex,
+            membership: ContextSnapshot::Exact(Arc::new(adjacency)),
+        }
+    }
+
+    /// Wire size of this context in bytes: envelope plus payload.
     pub fn byte_len(&self) -> usize {
-        std::mem::size_of::<VertexId>() * (self.adjacency.len() + 1)
+        CONTEXT_ENVELOPE_BYTES + self.membership.byte_len()
+    }
+
+    /// Wire size the version-1 (exact `Vec<VertexId>`) format would need
+    /// for a snapshot of `neighbors` entries — the baseline against which
+    /// compact encodings and snapshot reuse are accounted.
+    pub fn exact_wire_len(neighbors: usize) -> usize {
+        CONTEXT_ENVELOPE_BYTES + std::mem::size_of::<VertexId>() * neighbors
     }
 }
 
@@ -160,6 +555,11 @@ pub struct WalkState {
     prev: Option<VertexId>,
     steps_taken: usize,
     carried: Option<CarriedContext>,
+    /// Second-order membership queries that had to fall back to a sampler
+    /// that does not own the previous vertex (capture faults; see the
+    /// module docs). A `Cell` so the read-only model query surface can
+    /// record the fault.
+    context_misses: Cell<u64>,
 }
 
 impl WalkState {
@@ -170,6 +570,7 @@ impl WalkState {
             prev: None,
             steps_taken: 0,
             carried: None,
+            context_misses: Cell::new(0),
         }
     }
 
@@ -197,18 +598,46 @@ impl WalkState {
     }
 
     /// Whether the edge `prev → candidate` exists, answered from the
-    /// carried adjacency snapshot when present (the sharded case — the
+    /// carried membership snapshot when present (the sharded case — the
     /// local sampler does not own `prev`) and from `sampler` otherwise.
     ///
     /// Returns `false` when the walk has no previous vertex yet.
+    ///
+    /// When no valid snapshot is carried **and** the sampler does not own
+    /// `prev` ([`StepSampler::owns_vertex`]), the fallback answer is
+    /// unreliable — a range-sharded sampler always answers `false` for
+    /// non-owned vertices. The condition is counted (drain it with
+    /// [`WalkState::take_context_misses`]) instead of silently skewing the
+    /// model's distribution.
     pub fn prev_adjacent(&self, candidate: VertexId, sampler: &dyn StepSampler) -> bool {
         let Some(prev) = self.prev else {
             return false;
         };
-        match &self.carried {
-            Some(ctx) if ctx.vertex == prev => ctx.adjacency.binary_search(&candidate).is_ok(),
-            _ => sampler.has_edge(prev, candidate),
+        if let Some(ctx) = &self.carried {
+            if ctx.vertex == prev {
+                return ctx.membership.contains(candidate);
+            }
         }
+        if !sampler.owns_vertex(prev) {
+            // Capture fault: the forwarding shard failed to attach (or
+            // attached a mismatched) context. Record it loudly; the
+            // degraded answer below keeps the walk alive in release.
+            self.context_misses.set(self.context_misses.get() + 1);
+        }
+        sampler.has_edge(prev, candidate)
+    }
+
+    /// Capture faults recorded by [`WalkState::prev_adjacent`] since the
+    /// last drain (see the module docs on missing-context faults).
+    pub fn context_misses(&self) -> u64 {
+        self.context_misses.get()
+    }
+
+    /// Read and reset the capture-fault counter. The sharded service calls
+    /// this after every step and folds the count into its per-shard
+    /// `context_misses` statistic.
+    pub fn take_context_misses(&self) -> u64 {
+        self.context_misses.take()
     }
 
     /// Record one taken transition: `prev ← current`, `current ← next`.
@@ -248,6 +677,13 @@ pub trait StepSampler {
     /// which is exactly why second-order models route membership through
     /// [`WalkState::prev_adjacent`] instead of calling this directly.
     fn has_edge(&self, src: VertexId, dst: VertexId) -> bool;
+
+    /// Whether this sampler owns `v`'s out-edges, i.e. whether
+    /// [`StepSampler::has_edge`] answers authoritatively for `src == v`.
+    /// Whole-graph samplers own everything; range-sharded engines own only
+    /// their slice. [`WalkState::prev_adjacent`] uses this to distinguish
+    /// a true "no edge" from a non-owning sampler's unconditional `false`.
+    fn owns_vertex(&self, v: VertexId) -> bool;
 }
 
 impl<S: TransitionSampler + ?Sized> StepSampler for S {
@@ -266,6 +702,10 @@ impl<S: TransitionSampler + ?Sized> StepSampler for S {
 
     fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
         TransitionSampler::has_edge(self, src, dst)
+    }
+
+    fn owns_vertex(&self, v: VertexId) -> bool {
+        TransitionSampler::owns_vertex(self, v)
     }
 }
 
@@ -290,6 +730,10 @@ impl<S: TransitionSampler + ?Sized> StepSampler for SamplerBridge<'_, S> {
 
     fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
         TransitionSampler::has_edge(self.0, src, dst)
+    }
+
+    fn owns_vertex(&self, v: VertexId) -> bool {
+        TransitionSampler::owns_vertex(self.0, v)
     }
 }
 
@@ -608,10 +1052,7 @@ mod tests {
     #[test]
     fn state_advance_tracks_prev_and_drops_context() {
         let mut state = WalkState::new(3);
-        state.set_carried(CarriedContext {
-            vertex: 3,
-            adjacency: vec![1, 4],
-        });
+        state.set_carried(CarriedContext::exact(3, vec![1, 4]));
         assert!(state.carried_context().is_some());
         state.advance(4);
         assert_eq!(state.current(), 4);
@@ -633,12 +1074,138 @@ mod tests {
         assert!(!state.prev_adjacent(3, &sampler));
         // A snapshot claiming a different adjacency wins (the sharded case,
         // where the local sampler does not own prev and would answer false).
-        state.set_carried(CarriedContext {
-            vertex: 1,
-            adjacency: vec![3],
-        });
+        state.set_carried(CarriedContext::exact(1, vec![3]));
         assert!(state.prev_adjacent(3, &sampler));
         assert!(!state.prev_adjacent(0, &sampler));
+        assert_eq!(
+            state.context_misses(),
+            0,
+            "an owning sampler or a valid snapshot never records a fault"
+        );
+    }
+
+    /// A sampler standing in for a range-sharded engine: it owns nothing,
+    /// so `has_edge` is never authoritative.
+    #[derive(Debug)]
+    struct DisownedSampler(FanSampler);
+
+    impl TransitionSampler for DisownedSampler {
+        fn num_vertices(&self) -> usize {
+            self.0.n
+        }
+        fn degree(&self, v: VertexId) -> usize {
+            TransitionSampler::degree(&self.0, v)
+        }
+        fn sample_neighbor<R: Rng + ?Sized>(&self, v: VertexId, rng: &mut R) -> Option<VertexId> {
+            self.0.sample_neighbor(v, rng)
+        }
+        fn has_edge(&self, _src: VertexId, _dst: VertexId) -> bool {
+            false // a non-owning shard engine answers false unconditionally
+        }
+        fn edge_bias(&self, _src: VertexId, _dst: VertexId) -> Option<f64> {
+            None
+        }
+        fn owns_vertex(&self, _v: VertexId) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn prev_adjacent_counts_misses_on_non_owning_sampler() {
+        let sampler = DisownedSampler(fan());
+        let mut state = WalkState::new(1);
+        state.advance(2); // prev = 1, no carried context
+
+        // The fallback still answers (degraded: false), but the capture
+        // fault is recorded instead of silently passing as "no edge".
+        assert!(!state.prev_adjacent(0, &sampler));
+        assert_eq!(state.context_misses(), 1);
+        assert!(!state.prev_adjacent(3, &sampler));
+        assert_eq!(state.take_context_misses(), 2);
+        assert_eq!(state.context_misses(), 0, "drain resets the counter");
+
+        // With a valid carried snapshot no fault is recorded.
+        state.set_carried(CarriedContext::exact(1, vec![3]));
+        assert!(state.prev_adjacent(3, &sampler));
+        assert_eq!(state.context_misses(), 0);
+
+        // A *mismatched* snapshot (wrong vertex) is a fault again.
+        state.set_carried(CarriedContext::exact(0, vec![3]));
+        assert!(!state.prev_adjacent(3, &sampler));
+        assert_eq!(state.context_misses(), 1);
+    }
+
+    #[test]
+    fn delta_fingerprint_round_trips_and_answers_membership() {
+        let ids: Vec<VertexId> = vec![0, 1, 5, 6, 7, 130, 131, 4000, 1_000_000];
+        let delta = DeltaFingerprint::encode(&ids);
+        assert_eq!(delta.decode(), ids);
+        assert_eq!(ContextMembership::len(&delta), ids.len());
+        for &v in &ids {
+            assert!(delta.contains(v), "member {v}");
+        }
+        for v in [2, 4, 129, 132, 999_999, 1_000_001] {
+            assert!(!delta.contains(v), "non-member {v}");
+        }
+        assert!(delta.is_exact());
+        assert_eq!(delta.wire_version(), 2);
+        // Clustered ids encode in ~1 byte per entry vs 4 for the exact Vec.
+        let clustered: Vec<VertexId> = (500..564).collect();
+        let delta = DeltaFingerprint::encode(&clustered);
+        let exact_payload = ContextMembership::byte_len(&clustered);
+        assert!(
+            delta.byte_len() * 3 < exact_payload,
+            "delta {} vs exact {exact_payload} bytes",
+            delta.byte_len()
+        );
+        assert!(DeltaFingerprint::encode(&[]).decode().is_empty());
+    }
+
+    #[test]
+    fn bloom_fingerprint_has_no_false_negatives_and_few_false_positives() {
+        let ids: Vec<VertexId> = (0..512).map(|i| i * 7 + 3).collect();
+        let bloom = BloomFingerprint::build(&ids, 10);
+        for &v in &ids {
+            assert!(bloom.contains(v), "no false negatives ({v})");
+        }
+        assert!(!bloom.is_exact());
+        assert_eq!(bloom.wire_version(), 3);
+        assert!(bloom.num_hashes() >= 1);
+        let false_positives = (100_000..110_000).filter(|&v| bloom.contains(v)).count();
+        assert!(
+            false_positives < 500,
+            "≈1% expected at 10 bits/key, saw {false_positives}/10000"
+        );
+        // The filter is far smaller than the exact payload.
+        assert!(bloom.byte_len() < ContextMembership::byte_len(&ids));
+    }
+
+    #[test]
+    fn context_encodings_agree_on_membership() {
+        let ids: Vec<VertexId> = vec![2, 9, 17, 33, 64, 65, 900];
+        let adjacency = Arc::new(ids.clone());
+        let exact = ContextEncoding::Exact.encode(7, adjacency.clone());
+        let delta = ContextEncoding::Delta.encode(7, adjacency.clone());
+        let bloom = ContextEncoding::Bloom { bits_per_key: 12 }.encode(7, adjacency);
+        assert_eq!(exact.membership.wire_version(), 1);
+        assert_eq!(delta.membership.wire_version(), 2);
+        assert_eq!(bloom.membership.wire_version(), 3);
+        for &v in &ids {
+            assert!(exact.membership.contains(v));
+            assert!(delta.membership.contains(v));
+            assert!(bloom.membership.contains(v), "no false negatives");
+        }
+        assert!(!exact.membership.contains(3));
+        assert!(!delta.membership.contains(3));
+        assert_eq!(exact.membership.decoded().as_deref(), Some(&ids[..]));
+        assert_eq!(delta.membership.decoded().as_deref(), Some(&ids[..]));
+        assert_eq!(bloom.membership.decoded(), None, "Bloom is one-way");
+        assert!(delta.byte_len() < exact.byte_len());
+        assert_eq!(
+            exact.byte_len(),
+            CarriedContext::exact_wire_len(ids.len()),
+            "v1 wire size matches the accounting baseline"
+        );
     }
 
     #[test]
@@ -689,11 +1256,11 @@ mod tests {
     }
 
     #[test]
-    fn carried_context_byte_len_counts_vertex_and_adjacency() {
-        let ctx = CarriedContext {
-            vertex: 7,
-            adjacency: vec![1, 2, 3],
-        };
-        assert_eq!(ctx.byte_len(), 4 * std::mem::size_of::<VertexId>());
+    fn carried_context_byte_len_counts_envelope_and_payload() {
+        let ctx = CarriedContext::exact(7, vec![1, 2, 3]);
+        assert_eq!(
+            ctx.byte_len(),
+            CONTEXT_ENVELOPE_BYTES + 3 * std::mem::size_of::<VertexId>()
+        );
     }
 }

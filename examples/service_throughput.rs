@@ -201,6 +201,21 @@ fn main() {
         final_stats.render()
     );
 
+    // Forwarded-context volume of the node2vec wave: hot-hub snapshots are
+    // captured once per (vertex, epoch) and Arc-shared by every walker
+    // forwarded in the same wave, so the bytes actually materialized shrink
+    // far below the exact-Vec-per-forward baseline. The one-line summary is
+    // grepped by CI so the reuse path cannot silently regress.
+    let ctx_raw = final_stats.total_context_bytes_raw();
+    let ctx_sent = final_stats.total_context_bytes();
+    let hit_rate = final_stats.context_cache_hit_rate();
+    let shrink = final_stats.context_shrink_factor();
+    println!(
+        "\nctx_bytes_raw={ctx_raw} ctx_bytes_sent={ctx_sent} cache_hit_rate={hit_rate:.3} \
+         ctx_shrink={shrink:.1}x context_misses={}",
+        final_stats.total_context_misses()
+    );
+
     assert!(stream.len() >= 10_000, "example must ingest >= 10k events");
     assert!(
         stats
@@ -214,6 +229,17 @@ fn main() {
     assert!(
         final_stats.total_context_bytes() > 0,
         "node2vec forwards carried context"
+    );
+    assert!(
+        shrink >= 5.0,
+        "forwarded-context bytes must drop >=5x vs the exact-Vec baseline \
+         (raw {ctx_raw} vs sent {ctx_sent}: {shrink:.1}x)"
+    );
+    assert!(hit_rate > 0.0, "wave-shared snapshots must be reused");
+    assert_eq!(
+        final_stats.total_context_misses(),
+        0,
+        "no second-order membership query may fall back to a non-owning shard"
     );
     let uniform_max = step_share(&uniform_stats)
         .into_iter()

@@ -95,9 +95,9 @@ pub mod prelude {
         TicketResults, WalkClient, WalkOutput, WalkRequest, WalkService, WalkTicket,
     };
     pub use bingo_walks::{
-        ContextRequirement, DeepWalkConfig, Node2VecConfig, PprConfig, SharedWalkModel,
-        StepSampler, Transition, TransitionSampler, WalkCursor, WalkEngine, WalkModel, WalkSpec,
-        WalkState,
+        CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, DeepWalkConfig,
+        Node2VecConfig, PprConfig, SharedWalkModel, StepSampler, Transition, TransitionSampler,
+        WalkCursor, WalkEngine, WalkModel, WalkSpec, WalkState,
     };
     pub use rand::SeedableRng;
 }

@@ -473,6 +473,240 @@ fn forwarded_context_matches_true_adjacency() {
     assert!(stats.total_context_bytes() > 0);
 }
 
+/// A 4-shard graph whose node2vec walks cross two shard boundaries on
+/// consecutive steps: vertex 0 (shard 0) routes almost all walks to
+/// `HUB1 = 15` (shard 1), which routes almost all second steps to
+/// `HUB2 = 25` (shard 2). The *third* transition — out of `HUB2`, with
+/// previous vertex `HUB1` — has an analytically known distribution that
+/// depends on `HUB1`'s adjacency, so it is only sampled correctly if the
+/// context captured on shard 0 was consumed by the step at shard 1 and a
+/// fresh snapshot of `HUB1` was re-captured for the forward to shard 2.
+const HUB1: VertexId = 15;
+const HUB2: VertexId = 25;
+
+fn two_boundary_graph() -> (DynamicGraph, Vec<(VertexId, u64)>) {
+    let n = 40;
+    let mut graph = DynamicGraph::new(n);
+    graph.insert_edge(0, HUB1, Bias::from_int(50)).unwrap();
+    graph.insert_edge(0, 35, Bias::from_int(1)).unwrap();
+    // HUB1's adjacency defines the distance-1 set for the third step.
+    graph.insert_edge(HUB1, HUB2, Bias::from_int(50)).unwrap();
+    graph.insert_edge(HUB1, 35, Bias::from_int(3)).unwrap();
+    graph.insert_edge(HUB1, 5, Bias::from_int(2)).unwrap();
+    // HUB2's fan-out spans all four shards.
+    let fanout: Vec<(VertexId, u64)> = vec![
+        (HUB1, 3), // backtrack → factor 1/p
+        (35, 4),   // out-neighbor of HUB1 → factor 1
+        (5, 2),    // out-neighbor of HUB1 → factor 1
+        (8, 6),    // distance 2 → factor 1/q
+        (22, 5),   // distance 2 → factor 1/q
+        (38, 1),   // distance 2 → factor 1/q
+    ];
+    for &(dst, w) in &fanout {
+        graph.insert_edge(HUB2, dst, Bias::from_int(w)).unwrap();
+    }
+    for v in 1..n as u32 {
+        if v != HUB1 && v != HUB2 {
+            graph
+                .insert_edge(v, (v + 1) % n as u32, Bias::from_int(1))
+                .unwrap();
+        }
+    }
+    (graph, fanout)
+}
+
+#[test]
+fn sharded_node2vec_across_two_boundaries_matches_analytic_distribution() {
+    let (graph, fanout) = two_boundary_graph();
+    let p = 0.5;
+    let q = 2.0;
+    let spec = WalkSpec::Node2Vec(Node2VecConfig {
+        walk_length: 3,
+        p,
+        q,
+    });
+
+    // Analytic third-step distribution out of HUB2 given prev = HUB1.
+    let factor = |dst: VertexId| -> f64 {
+        if dst == HUB1 {
+            1.0 / p
+        } else if graph.has_edge(HUB1, dst) {
+            1.0
+        } else {
+            1.0 / q
+        }
+    };
+    let masses: Vec<f64> = fanout
+        .iter()
+        .map(|&(dst, w)| w as f64 * factor(dst))
+        .collect();
+    let total: f64 = masses.iter().sum();
+    let probs: Vec<f64> = masses.iter().map(|m| m / total).collect();
+    let slot: HashMap<VertexId, usize> = fanout
+        .iter()
+        .enumerate()
+        .map(|(i, &(dst, _))| (dst, i))
+        .collect();
+    let critical = chi_square_critical_999(fanout.len() - 1) * 1.5;
+    let trials = 60_000;
+
+    // Both exact encodings must reproduce the distribution; Delta changes
+    // the wire bytes but not the membership answers.
+    for encoding in [ContextEncoding::Exact, ContextEncoding::Delta] {
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 4,
+                seed: 0x2B0D ^ u64::from(encoding == ContextEncoding::Delta),
+                record_epochs: true,
+                context_encoding: encoding,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let starts = vec![0 as VertexId; trials];
+        let results = service.wait(service.submit(spec, &starts).unwrap());
+        let mut counts = vec![0usize; fanout.len()];
+        let mut via = 0usize;
+        for path in &results.paths {
+            if path.len() == 4 && path[1] == HUB1 && path[2] == HUB2 {
+                counts[slot[&path[3]]] += 1;
+                via += 1;
+            }
+        }
+        assert!(
+            via > trials * 8 / 10,
+            "most walks route 0→HUB1→HUB2 ({via})"
+        );
+        let stat = chi_square(&counts, &probs);
+        assert!(
+            stat < critical,
+            "{encoding:?}: two-boundary node2vec off: chi2 {stat:.2} vs {critical:.2} ({counts:?})"
+        );
+
+        // The walkers that took the 0→HUB1→HUB2 spine were forwarded twice
+        // with a capture each time: context for vertex 0 (captured on
+        // shard 0), consumed at HUB1, then context for HUB1 re-captured on
+        // shard 1 for the forward to shard 2.
+        let recaptured = results
+            .contexts
+            .iter()
+            .filter(|ctxs| {
+                ctxs.iter().any(|c| c.vertex == 0) && ctxs.iter().any(|c| c.vertex == HUB1)
+            })
+            .count();
+        assert!(
+            recaptured > trials / 2,
+            "consecutive boundary crossings re-capture context ({recaptured})"
+        );
+
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.total_context_misses(),
+            0,
+            "no membership query fell back to a non-owning engine"
+        );
+        assert!(
+            stats.total_context_cache_hits() > 0,
+            "snapshots were reused"
+        );
+    }
+
+    // Single engine, same analytic expectation.
+    let single = BingoEngine::build(&graph, BingoConfig::default()).unwrap();
+    let mut rng = Pcg64::seed_from_u64(0x2B1D);
+    let mut counts = vec![0usize; fanout.len()];
+    for _ in 0..trials {
+        let path = spec.walk(&single, 0, &mut rng);
+        if path.len() == 4 && path[1] == HUB1 && path[2] == HUB2 {
+            counts[slot[&path[3]]] += 1;
+        }
+    }
+    let stat = chi_square(&counts, &probs);
+    assert!(
+        stat < critical,
+        "single-engine reference off: chi2 {stat:.2} vs {critical:.2}"
+    );
+}
+
+#[test]
+fn context_byte_accounting_matches_recorded_traces() {
+    let (graph, _) = node2vec_fanout_graph();
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards: 4,
+            seed: 0xACC7,
+            record_epochs: true,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let spec = WalkSpec::Node2Vec(Node2VecConfig {
+        walk_length: 12,
+        p: 0.5,
+        q: 2.0,
+    });
+    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let results = service.wait(service.submit(spec, &starts).unwrap());
+    let stats = service.shutdown();
+
+    // `context_bytes_forwarded` is exactly the sum of the billed bytes of
+    // every recorded capture, and `context_bytes_raw` is the sum of what
+    // the exact-Vec baseline would have shipped for the same captures.
+    let traces: Vec<_> = results.contexts.iter().flatten().collect();
+    assert!(!traces.is_empty());
+    let billed: u64 = traces.iter().map(|t| t.bytes_sent as u64).sum();
+    assert_eq!(stats.total_context_bytes(), billed);
+    let raw: u64 = traces
+        .iter()
+        .map(|t| CarriedContext::exact_wire_len(t.adjacency.len()) as u64)
+        .sum();
+    assert_eq!(stats.total_context_bytes_raw(), raw);
+    // With the default exact encoding a cache miss bills the full exact
+    // wire size, so per-trace billing is reconstructable too.
+    for t in &traces {
+        let wire = CarriedContext::exact_wire_len(t.adjacency.len());
+        let expected = if t.cache_hit {
+            bingo::service::CONTEXT_HANDLE_BYTES.min(wire)
+        } else {
+            wire
+        };
+        assert_eq!(t.bytes_sent, expected);
+    }
+    // Cache bookkeeping: one hit or miss per capture, and reuse happened.
+    assert_eq!(
+        stats.total_context_cache_hits() + stats.total_context_cache_misses(),
+        traces.len() as u64
+    );
+    assert!(
+        stats.total_context_cache_hits() > 0,
+        "same-wave snapshots reused"
+    );
+    assert_eq!(stats.total_context_misses(), 0, "no capture faults");
+}
+
+#[test]
+fn submit_all_vertices_on_empty_graph_completes_immediately() {
+    let graph = DynamicGraph::new(0);
+    let service = WalkService::build(&graph, ServiceConfig::default()).unwrap();
+    // "One walk per vertex" over zero vertices is a valid request for
+    // nothing, not an EmptySubmission error.
+    let ticket = service
+        .submit_all_vertices(WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 4 }))
+        .expect("empty all-vertices submission is valid");
+    let results = service.wait(ticket);
+    assert!(results.paths.is_empty());
+    assert_eq!(results.total_steps(), 0);
+    // An explicitly empty start list is still an error.
+    assert_eq!(
+        service.submit(WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 4 }), &[]),
+        Err(bingo::service::ServiceError::EmptySubmission)
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.total_walks_completed(), 0);
+}
+
 #[test]
 fn walk_client_serves_both_backends_with_chunked_polling() {
     let (graph, _) = node2vec_fanout_graph();
