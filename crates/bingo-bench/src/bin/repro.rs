@@ -96,6 +96,11 @@ const EXPERIMENTS: &[Experiment] = &[
         description: "Sharded node2vec vs single engine: second-order chi-square equivalence",
         run: experiments::service_node2vec,
     },
+    Experiment {
+        name: "gateway",
+        description: "Multi-tenant gateway: weighted fairness and AIMD admission sweep",
+        run: experiments::gateway,
+    },
 ];
 
 fn print_usage() {

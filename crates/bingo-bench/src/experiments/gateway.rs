@@ -1,0 +1,179 @@
+//! Gateway experiment: weighted fairness and adaptive admission measured
+//! end to end, across a sweep of tenant weight ratios.
+//!
+//! Beyond the paper (which serves one submitter), this measures the
+//! serving *front-end*: two tenants offer identical saturating walk
+//! workloads through `bingo-gateway` to a bounded-inbox `WalkService`;
+//! the table reports each ratio's completed-step share at the heavy
+//! tenant's completion cut against the weight-proportional target, plus
+//! queue-wait percentiles and the AIMD window range the controller
+//! explored.
+
+use crate::common::{ExperimentConfig, ResultTable};
+use bingo_gateway::{AimdConfig, Gateway, GatewayConfig, TenantId};
+use bingo_graph::datasets::StandinDataset;
+use bingo_graph::VertexId;
+use bingo_service::{PartitionStrategy, ServiceConfig, WalkRequest, WalkService};
+use bingo_walks::{DeepWalkConfig, WalkSpec};
+use rand::RngCore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two-tenant fairness sweep over weight ratios.
+pub fn gateway(config: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Gateway: weighted fairness and AIMD admission (two tenants, saturating load)",
+        &[
+            "weights",
+            "walks",
+            "share_meas",
+            "share_want",
+            "delta_pp",
+            "p50_wait_ms",
+            "p99_wait_ms",
+            "requeues",
+            "win_range",
+            "pass",
+        ],
+    );
+
+    // Offered walks per tenant, scaled down for quick runs.
+    let offered = (400_000 / config.scale.max(1) as usize).clamp(1_000, 20_000);
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig {
+        walk_length: config.walk_length.clamp(4, 20),
+    });
+
+    for &weight in &[1u32, 2, 4, 8] {
+        let mut rng = config.rng(0x6A7E ^ u64::from(weight));
+        let graph = StandinDataset::Amazon.build(config.scale, &mut rng);
+        let num_vertices = graph.num_vertices();
+        let service = Arc::new(
+            WalkService::build(
+                &graph,
+                ServiceConfig {
+                    num_shards: 4,
+                    seed: config.seed ^ u64::from(weight),
+                    max_inbox: 64,
+                    partition: PartitionStrategy::DegreeBalanced,
+                    ..ServiceConfig::default()
+                },
+            )
+            .expect("service builds"),
+        );
+        let gw = Gateway::new(
+            service,
+            GatewayConfig {
+                chunk_walkers: 32,
+                quantum_walkers: 32,
+                window: AimdConfig {
+                    initial: 64,
+                    min: 32,
+                    max: 256,
+                    ..AimdConfig::default()
+                },
+                ..GatewayConfig::default()
+            },
+        );
+
+        let heavy = TenantId::new("heavy");
+        let light = TenantId::new("light");
+        let per_request = 100usize;
+        let requests = offered.div_ceil(per_request);
+        let mut starts = |n: usize| -> Vec<VertexId> {
+            (0..n)
+                .map(|_| (rng.next_u64() % num_vertices as u64) as VertexId)
+                .collect()
+        };
+        let mut tickets = Vec::new();
+        for _ in 0..requests {
+            tickets.push(
+                gw.submit(
+                    WalkRequest::spec(spec)
+                        .starts(starts(per_request))
+                        .tenant("heavy")
+                        .weight(weight),
+                )
+                .expect("queued"),
+            );
+            tickets.push(
+                gw.submit(
+                    WalkRequest::spec(spec)
+                        .starts(starts(per_request))
+                        .tenant("light")
+                        .weight(1),
+                )
+                .expect("queued"),
+            );
+        }
+
+        // Fairness cut: completed-step shares when the heavy tenant's
+        // offered load finishes (both tenants backlogged until then).
+        let offered_walks = (requests * per_request) as u64;
+        let (heavy_cut, light_cut) = loop {
+            let stats = gw.stats();
+            if stats.tenant(&heavy).map_or(0, |t| t.completed_walks) >= offered_walks {
+                break (
+                    stats.tenant(&heavy).map_or(0, |t| t.completed_steps),
+                    stats.tenant(&light).map_or(0, |t| t.completed_steps),
+                );
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        for t in tickets {
+            gw.wait(t).expect("no submission fails");
+        }
+        let stats = gw.shutdown();
+
+        let share = heavy_cut as f64 / (heavy_cut + light_cut).max(1) as f64;
+        let want = f64::from(weight) / f64::from(weight + 1);
+        let delta_pp = (share - want).abs() * 100.0;
+        let heavy_t = stats.tenant(&heavy).expect("heavy row");
+        let light_t = stats.tenant(&light).expect("light row");
+        let pass = delta_pp <= 10.0
+            && heavy_t.failed_walks + light_t.failed_walks == 0
+            && stats.total_completed_walks() == 2 * offered_walks;
+        table.push_row(vec![
+            format!("{weight}:1"),
+            (2 * offered_walks).to_string(),
+            format!("{:.3}", share),
+            format!("{:.3}", want),
+            format!("{delta_pp:.1}"),
+            format!("{:.2}", heavy_t.wait_p50.as_secs_f64() * 1e3),
+            format!("{:.2}", heavy_t.wait_p99.as_secs_f64() * 1e3),
+            (heavy_t.saturated_requeues + light_t.saturated_requeues).to_string(),
+            format!("{}..{}", stats.window_min_seen, stats.window_max_seen),
+            if pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_experiment_is_weight_proportional_at_every_ratio() {
+        let config = ExperimentConfig {
+            scale: 400, // → 1000 offered walks per tenant
+            walk_length: 8,
+            ..ExperimentConfig::default()
+        };
+        let table = gateway(&config);
+        assert_eq!(table.rows.len(), 4);
+        // The experiment's own PASS bound (10pp) holds in release-mode
+        // runs and is asserted end to end by `examples/gateway_fairness`
+        // in CI. This unit test runs a tiny debug-build workload
+        // concurrently with the rest of the suite, where scheduling noise
+        // widens the cut — assert a looser proportionality bound here.
+        // Drops or failed submissions still panic inside the experiment.
+        for row in &table.rows {
+            let delta_pp: f64 = row[4].parse().unwrap();
+            assert!(
+                delta_pp <= 20.0,
+                "share not weight-proportional even loosely: row {row:?}"
+            );
+            assert!(row[1].parse::<u64>().unwrap() >= 2000, "walks served");
+        }
+    }
+}

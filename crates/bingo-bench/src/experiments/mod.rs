@@ -15,13 +15,16 @@
 //! | Piecewise update & sampling breakdown | Figure 16 | [`updates::fig16`] |
 //! | Sharded walk-service throughput sweep | — (beyond the paper) | [`service::service`] |
 //! | Sharded node2vec equivalence (chi-square) | — (beyond the paper) | [`service::service_node2vec`] |
+//! | Gateway weighted fairness + AIMD sweep | — (beyond the paper) | [`gateway::gateway`] |
 
+pub mod gateway;
 pub mod memory;
 pub mod service;
 pub mod sweeps;
 pub mod tables;
 pub mod updates;
 
+pub use gateway::gateway;
 pub use memory::{fig11, fig13, fig14};
 pub use service::{service, service_node2vec};
 pub use sweeps::{fig15a, fig15b, fig15c, fig9};

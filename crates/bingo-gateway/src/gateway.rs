@@ -1,0 +1,751 @@
+//! The gateway proper: bounded per-tenant queues, the dispatcher thread
+//! that runs DRR + AIMD, and the submission/collection API.
+
+use crate::sched::{shard_aligned_chunks, Chunk, DrrScheduler};
+use crate::stats::{
+    percentile_sorted, GatewayStats, TenantAccum, TenantStatsSnapshot, WindowSample,
+};
+use crate::window::{AimdConfig, AimdWindow, WindowEvent};
+use bingo_graph::VertexId;
+use bingo_service::{
+    CollectionMode, ServiceError, WalkOutput, WalkRequest, WalkService, WalkTicket,
+};
+use bingo_walks::TenantId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors produced by the gateway.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayError {
+    /// The tenant's gateway queue is at its configured depth bound
+    /// ([`GatewayConfig::max_queue_per_tenant`]): the submission was
+    /// refused so one runaway tenant cannot consume unbounded gateway
+    /// memory. Nothing already queued was dropped.
+    Overloaded {
+        /// The tenant whose queue is full.
+        tenant: TenantId,
+        /// Walkers queued for that tenant at rejection time.
+        queued: usize,
+        /// The configured per-tenant bound (walkers).
+        capacity: usize,
+    },
+    /// The underlying service rejected the request with a non-admission
+    /// error (validation: empty start set, vertex out of range) — or a
+    /// chunk hit a non-retryable rejection at dispatch time.
+    Rejected(ServiceError),
+    /// The gateway is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Overloaded {
+                tenant,
+                queued,
+                capacity,
+            } => write!(
+                f,
+                "tenant {tenant} queue overloaded ({queued} walkers queued, bound {capacity})"
+            ),
+            GatewayError::Rejected(e) => write!(f, "rejected by the walk service: {e}"),
+            GatewayError::ShuttingDown => write!(f, "gateway is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<ServiceError> for GatewayError {
+    fn from(e: ServiceError) -> Self {
+        GatewayError::Rejected(e)
+    }
+}
+
+/// Configuration of a [`Gateway`].
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Maximum walkers per dispatched chunk. Clamped to the service's
+    /// `max_inbox` (when bounded) so a chunk can always fit an empty
+    /// inbox — a larger chunk would be rejected as non-retryable.
+    pub chunk_walkers: usize,
+    /// DRR deficit earned per weight unit per round, in walkers. Values
+    /// near `chunk_walkers` give the tightest weighted interleaving.
+    pub quantum_walkers: usize,
+    /// Bound on walkers queued per tenant; submissions beyond it are
+    /// refused with [`GatewayError::Overloaded`].
+    pub max_queue_per_tenant: usize,
+    /// AIMD tuning of the in-flight walker window.
+    pub window: AimdConfig,
+    /// Dispatcher poll cadence while work is in flight: completions are
+    /// absorbed and the AIMD controller ticks at this period.
+    pub tick: Duration,
+    /// Retained AIMD window-trace entries (oldest kept; recording stops at
+    /// the cap).
+    pub window_trace_cap: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            chunk_walkers: 32,
+            quantum_walkers: 32,
+            max_queue_per_tenant: 1 << 20,
+            window: AimdConfig::default(),
+            tick: Duration::from_micros(500),
+            window_trace_cap: 4096,
+        }
+    }
+}
+
+/// Handle for retrieving one gateway submission's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GatewayTicket(u64);
+
+impl GatewayTicket {
+    /// The ticket's numeric id.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Results of one gateway submission, reassembled from its chunks.
+#[derive(Debug, Clone)]
+pub struct GatewayResults {
+    /// The ticket these results answer.
+    pub ticket: GatewayTicket,
+    /// Tenant the submission was billed to.
+    pub tenant: TenantId,
+    /// One path per submitted start vertex, in submission order.
+    pub paths: Vec<Vec<VertexId>>,
+}
+
+impl GatewayResults {
+    /// Total steps across all walks.
+    pub fn total_steps(&self) -> usize {
+        self.paths.iter().map(|p| p.len().saturating_sub(1)).sum()
+    }
+}
+
+/// One gateway submission being assembled from chunk completions.
+struct Submission {
+    tenant: TenantId,
+    /// One slot per original start, filled as chunks complete.
+    paths: Vec<Option<Vec<VertexId>>>,
+    /// Walks not yet accounted (completed or failed).
+    remaining: usize,
+    /// Terminal failure, if any chunk was rejected non-retryably.
+    error: Option<GatewayError>,
+}
+
+/// Everything guarded by the gateway's state mutex.
+struct State {
+    sched: DrrScheduler,
+    submissions: HashMap<u64, Submission>,
+    tenants: HashMap<TenantId, TenantAccum>,
+    next_submission: u64,
+    window_now: usize,
+    window_min_seen: usize,
+    window_max_seen: usize,
+    window_trace: Vec<WindowSample>,
+    dispatch_ticks: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    service: Arc<WalkService>,
+    config: GatewayConfig,
+    /// `chunk_walkers` clamped to the service inbox bound.
+    chunk_cap: usize,
+    state: Mutex<State>,
+    /// Wakes the dispatcher on submissions and shutdown.
+    work_cv: Condvar,
+    /// Wakes submission waiters on completions.
+    done_cv: Condvar,
+    /// Walkers dispatched to the service and not yet completed.
+    in_flight_walkers: AtomicUsize,
+    started_at: Instant,
+}
+
+/// A chunk the dispatcher has submitted and is polling for completion.
+struct InFlightChunk {
+    ticket: WalkTicket,
+    submission: u64,
+    tenant: TenantId,
+    indices: Vec<u32>,
+    cost: usize,
+}
+
+/// The multi-tenant admission gateway in front of a [`WalkService`]. See
+/// the crate-level documentation for the design tour.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Build a gateway over `service` and spawn its dispatcher thread.
+    pub fn new(service: Arc<WalkService>, config: GatewayConfig) -> Gateway {
+        let max_inbox = service.max_inbox();
+        let chunk_cap = if max_inbox > 0 {
+            config.chunk_walkers.clamp(1, max_inbox)
+        } else {
+            config.chunk_walkers.max(1)
+        };
+        let window = AimdWindow::new(config.window);
+        let inner = Arc::new(Inner {
+            service,
+            config,
+            chunk_cap,
+            state: Mutex::new(State {
+                sched: DrrScheduler::new(config.quantum_walkers.max(1)),
+                submissions: HashMap::new(),
+                tenants: HashMap::new(),
+                next_submission: 1,
+                window_now: window.window(),
+                window_min_seen: window.window(),
+                window_max_seen: window.window(),
+                window_trace: Vec::new(),
+                dispatch_ticks: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            in_flight_walkers: AtomicUsize::new(0),
+            started_at: Instant::now(),
+        });
+        let dispatcher = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("bingo-gateway-dispatch".into())
+                .spawn(move || run_dispatcher(inner, window))
+                .expect("spawn gateway dispatcher")
+        };
+        Gateway {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// The fronted walk service.
+    pub fn service(&self) -> &WalkService {
+        &self.inner.service
+    }
+
+    /// Configure `tenant`'s scheduling weight ahead of its submissions.
+    /// Submissions carrying an explicit [`WalkRequest::weight`] update it
+    /// too (most recent explicit setting wins); submissions without one
+    /// inherit it.
+    pub fn set_tenant_weight(&self, tenant: impl Into<TenantId>, weight: u32) {
+        let tenant = tenant.into();
+        let mut state = self.inner.state.lock().unwrap();
+        state.sched.set_weight(&tenant, weight.max(1));
+    }
+
+    /// Queue a request for dispatch, billed to the request's tenant
+    /// ([`WalkRequest::tenant`], default tenant when unset).
+    ///
+    /// Unlike submitting straight to the service, a request that would
+    /// saturate a shard inbox is *parked*, not rejected: it waits in its
+    /// tenant's queue until the dispatcher can admit its chunks within
+    /// the fairness and backpressure budgets. Only a tenant exceeding its
+    /// own queue bound is refused ([`GatewayError::Overloaded`]).
+    pub fn submit(&self, request: WalkRequest) -> Result<GatewayTicket, GatewayError> {
+        let num_vertices = self.inner.service.num_vertices();
+        let parts = request.into_parts();
+        let starts = parts
+            .starts
+            .unwrap_or_else(|| (0..num_vertices as VertexId).collect());
+        if starts.is_empty() {
+            return Err(GatewayError::Rejected(ServiceError::EmptySubmission));
+        }
+        for &s in &starts {
+            if (s as usize) >= num_vertices {
+                return Err(GatewayError::Rejected(ServiceError::VertexOutOfRange {
+                    vertex: s,
+                    num_vertices,
+                }));
+            }
+        }
+        let tenant = parts.meta.tenant.clone();
+        let partitioner = self.inner.service.partitioner();
+
+        let mut state = self.inner.state.lock().unwrap();
+        if state.shutdown {
+            return Err(GatewayError::ShuttingDown);
+        }
+        let queued = state.sched.queued_walkers(&tenant);
+        let capacity = self.inner.config.max_queue_per_tenant;
+        if queued + starts.len() > capacity {
+            state
+                .tenants
+                .entry(tenant.clone())
+                .or_default()
+                .rejected_overloaded += 1;
+            return Err(GatewayError::Overloaded {
+                tenant,
+                queued,
+                capacity,
+            });
+        }
+        // An explicit per-request weight updates the tenant's share; a
+        // request without one inherits whatever is configured (via
+        // `set_tenant_weight` or an earlier weighted request) instead of
+        // resetting it to the default.
+        if parts.meta.weight.is_some() {
+            state
+                .sched
+                .set_weight(&tenant, parts.meta.effective_weight());
+        }
+
+        let id = state.next_submission;
+        state.next_submission += 1;
+        state.submissions.insert(
+            id,
+            Submission {
+                tenant: tenant.clone(),
+                paths: (0..starts.len()).map(|_| None).collect(),
+                remaining: starts.len(),
+                error: None,
+            },
+        );
+        let now = Instant::now();
+        for (shard, group) in
+            shard_aligned_chunks(&starts, |v| partitioner.owner(v), self.inner.chunk_cap)
+        {
+            let (indices, vertices): (Vec<u32>, Vec<VertexId>) = group.into_iter().unzip();
+            state.sched.enqueue(Chunk {
+                tenant: tenant.clone(),
+                submission: id,
+                model: parts.model.clone(),
+                starts: vertices,
+                indices,
+                shard,
+                seed: parts.seed,
+                enqueued_at: now,
+            });
+        }
+        let new_depth = state.sched.queued_walkers(&tenant);
+        let accum = state.tenants.entry(tenant).or_default();
+        accum.submitted_requests += 1;
+        accum.submitted_walks += starts.len() as u64;
+        accum.peak_queued_walkers = accum.peak_queued_walkers.max(new_depth);
+        drop(state);
+        self.inner.work_cv.notify_all();
+        Ok(GatewayTicket(id))
+    }
+
+    /// Block until every walk of `ticket` completed (or its submission
+    /// failed terminally) and return the assembled results.
+    pub fn wait(&self, ticket: GatewayTicket) -> Result<GatewayResults, GatewayError> {
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            let sub = state
+                .submissions
+                .get(&ticket.0)
+                .expect("unknown or already-collected gateway ticket");
+            if sub.remaining == 0 {
+                return Self::take_results(&mut state, ticket);
+            }
+            state = self.inner.done_cv.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking completion check; `None` while walks are outstanding.
+    pub fn try_wait(&self, ticket: GatewayTicket) -> Option<Result<GatewayResults, GatewayError>> {
+        let mut state = self.inner.state.lock().unwrap();
+        let sub = state
+            .submissions
+            .get(&ticket.0)
+            .expect("unknown or already-collected gateway ticket");
+        if sub.remaining == 0 {
+            Some(Self::take_results(&mut state, ticket))
+        } else {
+            None
+        }
+    }
+
+    fn take_results(
+        state: &mut State,
+        ticket: GatewayTicket,
+    ) -> Result<GatewayResults, GatewayError> {
+        let sub = state
+            .submissions
+            .remove(&ticket.0)
+            .expect("checked present");
+        if let Some(err) = sub.error {
+            return Err(err);
+        }
+        Ok(GatewayResults {
+            ticket,
+            tenant: sub.tenant,
+            paths: sub
+                .paths
+                .into_iter()
+                .map(|p| p.expect("all walks completed"))
+                .collect(),
+        })
+    }
+
+    /// Point-in-time gateway statistics.
+    pub fn stats(&self) -> GatewayStats {
+        // Copy the raw material out under the lock; the O(n log n)
+        // percentile work happens after releasing it, so pollers sampling
+        // stats in a tight loop don't serialize the dispatcher (which
+        // needs this mutex for every dispatch and absorb).
+        let (mut rows, mut stats) = {
+            let state = self.inner.state.lock().unwrap();
+            let rows: Vec<(TenantStatsSnapshot, Vec<u64>)> = state
+                .tenants
+                .iter()
+                .map(|(tenant, accum)| {
+                    (
+                        TenantStatsSnapshot {
+                            tenant: tenant.clone(),
+                            weight: state.sched.weight(tenant),
+                            queued_walkers: state.sched.queued_walkers(tenant),
+                            peak_queued_walkers: accum.peak_queued_walkers,
+                            submitted_requests: accum.submitted_requests,
+                            submitted_walks: accum.submitted_walks,
+                            dispatched_chunks: accum.dispatched_chunks,
+                            dispatched_walks: accum.dispatched_walks,
+                            completed_walks: accum.completed_walks,
+                            completed_steps: accum.completed_steps,
+                            rejected_overloaded: accum.rejected_overloaded,
+                            saturated_requeues: accum.saturated_requeues,
+                            failed_walks: accum.failed_walks,
+                            wait_p50: Duration::ZERO,
+                            wait_p99: Duration::ZERO,
+                            wait_max: Duration::ZERO,
+                            wait_samples: accum.wait_us.len(),
+                        },
+                        accum.wait_us.clone(),
+                    )
+                })
+                .collect();
+            let stats = GatewayStats {
+                per_tenant: Vec::new(),
+                window: state.window_now,
+                window_min_seen: state.window_min_seen,
+                window_max_seen: state.window_max_seen,
+                window_trace: state.window_trace.clone(),
+                in_flight_walkers: self.inner.in_flight_walkers.load(Ordering::Relaxed),
+                dispatch_ticks: state.dispatch_ticks,
+                uptime: self.inner.started_at.elapsed(),
+            };
+            (rows, stats)
+        };
+        for (snapshot, waits) in &mut rows {
+            waits.sort_unstable();
+            snapshot.wait_p50 = percentile_sorted(waits, 0.50);
+            snapshot.wait_p99 = percentile_sorted(waits, 0.99);
+            snapshot.wait_max = percentile_sorted(waits, 1.0);
+        }
+        stats.per_tenant = rows.into_iter().map(|(snapshot, _)| snapshot).collect();
+        stats.per_tenant.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        stats
+    }
+
+    /// Drain every queued and in-flight chunk, stop the dispatcher, and
+    /// return the final statistics. New submissions are refused from the
+    /// moment this is called.
+    pub fn shutdown(mut self) -> GatewayStats {
+        self.begin_shutdown();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.shutdown = true;
+        drop(state);
+        self.inner.work_cv.notify_all();
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The dispatcher loop: absorb completions, tick the AIMD controller,
+/// dispatch under DRR within the window, park until there is work.
+fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
+    let mut in_flight: Vec<InFlightChunk> = Vec::new();
+    let mut window_limited = false;
+    loop {
+        // Phase 1 — poll in-flight tickets, outside the state lock (the
+        // service has its own locking; holding ours would serialize
+        // submitters against completion polling for no reason).
+        let mut completed = Vec::new();
+        let mut i = 0;
+        while i < in_flight.len() {
+            match inner.service.try_wait(in_flight[i].ticket) {
+                Some(results) => {
+                    let chunk = in_flight.swap_remove(i);
+                    completed.push((chunk, results));
+                }
+                None => i += 1,
+            }
+        }
+
+        // Phase 2 — AIMD control tick on the service's occupancy hook.
+        let snapshot = inner.service.admission_snapshot();
+        let event = window.on_tick(
+            snapshot.peak_occupancy(),
+            snapshot.saturated_rejections,
+            window_limited,
+        );
+
+        let mut state = inner.state.lock().unwrap();
+        state.dispatch_ticks += 1;
+        record_window(
+            &inner,
+            &mut state,
+            &window,
+            event,
+            snapshot.peak_occupancy(),
+        );
+        for (chunk, results) in completed {
+            absorb_chunk(&inner, &mut state, chunk, results);
+        }
+
+        // Phase 3 — dispatch within the window, fairness order decided by
+        // the DRR scheduler.
+        window_limited = false;
+        loop {
+            let occupied = inner.in_flight_walkers.load(Ordering::Relaxed);
+            let budget = window.window().saturating_sub(occupied);
+            if budget == 0 {
+                window_limited = !state.sched.is_empty();
+                break;
+            }
+            let Some(chunk) = state.sched.next(budget) else {
+                // Queue non-empty but nothing fit the remaining budget:
+                // the window, not the queues, is the limiter.
+                window_limited = !state.sched.is_empty();
+                break;
+            };
+            let submit_result = match chunk.seed {
+                Some(seed) => {
+                    inner
+                        .service
+                        .submit_model_seeded(chunk.model.clone(), &chunk.starts, seed)
+                }
+                None => inner
+                    .service
+                    .submit_model(chunk.model.clone(), &chunk.starts),
+            };
+            match submit_result {
+                Ok(ticket) => {
+                    inner
+                        .in_flight_walkers
+                        .fetch_add(chunk.cost(), Ordering::Relaxed);
+                    let accum = state.tenants.entry(chunk.tenant.clone()).or_default();
+                    accum.dispatched_chunks += 1;
+                    accum.dispatched_walks += chunk.cost() as u64;
+                    accum.record_wait(chunk.enqueued_at.elapsed());
+                    in_flight.push(InFlightChunk {
+                        ticket,
+                        submission: chunk.submission,
+                        tenant: chunk.tenant,
+                        cost: chunk.starts.len(),
+                        indices: chunk.indices,
+                    });
+                }
+                Err(err) if err.is_retryable() => {
+                    // The target inbox is full right now: park the chunk
+                    // back at its queue front (nothing dropped, deficit
+                    // refunded) and halve the window — we pushed too hard.
+                    state
+                        .tenants
+                        .entry(chunk.tenant.clone())
+                        .or_default()
+                        .saturated_requeues += 1;
+                    state.sched.requeue_front(chunk);
+                    let ev = window.on_saturated();
+                    record_window(&inner, &mut state, &window, ev, snapshot.peak_occupancy());
+                    break;
+                }
+                Err(err) => {
+                    fail_chunk(&inner, &mut state, chunk, err);
+                }
+            }
+        }
+
+        // Phase 4 — exit or park.
+        if state.shutdown && state.sched.is_empty() && in_flight.is_empty() {
+            break;
+        }
+        if in_flight.is_empty() && state.sched.is_empty() {
+            // Fully idle: sleep until a submission (or shutdown) arrives —
+            // zero CPU while the gateway has nothing to do.
+            let _unused = inner.work_cv.wait(state).unwrap();
+        } else {
+            // Work outstanding: wake after a tick to poll completions and
+            // re-run the controller (or earlier, on a new submission).
+            let _unused = inner
+                .work_cv
+                .wait_timeout(state, inner.config.tick)
+                .unwrap();
+        }
+    }
+}
+
+/// Fold one completed chunk into its submission and tenant counters.
+fn absorb_chunk(
+    inner: &Inner,
+    state: &mut State,
+    chunk: InFlightChunk,
+    results: bingo_service::TicketResults,
+) {
+    inner
+        .in_flight_walkers
+        .fetch_sub(chunk.cost, Ordering::Relaxed);
+    let steps = results.total_steps();
+    let accum = state.tenants.entry(chunk.tenant.clone()).or_default();
+    accum.completed_walks += results.paths.len() as u64;
+    accum.completed_steps += steps as u64;
+    if let Some(sub) = state.submissions.get_mut(&chunk.submission) {
+        for (&index, path) in chunk.indices.iter().zip(results.paths) {
+            sub.paths[index as usize] = Some(path);
+        }
+        sub.remaining = sub.remaining.saturating_sub(chunk.indices.len());
+        if sub.remaining == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+/// Terminal rejection of a chunk: record the failure on its submission so
+/// the waiter receives a typed error instead of hanging.
+fn fail_chunk(inner: &Inner, state: &mut State, chunk: Chunk, err: ServiceError) {
+    let accum = state.tenants.entry(chunk.tenant.clone()).or_default();
+    accum.failed_walks += chunk.cost() as u64;
+    if let Some(sub) = state.submissions.get_mut(&chunk.submission) {
+        sub.error.get_or_insert(GatewayError::Rejected(err));
+        sub.remaining = sub.remaining.saturating_sub(chunk.cost());
+        if sub.remaining == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+/// Publish the controller's window into the shared state and extend the
+/// trace on changes.
+fn record_window(
+    inner: &Inner,
+    state: &mut State,
+    window: &AimdWindow,
+    event: WindowEvent,
+    peak_occupancy: f64,
+) {
+    let w = window.window();
+    state.window_now = w;
+    state.window_min_seen = state.window_min_seen.min(w);
+    state.window_max_seen = state.window_max_seen.max(w);
+    if event != WindowEvent::Hold && state.window_trace.len() < inner.config.window_trace_cap {
+        state.window_trace.push(WindowSample {
+            at: inner.started_at.elapsed(),
+            window: w,
+            peak_occupancy,
+            in_flight: inner.in_flight_walkers.load(Ordering::Relaxed),
+        });
+    }
+}
+
+/// A [`WalkClient`](bingo_service::WalkClient)-style front-end over the
+/// gateway: submit the same [`WalkRequest`]s, get a [`WalkOutput`] back.
+pub struct GatewayClient<'a> {
+    gateway: &'a Gateway,
+}
+
+impl Gateway {
+    /// A request front-end mirroring `WalkClient`'s submit/wait surface.
+    pub fn client(&self) -> GatewayClient<'_> {
+        GatewayClient { gateway: self }
+    }
+}
+
+impl<'a> GatewayClient<'a> {
+    /// Queue a request; the returned handle collects the output.
+    pub fn submit(&self, request: WalkRequest) -> Result<GatewayHandle<'a>, GatewayError> {
+        let mode = request.collection_mode();
+        let ticket = self.gateway.submit(request)?;
+        Ok(GatewayHandle {
+            gateway: self.gateway,
+            ticket,
+            mode,
+        })
+    }
+}
+
+/// Handle to an in-progress gateway request.
+pub struct GatewayHandle<'a> {
+    gateway: &'a Gateway,
+    ticket: GatewayTicket,
+    mode: CollectionMode,
+}
+
+impl GatewayHandle<'_> {
+    /// The underlying gateway ticket.
+    pub fn ticket(&self) -> GatewayTicket {
+        self.ticket
+    }
+
+    /// Block until the request completed and return the output in the
+    /// request's collection mode.
+    pub fn wait(self) -> Result<WalkOutput, GatewayError> {
+        let results = self.gateway.wait(self.ticket)?;
+        Ok(into_output(
+            results,
+            self.mode,
+            self.gateway.service().num_vertices(),
+        ))
+    }
+
+    /// Non-blocking poll for the output.
+    pub fn try_collect(&self) -> Option<Result<WalkOutput, GatewayError>> {
+        self.gateway.try_wait(self.ticket).map(|r| {
+            r.map(|results| into_output(results, self.mode, self.gateway.service().num_vertices()))
+        })
+    }
+}
+
+fn into_output(results: GatewayResults, mode: CollectionMode, num_vertices: usize) -> WalkOutput {
+    let total_steps = results.total_steps();
+    match mode {
+        CollectionMode::Paths => WalkOutput {
+            num_walks: results.paths.len(),
+            total_steps,
+            paths: results.paths,
+            visit_counts: None,
+        },
+        CollectionMode::VisitCounts => {
+            let mut counts = vec![0u64; num_vertices];
+            let num_walks = results.paths.len();
+            for path in &results.paths {
+                for &v in path {
+                    if let Some(slot) = counts.get_mut(v as usize) {
+                        *slot += 1;
+                    }
+                }
+            }
+            WalkOutput {
+                paths: Vec::new(),
+                visit_counts: Some(counts),
+                num_walks,
+                total_steps,
+            }
+        }
+    }
+}

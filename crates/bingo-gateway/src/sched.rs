@@ -1,0 +1,426 @@
+//! Deficit-round-robin scheduling of queued walk chunks across tenants.
+//!
+//! The scheduler is deliberately pure bookkeeping — no threads, no clocks,
+//! no service handles — so its fairness properties are unit-testable in
+//! isolation. The dispatcher thread (see [`crate::Gateway`]) owns one
+//! [`DrrScheduler`] and asks it for the next dispatchable chunk whenever
+//! the in-flight window has room.
+//!
+//! ## The algorithm
+//!
+//! Classic deficit round robin over per-tenant FIFO queues, with the
+//! *walker* (start vertex) as the unit of cost: every time the round-robin
+//! pointer visits a backlogged tenant whose accumulated deficit cannot pay
+//! for its head chunk, the tenant earns `quantum × weight` additional
+//! deficit; chunks are dispatched while the deficit covers their cost.
+//! Over any interval in which a set of tenants stays backlogged, each
+//! receives dispatch bandwidth proportional to its weight regardless of
+//! how the others shape their submissions — the property the fairness
+//! example and tests measure end to end.
+
+use bingo_graph::VertexId;
+use bingo_walks::{SharedWalkModel, TenantId};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// One shard-aligned slice of a gateway submission: the unit the
+/// dispatcher admits into the walk service. Keeping chunks shard-aligned
+/// means (a) fairness granularity is per-chunk, not per-request — a giant
+/// submission cannot monopolize a dispatch turn — and (b) a
+/// `Saturated` rejection names exactly the inbox that is full, so other
+/// shards keep receiving work.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Tenant the chunk is billed to.
+    pub tenant: TenantId,
+    /// Gateway submission this chunk belongs to.
+    pub submission: u64,
+    /// Walk model to run (shared with every sibling chunk).
+    pub model: SharedWalkModel,
+    /// Start vertices, all owned by [`Chunk::shard`].
+    pub starts: Vec<VertexId>,
+    /// For each start, its index in the original submission's start list
+    /// (parallel to `starts`) — results are reassembled through this map.
+    pub indices: Vec<u32>,
+    /// The shard owning every start vertex.
+    pub shard: usize,
+    /// Per-submission seed override forwarded to the service.
+    pub seed: Option<u64>,
+    /// When the chunk entered its tenant queue (queue-wait measurement).
+    pub enqueued_at: Instant,
+}
+
+impl Chunk {
+    /// Scheduling cost of the chunk: the number of walkers it admits.
+    pub fn cost(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+/// Split a submission's start list into shard-aligned chunks of at most
+/// `max_chunk` walkers, preserving submission order within each shard.
+/// Returns `(shard, Vec<(original_index, vertex)>)` groups.
+pub fn shard_aligned_chunks(
+    starts: &[VertexId],
+    owner: impl Fn(VertexId) -> usize,
+    max_chunk: usize,
+) -> Vec<(usize, Vec<(u32, VertexId)>)> {
+    let max_chunk = max_chunk.max(1);
+    let mut open: HashMap<usize, Vec<(u32, VertexId)>> = HashMap::new();
+    let mut sealed = Vec::new();
+    for (i, &v) in starts.iter().enumerate() {
+        let shard = owner(v);
+        let group = open.entry(shard).or_default();
+        group.push((i as u32, v));
+        if group.len() >= max_chunk {
+            sealed.push((shard, std::mem::take(group)));
+        }
+    }
+    let mut rest: Vec<(usize, Vec<(u32, VertexId)>)> =
+        open.into_iter().filter(|(_, g)| !g.is_empty()).collect();
+    // Deterministic tail order (HashMap iteration is not).
+    rest.sort_by_key(|(shard, _)| *shard);
+    sealed.extend(rest);
+    sealed
+}
+
+struct TenantQueue {
+    weight: u32,
+    deficit: usize,
+    queue: VecDeque<Chunk>,
+    queued_walkers: usize,
+    /// Whether the tenant's current ring visit has already earned its
+    /// quantum. DRR earns exactly once per visit — earning on every
+    /// scheduling attempt would let whichever tenant sits at the front
+    /// accumulate deficit indefinitely and starve the rest.
+    visit_earned: bool,
+}
+
+/// The deficit-round-robin scheduler: per-tenant FIFO chunk queues plus
+/// the active ring the dispatcher cycles through.
+pub struct DrrScheduler {
+    /// Deficit earned per visit per weight unit, in walkers.
+    quantum: usize,
+    tenants: HashMap<TenantId, TenantQueue>,
+    /// Round-robin ring of tenants with at least one queued chunk.
+    active: VecDeque<TenantId>,
+}
+
+impl DrrScheduler {
+    /// A scheduler granting `quantum` walkers of deficit per weight unit
+    /// each time the round-robin pointer passes a backlogged tenant.
+    pub fn new(quantum: usize) -> Self {
+        DrrScheduler {
+            quantum: quantum.max(1),
+            tenants: HashMap::new(),
+            active: VecDeque::new(),
+        }
+    }
+
+    /// Set (or update) a tenant's weight. Registers the tenant if new.
+    pub fn set_weight(&mut self, tenant: &TenantId, weight: u32) {
+        let entry = self
+            .tenants
+            .entry(tenant.clone())
+            .or_insert_with(|| TenantQueue {
+                weight: 1,
+                deficit: 0,
+                queue: VecDeque::new(),
+                queued_walkers: 0,
+                visit_earned: false,
+            });
+        entry.weight = weight.max(1);
+    }
+
+    /// A tenant's configured weight (1 when unknown).
+    pub fn weight(&self, tenant: &TenantId) -> u32 {
+        self.tenants.get(tenant).map_or(1, |t| t.weight)
+    }
+
+    /// Walkers currently queued for `tenant`.
+    pub fn queued_walkers(&self, tenant: &TenantId) -> usize {
+        self.tenants.get(tenant).map_or(0, |t| t.queued_walkers)
+    }
+
+    /// Walkers queued across all tenants.
+    pub fn total_queued(&self) -> usize {
+        self.tenants.values().map(|t| t.queued_walkers).sum()
+    }
+
+    /// Whether any chunk is queued.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Append a chunk to its tenant's queue.
+    pub fn enqueue(&mut self, chunk: Chunk) {
+        let tenant = chunk.tenant.clone();
+        self.set_weight(&tenant, self.weight(&tenant)); // ensure registered
+        let entry = self.tenants.get_mut(&tenant).expect("just registered");
+        let was_empty = entry.queue.is_empty();
+        entry.queued_walkers += chunk.cost();
+        entry.queue.push_back(chunk);
+        if was_empty {
+            self.active.push_back(tenant);
+        }
+    }
+
+    /// Put a chunk the service refused back at the *front* of its tenant's
+    /// queue, refunding the deficit its dispatch consumed — the rejection
+    /// must not count against the tenant's fair share. The refund also
+    /// marks the visit's quantum as earned: the tenant can re-dispatch the
+    /// bounced chunk from the refund without collecting a second quantum.
+    pub fn requeue_front(&mut self, chunk: Chunk) {
+        let tenant = chunk.tenant.clone();
+        let entry = self.tenants.get_mut(&tenant).expect("tenant registered");
+        let was_empty = entry.queue.is_empty();
+        entry.queued_walkers += chunk.cost();
+        entry.deficit += chunk.cost();
+        entry.visit_earned = true;
+        entry.queue.push_front(chunk);
+        if was_empty {
+            self.active.push_front(tenant);
+        }
+    }
+
+    /// The next chunk to dispatch under DRR, costing at most `budget`
+    /// walkers (the in-flight window's remaining room). Returns `None`
+    /// when nothing is queued or no backlogged tenant's head chunk fits
+    /// the budget.
+    pub fn next(&mut self, budget: usize) -> Option<Chunk> {
+        if budget == 0 || self.active.is_empty() {
+            return None;
+        }
+        // Tenants whose affordable head chunk exceeds the remaining budget
+        // are *paused* (they keep ring position, deficit, and the earned
+        // flag); once every active tenant has been paused, nothing is
+        // dispatchable this call.
+        let mut blocked = 0usize;
+        while blocked < self.active.len() {
+            let tenant = self.active.front().expect("ring non-empty").clone();
+            let entry = self.tenants.get_mut(&tenant).expect("active ⊆ tenants");
+            let Some(head_cost) = entry.queue.front().map(Chunk::cost) else {
+                // Queue drained (defensive; dequeues keep the ring in sync).
+                entry.deficit = 0;
+                entry.visit_earned = false;
+                self.active.pop_front();
+                continue;
+            };
+            // A ring visit earns its quantum exactly once — on arrival at
+            // the front, not on every scheduling attempt (per-attempt
+            // earning would let the front tenant accrue without bound and
+            // starve the ring).
+            if !entry.visit_earned {
+                entry.visit_earned = true;
+                entry.deficit += self.quantum * entry.weight as usize;
+            }
+            if entry.deficit < head_cost {
+                // This visit cannot afford the head: pass the turn. The
+                // deficit carries over, so a chunk larger than one quantum
+                // is eventually affordable — no starvation.
+                entry.visit_earned = false;
+                self.active.rotate_left(1);
+                blocked = 0;
+                continue;
+            }
+            if head_cost > budget {
+                // Affordable but window-blocked: pause the visit without
+                // ending it (no double quantum when the window reopens).
+                self.active.rotate_left(1);
+                blocked += 1;
+                continue;
+            }
+            let chunk = entry.queue.pop_front().expect("head exists");
+            entry.deficit -= head_cost;
+            entry.queued_walkers -= head_cost;
+            if entry.queue.is_empty() {
+                // An idle tenant must not hoard deficit for a later burst.
+                entry.deficit = 0;
+                entry.visit_earned = false;
+                self.active.pop_front();
+            } else if entry.deficit < entry.queue.front().map_or(0, Chunk::cost) {
+                // Deficit spent below the next head: the visit ends.
+                entry.visit_earned = false;
+                self.active.rotate_left(1);
+            }
+            return Some(chunk);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_walks::{DeepWalkConfig, WalkSpec};
+
+    fn chunk(tenant: &str, submission: u64, walkers: usize) -> Chunk {
+        Chunk {
+            tenant: TenantId::new(tenant),
+            submission,
+            model: WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 4 }).to_model(),
+            starts: vec![0; walkers],
+            indices: (0..walkers as u32).collect(),
+            shard: 0,
+            seed: None,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    /// Drain the whole scheduler, returning walkers dispatched per tenant.
+    fn drain_shares(sched: &mut DrrScheduler, budget: usize) -> HashMap<String, usize> {
+        let mut shares: HashMap<String, usize> = HashMap::new();
+        while let Some(c) = sched.next(budget) {
+            *shares.entry(c.tenant.as_str().to_string()).or_default() += c.cost();
+        }
+        shares
+    }
+
+    #[test]
+    fn full_drain_serves_every_queued_walker() {
+        let mut sched = DrrScheduler::new(8);
+        sched.set_weight(&TenantId::new("a"), 3);
+        for i in 0..40 {
+            sched.enqueue(chunk("a", i, 8));
+            sched.enqueue(chunk("b", 100 + i, 8));
+        }
+        let shares = drain_shares(&mut sched, usize::MAX);
+        // Weights shape the *order*, not the total: a full drain serves
+        // everything, and the scheduler comes back empty.
+        assert_eq!(shares["a"], 320);
+        assert_eq!(shares["b"], 320);
+        assert!(sched.is_empty());
+        assert_eq!(sched.total_queued(), 0);
+    }
+
+    #[test]
+    fn weighted_tenants_drain_proportionally() {
+        // Both tenants stay backlogged for most of the drain; dispatched
+        // walkers must track the 3:1 weights. Measure over a truncated
+        // prefix so neither queue empties inside the window.
+        let mut sched = DrrScheduler::new(8);
+        sched.set_weight(&TenantId::new("heavy"), 3);
+        sched.set_weight(&TenantId::new("light"), 1);
+        for i in 0..120 {
+            sched.enqueue(chunk("heavy", i, 8));
+            sched.enqueue(chunk("light", 1000 + i, 8));
+        }
+        let mut heavy = 0usize;
+        let mut light = 0usize;
+        // 400 walkers of dispatch << 960 queued per tenant: both backlogged.
+        while heavy + light < 400 {
+            let c = sched.next(usize::MAX).expect("both tenants backlogged");
+            match c.tenant.as_str() {
+                "heavy" => heavy += c.cost(),
+                _ => light += c.cost(),
+            }
+        }
+        let ratio = heavy as f64 / light as f64;
+        assert!(
+            (ratio - 3.0).abs() < 0.35,
+            "heavy/light dispatch ratio {ratio:.2}, want ~3"
+        );
+    }
+
+    #[test]
+    fn uneven_chunk_sizes_do_not_break_fairness() {
+        // Tenant "big" queues few large chunks, "small" many tiny ones;
+        // per-walker bandwidth must still follow the (equal) weights.
+        let mut sched = DrrScheduler::new(4);
+        for i in 0..60 {
+            sched.enqueue(chunk("big", i, 20));
+        }
+        for i in 0..300 {
+            sched.enqueue(chunk("small", 1000 + i, 4));
+        }
+        let mut big = 0usize;
+        let mut small = 0usize;
+        while big + small < 600 {
+            let c = sched.next(usize::MAX).expect("backlogged");
+            match c.tenant.as_str() {
+                "big" => big += c.cost(),
+                _ => small += c.cost(),
+            }
+        }
+        let ratio = big as f64 / small as f64;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "equal weights, ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn budget_limits_and_skips_oversized_heads() {
+        let mut sched = DrrScheduler::new(16);
+        sched.enqueue(chunk("wide", 0, 12));
+        sched.enqueue(chunk("narrow", 1, 2));
+        // Budget 4: wide's 12-walker head does not fit, narrow's does.
+        let c = sched.next(4).expect("narrow chunk fits");
+        assert_eq!(c.tenant.as_str(), "narrow");
+        assert!(sched.next(4).is_none(), "remaining head exceeds budget");
+        assert!(sched.next(0).is_none(), "zero budget dispatches nothing");
+        let c = sched.next(12).expect("wide fits a larger window");
+        assert_eq!(c.tenant.as_str(), "wide");
+        assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn heads_larger_than_one_quantum_are_not_starved() {
+        // quantum 2, weight 1, head cost 10: the tenant needs 5 visits to
+        // afford its head but must eventually get it.
+        let mut sched = DrrScheduler::new(2);
+        sched.enqueue(chunk("slow", 0, 10));
+        sched.enqueue(chunk("other", 1, 2));
+        sched.enqueue(chunk("other", 2, 2));
+        let mut got_slow = false;
+        for _ in 0..32 {
+            match sched.next(usize::MAX) {
+                Some(c) if c.tenant.as_str() == "slow" => {
+                    got_slow = true;
+                    break;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        assert!(got_slow, "large head chunk eventually dispatched");
+    }
+
+    #[test]
+    fn requeue_front_restores_order_cost_and_deficit() {
+        let mut sched = DrrScheduler::new(8);
+        sched.enqueue(chunk("t", 1, 8));
+        sched.enqueue(chunk("t", 2, 8));
+        let first = sched.next(usize::MAX).expect("dispatch");
+        assert_eq!(first.submission, 1);
+        assert_eq!(sched.queued_walkers(&TenantId::new("t")), 8);
+        sched.requeue_front(first);
+        assert_eq!(sched.queued_walkers(&TenantId::new("t")), 16);
+        // The bounced chunk comes back first, and its refunded deficit
+        // pays for it without earning another quantum.
+        let again = sched.next(usize::MAX).expect("re-dispatch");
+        assert_eq!(again.submission, 1, "rejected chunk keeps FIFO position");
+    }
+
+    #[test]
+    fn shard_aligned_chunking_partitions_and_bounds() {
+        // Owner = v / 10 (contiguous ranges of 10).
+        let starts: Vec<VertexId> = (0..35).collect();
+        let chunks = shard_aligned_chunks(&starts, |v| (v / 10) as usize, 4);
+        let mut seen = [false; 35];
+        for (shard, group) in &chunks {
+            assert!(group.len() <= 4, "chunk bounded");
+            for &(idx, v) in group {
+                assert_eq!((v / 10) as usize, *shard, "chunk is shard-aligned");
+                assert_eq!(starts[idx as usize], v, "index maps back");
+                assert!(!seen[idx as usize], "no duplicates");
+                seen[idx as usize] = true;
+            }
+            // Order within a chunk preserves submission order.
+            for pair in group.windows(2) {
+                assert!(pair[0].0 < pair[1].0);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every start covered");
+    }
+}

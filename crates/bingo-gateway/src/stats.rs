@@ -1,0 +1,245 @@
+//! Gateway observability: per-tenant queue/dispatch/completion counters,
+//! queue-wait percentiles, and the AIMD window trace.
+
+use bingo_walks::TenantId;
+use std::time::Duration;
+
+/// Cap on retained queue-wait samples per tenant: beyond this the
+/// percentiles describe the first `WAIT_SAMPLE_CAP` dispatches (counts
+/// keep accumulating). Snapshots report how many samples were kept.
+pub const WAIT_SAMPLE_CAP: usize = 65_536;
+
+/// Internal per-tenant accumulator (owned by the gateway state, snapshot
+/// into [`TenantStatsSnapshot`]).
+#[derive(Debug, Default)]
+pub(crate) struct TenantAccum {
+    pub submitted_requests: u64,
+    pub submitted_walks: u64,
+    pub dispatched_chunks: u64,
+    pub dispatched_walks: u64,
+    pub completed_walks: u64,
+    pub completed_steps: u64,
+    pub rejected_overloaded: u64,
+    pub saturated_requeues: u64,
+    pub failed_walks: u64,
+    pub peak_queued_walkers: usize,
+    /// Queue-wait (enqueue → dispatch) samples, microseconds.
+    pub wait_us: Vec<u64>,
+}
+
+impl TenantAccum {
+    pub(crate) fn record_wait(&mut self, wait: Duration) {
+        if self.wait_us.len() < WAIT_SAMPLE_CAP {
+            self.wait_us
+                .push(wait.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+/// Point-in-time statistics for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantStatsSnapshot {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Its current scheduling weight.
+    pub weight: u32,
+    /// Walkers queued at the gateway right now.
+    pub queued_walkers: usize,
+    /// Highest queue depth (walkers) ever observed for this tenant.
+    pub peak_queued_walkers: usize,
+    /// Requests accepted by [`Gateway::submit`](crate::Gateway::submit).
+    pub submitted_requests: u64,
+    /// Walkers those requests contained.
+    pub submitted_walks: u64,
+    /// Chunks handed to the walk service.
+    pub dispatched_chunks: u64,
+    /// Walkers handed to the walk service.
+    pub dispatched_walks: u64,
+    /// Walks whose results came back.
+    pub completed_walks: u64,
+    /// Steps those walks took.
+    pub completed_steps: u64,
+    /// Submissions bounced with `GatewayError::Overloaded` (queue bound).
+    pub rejected_overloaded: u64,
+    /// Chunks the service refused with a retryable `Saturated` that were
+    /// put back at the queue front (never dropped).
+    pub saturated_requeues: u64,
+    /// Walks lost to a non-retryable service rejection (terminal error on
+    /// their submission; should stay zero in a well-configured deployment).
+    pub failed_walks: u64,
+    /// Median queue wait (enqueue → dispatch) across retained samples.
+    pub wait_p50: Duration,
+    /// 99th-percentile queue wait.
+    pub wait_p99: Duration,
+    /// Worst retained queue wait.
+    pub wait_max: Duration,
+    /// Retained wait samples backing the percentiles.
+    pub wait_samples: usize,
+}
+
+/// One entry of the AIMD window trace.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSample {
+    /// Time since the gateway started.
+    pub at: Duration,
+    /// Window value after the adjustment.
+    pub window: usize,
+    /// Peak shard-inbox occupancy observed at the tick.
+    pub peak_occupancy: f64,
+    /// Walkers in flight at the tick.
+    pub in_flight: usize,
+}
+
+/// Aggregate gateway statistics.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayStats {
+    /// Per-tenant snapshots, sorted by tenant id.
+    pub per_tenant: Vec<TenantStatsSnapshot>,
+    /// Current AIMD window (walkers).
+    pub window: usize,
+    /// Smallest window the controller reached.
+    pub window_min_seen: usize,
+    /// Largest window the controller reached.
+    pub window_max_seen: usize,
+    /// Window adjustments (trace entries are recorded on every change,
+    /// capped by the configured trace length).
+    pub window_trace: Vec<WindowSample>,
+    /// Walkers currently dispatched and not yet completed.
+    pub in_flight_walkers: usize,
+    /// Dispatcher loop iterations so far.
+    pub dispatch_ticks: u64,
+    /// Wall-clock time since the gateway was built.
+    pub uptime: Duration,
+}
+
+impl GatewayStats {
+    /// Stats row for `tenant`, if it ever submitted.
+    pub fn tenant(&self, tenant: &TenantId) -> Option<&TenantStatsSnapshot> {
+        self.per_tenant.iter().find(|t| &t.tenant == tenant)
+    }
+
+    /// Total completed steps across all tenants.
+    pub fn total_completed_steps(&self) -> u64 {
+        self.per_tenant.iter().map(|t| t.completed_steps).sum()
+    }
+
+    /// Total completed walks across all tenants.
+    pub fn total_completed_walks(&self) -> u64 {
+        self.per_tenant.iter().map(|t| t.completed_walks).sum()
+    }
+
+    /// `tenant`'s share of all completed steps, in `[0, 1]` (0 when
+    /// nothing completed yet) — the quantity the fairness example and
+    /// tests compare against the weight share.
+    pub fn completed_step_share(&self, tenant: &TenantId) -> f64 {
+        let total = self.total_completed_steps();
+        if total == 0 {
+            return 0.0;
+        }
+        self.tenant(tenant)
+            .map_or(0.0, |t| t.completed_steps as f64 / total as f64)
+    }
+
+    /// Render a per-tenant table for logs and examples.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>8} {:>9} {:>10} {:>10} {:>11} {:>8} {:>9} {:>9}\n",
+            "tenant",
+            "weight",
+            "queued",
+            "submitted",
+            "dispatched",
+            "completed",
+            "steps",
+            "requeue",
+            "p50_wait",
+            "p99_wait",
+        ));
+        for t in &self.per_tenant {
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>8} {:>9} {:>10} {:>10} {:>11} {:>8} {:>8.1}ms {:>8.1}ms\n",
+                t.tenant.as_str(),
+                t.weight,
+                t.queued_walkers,
+                t.submitted_walks,
+                t.dispatched_walks,
+                t.completed_walks,
+                t.completed_steps,
+                t.saturated_requeues,
+                t.wait_p50.as_secs_f64() * 1e3,
+                t.wait_p99.as_secs_f64() * 1e3,
+            ));
+        }
+        out.push_str(&format!(
+            "window {} (seen {}..{}), {} in flight, {} ticks, uptime {:.3}s\n",
+            self.window,
+            self.window_min_seen,
+            self.window_max_seen,
+            self.in_flight_walkers,
+            self.dispatch_ticks,
+            self.uptime.as_secs_f64(),
+        ));
+        out
+    }
+}
+
+/// Nearest-rank percentile over *already sorted* wait samples, `q` in
+/// `[0, 1]`. Callers sort once and read as many percentiles as they need.
+pub(crate) fn percentile_sorted(sorted: &[u64], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    Duration::from_micros(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).rev().collect();
+        s.sort_unstable();
+        assert_eq!(percentile_sorted(&s, 0.5), Duration::from_micros(50));
+        assert_eq!(percentile_sorted(&s, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile_sorted(&s, 0.0), Duration::from_micros(1));
+        assert_eq!(percentile_sorted(&s, 1.0), Duration::from_micros(100));
+        assert_eq!(percentile_sorted(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn step_share_handles_empty_and_partial() {
+        let stats = GatewayStats::default();
+        assert_eq!(stats.completed_step_share(&TenantId::new("a")), 0.0);
+
+        let snap = |name: &str, steps: u64| TenantStatsSnapshot {
+            tenant: TenantId::new(name),
+            weight: 1,
+            queued_walkers: 0,
+            peak_queued_walkers: 0,
+            submitted_requests: 0,
+            submitted_walks: 0,
+            dispatched_chunks: 0,
+            dispatched_walks: 0,
+            completed_walks: 0,
+            completed_steps: steps,
+            rejected_overloaded: 0,
+            saturated_requeues: 0,
+            failed_walks: 0,
+            wait_p50: Duration::ZERO,
+            wait_p99: Duration::ZERO,
+            wait_max: Duration::ZERO,
+            wait_samples: 0,
+        };
+        let stats = GatewayStats {
+            per_tenant: vec![snap("a", 75), snap("b", 25)],
+            ..GatewayStats::default()
+        };
+        assert!((stats.completed_step_share(&TenantId::new("a")) - 0.75).abs() < 1e-12);
+        assert!((stats.completed_step_share(&TenantId::new("b")) - 0.25).abs() < 1e-12);
+        assert_eq!(stats.completed_step_share(&TenantId::new("c")), 0.0);
+        assert!(stats.render().contains("tenant"));
+    }
+}

@@ -55,8 +55,19 @@ use crate::service::{Result, ServiceError, WalkTicket};
 use crate::WalkService;
 use bingo_core::BingoEngine;
 use bingo_graph::VertexId;
-use bingo_walks::{SharedWalkModel, WalkEngine, WalkSpec};
+use bingo_walks::{SharedWalkModel, TenantId, TicketMeta, WalkEngine, WalkSpec};
 use std::collections::VecDeque;
+use std::time::Duration;
+
+/// How many times a blocking wait re-attempts a chunk resubmission that
+/// was rejected with a retryable [`ServiceError::Saturated`] before
+/// surfacing the error. Combined with the exponential backoff (100µs
+/// doubling to [`SATURATION_BACKOFF_CAP`]) this gives the shard workers
+/// over a second of drain time before the client gives up.
+const SATURATION_RETRY_LIMIT: usize = 32;
+
+/// Upper bound of the per-attempt resubmission backoff.
+const SATURATION_BACKOFF_CAP: Duration = Duration::from_millis(50);
 
 /// What a [`WalkHandle`] accumulates and returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +92,7 @@ pub struct WalkRequest {
     seed: Option<u64>,
     max_in_flight: usize,
     mode: CollectionMode,
+    meta: TicketMeta,
 }
 
 impl WalkRequest {
@@ -92,6 +104,7 @@ impl WalkRequest {
             seed: None,
             max_in_flight: 0,
             mode: CollectionMode::default(),
+            meta: TicketMeta::default(),
         }
     }
 
@@ -136,6 +149,68 @@ impl WalkRequest {
         self.mode = mode;
         self
     }
+
+    /// Bill this request to `tenant`. Direct backends (local engine,
+    /// sharded service) execute for every tenant identically; a
+    /// fair-scheduling front-end (`bingo-gateway`) queues and drains each
+    /// tenant's requests separately, so one heavy tenant cannot starve the
+    /// rest.
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.meta.tenant = tenant.into();
+        self
+    }
+
+    /// The tenant's relative scheduling weight (deficit-round-robin share
+    /// under saturation; `0` is read as `1`). Like
+    /// [`WalkRequest::tenant`], only fairness-aware front-ends consume
+    /// it. Requests that never call this inherit the tenant's configured
+    /// weight instead of resetting it.
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.meta.weight = Some(weight);
+        self
+    }
+
+    /// The tenant/weight metadata attached to this request.
+    pub fn meta(&self) -> &TicketMeta {
+        &self.meta
+    }
+
+    /// The configured collection mode.
+    pub fn collection_mode(&self) -> CollectionMode {
+        self.mode
+    }
+
+    /// Decompose the builder into its fields, for execution front-ends
+    /// living outside this crate (the `bingo-gateway` dispatcher consumes
+    /// requests this way).
+    pub fn into_parts(self) -> RequestParts {
+        RequestParts {
+            model: self.model,
+            starts: self.starts,
+            seed: self.seed,
+            max_in_flight: self.max_in_flight,
+            mode: self.mode,
+            meta: self.meta,
+        }
+    }
+}
+
+/// The exploded fields of a [`WalkRequest`] — see
+/// [`WalkRequest::into_parts`].
+#[derive(Debug, Clone)]
+pub struct RequestParts {
+    /// The walk model to run.
+    pub model: SharedWalkModel,
+    /// Explicit start vertices (`None` = one walk per vertex).
+    pub starts: Option<Vec<VertexId>>,
+    /// Seed override (`None` = the backend's configured seed).
+    pub seed: Option<u64>,
+    /// In-flight walker bound (`0` = one chunk).
+    pub max_in_flight: usize,
+    /// How results are accumulated.
+    pub mode: CollectionMode,
+    /// Tenant/weight scheduling metadata.
+    pub meta: TicketMeta,
 }
 
 /// The aggregated outcome of one [`WalkRequest`].
@@ -403,30 +478,67 @@ impl WalkHandle<'_> {
     /// Block until the whole request has finished and return the output.
     ///
     /// With [`WalkRequest::max_in_flight`] set, remaining chunks are
-    /// submitted as their predecessors complete; a chunk rejected by
-    /// admission control ([`ServiceError::Saturated`]) makes this panic —
-    /// use [`WalkHandle::wait_checked`] (or `try_collect` polling) when
-    /// the service runs with a bounded inbox.
+    /// submitted as their predecessors complete. A chunk rejected by
+    /// admission control with a *retryable* [`ServiceError::Saturated`] is
+    /// resubmitted with exponential backoff while the shard inboxes drain
+    /// (up to `SATURATION_RETRY_LIMIT` attempts) — transient saturation
+    /// no longer panics this call. Only a non-retryable rejection (a chunk
+    /// larger than any inbox admits) or an exhausted retry budget panics;
+    /// use [`WalkHandle::wait_checked`] to receive those as typed errors.
     pub fn wait(self) -> WalkOutput {
-        self.wait_checked().expect("chunk resubmission accepted")
+        self.wait_checked()
+            .expect("chunk resubmission accepted after saturation backoff")
     }
 
-    /// Like [`WalkHandle::wait`], but chunk resubmission failures (e.g.
-    /// [`ServiceError::Saturated`] under `max_in_flight`) are returned
-    /// instead of panicking.
+    /// Like [`WalkHandle::wait`], but chunk resubmission failures that
+    /// survive the saturation backoff (or are not retryable at all) are
+    /// returned as typed errors instead of panicking.
     pub fn wait_checked(mut self) -> Result<WalkOutput> {
         while let Some(ticket) = self.in_flight.take() {
             let results = self
                 .service
                 .expect("in-flight tickets only exist on the service backend")
                 .wait(ticket);
-            self.absorb(results)?;
+            match self.absorb(results) {
+                Ok(()) => {}
+                Err(err) if err.is_retryable() => self.resubmit_with_backoff(err)?,
+                Err(err) => return Err(err),
+            }
         }
         Ok(self
             .acc
             .take()
             .expect("output already taken by try_collect")
             .into_output())
+    }
+
+    /// Re-attempt submitting the front queued chunk after a retryable
+    /// saturation rejection, sleeping an exponentially growing backoff
+    /// between attempts so the shard workers get time to drain their
+    /// inboxes. Returns the original error once the budget is exhausted.
+    fn resubmit_with_backoff(&mut self, first_err: ServiceError) -> Result<()> {
+        let service = self
+            .service
+            .expect("saturation rejections only come from the service backend");
+        let mut backoff = Duration::from_micros(100);
+        for _ in 0..SATURATION_RETRY_LIMIT {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(SATURATION_BACKOFF_CAP);
+            let next = self
+                .queued
+                .front()
+                .expect("a rejected chunk stays at the queue front");
+            match WalkClient::submit_chunk(service, &self.model, next, self.seed) {
+                Ok(ticket) => {
+                    self.queued.pop_front();
+                    self.in_flight = Some(ticket);
+                    return Ok(());
+                }
+                Err(err) if err.is_retryable() => continue,
+                Err(err) => return Err(err),
+            }
+        }
+        Err(first_err)
     }
 
     /// Non-blocking poll: absorb finished chunks, submit queued ones, and

@@ -50,7 +50,42 @@
 //! * Per-shard throughput, occupancy, epoch, and forwarded-context
 //!   counters (raw vs materialized bytes, snapshot cache hits/misses,
 //!   capture faults) are exposed as [`ServiceStats`]; admission control is
-//!   available via [`ServiceConfig::max_inbox`].
+//!   available via [`ServiceConfig::max_inbox`], with a rejected
+//!   submission carrying retryable metadata
+//!   ([`ServiceError::Saturated`]) and the occupancy sampling hook
+//!   [`WalkService::admission_snapshot`] feeding adaptive controllers.
+//!
+//! ## Serving stack: where the gateway wires in
+//!
+//! Under real multi-tenant traffic the service is fronted by
+//! `bingo-gateway`, which turns the binary admit/reject decision of
+//! `max_inbox` into queueing, per-tenant fairness and adaptive
+//! backpressure:
+//!
+//! ```text
+//!   tenant A ──┐  WalkRequest(.tenant("A").weight(3))
+//!   tenant B ──┤
+//!   tenant C ──┘       │
+//!                ┌─────▼──────────────────────────────┐
+//!                │ bingo-gateway                      │
+//!                │  per-tenant FIFO queues (bounded:  │
+//!                │  GatewayError::Overloaded past the │
+//!                │  depth cap)                        │
+//!                │  deficit-round-robin dispatcher    │
+//!                │  AIMD in-flight window ◄───────────┼── admission_snapshot()
+//!                └─────┬──────────────────────────────┘    (occupancy +
+//!                      │ shard-aligned chunks               rejection deltas,
+//!                      │ submit_model_seeded()              sampled per tick)
+//!                ┌─────▼──────────────────────────────┐
+//!                │ WalkService                        │
+//!                │  shard inboxes (max_inbox bound)   │
+//!                │  worker threads + BingoEngines     │
+//!                └────────────────────────────────────┘
+//! ```
+//!
+//! Direct [`WalkService::submit`]/[`WalkClient`] use stays fully
+//! supported — the gateway is an optional front-end for workloads where
+//! submitters must not starve each other.
 //!
 //! ## Quickstart
 //!
@@ -101,17 +136,17 @@ pub mod client;
 pub mod service;
 pub mod stats;
 
-pub use client::{CollectionMode, WalkClient, WalkHandle, WalkOutput, WalkRequest};
+pub use client::{CollectionMode, RequestParts, WalkClient, WalkHandle, WalkOutput, WalkRequest};
 pub use service::{
-    ContextTrace, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceError, StepTrace,
-    TicketResults, WalkService, WalkTicket, CONTEXT_HANDLE_BYTES,
+    AdmissionSnapshot, ContextTrace, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceError,
+    StepTrace, TicketResults, WalkService, WalkTicket, CONTEXT_HANDLE_BYTES,
 };
 pub use stats::{ServiceStats, ShardStatsSnapshot};
 
-// The context-encoding knob of `ServiceConfig` lives in `bingo-walks`
-// (walk-model layer); re-exported so service users configure it without a
-// direct `bingo-walks` dependency.
-pub use bingo_walks::{ContextEncoding, ContextMembership};
+// The context-encoding knob of `ServiceConfig` and the tenant metadata of
+// `WalkRequest` live in `bingo-walks` (walk-model layer); re-exported so
+// service users configure them without a direct `bingo-walks` dependency.
+pub use bingo_walks::{ContextEncoding, ContextMembership, TenantId, TicketMeta};
 
 #[cfg(test)]
 mod tests {
@@ -488,13 +523,215 @@ mod tests {
             ),
             "unexpected error {err:?}"
         );
+        // A batch whose share on a *later* shard permanently exceeds the
+        // bound is reported as that shard's non-retryable rejection, even
+        // though its shard-0 share fits (retrying it verbatim could never
+        // succeed). Shard 1 owns vertices 8..16 here.
+        let err = service
+            .submit(spec(3), &[0, 1, 8, 9, 10, 11, 12, 13])
+            .expect_err("6 walkers exceed shard 1's bound");
+        assert!(
+            matches!(
+                err,
+                ServiceError::Saturated {
+                    shard: 1,
+                    retryable: false,
+                    ..
+                }
+            ),
+            "unexpected error {err:?}"
+        );
         // A fitting submission still goes through.
         let ok = service.submit(spec(3), &[0, 1, 8, 9]).unwrap();
         let results = service.wait(ok);
         assert_eq!(results.paths.len(), 4);
         let stats = service.shutdown();
-        assert_eq!(stats.total_saturated_rejections(), 1);
+        assert_eq!(stats.total_saturated_rejections(), 2);
         assert_eq!(stats.total_walks_completed(), 4);
+    }
+
+    #[test]
+    fn wait_and_try_wait_interleave_without_losing_completions() {
+        // Regression for the drain-role race: a non-blocking `try_wait`
+        // poller (the gateway dispatcher's completion loop) can absorb a
+        // blocking waiter's final walk in the window between the waiter
+        // claiming the drain role and parking in `recv()` — the drain
+        // must re-check completeness under the channel lock before
+        // blocking, or the waiter hangs forever.
+        let graph = ring_graph(16);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let waiter = scope.spawn(move || {
+                let mut steps = 0usize;
+                for _ in 0..300 {
+                    let t = service.submit(spec(3), &[1, 9]).unwrap();
+                    steps += service.wait(t).total_steps();
+                }
+                steps
+            });
+            let poller = scope.spawn(move || {
+                let mut steps = 0usize;
+                for _ in 0..300 {
+                    let t = service.submit(spec(3), &[2, 10]).unwrap();
+                    loop {
+                        if let Some(r) = service.try_wait(t) {
+                            steps += r.total_steps();
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+                steps
+            });
+            assert_eq!(waiter.join().unwrap(), 300 * 2 * 3);
+            assert_eq!(poller.join().unwrap(), 300 * 2 * 3);
+        });
+    }
+
+    #[test]
+    fn exact_capacity_submission_is_admitted() {
+        // The admission boundary is strict: a submission routing exactly
+        // `max_inbox` walkers to one shard fits, one more does not.
+        let graph = ring_graph(16);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 2,
+                max_inbox: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // Vertices 0..8 belong to shard 0: exactly 4 walkers → admitted.
+        let ticket = service
+            .submit(spec(3), &[0, 1, 2, 3])
+            .expect("exact-capacity submission is admitted");
+        let results = service.wait(ticket);
+        assert_eq!(results.paths.len(), 4);
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.total_saturated_rejections(),
+            0,
+            "no rejection at exactly max_inbox"
+        );
+    }
+
+    #[test]
+    fn saturation_retryability_distinguishes_batch_size_from_backlog() {
+        // One shard (walkers never forward, so a walker occupies the
+        // worker for its whole walk), inbox bound 2.
+        let graph = ring_graph(8);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 1,
+                max_inbox: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // A batch larger than the inbox can never be admitted, no matter
+        // how empty the queue: not retryable.
+        let err = service
+            .submit(spec(3), &[0, 1, 2])
+            .expect_err("3 walkers exceed the 2-message bound");
+        assert!(
+            matches!(
+                err,
+                ServiceError::Saturated {
+                    retryable: false,
+                    ..
+                }
+            ),
+            "oversized batch is a permanent rejection: {err:?}"
+        );
+        assert!(!err.is_retryable());
+
+        // A fitting batch rejected only because the queue is momentarily
+        // backlogged is retryable. Two long walks keep the single worker
+        // busy (the second stays queued) while we probe.
+        let busy = service.submit(spec(200_000), &[0, 1]).unwrap();
+        let err = service
+            .submit(spec(3), &[4, 5])
+            .expect_err("inbox backlogged by the long walks");
+        assert!(
+            matches!(
+                err,
+                ServiceError::Saturated {
+                    retryable: true,
+                    ..
+                }
+            ),
+            "fitting batch is retryable once the queue drains: {err:?}"
+        );
+        assert!(err.is_retryable());
+        assert!(err.to_string().contains("retryable"));
+        let results = service.wait(busy);
+        assert_eq!(results.paths.len(), 2);
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.total_saturated_rejections(),
+            2,
+            "both rejections counted"
+        );
+    }
+
+    #[test]
+    fn chunked_client_completes_under_admission_pressure() {
+        // Regression for the `WalkHandle::wait` panic on `Saturated`
+        // chunk resubmission: several chunked clients oversubscribing a
+        // bounded-inbox service must all complete (rejected chunks back
+        // off and retry instead of panicking the waiter).
+        let graph = ring_graph(64);
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 2,
+                max_inbox: 8,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let client = WalkClient::sharded(service);
+                        let starts: Vec<u32> = (0..64).map(|v| (v + 16 * i) % 64).collect();
+                        let request = WalkRequest::spec(spec(50))
+                            .starts(starts)
+                            .max_in_flight(8)
+                            .seed(40 + u64::from(i));
+                        // The *first* chunk can also be rejected while the
+                        // other threads keep the inboxes full; that path
+                        // surfaces the typed error for the caller to back
+                        // off on. Later chunks retry inside `wait`.
+                        let handle = loop {
+                            match client.submit(request.clone()) {
+                                Ok(handle) => break handle,
+                                Err(err) if err.is_retryable() => {
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
+                                }
+                                Err(err) => panic!("unexpected rejection {err:?}"),
+                            }
+                        };
+                        handle.wait().num_walks
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 64, "every chunked request completed");
+            }
+        });
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub enum ServiceError {
         queued: usize,
         /// The configured inbox bound.
         capacity: usize,
+        /// Whether resubmitting the same batch can ever succeed: `true`
+        /// when the shard's share fits an *empty* inbox (the queue just
+        /// needs to drain), `false` when the batch routes more walkers to
+        /// one shard than [`ServiceConfig::max_inbox`] admits — retrying
+        /// such a batch verbatim loops forever; it must be split instead.
+        retryable: bool,
     },
     /// An error bubbled up from the engine layer.
     Core(BingoError),
@@ -57,12 +63,33 @@ impl std::fmt::Display for ServiceError {
                 shard,
                 queued,
                 capacity,
+                retryable,
             } => write!(
                 f,
-                "shard {shard} inbox saturated ({queued} queued, capacity {capacity})"
+                "shard {shard} inbox saturated ({queued} queued, capacity {capacity}, {})",
+                if *retryable {
+                    "retryable"
+                } else {
+                    "batch exceeds capacity — split it"
+                }
             ),
             ServiceError::Core(e) => write!(f, "engine error: {e}"),
         }
+    }
+}
+
+impl ServiceError {
+    /// Whether backing off and resubmitting the same request can succeed.
+    /// Only transient inbox saturation qualifies; validation errors and a
+    /// batch too large for any inbox never will.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Saturated {
+                retryable: true,
+                ..
+            }
+        )
     }
 }
 
@@ -307,6 +334,20 @@ struct PendingTicket {
     last_finish: Option<Instant>,
 }
 
+/// Everything guarded by the service's `pending` mutex: the outstanding
+/// tickets plus the single-drainer flag of the completion channel.
+struct Collector {
+    /// Outstanding (not yet fully collected) tickets.
+    tickets: HashMap<u64, PendingTicket>,
+    /// Whether some [`WalkService::wait`] caller currently owns the drain
+    /// role (is blocked in `recv()` on the completion channel). Claiming
+    /// the role and parking on the condvar both happen under this mutex,
+    /// so a drainer's hand-off can never slip between a waiter's check and
+    /// its park — the invariant that lets `wait` use untimed condvar waits
+    /// instead of a sleep/poll loop.
+    draining: bool,
+}
+
 struct RouterState {
     /// Per-shard buffered events awaiting a flush.
     buffers: Vec<Vec<UpdateEvent>>,
@@ -346,10 +387,11 @@ pub struct WalkService {
     counters: Vec<Arc<ShardCounters>>,
     owned_counts: Vec<usize>,
     done_rx: Mutex<Receiver<FinishedWalk>>,
-    pending: Mutex<HashMap<u64, PendingTicket>>,
-    /// Signalled whenever finished walks are absorbed into `pending`, so
-    /// waiters that are not holding the collector lock learn about their
-    /// ticket completing.
+    pending: Mutex<Collector>,
+    /// Signalled whenever finished walks are absorbed into `pending` and
+    /// whenever the drain role is released, so waiters parked in
+    /// [`WalkService::wait`] learn about their ticket completing (or about
+    /// their turn to drain) without polling.
     pending_cv: std::sync::Condvar,
     router: Mutex<RouterState>,
     next_ticket: AtomicU64,
@@ -416,7 +458,10 @@ impl WalkService {
             counters,
             owned_counts,
             done_rx: Mutex::new(done_rx),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(Collector {
+                tickets: HashMap::new(),
+                draining: false,
+            }),
             pending_cv: std::sync::Condvar::new(),
             router: Mutex::new(RouterState {
                 buffers: vec![Vec::new(); num_shards],
@@ -501,6 +546,26 @@ impl WalkService {
             for &s in starts {
                 planned[self.partitioner.owner(s)] += 1;
             }
+            // A shard share larger than the bound can never be admitted, no
+            // matter how the queues drain — report that first (and as
+            // non-retryable) even when an earlier shard is merely
+            // backlogged, so callers don't burn a retry budget on a batch
+            // that must be split instead.
+            if let Some((shard, _)) = planned
+                .iter()
+                .enumerate()
+                .find(|&(_, &extra)| extra > self.max_inbox)
+            {
+                self.counters[shard]
+                    .saturated_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Saturated {
+                    shard,
+                    queued: self.counters[shard].queue_depth().max(0) as usize,
+                    capacity: self.max_inbox,
+                    retryable: false,
+                });
+            }
             for (shard, &extra) in planned.iter().enumerate() {
                 if extra == 0 {
                     continue;
@@ -514,6 +579,7 @@ impl WalkService {
                         shard,
                         queued,
                         capacity: self.max_inbox,
+                        retryable: true,
                     });
                 }
             }
@@ -521,7 +587,7 @@ impl WalkService {
 
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let base_seed = seed.unwrap_or(self.seed);
-        self.pending.lock().unwrap().insert(
+        self.pending.lock().unwrap().tickets.insert(
             ticket,
             PendingTicket {
                 model: model.clone(),
@@ -561,7 +627,7 @@ impl WalkService {
     pub fn submit_all_vertices(&self, spec: WalkSpec) -> Result<WalkTicket> {
         if self.num_vertices == 0 {
             let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-            self.pending.lock().unwrap().insert(
+            self.pending.lock().unwrap().tickets.insert(
                 ticket,
                 PendingTicket {
                     model: spec.to_model(),
@@ -622,18 +688,18 @@ impl WalkService {
     /// [`WalkService::wait`] to park until completion.
     pub fn try_wait(&self, ticket: WalkTicket) -> Option<TicketResults> {
         {
-            let mut pending = self.pending.lock().unwrap();
-            if let Some(results) = self.take_if_complete(&mut pending, ticket) {
+            let mut collector = self.pending.lock().unwrap();
+            if let Some(results) = self.take_if_complete(&mut collector.tickets, ticket) {
                 return Some(results);
             }
         }
         if let Ok(rx) = self.done_rx.try_lock() {
-            let mut pending = self.pending.lock().unwrap();
+            let mut collector = self.pending.lock().unwrap();
             while let Ok(finished) = rx.try_recv() {
-                self.absorb(&mut pending, finished);
+                self.absorb(&mut collector.tickets, finished);
             }
-            let results = self.take_if_complete(&mut pending, ticket);
-            drop(pending);
+            let results = self.take_if_complete(&mut collector.tickets, ticket);
+            drop(collector);
             self.pending_cv.notify_all();
             return results;
         }
@@ -642,47 +708,82 @@ impl WalkService {
 
     /// Block until every walk of `ticket` has finished and return the
     /// collected results (walks are deposited in submission order).
+    ///
+    /// Exactly one waiter at a time owns the **drain role**: it parks in a
+    /// blocking `recv()` on the completion channel (woken by the shard
+    /// workers themselves) and absorbs finished walks for *every* ticket.
+    /// All other waiters park on a condvar that the drainer signals after
+    /// each absorb and when it hands the role off — so no thread ever
+    /// sleep-polls, and a blocked waiter costs zero CPU until a walk of
+    /// interest actually finishes.
     pub fn wait(&self, ticket: WalkTicket) -> TicketResults {
+        let mut collector = self.pending.lock().unwrap();
         loop {
-            {
-                let mut pending = self.pending.lock().unwrap();
-                if let Some(results) = self.take_if_complete(&mut pending, ticket) {
-                    return results;
-                }
+            if let Some(results) = self.take_if_complete(&mut collector.tickets, ticket) {
+                return results;
             }
-            // Not complete: absorb finished walks (possibly for other
-            // tickets) and re-check. Only one waiter drains the channel at
-            // a time; the others sleep on the condvar so a ticket completed
-            // by *another* waiter's drain loop still wakes its owner
-            // (avoiding the lost-wakeup hang of blocking in recv()).
-            match self.done_rx.try_lock() {
-                Ok(rx) => {
-                    match rx.recv_timeout(Duration::from_millis(10)) {
-                        Ok(finished) => {
-                            let mut pending = self.pending.lock().unwrap();
-                            self.absorb(&mut pending, finished);
-                            // Drain whatever else is already queued.
-                            while let Ok(more) = rx.try_recv() {
-                                self.absorb(&mut pending, more);
-                            }
-                            drop(pending);
-                            self.pending_cv.notify_all();
-                        }
-                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
-                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                            panic!("shard workers alive")
-                        }
-                    }
+            if !collector.draining {
+                collector.draining = true;
+                drop(collector);
+                return self.drain_until_complete(ticket);
+            }
+            // Another waiter is draining. Parking happens under the same
+            // mutex the drainer needs for absorbs and for releasing the
+            // role, so its notify can never race past us: we either see
+            // the new state on re-check or we are already parked when the
+            // signal fires.
+            collector = self.pending_cv.wait(collector).unwrap();
+        }
+    }
+
+    /// The drain role of [`WalkService::wait`]: block on the completion
+    /// channel, absorb every finished walk, wake parked waiters, and return
+    /// once `ticket` is complete (releasing the role).
+    fn drain_until_complete(&self, ticket: WalkTicket) -> TicketResults {
+        // If absorbing panics (the debug capture-fault assert), this guard
+        // still releases the drain role and wakes the parked waiters so a
+        // failing test fails loudly instead of hanging them forever.
+        struct DrainGuard<'a>(&'a WalkService);
+        impl Drop for DrainGuard<'_> {
+            fn drop(&mut self) {
+                if let Ok(mut collector) = self.0.pending.lock() {
+                    collector.draining = false;
                 }
-                Err(_) => {
-                    // Another waiter is collecting; wait for its signal (with
-                    // a timeout so collector hand-off can never stall us).
-                    let pending = self.pending.lock().unwrap();
-                    let _ = self
-                        .pending_cv
-                        .wait_timeout(pending, Duration::from_millis(10))
-                        .unwrap();
-                }
+                self.0.pending_cv.notify_all();
+            }
+        }
+        let guard = DrainGuard(self);
+        let rx = self.done_rx.lock().unwrap();
+        // Re-check completeness now that the channel lock is held: between
+        // claiming the drain role and acquiring `done_rx`, a non-blocking
+        // `try_wait` (e.g. the gateway dispatcher's completion poll) may
+        // have drained the channel and absorbed this ticket's final walk —
+        // blocking in `recv()` then would hang forever, since no further
+        // send may ever come. Holding the channel lock closes the window:
+        // every later absorb goes through this thread.
+        {
+            let mut collector = self.pending.lock().unwrap();
+            if let Some(results) = self.take_if_complete(&mut collector.tickets, ticket) {
+                drop(collector);
+                drop(guard);
+                return results;
+            }
+        }
+        loop {
+            // Parks the thread until a shard worker finishes a walk; only
+            // a worker-side send wakes it (no timeout, no polling).
+            let finished = rx.recv().expect("shard workers alive");
+            let mut collector = self.pending.lock().unwrap();
+            self.absorb(&mut collector.tickets, finished);
+            while let Ok(more) = rx.try_recv() {
+                self.absorb(&mut collector.tickets, more);
+            }
+            let done = self.take_if_complete(&mut collector.tickets, ticket);
+            drop(collector);
+            self.pending_cv.notify_all();
+            if let Some(results) = done {
+                drop(guard); // release the drain role, wake a successor
+                return results;
             }
         }
     }
@@ -799,6 +900,33 @@ impl WalkService {
         }
     }
 
+    /// The configured per-shard inbox bound (`0` = unbounded).
+    pub fn max_inbox(&self) -> usize {
+        self.max_inbox
+    }
+
+    /// A cheap point-in-time view of the admission-relevant state: current
+    /// per-shard inbox occupancy, the configured bound, and the cumulative
+    /// saturation-rejection count. This is the sampling hook an adaptive
+    /// admission controller (see `bingo-gateway`) reads every tick — three
+    /// relaxed atomic loads per shard, no allocation beyond the depth
+    /// vector, unlike the full [`WalkService::stats`] snapshot.
+    pub fn admission_snapshot(&self) -> AdmissionSnapshot {
+        AdmissionSnapshot {
+            queue_depths: self
+                .counters
+                .iter()
+                .map(|c| c.queue_depth().max(0) as usize)
+                .collect(),
+            max_inbox: self.max_inbox,
+            saturated_rejections: self
+                .counters
+                .iter()
+                .map(|c| c.saturated_rejections.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+
     /// Snapshot of per-shard throughput/occupancy counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -835,6 +963,33 @@ impl WalkService {
 impl Drop for WalkService {
     fn drop(&mut self) {
         self.stop_workers();
+    }
+}
+
+/// A point-in-time view of the state admission decisions depend on — see
+/// [`WalkService::admission_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Messages currently queued on each shard's inbox (clamped at 0).
+    pub queue_depths: Vec<usize>,
+    /// The configured [`ServiceConfig::max_inbox`] bound (`0` = unbounded).
+    pub max_inbox: usize,
+    /// Cumulative submissions rejected with [`ServiceError::Saturated`]
+    /// across all shards since the service started.
+    pub saturated_rejections: u64,
+}
+
+impl AdmissionSnapshot {
+    /// Occupancy of the fullest inbox as a fraction of the bound, in
+    /// `[0, 1]`-ish (transient overshoot past 1.0 is possible because
+    /// forwarded walkers and update batches bypass admission). Returns 0
+    /// when inboxes are unbounded — there is no pressure signal to read.
+    pub fn peak_occupancy(&self) -> f64 {
+        if self.max_inbox == 0 {
+            return 0.0;
+        }
+        let peak = self.queue_depths.iter().copied().max().unwrap_or(0);
+        peak as f64 / self.max_inbox as f64
     }
 }
 

@@ -401,4 +401,36 @@ mod tests {
         assert_eq!(idle.context_cache_hit_rate(), 0.0);
         assert_eq!(idle.context_shrink_factor(), 1.0);
     }
+
+    #[test]
+    fn degenerate_no_forwarding_ratios_stay_finite() {
+        // A busy single-shard service never forwards: steps accumulate
+        // while every context counter stays zero. All derived ratios must
+        // come back finite and neutral — no NaN, no division by zero —
+        // and the rendered table must not blow up.
+        let stats = ServiceStats {
+            per_shard: vec![ShardStatsSnapshot {
+                shard: 0,
+                steps: 1_000_000,
+                walks_completed: 10_000,
+                ..Default::default()
+            }],
+            uptime: Duration::from_secs(3),
+        };
+        assert_eq!(stats.context_shrink_factor(), 1.0);
+        assert_eq!(stats.context_cache_hit_rate(), 0.0);
+        assert_eq!(stats.forward_ratio(), 0.0);
+        assert!(stats.context_shrink_factor().is_finite());
+        assert!(stats.context_cache_hit_rate().is_finite());
+        assert!(stats.render().contains("0 forwards"));
+
+        // Zero uptime (snapshot taken immediately): rate guards hold.
+        let instant = ServiceStats {
+            per_shard: vec![ShardStatsSnapshot::default()],
+            uptime: Duration::ZERO,
+        };
+        assert_eq!(instant.steps_per_sec(), 0.0);
+        assert_eq!(instant.forward_ratio(), 0.0);
+        assert!(instant.steps_per_sec().is_finite());
+    }
 }

@@ -26,6 +26,10 @@
 //! * [`walk_store`] — Wharf/FIRM-style incremental maintenance of stored
 //!   walks: when an edge changes, only the affected suffixes are re-sampled
 //!   from the updated engine (§7.2).
+//! * [`tenancy`] — multi-tenant ticket metadata ([`TenantId`],
+//!   [`TicketMeta`]): the shared vocabulary the serving layers
+//!   (`bingo-service`, `bingo-gateway`) use to attribute and fairly
+//!   schedule walk submissions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod analytics;
 pub mod apps;
 pub mod engine;
 pub mod model;
+pub mod tenancy;
 pub mod walk_store;
 pub mod workflow;
 
@@ -47,6 +52,7 @@ pub use model::{
     ContextSnapshot, DeltaFingerprint, SharedWalkModel, StepSampler, Transition, WalkModel,
     WalkState,
 };
+pub use tenancy::{TenantId, TicketMeta};
 pub use walk_store::{RefreshStats, WalkStore};
 pub use workflow::{EvaluationWorkflow, IngestMode, IngestStats, RoundReport, WorkflowReport};
 

@@ -1,0 +1,138 @@
+//! Multi-tenant ticket metadata: who submitted a batch of walks and with
+//! what scheduling weight.
+//!
+//! The serving layers above the walk engine — `bingo-service`'s
+//! `WalkRequest` builder and `bingo-gateway`'s fair scheduler — need a
+//! shared vocabulary for attributing walk submissions to tenants without
+//! depending on each other. That vocabulary lives here, at the walk-model
+//! layer, next to the other request-describing types ([`crate::WalkSpec`],
+//! [`crate::model::ContextRequirement`]).
+//!
+//! A [`TenantId`] is a cheap-to-clone interned name; [`TicketMeta`] pairs
+//! it with the tenant's scheduling weight. Weights are *relative*: a
+//! gateway running deficit-round-robin gives each backlogged tenant a
+//! per-round quantum proportional to its weight, so a weight-3 tenant
+//! drains three walkers for every one of a weight-1 tenant under
+//! saturation.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The tenant every submission belongs to when none is named.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// The scheduling weight assigned when none is configured.
+pub const DEFAULT_WEIGHT: u32 = 1;
+
+/// An interned tenant name: cheap to clone, hash and compare, so it can
+/// ride on every queued chunk without re-allocating the string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+impl TenantId {
+    /// Intern a tenant name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        TenantId(Arc::from(name.as_ref()))
+    }
+
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId::new(DEFAULT_TENANT)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(name: &str) -> Self {
+        TenantId::new(name)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(name: String) -> Self {
+        TenantId::new(name)
+    }
+}
+
+/// Scheduling metadata attached to one walk submission (ticket): the
+/// tenant it is billed to and, optionally, an explicit relative weight.
+///
+/// `weight` is `None` unless the submitter set one — an unset weight
+/// means *inherit*: schedulers keep whatever weight the tenant already
+/// has configured (falling back to [`DEFAULT_WEIGHT`] for unknown
+/// tenants) instead of resetting it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TicketMeta {
+    /// Tenant the submission belongs to.
+    pub tenant: TenantId,
+    /// Explicit deficit-round-robin weight, if the submission carries one
+    /// (clamped to at least 1 by consumers; see
+    /// [`TicketMeta::effective_weight`]).
+    pub weight: Option<u32>,
+}
+
+impl TicketMeta {
+    /// Metadata for `tenant` at an explicit `weight`.
+    pub fn new(tenant: impl Into<TenantId>, weight: u32) -> Self {
+        TicketMeta {
+            tenant: tenant.into(),
+            weight: Some(weight),
+        }
+    }
+
+    /// The weight schedulers must use when this submission carries one: a
+    /// configured weight of 0 would starve the tenant forever, so it is
+    /// read as the minimum share of 1. Falls back to [`DEFAULT_WEIGHT`]
+    /// when no explicit weight was set.
+    pub fn effective_weight(&self) -> u32 {
+        self.weight.unwrap_or(DEFAULT_WEIGHT).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tenant_ids_intern_and_compare_by_name() {
+        let a = TenantId::new("acme");
+        let b: TenantId = "acme".into();
+        let c: TenantId = String::from("other").into();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "acme");
+        let set: HashSet<TenantId> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2, "equal names hash identically");
+    }
+
+    #[test]
+    fn default_meta_names_the_default_tenant_with_no_explicit_weight() {
+        let meta = TicketMeta::default();
+        assert_eq!(meta.tenant.as_str(), DEFAULT_TENANT);
+        assert_eq!(
+            meta.weight, None,
+            "unset weight means inherit, not overwrite"
+        );
+        assert_eq!(meta.effective_weight(), DEFAULT_WEIGHT);
+    }
+
+    #[test]
+    fn zero_weight_is_read_as_one() {
+        let meta = TicketMeta::new("starved", 0);
+        assert_eq!(meta.weight, Some(0), "the configured value is preserved");
+        assert_eq!(meta.effective_weight(), 1, "but schedulers see >= 1");
+        assert_eq!(TicketMeta::new("heavy", 5).effective_weight(), 5);
+    }
+}

@@ -1,0 +1,258 @@
+//! Multi-tenant fairness under saturating load: two tenants with 3:1
+//! weights push identical walk workloads through `bingo-gateway` against a
+//! LiveJournal stand-in served by a bounded-inbox `WalkService`.
+//!
+//! While both tenants are backlogged, the deficit-round-robin dispatcher
+//! must grant them step bandwidth in proportion to their weights: at the
+//! moment the heavy tenant finishes its offered load, its share of all
+//! completed steps must sit within ±10 percentage points of 75%. No
+//! request may be dropped — saturation parks chunks in the tenant queues
+//! (bounded, never exceeded) and the AIMD window adapts to the service's
+//! inbox occupancy.
+//!
+//! The final line is a machine-readable JSON summary (per-tenant counts,
+//! step shares, queue-wait p50/p99, the AIMD window trace) that CI greps.
+//!
+//! ```text
+//! cargo run --release --example gateway_fairness
+//! ```
+
+use bingo::gateway::{AimdConfig, TenantId};
+use bingo::prelude::*;
+use rand::RngCore;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+/// Scale divisor for the LiveJournal stand-in (~8k vertices).
+const SCALE: u64 = 1_000;
+const WALK_LEN: usize = 10;
+const REQUESTS_PER_TENANT: usize = 200;
+const WALKS_PER_REQUEST: usize = 100;
+const HEAVY_WEIGHT: u32 = 3;
+const LIGHT_WEIGHT: u32 = 1;
+const QUEUE_BOUND: usize = 25_000;
+
+fn main() {
+    let mut rng = Pcg64::seed_from_u64(0x6A7E);
+    let graph = bingo::graph::datasets::StandinDataset::LiveJournal.build(SCALE, &mut rng);
+    let num_vertices = graph.num_vertices();
+    println!(
+        "graph: {} vertices, {} edges; tenants: heavy(w={HEAVY_WEIGHT}) vs light(w={LIGHT_WEIGHT}), \
+         {REQUESTS_PER_TENANT} requests x {WALKS_PER_REQUEST} walks x {WALK_LEN} steps each",
+        graph.num_vertices(),
+        graph.num_edges(),
+    );
+
+    let service = Arc::new(
+        WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: SHARDS,
+                seed: 0x6A7E,
+                max_inbox: 64,
+                partition: PartitionStrategy::DegreeBalanced,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service builds"),
+    );
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            chunk_walkers: 32,
+            quantum_walkers: 32,
+            max_queue_per_tenant: QUEUE_BOUND,
+            window: AimdConfig {
+                initial: 64,
+                min: 32,
+                max: 256,
+                additive_step: 16,
+                decrease_factor: 0.5,
+                occupancy_high: 0.75,
+            },
+            ..GatewayConfig::default()
+        },
+    );
+
+    // Saturating offered load: both tenants enqueue their full workload up
+    // front (interleaved, so neither gets a head start), far more than the
+    // in-flight window admits at once — the DRR dispatcher decides who
+    // drains.
+    let offered_walks = (REQUESTS_PER_TENANT * WALKS_PER_REQUEST) as u64;
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig {
+        walk_length: WALK_LEN,
+    });
+    let mut start_rng = Pcg64::seed_from_u64(0xFA1);
+    let mut random_starts = |n: usize| -> Vec<VertexId> {
+        (0..n)
+            .map(|_| (start_rng.next_u64() % num_vertices as u64) as VertexId)
+            .collect()
+    };
+    let t0 = Instant::now();
+    let mut heavy_tickets = Vec::new();
+    let mut light_tickets = Vec::new();
+    for _ in 0..REQUESTS_PER_TENANT {
+        heavy_tickets.push(
+            gateway
+                .submit(
+                    WalkRequest::spec(spec)
+                        .starts(random_starts(WALKS_PER_REQUEST))
+                        .tenant("heavy")
+                        .weight(HEAVY_WEIGHT),
+                )
+                .expect("queued, not rejected"),
+        );
+        light_tickets.push(
+            gateway
+                .submit(
+                    WalkRequest::spec(spec)
+                        .starts(random_starts(WALKS_PER_REQUEST))
+                        .tenant("light")
+                        .weight(LIGHT_WEIGHT),
+                )
+                .expect("queued, not rejected"),
+        );
+    }
+
+    // Fairness is measured while both tenants contend: sample the step
+    // counters at the moment the heavy tenant's offered load completes.
+    let heavy_id = TenantId::new("heavy");
+    let light_id = TenantId::new("light");
+    let (heavy_steps_at_cut, light_steps_at_cut) = loop {
+        let stats = gateway.stats();
+        let heavy = stats.tenant(&heavy_id).map_or(0, |t| t.completed_walks);
+        if heavy >= offered_walks {
+            break (
+                stats.tenant(&heavy_id).map_or(0, |t| t.completed_steps),
+                stats.tenant(&light_id).map_or(0, |t| t.completed_steps),
+            );
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    let cut_total = (heavy_steps_at_cut + light_steps_at_cut).max(1);
+    let heavy_share = heavy_steps_at_cut as f64 / cut_total as f64;
+    let light_share = light_steps_at_cut as f64 / cut_total as f64;
+
+    // Drain everything: every submission must complete with all its walks
+    // (queued under backpressure, never dropped).
+    let mut total_paths = 0usize;
+    for ticket in heavy_tickets.into_iter().chain(light_tickets) {
+        let results = gateway.wait(ticket).expect("no submission fails");
+        // The stand-in has dead-end vertices, so walks may legitimately
+        // stop early — but every submitted walk must come back, bounded by
+        // the requested length.
+        assert!(
+            results.paths.iter().all(|p| p.len() <= WALK_LEN + 1),
+            "no walk exceeds the requested length"
+        );
+        total_paths += results.paths.len();
+    }
+    let elapsed = t0.elapsed();
+    let stats = gateway.shutdown();
+    println!("\nper-tenant gateway stats:\n{}", stats.render());
+
+    let heavy_t = stats.tenant(&heavy_id).expect("heavy tenant exists");
+    let light_t = stats.tenant(&light_id).expect("light tenant exists");
+    let expected_share = HEAVY_WEIGHT as f64 / (HEAVY_WEIGHT + LIGHT_WEIGHT) as f64;
+    let fairness_ok = (heavy_share - expected_share).abs() <= 0.10;
+    let dropped = heavy_t.failed_walks
+        + light_t.failed_walks
+        + (heavy_t.submitted_walks - heavy_t.completed_walks)
+        + (light_t.submitted_walks - light_t.completed_walks);
+    let overloaded = heavy_t.rejected_overloaded + light_t.rejected_overloaded;
+
+    println!(
+        "fairness cut at heavy completion: heavy {heavy_steps_at_cut} steps ({:.1}%), \
+         light {light_steps_at_cut} steps ({:.1}%), target {:.1}% -> {}",
+        100.0 * heavy_share,
+        100.0 * light_share,
+        100.0 * expected_share,
+        if fairness_ok { "PASS" } else { "FAIL" },
+    );
+    println!(
+        "drained {} walks in {:.3}s; window {} (seen {}..{}), {} trace entries, \
+         {} saturation requeues",
+        total_paths,
+        elapsed.as_secs_f64(),
+        stats.window,
+        stats.window_min_seen,
+        stats.window_max_seen,
+        stats.window_trace.len(),
+        heavy_t.saturated_requeues + light_t.saturated_requeues,
+    );
+
+    // Machine-readable summary (grepped by CI).
+    let tenant_json = |t: &bingo::gateway::TenantStatsSnapshot, share: f64| {
+        format!(
+            "{{\"tenant\":\"{}\",\"weight\":{},\"submitted_walks\":{},\"completed_walks\":{},\
+             \"completed_steps\":{},\"share_at_cut\":{:.4},\"peak_queued\":{},\
+             \"saturated_requeues\":{},\"rejected_overloaded\":{},\"wait_p50_ms\":{:.3},\
+             \"wait_p99_ms\":{:.3}}}",
+            t.tenant,
+            t.weight,
+            t.submitted_walks,
+            t.completed_walks,
+            t.completed_steps,
+            share,
+            t.peak_queued_walkers,
+            t.saturated_requeues,
+            t.rejected_overloaded,
+            t.wait_p50.as_secs_f64() * 1e3,
+            t.wait_p99.as_secs_f64() * 1e3,
+        )
+    };
+    // The full trace can run to hundreds of adjustments; print a prefix
+    // (the sawtooth shape shows within a few cycles) plus the total count.
+    let trace_json: Vec<String> = stats
+        .window_trace
+        .iter()
+        .take(48)
+        .map(|s| format!("[{:.1},{}]", s.at.as_secs_f64() * 1e3, s.window))
+        .collect();
+    println!(
+        "{{\"experiment\":\"gateway_fairness\",\"tenants\":[{},{}],\"heavy_share\":{:.4},\
+         \"light_share\":{:.4},\"expected_share\":{:.4},\"fairness_ok\":{},\"dropped\":{},\
+         \"overloaded\":{},\"queue_bound\":{},\"window_min\":{},\"window_max\":{},\
+         \"window_final\":{},\"aimd_adjustments\":{},\"aimd_trace_ms_window\":[{}],\
+         \"elapsed_s\":{:.3}}}",
+        tenant_json(heavy_t, heavy_share),
+        tenant_json(light_t, light_share),
+        heavy_share,
+        light_share,
+        expected_share,
+        fairness_ok,
+        dropped,
+        overloaded,
+        QUEUE_BOUND,
+        stats.window_min_seen,
+        stats.window_max_seen,
+        stats.window,
+        stats.window_trace.len(),
+        trace_json.join(","),
+        elapsed.as_secs_f64(),
+    );
+
+    // Hard acceptance criteria.
+    assert_eq!(
+        total_paths as u64,
+        2 * offered_walks,
+        "every offered walk completed"
+    );
+    assert_eq!(dropped, 0, "no request dropped");
+    assert_eq!(overloaded, 0, "queues absorbed the load without rejection");
+    assert!(
+        heavy_t.peak_queued_walkers <= QUEUE_BOUND && light_t.peak_queued_walkers <= QUEUE_BOUND,
+        "per-tenant queue depth stayed under the configured bound"
+    );
+    assert!(
+        fairness_ok,
+        "heavy tenant's completed-step share {:.3} must be within 0.10 of {expected_share:.3}",
+        heavy_share
+    );
+    assert!(
+        stats.window_min_seen < stats.window_max_seen,
+        "the AIMD controller adapted the window at least once"
+    );
+    println!("ok");
+}

@@ -25,6 +25,10 @@
 //! * [`service`] — the serving layer: a vertex-sharded, multi-threaded walk
 //!   service that answers concurrent walk requests while graph updates
 //!   stream in, with per-shard epoch counters and walker forwarding.
+//! * [`gateway`] — the multi-tenant front-end over the service: bounded
+//!   per-tenant queues, deficit-round-robin fair scheduling with
+//!   configurable weights, and AIMD adaptive backpressure driven by the
+//!   service's occupancy counters.
 //!
 //! ## Quickstart
 //!
@@ -77,6 +81,7 @@
 
 pub use bingo_baselines as baselines;
 pub use bingo_core as core;
+pub use bingo_gateway as gateway;
 pub use bingo_graph as graph;
 pub use bingo_sampling as sampling;
 pub use bingo_service as service;
@@ -85,6 +90,7 @@ pub use bingo_walks as walks;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use bingo_core::{BingoConfig, BingoEngine, GroupKind};
+    pub use bingo_gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats, GatewayTicket};
     pub use bingo_graph::{
         Bias, BiasDistribution, DynamicGraph, GraphGenerator, UpdateBatch, UpdateEvent,
         UpdateStreamBuilder, VertexId,

@@ -1,0 +1,207 @@
+//! Integration tests for the multi-tenant gateway (`bingo-gateway`) over a
+//! real sharded walk service:
+//!
+//! * DRR fairness property — under saturating offered load, two tenants
+//!   with 3:1 weights must complete steps within tolerance of a 75/25
+//!   split while both are backlogged;
+//! * admission boundaries — per-tenant queue overflow returns
+//!   `Overloaded` without touching already-queued work, and saturation
+//!   bounces requeue (never drop) chunks;
+//! * result integrity — chunked, fairness-reordered dispatch still
+//!   returns every path in submission order.
+
+use bingo::gateway::{AimdConfig, Gateway, GatewayConfig, GatewayError, TenantId};
+use bingo::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn ring_graph(n: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::new(n);
+    for v in 0..n as u32 {
+        g.insert_edge(v, (v + 1) % n as u32, Bias::from_int(2))
+            .unwrap();
+        g.insert_edge(v, (v + 5) % n as u32, Bias::from_int(1))
+            .unwrap();
+    }
+    g
+}
+
+fn bounded_service(n: usize, shards: usize, max_inbox: usize) -> Arc<WalkService> {
+    Arc::new(
+        WalkService::build(
+            &ring_graph(n),
+            ServiceConfig {
+                num_shards: shards,
+                max_inbox,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn weighted_tenants_complete_within_tolerance_of_their_weights() {
+    // Both tenants offer the same saturating load; weights 3:1. At the
+    // moment the heavy tenant's offered walks complete, its share of all
+    // completed steps must sit near 75% (loose tolerance: this runs in
+    // debug builds on loaded CI machines).
+    let service = bounded_service(256, 2, 32);
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            chunk_walkers: 16,
+            quantum_walkers: 16,
+            window: AimdConfig {
+                initial: 32,
+                min: 16,
+                max: 96,
+                ..AimdConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 8 });
+    let offered_per_tenant = 2_000u64;
+    let mut tickets = Vec::new();
+    for round in 0..(offered_per_tenant as usize / 100) {
+        let starts: Vec<VertexId> = (0..100).map(|k| ((round * 7 + k) % 256) as u32).collect();
+        tickets.push(
+            gateway
+                .submit(
+                    WalkRequest::spec(spec)
+                        .starts(starts.clone())
+                        .tenant("heavy")
+                        .weight(3),
+                )
+                .unwrap(),
+        );
+        tickets.push(
+            gateway
+                .submit(
+                    WalkRequest::spec(spec)
+                        .starts(starts)
+                        .tenant("light")
+                        .weight(1),
+                )
+                .unwrap(),
+        );
+    }
+    let heavy = TenantId::new("heavy");
+    let light = TenantId::new("light");
+    let (heavy_cut, light_cut) = loop {
+        let stats = gateway.stats();
+        if stats.tenant(&heavy).map_or(0, |t| t.completed_walks) >= offered_per_tenant {
+            break (
+                stats.tenant(&heavy).map_or(0, |t| t.completed_steps),
+                stats.tenant(&light).map_or(0, |t| t.completed_steps),
+            );
+        }
+        std::thread::sleep(Duration::from_micros(300));
+    };
+    for t in tickets {
+        gateway.wait(t).expect("no submission fails");
+    }
+    let stats = gateway.shutdown();
+
+    let share = heavy_cut as f64 / (heavy_cut + light_cut).max(1) as f64;
+    assert!(
+        (share - 0.75).abs() <= 0.15,
+        "heavy completed-step share {share:.3} not within 0.15 of 0.75 \
+         (heavy {heavy_cut} vs light {light_cut} steps at cut)"
+    );
+    // Everything offered completed — queued under pressure, never dropped.
+    for id in [&heavy, &light] {
+        let t = stats.tenant(id).expect("tenant served");
+        assert_eq!(t.completed_walks, offered_per_tenant, "tenant {id}");
+        assert_eq!(t.failed_walks, 0);
+        assert_eq!(t.rejected_overloaded, 0);
+    }
+}
+
+#[test]
+fn queue_overflow_rejects_only_the_oversized_tenant() {
+    let service = bounded_service(64, 2, 32);
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            max_queue_per_tenant: 100,
+            ..GatewayConfig::default()
+        },
+    );
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 4 });
+    // Fill "greedy" to its bound across several submissions...
+    let mut tickets = Vec::new();
+    let mut rejections = 0;
+    for _ in 0..5 {
+        match gateway.submit(
+            WalkRequest::spec(spec)
+                .starts((0..40).collect())
+                .tenant("greedy"),
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(GatewayError::Overloaded {
+                tenant, capacity, ..
+            }) => {
+                assert_eq!(tenant.as_str(), "greedy");
+                assert_eq!(capacity, 100);
+                rejections += 1;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    // ...while a polite tenant still gets in.
+    let polite = gateway
+        .submit(
+            WalkRequest::spec(spec)
+                .starts((0..40).collect())
+                .tenant("polite"),
+        )
+        .expect("another tenant's overflow must not affect this one");
+    for t in tickets {
+        assert_eq!(gateway.wait(t).unwrap().paths.len(), 40);
+    }
+    assert_eq!(gateway.wait(polite).unwrap().paths.len(), 40);
+    let stats = gateway.shutdown();
+    let greedy = stats.tenant(&TenantId::new("greedy")).unwrap();
+    assert_eq!(greedy.rejected_overloaded as usize, rejections);
+    assert!(
+        rejections > 0,
+        "at least one submission overflowed the 100-walker bound"
+    );
+    assert!(greedy.peak_queued_walkers <= 100, "bound never exceeded");
+}
+
+#[test]
+fn saturation_requeues_preserve_every_walk_and_its_order() {
+    // Inboxes of 4 under a window that overshoots: chunks bounce with
+    // retryable Saturated and must come back in order, losing nothing.
+    let service = bounded_service(96, 3, 4);
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            chunk_walkers: 8, // clamped to 4 by the inbox bound
+            window: AimdConfig {
+                initial: 96,
+                min: 4,
+                ..AimdConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    );
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 12 });
+    let starts: Vec<VertexId> = (0..96).rev().collect();
+    let ticket = gateway
+        .submit(WalkRequest::spec(spec).starts(starts.clone()).tenant("t"))
+        .unwrap();
+    let results = gateway.wait(ticket).unwrap();
+    assert_eq!(results.paths.len(), 96);
+    for (path, &start) in results.paths.iter().zip(&starts) {
+        assert_eq!(path[0], start, "submission order survives requeues");
+        assert_eq!(path.len(), 13, "ring walks run to full length");
+    }
+    let stats = gateway.shutdown();
+    let t = stats.tenant(&TenantId::new("t")).unwrap();
+    assert_eq!(t.completed_walks, 96);
+    assert_eq!(t.failed_walks, 0, "nothing dropped");
+}
