@@ -101,6 +101,12 @@ const EXPERIMENTS: &[Experiment] = &[
         description: "Multi-tenant gateway: weighted fairness and AIMD admission sweep",
         run: experiments::gateway,
     },
+    Experiment {
+        name: "parallel",
+        description:
+            "Rayon-shim thread team: engine-build/walk-pass speedup vs 1 thread, determinism",
+        run: experiments::parallel,
+    },
 ];
 
 fn print_usage() {

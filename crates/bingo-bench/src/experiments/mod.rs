@@ -16,9 +16,11 @@
 //! | Sharded walk-service throughput sweep | — (beyond the paper) | [`service::service`] |
 //! | Sharded node2vec equivalence (chi-square) | — (beyond the paper) | [`service::service_node2vec`] |
 //! | Gateway weighted fairness + AIMD sweep | — (beyond the paper) | [`gateway::gateway`] |
+//! | Shim thread-team speedup + determinism | — (beyond the paper) | [`parallel::parallel`] |
 
 pub mod gateway;
 pub mod memory;
+pub mod parallel;
 pub mod service;
 pub mod sweeps;
 pub mod tables;
@@ -26,6 +28,7 @@ pub mod updates;
 
 pub use gateway::gateway;
 pub use memory::{fig11, fig13, fig14};
+pub use parallel::parallel;
 pub use service::{service, service_node2vec};
 pub use sweeps::{fig15a, fig15b, fig15c, fig9};
 pub use tables::{table1, table2, table3, table4};

@@ -426,11 +426,16 @@ impl BingoEngine {
             }
         }
 
-        // Parallel per-vertex ingestion (the GPU kernel launch).
+        // Parallel per-vertex ingestion (the GPU kernel launch). Most
+        // vertices are untouched by a typical batch (`ops` is `None`), so
+        // the per-item cost is near zero for the bulk of the scan —
+        // `with_min_len` keeps the splitter from paying task-dispatch
+        // overhead on sub-thousand slices of mostly-empty work.
         let outcomes: Vec<_> = self
             .spaces
             .par_iter_mut()
             .zip(per_vertex.par_iter())
+            .with_min_len(1024)
             .filter_map(|(space, ops)| {
                 ops.as_ref()
                     .map(|(inserts, deletes)| space.apply_batch(inserts, deletes))
@@ -465,9 +470,15 @@ impl BingoEngine {
     }
 
     /// Aggregate memory report over all vertices (Figure 11).
+    ///
+    /// The parallel `reduce` requires an associative combine (see the
+    /// `rayon` shim docs): [`MemoryReport::merge`] is element-wise integer
+    /// addition of byte and group counters, which is associative and
+    /// commutative, so the chunked tree-combine is exact.
     pub fn memory_report(&self) -> MemoryReport {
         self.spaces
             .par_iter()
+            .with_min_len(256)
             .map(VertexSpace::memory_report)
             .reduce(MemoryReport::default, |mut a, b| {
                 a.merge(&b);

@@ -421,6 +421,7 @@ impl Gateway {
                             wait_p99: Duration::ZERO,
                             wait_max: Duration::ZERO,
                             wait_samples: accum.wait_us.len(),
+                            wait_recorded: accum.wait_seen,
                         },
                         accum.wait_us.clone(),
                     )

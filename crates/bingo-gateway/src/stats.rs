@@ -1,12 +1,17 @@
 //! Gateway observability: per-tenant queue/dispatch/completion counters,
 //! queue-wait percentiles, and the AIMD window trace.
 
+use bingo_sampling::rng::SplitMix64;
 use bingo_walks::TenantId;
 use std::time::Duration;
 
-/// Cap on retained queue-wait samples per tenant: beyond this the
-/// percentiles describe the first `WAIT_SAMPLE_CAP` dispatches (counts
-/// keep accumulating). Snapshots report how many samples were kept.
+/// Cap on retained queue-wait samples per tenant. Retention beyond the cap
+/// is **reservoir sampling** (Vitter's Algorithm R): every one of the
+/// `wait_seen` dispatches so far has equal probability
+/// `WAIT_SAMPLE_CAP / wait_seen` of being in the reservoir, so long-run
+/// `wait_p50`/`wait_p99` track the whole run instead of freezing on the
+/// first `WAIT_SAMPLE_CAP` (warm-up) dispatches. Snapshots report both the
+/// retained and the seen count.
 pub const WAIT_SAMPLE_CAP: usize = 65_536;
 
 /// Internal per-tenant accumulator (owned by the gateway state, snapshot
@@ -23,15 +28,37 @@ pub(crate) struct TenantAccum {
     pub saturated_requeues: u64,
     pub failed_walks: u64,
     pub peak_queued_walkers: usize,
-    /// Queue-wait (enqueue → dispatch) samples, microseconds.
+    /// Queue-wait (enqueue → dispatch) reservoir, microseconds.
     pub wait_us: Vec<u64>,
+    /// Total waits ever recorded (retained or not).
+    pub wait_seen: u64,
+    /// SplitMix64 stream driving reservoir replacement. Lazily created
+    /// from a fixed seed, so a given dispatch sequence always retains the
+    /// same samples (deterministic, reproducible percentiles).
+    reservoir_rng: Option<SplitMix64>,
 }
 
 impl TenantAccum {
     pub(crate) fn record_wait(&mut self, wait: Duration) {
-        if self.wait_us.len() < WAIT_SAMPLE_CAP {
-            self.wait_us
-                .push(wait.as_micros().min(u128::from(u64::MAX)) as u64);
+        self.record_wait_capped(wait, WAIT_SAMPLE_CAP);
+    }
+
+    /// Algorithm R with an explicit cap (unit tests use a small one so the
+    /// post-cap regime is reachable without 65k+ pushes).
+    pub(crate) fn record_wait_capped(&mut self, wait: Duration, cap: usize) {
+        let us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.wait_seen += 1;
+        if self.wait_us.len() < cap {
+            self.wait_us.push(us);
+            return;
+        }
+        // Keep the newcomer with probability cap / seen, evicting a
+        // uniformly random incumbent. The modulo bias is < cap / 2^64 —
+        // unobservable next to the sampling noise of the percentiles.
+        let rng = self.reservoir_rng.get_or_insert_with(|| SplitMix64::new(0));
+        let j = rng.next() % self.wait_seen;
+        if (j as usize) < cap {
+            self.wait_us[j as usize] = us;
         }
     }
 }
@@ -73,8 +100,11 @@ pub struct TenantStatsSnapshot {
     pub wait_p99: Duration,
     /// Worst retained queue wait.
     pub wait_max: Duration,
-    /// Retained wait samples backing the percentiles.
+    /// Retained wait samples backing the percentiles (≤
+    /// [`WAIT_SAMPLE_CAP`]; an unbiased reservoir over everything seen).
     pub wait_samples: usize,
+    /// Total waits ever recorded — `wait_samples` of these are retained.
+    pub wait_recorded: u64,
 }
 
 /// One entry of the AIMD window trace.
@@ -199,6 +229,51 @@ mod tests {
     use super::*;
 
     #[test]
+    fn reservoir_tracks_the_whole_run_not_just_warmup() {
+        let cap = 256;
+        let mut accum = TenantAccum::default();
+        // Warm-up: `cap` fast dispatches at 100µs.
+        for _ in 0..cap {
+            accum.record_wait_capped(Duration::from_micros(100), cap);
+        }
+        assert_eq!(accum.wait_us.len(), cap);
+        assert_eq!(accum.wait_seen, cap as u64);
+        // Then a long steady state 9× larger at 900µs. The truncating cap
+        // this replaces would keep p50 frozen at 100µs forever.
+        for _ in 0..9 * cap {
+            accum.record_wait_capped(Duration::from_micros(900), cap);
+        }
+        assert_eq!(accum.wait_us.len(), cap, "reservoir never exceeds cap");
+        assert_eq!(accum.wait_seen, 10 * cap as u64);
+        let mut sorted = accum.wait_us.clone();
+        sorted.sort_unstable();
+        let p50 = percentile_sorted(&sorted, 0.5);
+        assert_eq!(
+            p50,
+            Duration::from_micros(900),
+            "median must reflect steady state (~90% of samples), not warm-up"
+        );
+        // Warm-up is still *represented* (each of the 10·cap waits has
+        // probability 1/10 of retention; P(no 100µs survivor) ≈ 10^-12).
+        assert!(
+            sorted.first() == Some(&100),
+            "some warm-up samples survive in the reservoir"
+        );
+    }
+
+    #[test]
+    fn reservoir_is_deterministic() {
+        let feed = |n: u64| {
+            let mut accum = TenantAccum::default();
+            for i in 0..n {
+                accum.record_wait_capped(Duration::from_micros(i * 7 % 1000), 128);
+            }
+            accum.wait_us
+        };
+        assert_eq!(feed(5000), feed(5000));
+    }
+
+    #[test]
     fn percentiles_are_nearest_rank() {
         let mut s: Vec<u64> = (1..=100).rev().collect();
         s.sort_unstable();
@@ -232,6 +307,7 @@ mod tests {
             wait_p99: Duration::ZERO,
             wait_max: Duration::ZERO,
             wait_samples: 0,
+            wait_recorded: 0,
         };
         let stats = GatewayStats {
             per_tenant: vec![snap("a", 75), snap("b", 25)],

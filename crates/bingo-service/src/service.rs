@@ -443,7 +443,14 @@ impl WalkService {
             };
             let handle = std::thread::Builder::new()
                 .name(format!("bingo-shard-{shard_id}"))
-                .spawn(move || ctx.run(rx))
+                // Shard workers ARE the service's parallelism: pin the
+                // rayon shim's team to 1 inside the worker so per-shard
+                // engine calls (apply_batch, memory_report, …) never spawn
+                // a nested thread team per shard — with K shards that
+                // would put K × nproc transient threads on the update hot
+                // path. Library-level parallelism still serves the initial
+                // `build_range` calls above, which run on the caller.
+                .spawn(move || rayon::with_threads(1, move || ctx.run(rx)))
                 .expect("spawn shard worker");
             workers.push(handle);
         }

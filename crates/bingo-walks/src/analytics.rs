@@ -60,8 +60,11 @@ where
     if a == b {
         return 1.0;
     }
+    // Each pair walks at most `max_steps` coupled steps — cheap enough
+    // that unbounded splitting would be mostly dispatch overhead.
     let hits: f64 = (0..num_pairs)
         .into_par_iter()
+        .with_min_len(32)
         .map(|i| {
             let mut rng = Pcg64::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
             let mut x = a;

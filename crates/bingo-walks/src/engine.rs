@@ -1,9 +1,13 @@
 //! The parallel walker engine.
 //!
 //! The paper launches one walker per vertex (§6.1) and executes all walkers
-//! in parallel on the GPU. Here, walkers are executed with rayon; each
-//! walker derives its own RNG stream from the run seed, so results are
-//! deterministic for a given seed regardless of the number of threads.
+//! in parallel on the GPU. Here, walkers are executed on the `rayon` shim's
+//! thread team (`BINGO_THREADS`/`available_parallelism` sized); each walker
+//! derives its own RNG stream from the run seed and its walker index, so
+//! results are **bit-identical** for a given seed regardless of the number
+//! of threads. Walker closures run concurrently: they must be
+//! `Fn + Send + Sync` — all per-walker state (RNG, cursor) lives inside the
+//! closure body, never in captures.
 
 use crate::apps::{WalkCursor, WalkSpec};
 use crate::model::SharedWalkModel;

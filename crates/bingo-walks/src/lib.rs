@@ -30,6 +30,18 @@
 //!   [`TicketMeta`]): the shared vocabulary the serving layers
 //!   (`bingo-service`, `bingo-gateway`) use to attribute and fairly
 //!   schedule walk submissions.
+//!
+//! ## Parallel execution contract
+//!
+//! Walk generation ([`WalkEngine`], [`WalkStore`] generation/refresh) and
+//! the analytics fan-outs run on the `rayon` shim's thread team, so the
+//! closures handed to `par_iter` pipelines must be `Fn + Send + Sync`:
+//! derive all per-walker state (RNGs, cursors, scratch) *inside* the
+//! closure from the walker index — never mutate captured state. Seeds are
+//! index-derived, and the shim's chunking is thread-count-independent, so
+//! for a fixed seed every walk output is bit-identical whether
+//! `BINGO_THREADS=1` or the machine is saturated (pinned down by the
+//! tier-1 `tests/parallelism.rs` regression tests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,152 +1,463 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with a **real parallel
+//! runtime**.
 //!
 //! The build environment has no registry access, so this shim provides the
 //! rayon entry points the workspace uses (`par_iter`, `par_iter_mut`,
-//! `into_par_iter`) with **sequential** execution. The combinator surface
-//! matches rayon where the two differ from `std::iter::Iterator` — notably
-//! `reduce(identity, op)`.
+//! `into_par_iter`) over its own executor: a lazily-sized, chunk-splitting
+//! fork-join scheduler on `std::thread` (see [`pool`]). Engine builds and
+//! walk passes in `bingo-core`/`bingo-walks` therefore run genuinely
+//! multi-threaded, not just the shard workers in `bingo-service`.
 //!
-//! Results are identical to rayon's (rayon's order-preserving combinators
-//! make parallel map/collect deterministic); only wall-clock scaling is
-//! lost. The multi-threaded data path of this repository is the shard-worker
-//! architecture in `bingo-service`, which uses `std::thread` directly.
+//! ## Execution model
+//!
+//! * The team size comes from `BINGO_THREADS` (a positive integer), else
+//!   [`std::thread::available_parallelism`]; [`current_num_threads`] reports
+//!   it and [`with_threads`] pins it for a scope (shim extension used by the
+//!   determinism tests and `repro parallel`).
+//! * Inputs are split into chunks whose boundaries depend only on the input
+//!   length and [`ParIter::with_min_len`] — never on the thread count — and
+//!   outputs are reassembled in input order. **Every combinator is
+//!   bit-identical across thread counts**, including chunked `reduce` and
+//!   floating-point `sum`.
+//! * Worker panics are re-raised on the caller with their original payload;
+//!   nested parallel calls inside a worker run sequentially inline.
+//!
+//! ## Closure contract
+//!
+//! Closures run concurrently on several threads, so combinators require
+//! `Fn + Sync` (rayon requires `Fn + Send + Sync`; `Send` is implied here
+//! because the closures are only *shared* across the team, never moved to
+//! it) and item types must be `Send`. A closure that smuggles mutable state
+//! (`FnMut` captures, `Cell`s, shared counters without atomics) does not
+//! compile — which is the point: sequential execution silently tolerated
+//! such latent bugs, parallel execution must not.
+//!
+//! [`ParIter::reduce`] additionally has a **semantic** contract the type
+//! system cannot check: see its docs.
 
 #![forbid(unsafe_code)]
 
-/// Sequential stand-in for a rayon parallel iterator.
-pub struct ParIter<I>(I);
+pub mod pool;
 
-impl<I: Iterator> ParIter<I> {
+pub use pool::{current_num_threads, with_threads};
+
+/// A per-item pipeline stage: feeds each input item through the composed
+/// combinator stack, emitting zero or more outputs (zero for a filtered
+/// item, several after `flatten`).
+pub trait ParOp<In>: Sync {
+    /// The pipeline's output item type at this stage.
+    type Out;
+    /// Process one item, passing every produced output to `emit`.
+    fn feed(&self, item: In, emit: &mut dyn FnMut(Self::Out));
+}
+
+/// The identity stage: emits every item unchanged. The stage every freshly
+/// constructed [`ParIter`] starts with.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl<T> ParOp<T> for Identity {
+    type Out = T;
+    #[inline]
+    fn feed(&self, item: T, emit: &mut dyn FnMut(T)) {
+        emit(item)
+    }
+}
+
+/// [`ParIter::map`] stage.
+pub struct MapOp<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<In, P, T, F> ParOp<In> for MapOp<P, F>
+where
+    P: ParOp<In>,
+    F: Fn(P::Out) -> T + Sync,
+{
+    type Out = T;
+    #[inline]
+    fn feed(&self, item: In, emit: &mut dyn FnMut(T)) {
+        self.inner.feed(item, &mut |x| emit((self.f)(x)))
+    }
+}
+
+/// [`ParIter::filter`] stage.
+pub struct FilterOp<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<In, P, F> ParOp<In> for FilterOp<P, F>
+where
+    P: ParOp<In>,
+    F: Fn(&P::Out) -> bool + Sync,
+{
+    type Out = P::Out;
+    #[inline]
+    fn feed(&self, item: In, emit: &mut dyn FnMut(P::Out)) {
+        self.inner.feed(item, &mut |x| {
+            if (self.f)(&x) {
+                emit(x)
+            }
+        })
+    }
+}
+
+/// [`ParIter::filter_map`] stage.
+pub struct FilterMapOp<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<In, P, T, F> ParOp<In> for FilterMapOp<P, F>
+where
+    P: ParOp<In>,
+    F: Fn(P::Out) -> Option<T> + Sync,
+{
+    type Out = T;
+    #[inline]
+    fn feed(&self, item: In, emit: &mut dyn FnMut(T)) {
+        self.inner.feed(item, &mut |x| {
+            if let Some(y) = (self.f)(x) {
+                emit(y)
+            }
+        })
+    }
+}
+
+/// [`ParIter::flatten`] stage.
+pub struct FlattenOp<P> {
+    inner: P,
+}
+
+impl<In, P> ParOp<In> for FlattenOp<P>
+where
+    P: ParOp<In>,
+    P::Out: IntoIterator,
+{
+    type Out = <P::Out as IntoIterator>::Item;
+    #[inline]
+    fn feed(&self, item: In, emit: &mut dyn FnMut(Self::Out)) {
+        self.inner.feed(item, &mut |xs| {
+            for x in xs {
+                emit(x)
+            }
+        })
+    }
+}
+
+/// A parallel iterator: a materialized source plus a lazily composed
+/// per-item pipeline, executed chunk-wise on the shim's thread team with
+/// input order preserved.
+pub struct ParIter<S, P = Identity> {
+    source: Vec<S>,
+    op: P,
+    min_len: usize,
+}
+
+impl<S: Send> ParIter<S> {
+    /// Wrap an already-materialized source.
+    pub fn from_vec(source: Vec<S>) -> Self {
+        ParIter {
+            source,
+            op: Identity,
+            min_len: 1,
+        }
+    }
+
     /// Pair every item with its index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    ///
+    /// Like rayon, this is only available while the pipeline is still
+    /// index-preserving (directly on a source, before `map`/`filter`/…).
+    pub fn enumerate(self) -> ParIter<(usize, S)> {
+        ParIter {
+            source: self.source.into_iter().enumerate().collect(),
+            op: Identity,
+            min_len: self.min_len,
+        }
     }
 
+    /// Zip with another parallel iterator, truncating to the shorter side.
+    ///
+    /// Index-preserving pipelines only, like [`ParIter::enumerate`].
+    pub fn zip<S2: Send>(self, other: ParIter<S2>) -> ParIter<(S, S2)> {
+        ParIter {
+            source: self.source.into_iter().zip(other.source).collect(),
+            op: Identity,
+            min_len: self.min_len.max(other.min_len),
+        }
+    }
+}
+
+impl<S, P> ParIter<S, P>
+where
+    S: Send,
+    P: ParOp<S>,
+    P::Out: Send,
+{
     /// Map every item through `f`.
-    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Keep items for which `f` returns `Some`.
-    pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
+    pub fn map<T, F>(self, f: F) -> ParIter<S, MapOp<P, F>>
+    where
+        F: Fn(P::Out) -> T + Sync,
+    {
+        ParIter {
+            source: self.source,
+            op: MapOp { inner: self.op, f },
+            min_len: self.min_len,
+        }
     }
 
     /// Keep items matching the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    pub fn filter<F>(self, f: F) -> ParIter<S, FilterOp<P, F>>
+    where
+        F: Fn(&P::Out) -> bool + Sync,
+    {
+        ParIter {
+            source: self.source,
+            op: FilterOp { inner: self.op, f },
+            min_len: self.min_len,
+        }
     }
 
-    /// Zip with another parallel iterator.
-    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
-        ParIter(self.0.zip(other.0))
+    /// Keep items for which `f` returns `Some`.
+    pub fn filter_map<T, F>(self, f: F) -> ParIter<S, FilterMapOp<P, F>>
+    where
+        F: Fn(P::Out) -> Option<T> + Sync,
+    {
+        ParIter {
+            source: self.source,
+            op: FilterMapOp { inner: self.op, f },
+            min_len: self.min_len,
+        }
     }
 
     /// Flatten nested iterables.
-    pub fn flatten(self) -> ParIter<std::iter::Flatten<I>>
+    pub fn flatten(self) -> ParIter<S, FlattenOp<P>>
     where
-        I::Item: IntoIterator,
+        P::Out: IntoIterator,
     {
-        ParIter(self.0.flatten())
+        ParIter {
+            source: self.source,
+            op: FlattenOp { inner: self.op },
+            min_len: self.min_len,
+        }
     }
 
-    /// Collect into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Lower bound on the number of items a chunk may contain. Rayon uses
+    /// this to stop splitting; here it coarsens the executor's chunk size
+    /// the same way, so tiny per-item workloads are not drowned in task
+    /// dispatch overhead. The bound also feeds the sequential fast path: an
+    /// input that fits in one chunk never touches the thread team.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min);
+        self
+    }
+
+    /// Execute the pipeline, returning all outputs in input order.
+    fn run(self) -> Vec<P::Out> {
+        let ParIter {
+            source,
+            op,
+            min_len,
+        } = self;
+        let chunks = pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+            let mut out = Vec::with_capacity(chunk.len());
+            for item in chunk {
+                op.feed(item, &mut |x| out.push(x));
+            }
+            out
+        });
+        let mut result = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            result.extend(chunk);
+        }
+        result
+    }
+
+    /// Per-chunk fold with `fold`, then an in-order combine of the chunk
+    /// accumulators with `combine`. The building block for the reductions.
+    fn fold_chunks<A, FOLD, COMBINE>(self, fold: FOLD, combine: COMBINE) -> Option<A>
+    where
+        A: Send,
+        FOLD: Fn(Option<A>, P::Out) -> Option<A> + Sync,
+        COMBINE: Fn(A, A) -> A,
+    {
+        let ParIter {
+            source,
+            op,
+            min_len,
+        } = self;
+        let partials = pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+            let mut acc: Option<A> = None;
+            for item in chunk {
+                op.feed(item, &mut |x| {
+                    acc = fold(acc.take(), x);
+                });
+            }
+            acc
+        });
+        partials.into_iter().flatten().reduce(combine)
+    }
+
+    /// Collect into any `FromIterator` container, preserving input order.
+    pub fn collect<C: FromIterator<P::Out>>(self) -> C {
+        self.run().into_iter().collect()
     }
 
     /// Rayon-style reduce: fold from an identity element.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    ///
+    /// # Associativity contract
+    ///
+    /// `op` **must be associative** and `identity()` must be a true identity
+    /// for it. Each chunk is folded left-to-right from `identity()`, and the
+    /// chunk accumulators are then combined left-to-right in chunk order —
+    /// a tree of the same shape rayon produces. For associative `op` the
+    /// result equals the plain sequential left fold; for a non-associative
+    /// `op` the grouping (but nothing else — chunk boundaries are
+    /// thread-count-independent) shows through, exactly as it would under
+    /// rayon. Audit note: the only `reduce` consumer in this workspace is
+    /// `BingoEngine::memory_report`, whose `MemoryReport::merge` is
+    /// integer-wise addition — associative and commutative.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Out
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> P::Out + Sync,
+        OP: Fn(P::Out, P::Out) -> P::Out + Sync,
     {
-        self.0.fold(identity(), op)
+        let folded = self.fold_chunks(
+            |acc: Option<P::Out>, x| Some(op(acc.unwrap_or_else(&identity), x)),
+            &op,
+        );
+        folded.unwrap_or_else(identity)
     }
 
     /// Run `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Out) + Sync,
+    {
+        self.map(f).run();
     }
 
-    /// Sum the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    /// Sum the items. Chunk partial sums are combined in chunk order, so
+    /// floating-point totals are deterministic and thread-count-independent
+    /// (though they may differ from a single sequential accumulation at the
+    /// last-ulp level, as any chunked summation does).
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<P::Out> + std::iter::Sum<T> + Send,
+    {
+        let partials = {
+            let ParIter {
+                source,
+                op,
+                min_len,
+            } = self;
+            pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+                let mut items = Vec::with_capacity(chunk.len());
+                for item in chunk {
+                    op.feed(item, &mut |x| items.push(x));
+                }
+                items.into_iter().sum::<T>()
+            })
+        };
+        partials.into_iter().sum()
     }
 
     /// Count the items.
     pub fn count(self) -> usize {
-        self.0.count()
+        let ParIter {
+            source,
+            op,
+            min_len,
+        } = self;
+        let partials = pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+            let mut n = 0usize;
+            for item in chunk {
+                op.feed(item, &mut |_| n += 1);
+            }
+            n
+        });
+        partials.into_iter().sum()
     }
 
-    /// Maximum item.
-    pub fn max(self) -> Option<I::Item>
+    /// Maximum item (the last of equal maxima, as `Iterator::max`).
+    pub fn max(self) -> Option<P::Out>
     where
-        I::Item: Ord,
+        P::Out: Ord,
     {
-        self.0.max()
+        self.fold_chunks(
+            |acc: Option<P::Out>, x| match acc {
+                Some(a) if a > x => Some(a),
+                _ => Some(x),
+            },
+            |a, b| if b >= a { b } else { a },
+        )
     }
 
-    /// Minimum item.
-    pub fn min(self) -> Option<I::Item>
+    /// Minimum item (the first of equal minima, as `Iterator::min`).
+    pub fn min(self) -> Option<P::Out>
     where
-        I::Item: Ord,
+        P::Out: Ord,
     {
-        self.0.min()
-    }
-
-    /// Rayon accepts a minimum split length; a no-op here.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+        self.fold_chunks(
+            |acc: Option<P::Out>, x| match acc {
+                Some(a) if a <= x => Some(a),
+                _ => Some(x),
+            },
+            |a, b| if b < a { b } else { a },
+        )
     }
 }
 
-/// Conversion into a (sequentially executed) parallel iterator.
-pub trait IntoParallelIterator: IntoIterator + Sized {
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
     /// Convert into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter::from_vec(self.into_iter().collect())
     }
 }
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+impl<T: IntoIterator + Sized> IntoParallelIterator for T where T::Item: Send {}
 
 /// `par_iter()` on shared references (slices, vectors, maps, …).
 pub trait IntoParallelRefIterator<'data> {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator;
+    /// The item type yielded by shared-reference iteration.
+    type Item: Send;
     /// Iterate by shared reference.
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
 impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
 where
     &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
 {
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter::from_vec(self.into_iter().collect())
     }
 }
 
 /// `par_iter_mut()` on exclusive references.
 pub trait IntoParallelRefMutIterator<'data> {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator;
+    /// The item type yielded by exclusive-reference iteration.
+    type Item: Send;
     /// Iterate by exclusive reference.
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
 }
 
 impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
 where
     &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: Send,
 {
-    type Iter = <&'data mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    type Item = <&'data mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+        ParIter::from_vec(self.into_iter().collect())
     }
 }
 
@@ -160,6 +471,9 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, with_threads};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_matches_sequential() {
@@ -188,5 +502,160 @@ mod tests {
     fn rayon_style_reduce() {
         let total = (1..=10u64).into_par_iter().reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 55);
+        let empty = Vec::<u64>::new().into_par_iter().reduce(|| 7, |a, b| a + b);
+        assert_eq!(empty, 7);
+    }
+
+    #[test]
+    fn large_map_collect_preserves_order_across_thread_counts() {
+        let expected: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(i)).collect();
+        for threads in [1, 2, 8] {
+            let got: Vec<u64> = with_threads(threads, || {
+                (0..50_000u64)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(i))
+                    .collect()
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn filter_filter_map_flatten_enumerate() {
+        let evens: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .filter(|&x| x % 2 == 0)
+            .collect();
+        assert_eq!(evens.len(), 50);
+        let halves: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x / 2))
+            .collect();
+        assert_eq!(halves, (0..50).collect::<Vec<_>>());
+        let flat: Vec<u32> = (0..10u32)
+            .into_par_iter()
+            .map(|x| vec![x; 3])
+            .flatten()
+            .collect();
+        assert_eq!(flat.len(), 30);
+        let indexed: Vec<(usize, char)> = ['a', 'b', 'c']
+            .par_iter()
+            .enumerate()
+            .map(|(i, &c)| (i, c))
+            .collect();
+        assert_eq!(indexed, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn sums_min_max_count() {
+        let s: u64 = (1..=1000u64).into_par_iter().sum();
+        assert_eq!(s, 500_500);
+        assert_eq!(
+            (0..1000u32).into_par_iter().filter(|x| x % 3 == 0).count(),
+            334
+        );
+        assert_eq!((0..1000i32).into_par_iter().max(), Some(999));
+        assert_eq!((0..1000i32).into_par_iter().min(), Some(0));
+        assert_eq!(Vec::<i32>::new().into_par_iter().max(), None);
+    }
+
+    #[test]
+    fn float_sum_is_thread_count_independent() {
+        let one: f64 = with_threads(1, || {
+            (0..100_000u64)
+                .into_par_iter()
+                .map(|i| 1.0 / (i + 1) as f64)
+                .sum()
+        });
+        let eight: f64 = with_threads(8, || {
+            (0..100_000u64)
+                .into_par_iter()
+                .map(|i| 1.0 / (i + 1) as f64)
+                .sum()
+        });
+        assert_eq!(one.to_bits(), eight.to_bits());
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold_for_associative_ops() {
+        let data: Vec<u64> = (0..10_007u64).map(|i| i ^ 0xABCD).collect();
+        let seq = data.iter().fold(u64::MAX, |a, &b| a.min(b));
+        for threads in [1, 4] {
+            let par = with_threads(threads, || {
+                data.par_iter()
+                    .map(|&x| x)
+                    .reduce(|| u64::MAX, |a, b| a.min(b))
+            });
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn with_min_len_bounds_split_granularity() {
+        // With min_len >= len the input is one chunk: the pipeline runs
+        // inline on the caller thread even with a large team.
+        let caller = std::thread::current().id();
+        with_threads(8, || {
+            (0..100u32)
+                .into_par_iter()
+                .with_min_len(100)
+                .for_each(|_| assert_eq!(std::thread::current().id(), caller));
+        });
+        // Results are unaffected by the bound.
+        let a: Vec<u32> = (0..1000u32)
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|x| x + 1)
+            .collect();
+        let b: Vec<u32> = (0..1000u32).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                (0..10_000u32).into_par_iter().for_each(|x| {
+                    if x == 7_777 {
+                        panic!("walker exploded at {x}");
+                    }
+                });
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("walker exploded"), "payload: {msg:?}");
+    }
+
+    #[test]
+    fn nested_par_iter_inside_a_pool_task_runs_inline() {
+        let spawned = AtomicUsize::new(0);
+        let totals: Vec<u64> = with_threads(4, || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| {
+                    // Inside a worker the team size must report 1 and the
+                    // nested pipeline must still produce correct results.
+                    if current_num_threads() != 1 {
+                        spawned.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (0..100u64).into_par_iter().map(|j| i * j).sum()
+                })
+                .collect()
+        });
+        assert_eq!(totals.len(), 64);
+        for (i, &t) in totals.iter().enumerate() {
+            assert_eq!(t, i as u64 * 4950);
+        }
+        assert_eq!(spawned.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn pool_sizing_is_overridable() {
+        assert!(current_num_threads() >= 1);
+        assert_eq!(with_threads(2, current_num_threads), 2);
     }
 }

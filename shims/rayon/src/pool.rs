@@ -1,0 +1,283 @@
+//! The shim's parallel executor: a lazily-sized, chunk-splitting fork-join
+//! scheduler over `std::thread`.
+//!
+//! ## Design
+//!
+//! Every top-level parallel operation goes through `run_chunks`:
+//!
+//! 1. The input items are split into **chunks** whose size depends only on
+//!    the input length and the iterator's `with_min_len` bound — *never* on
+//!    the thread count. Chunk boundaries are therefore deterministic, which
+//!    makes every combinator (including floating-point `sum` and chunked
+//!    `reduce`) produce bit-identical results whether the pool runs 1 or 64
+//!    threads.
+//! 2. A team of scoped worker threads (`std::thread::scope`, so borrowed
+//!    closures and items need no `'static` bound and no `unsafe`) claims
+//!    chunk indices from a shared atomic counter. This is the degenerate
+//!    work-stealing scheme: the "deque" is the global remaining-chunk index,
+//!    and an idle worker steals the next chunk the moment it finishes its
+//!    own — fast workers automatically absorb the slow workers' backlog.
+//! 3. Chunk results are written into per-chunk slots and reassembled in
+//!    chunk order, so output order always matches input order (what rayon's
+//!    index-preserving combinators guarantee).
+//!
+//! The team size is resolved lazily once per process from `BINGO_THREADS`
+//! (else [`std::thread::available_parallelism`]) and can be overridden for a
+//! scope with [`with_threads`] — the hook the determinism tests and the
+//! `repro parallel` experiment use to compare 1-thread and N-thread runs in
+//! one process.
+//!
+//! ## Panics
+//!
+//! A panic inside a worker aborts the remaining chunks, is captured with its
+//! original payload, and is re-raised on the calling thread once every
+//! worker has parked — exactly what callers of a sequential iterator would
+//! observe, minus the work that was already in flight.
+//!
+//! ## Nesting
+//!
+//! A parallel call issued *from inside a pool worker* (nested `par_iter`)
+//! runs sequentially inline on that worker. The outer call already owns the
+//! machine; spawning a second team per worker would oversubscribe the CPU
+//! without adding parallelism.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on the number of chunks a parallel call is split into (before
+/// `with_min_len` coarsening). More chunks than workers gives the
+/// shared-counter scheduler room to balance uneven per-item cost; a fixed
+/// bound keeps chunk boundaries independent of the thread count so results
+/// are bit-identical across pool sizes.
+const TARGET_CHUNKS: usize = 64;
+
+thread_local! {
+    /// Set while the current thread is a pool worker: nested parallel calls
+    /// must run inline instead of spawning a second team.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Scoped thread-count override installed by [`with_threads`].
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Parse a `BINGO_THREADS`-style value: a positive integer. `None` for
+/// anything else (empty, zero, garbage), meaning "use the default".
+pub(crate) fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The process-wide default team size: `BINGO_THREADS` if set and valid,
+/// else [`std::thread::available_parallelism`], else 1. Resolved once.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_threads(std::env::var("BINGO_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// The number of threads the *next* parallel call on this thread will use:
+/// 1 inside a pool worker (nested calls run inline), else the
+/// [`with_threads`] override if one is active, else the process default.
+pub fn current_num_threads() -> usize {
+    if IN_POOL_WORKER.with(std::cell::Cell::get) {
+        return 1;
+    }
+    THREAD_OVERRIDE
+        .with(std::cell::Cell::get)
+        .unwrap_or_else(default_threads)
+}
+
+/// Run `f` with the pool team size pinned to `threads.max(1)` on this
+/// thread (shim extension, not a rayon API). This is how the determinism
+/// tests and the `repro parallel` experiment compare a 1-thread and an
+/// N-thread execution inside one process; `BINGO_THREADS` serves the same
+/// purpose across processes. The override is restored on exit, including
+/// on panic.
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|cell| cell.set(prev));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|cell| cell.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Deterministic chunk size: depends only on `len` and `min_len`, never on
+/// the thread count (see the module docs for why).
+fn chunk_size(len: usize, min_len: usize) -> usize {
+    len.div_ceil(TARGET_CHUNKS).max(min_len).max(1)
+}
+
+/// Split `items` into chunks, apply `chunk_fn` to every chunk on the worker
+/// team, and return the per-chunk results **in chunk order**.
+///
+/// `chunk_fn` must be safe to call concurrently from several threads
+/// (`Sync`, shared by reference); each individual chunk is processed by
+/// exactly one worker.
+pub(crate) fn run_chunks<S, R, F>(items: Vec<S>, min_len: usize, chunk_fn: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(Vec<S>) -> R + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let size = chunk_size(len, min_len);
+    let num_chunks = len.div_ceil(size);
+    let mut chunks: Vec<Vec<S>> = Vec::with_capacity(num_chunks);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<S> = iter.by_ref().take(size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    debug_assert_eq!(chunks.len(), num_chunks);
+
+    let workers = current_num_threads().min(num_chunks);
+    if workers <= 1 {
+        // Sequential fast path: same chunk boundaries, same results, no
+        // thread traffic. This is also the nested-call path.
+        return chunks.into_iter().map(chunk_fn).collect();
+    }
+
+    // Input and output slots the team claims through an atomic cursor. The
+    // per-slot mutexes are uncontended (each slot is touched by exactly one
+    // worker); they exist to hand owned chunks across threads without
+    // `unsafe`.
+    let inputs: Vec<Mutex<Option<Vec<S>>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_POOL_WORKER.with(|flag| flag.set(true));
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let chunk = inputs[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .expect("chunk claimed once");
+                    match catch_unwind(AssertUnwindSafe(|| chunk_fn(chunk))) {
+                        Ok(result) => {
+                            *outputs[i]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                        }
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            panic_payload
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .get_or_insert(payload);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        resume_unwind(payload);
+    }
+    outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("all chunks completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 16 ")), Some(16));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn chunk_size_honors_min_len_and_len() {
+        assert_eq!(chunk_size(10, 1), 1);
+        assert_eq!(chunk_size(10, 4), 4);
+        assert_eq!(chunk_size(6400, 1), 100);
+        assert_eq!(chunk_size(6400, 512), 512);
+        assert_eq!(chunk_size(1, 1), 1);
+        // min_len == 0 is treated as 1, never a zero-sized chunk.
+        assert_eq!(chunk_size(10, 0), 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_num_threads();
+        let inner = with_threads(3, current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer);
+        // Zero is clamped to one.
+        assert_eq!(with_threads(0, current_num_threads), 1);
+        // The override survives a panic inside the scope.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(5, || panic!("boom"));
+        }));
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn run_chunks_preserves_chunk_order() {
+        for &threads in &[1usize, 2, 7] {
+            let sums: Vec<u64> = with_threads(threads, || {
+                run_chunks((0..10_000u64).collect(), 1, |chunk: Vec<u64>| {
+                    chunk.iter().sum::<u64>()
+                })
+            });
+            let total: u64 = sums.iter().sum();
+            assert_eq!(total, 10_000 * 9_999 / 2);
+            // Per-chunk results come back in chunk order: they must match a
+            // sequential walk over the same (thread-count-independent)
+            // chunk boundaries exactly.
+            let size = chunk_size(10_000, 1);
+            let expected: Vec<u64> = (0..10_000u64)
+                .collect::<Vec<_>>()
+                .chunks(size)
+                .map(|c| c.iter().sum())
+                .collect();
+            assert_eq!(sums, expected, "threads={threads}");
+        }
+    }
+}

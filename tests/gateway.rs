@@ -150,6 +150,25 @@ fn queue_overflow_rejects_only_the_oversized_tenant() {
             Err(other) => panic!("unexpected error {other:?}"),
         }
     }
+    // The loop above races the dispatcher (a fast drain can keep the queue
+    // under the bound), so force a deterministic overflow: one submission
+    // larger than the whole bound is refused no matter how much was
+    // drained, because admission checks `queued + incoming > capacity`.
+    match gateway.submit(
+        WalkRequest::spec(spec)
+            .starts((0..150).map(|i| i % 64).collect())
+            .tenant("greedy"),
+    ) {
+        Ok(_) => panic!("a 150-walker submission must overflow the 100-walker bound"),
+        Err(GatewayError::Overloaded {
+            tenant, capacity, ..
+        }) => {
+            assert_eq!(tenant.as_str(), "greedy");
+            assert_eq!(capacity, 100);
+            rejections += 1;
+        }
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
     // ...while a polite tenant still gets in.
     let polite = gateway
         .submit(

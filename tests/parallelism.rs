@@ -1,0 +1,111 @@
+//! Tier-1 regression tests for the `rayon` shim's parallel runtime:
+//! parallel execution must be invisible in every output.
+//!
+//! The load-bearing property is **bit-identical determinism**: an engine
+//! build plus a node2vec walk pass must produce exactly the same
+//! `WalkStore` contents whether the shim runs on one thread
+//! (`BINGO_THREADS=1` regime, pinned here with `rayon::with_threads`) or a
+//! full team. Per-walker RNG streams are index-derived and the shim's
+//! chunk boundaries are thread-count-independent, so nothing about
+//! scheduling may leak into the results.
+
+use bingo::prelude::*;
+use bingo::walks::WalkStore;
+
+fn test_graph(vertices: usize, edges: usize, seed: u64) -> DynamicGraph {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    GraphGenerator::ErdosRenyi { vertices, edges }
+        .generate(BiasDistribution::UniformInt { lo: 1, hi: 63 }, &mut rng)
+}
+
+/// Build an engine and run a full node2vec walk pass under a pinned thread
+/// count, returning everything the comparison needs.
+fn build_and_walk(graph: &DynamicGraph, threads: usize) -> (BingoEngine, WalkStore) {
+    rayon::with_threads(threads, || {
+        let engine = BingoEngine::build(graph, BingoConfig::default()).expect("engine builds");
+        let spec = WalkSpec::Node2Vec(Node2VecConfig {
+            walk_length: 16,
+            p: 0.5,
+            q: 2.0,
+        });
+        let store = WalkStore::generate(&engine, &spec, 0xDE7E_4214);
+        (engine, store)
+    })
+}
+
+#[test]
+fn parallel_walk_store_is_bit_identical_to_sequential() {
+    let graph = test_graph(600, 4800, 0xB1460);
+    let (seq_engine, seq_store) = build_and_walk(&graph, 1);
+    for threads in [2, 8] {
+        let (par_engine, par_store) = build_and_walk(&graph, threads);
+        // The engines are structurally equal…
+        assert_eq!(seq_engine.num_edges(), par_engine.num_edges());
+        for v in 0..graph.num_vertices() as VertexId {
+            assert_eq!(
+                seq_engine.degree(v),
+                par_engine.degree(v),
+                "degree of {v} with {threads} threads"
+            );
+        }
+        assert_eq!(seq_engine.memory_report(), par_engine.memory_report());
+        // …and the walk corpora are bit-identical, walk by walk.
+        assert_eq!(
+            seq_store.walks(),
+            par_store.walks(),
+            "WalkStore contents diverged at {threads} threads"
+        );
+        assert_eq!(seq_store.total_steps(), par_store.total_steps());
+    }
+}
+
+#[test]
+fn incremental_refresh_is_thread_count_independent() {
+    let graph = test_graph(300, 2400, 0x5EED);
+    let refresh = |threads: usize| {
+        rayon::with_threads(threads, || {
+            let mut engine =
+                BingoEngine::build(&graph, BingoConfig::default()).expect("engine builds");
+            let spec = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 12 });
+            let mut store = WalkStore::generate(&engine, &spec, 7);
+            // Delete a popular edge and re-sample the affected suffixes —
+            // the incremental path the paper's §7.2 integration serves.
+            let hub = (0..graph.num_vertices() as VertexId)
+                .max_by_key(|&v| engine.degree(v))
+                .unwrap();
+            let dst = engine.neighbor_fingerprint(hub).unwrap()[0];
+            engine.delete_edge(hub, dst).unwrap();
+            let stats = store.on_edge_deleted(&engine, hub, dst);
+            (store, stats)
+        })
+    };
+    let (seq_store, seq_stats) = refresh(1);
+    let (par_store, par_stats) = refresh(4);
+    assert_eq!(seq_stats, par_stats);
+    assert_eq!(seq_store.walks(), par_store.walks());
+}
+
+#[test]
+fn walk_engine_results_are_thread_count_independent() {
+    let graph = test_graph(400, 3200, 0xCAFE);
+    let engine = BingoEngine::build(&graph, BingoConfig::default()).expect("engine builds");
+    let spec = WalkSpec::Ppr(PprConfig {
+        stop_probability: 0.15,
+        max_length: 40,
+    });
+    let run = |threads: usize| {
+        rayon::with_threads(threads, || {
+            WalkEngine::new(11).run_all_vertices(&engine, &spec)
+        })
+    };
+    let seq = run(1);
+    let par = run(8);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn pool_team_size_is_pinnable_per_scope() {
+    assert!(rayon::current_num_threads() >= 1);
+    assert_eq!(rayon::with_threads(1, rayon::current_num_threads), 1);
+    assert_eq!(rayon::with_threads(6, rayon::current_num_threads), 6);
+}
