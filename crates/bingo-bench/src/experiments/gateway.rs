@@ -14,6 +14,7 @@ use bingo_gateway::{AimdConfig, Gateway, GatewayConfig, TenantId};
 use bingo_graph::datasets::StandinDataset;
 use bingo_graph::VertexId;
 use bingo_service::{PartitionStrategy, ServiceConfig, WalkRequest, WalkService};
+use bingo_telemetry::Telemetry;
 use bingo_walks::{DeepWalkConfig, WalkSpec};
 use rand::RngCore;
 use std::sync::Arc;
@@ -47,8 +48,13 @@ pub fn gateway(config: &ExperimentConfig) -> ResultTable {
         let mut rng = config.rng(0x6A7E ^ u64::from(weight));
         let graph = StandinDataset::Amazon.build(config.scale, &mut rng);
         let num_vertices = graph.num_vertices();
+        // One detailed handle per ratio (opt out via BINGO_TELEMETRY=off);
+        // the gateway inherits it from the service, so queue-wait and
+        // dispatch latencies land in the same registry as the shard-side
+        // stages and lifecycles stitch across both layers.
+        let telemetry = Telemetry::from_env(config.seed ^ u64::from(weight), true);
         let service = Arc::new(
-            WalkService::build(
+            WalkService::build_with_telemetry(
                 &graph,
                 ServiceConfig {
                     num_shards: 4,
@@ -57,6 +63,7 @@ pub fn gateway(config: &ExperimentConfig) -> ResultTable {
                     partition: PartitionStrategy::DegreeBalanced,
                     ..ServiceConfig::default()
                 },
+                telemetry.clone(),
             )
             .expect("service builds"),
         );
@@ -144,6 +151,7 @@ pub fn gateway(config: &ExperimentConfig) -> ResultTable {
             format!("{}..{}", stats.window_min_seen, stats.window_max_seen),
             if pass { "PASS" } else { "FAIL" }.to_string(),
         ]);
+        table.attach_telemetry(&telemetry);
     }
     table
 }
@@ -175,5 +183,11 @@ mod tests {
             );
             assert!(row[1].parse::<u64>().unwrap() >= 2000, "walks served");
         }
+        // Gateway-side stages land in the attached telemetry alongside the
+        // service's: the summary reports the full request path.
+        let telemetry = table.telemetry.as_deref().expect("telemetry attached");
+        assert!(telemetry.contains("\"queue_wait\":["), "DRR wait p50/p99");
+        assert!(telemetry.contains("\"dispatch\":["), "dispatch p50/p99");
+        assert!(telemetry.contains("\"step_batch\":["), "shard-side stages");
     }
 }

@@ -16,6 +16,7 @@ use bingo_graph::{Bias, DynamicGraph, VertexId};
 use bingo_sampling::rng::Pcg64;
 use bingo_sampling::stats::{chi_square, chi_square_critical_999};
 use bingo_service::{ServiceConfig, WalkService};
+use bingo_telemetry::Telemetry;
 use bingo_walks::{DeepWalkConfig, Node2VecConfig, WalkSpec};
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -39,13 +40,19 @@ pub fn service(config: &ExperimentConfig) -> ResultTable {
 
     for &shards in &[1usize, 2, 4, 8] {
         let (graph, batches) = config.prepare(StandinDataset::Amazon, UpdateKind::Mixed);
-        let service = WalkService::build(
+        // A fresh detailed handle per run (opt out via BINGO_TELEMETRY=off)
+        // so each row's stats stay independent; the widest run's telemetry
+        // — the one with the most cross-shard traffic — rides along in the
+        // JSON summary.
+        let telemetry = Telemetry::from_env(config.seed, true);
+        let service = WalkService::build_with_telemetry(
             &graph,
             ServiceConfig {
                 num_shards: shards,
                 seed: config.seed,
                 ..ServiceConfig::default()
             },
+            telemetry.clone(),
         )
         .expect("service builds");
         let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
@@ -93,6 +100,7 @@ pub fn service(config: &ExperimentConfig) -> ResultTable {
                 .to_string(),
             format!("{mean_latency_ms:.2}"),
         ]);
+        table.attach_telemetry(&telemetry);
     }
     table
 }
@@ -203,13 +211,15 @@ pub fn service_node2vec(config: &ExperimentConfig) -> ResultTable {
     let chi2_single = chi_square(&single_counts, &probs);
 
     for &shards in &[1usize, 2, 4, 8] {
-        let service = WalkService::build(
+        let telemetry = Telemetry::from_env(config.seed ^ shards as u64, true);
+        let service = WalkService::build_with_telemetry(
             &graph,
             ServiceConfig {
                 num_shards: shards,
                 seed: config.seed ^ shards as u64,
                 ..ServiceConfig::default()
             },
+            telemetry.clone(),
         )
         .expect("service builds");
         let starts = vec![0 as VertexId; trials];
@@ -238,6 +248,7 @@ pub fn service_node2vec(config: &ExperimentConfig) -> ResultTable {
             stats.total_forwards().to_string(),
             if pass { "PASS" } else { "FAIL" }.to_string(),
         ]);
+        table.attach_telemetry(&telemetry);
     }
     table
 }
@@ -245,6 +256,7 @@ pub fn service_node2vec(config: &ExperimentConfig) -> ResultTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn service_experiment_produces_one_row_per_shard_count() {
@@ -260,6 +272,16 @@ mod tests {
         for row in &table.rows {
             assert!(row[2].parse::<u64>().unwrap() > 0, "steps were taken");
         }
+        // The run's telemetry rides along in the JSON summary: per-stage
+        // latency quantiles plus the sampled-lifecycle accounting. (This
+        // tiny workload may sample zero walkers, so only presence of the
+        // trace accounting is asserted, not a complete lifecycle.)
+        let telemetry = table.telemetry.as_deref().expect("telemetry attached");
+        assert!(telemetry.contains("\"step_batch\":["), "step-batch p50/p99");
+        assert!(telemetry.contains("\"submit\":["), "submit p50/p99");
+        assert!(telemetry.contains("\"lifecycles_complete\":"));
+        let summary = table.json_summary("service", Duration::from_secs(1));
+        assert!(summary.contains("\"telemetry\":{"));
     }
 
     #[test]

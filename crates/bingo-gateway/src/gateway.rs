@@ -10,6 +10,7 @@ use bingo_graph::VertexId;
 use bingo_service::{
     CollectionMode, ServiceError, WalkOutput, WalkRequest, WalkService, WalkTicket,
 };
+use bingo_telemetry::{names, Histogram, Telemetry, TraceStage};
 use bingo_walks::TenantId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -168,6 +169,20 @@ struct Inner {
     /// Walkers dispatched to the service and not yet completed.
     in_flight_walkers: AtomicUsize,
     started_at: Instant,
+    /// Shared observability handle — by default the service's own, so
+    /// gateway and service metrics/traces land in one registry.
+    telemetry: Telemetry,
+    /// `gateway.dispatch_ns`: one service-submit call at dispatch.
+    dispatch_ns: Histogram,
+}
+
+/// Get-or-register the per-tenant accumulator, registering its counters
+/// in the shared telemetry registry on first sight of the tenant.
+fn tenant_accum<'a>(inner: &Inner, state: &'a mut State, tenant: &TenantId) -> &'a mut TenantAccum {
+    state
+        .tenants
+        .entry(tenant.clone())
+        .or_insert_with(|| TenantAccum::register(&inner.telemetry, tenant.as_str()))
 }
 
 /// A chunk the dispatcher has submitted and is polling for completion.
@@ -188,7 +203,23 @@ pub struct Gateway {
 
 impl Gateway {
     /// Build a gateway over `service` and spawn its dispatcher thread.
+    ///
+    /// The gateway inherits the service's [`Telemetry`] handle, so its
+    /// per-tenant metrics, dispatch latencies and `GatewayDispatch` trace
+    /// spans land in the same registry and trace ring as the service's —
+    /// one `dump()` shows the whole stack.
     pub fn new(service: Arc<WalkService>, config: GatewayConfig) -> Gateway {
+        let telemetry = service.telemetry().clone();
+        Self::with_telemetry(service, config, telemetry)
+    }
+
+    /// [`Gateway::new`] recording into an explicit [`Telemetry`] handle
+    /// (e.g. to isolate gateway metrics from a shared service's).
+    pub fn with_telemetry(
+        service: Arc<WalkService>,
+        config: GatewayConfig,
+        telemetry: Telemetry,
+    ) -> Gateway {
         let max_inbox = service.max_inbox();
         let chunk_cap = if max_inbox > 0 {
             config.chunk_walkers.clamp(1, max_inbox)
@@ -216,6 +247,8 @@ impl Gateway {
             done_cv: Condvar::new(),
             in_flight_walkers: AtomicUsize::new(0),
             started_at: Instant::now(),
+            dispatch_ns: telemetry.histogram(names::GATEWAY_DISPATCH_NS),
+            telemetry,
         });
         let dispatcher = {
             let inner = inner.clone();
@@ -280,11 +313,9 @@ impl Gateway {
         let queued = state.sched.queued_walkers(&tenant);
         let capacity = self.inner.config.max_queue_per_tenant;
         if queued + starts.len() > capacity {
-            state
-                .tenants
-                .entry(tenant.clone())
-                .or_default()
-                .rejected_overloaded += 1;
+            tenant_accum(&self.inner, &mut state, &tenant)
+                .rejected_overloaded
+                .inc();
             return Err(GatewayError::Overloaded {
                 tenant,
                 queued,
@@ -329,10 +360,12 @@ impl Gateway {
             });
         }
         let new_depth = state.sched.queued_walkers(&tenant);
-        let accum = state.tenants.entry(tenant).or_default();
+        let accum = tenant_accum(&self.inner, &mut state, &tenant);
         accum.submitted_requests += 1;
-        accum.submitted_walks += starts.len() as u64;
-        accum.peak_queued_walkers = accum.peak_queued_walkers.max(new_depth);
+        accum.submitted_walks.add(starts.len() as u64);
+        accum
+            .peak_queued_walkers
+            .raise(i64::try_from(new_depth).unwrap_or(i64::MAX));
         drop(state);
         self.inner.work_cv.notify_all();
         Ok(GatewayTicket(id))
@@ -407,16 +440,16 @@ impl Gateway {
                             tenant: tenant.clone(),
                             weight: state.sched.weight(tenant),
                             queued_walkers: state.sched.queued_walkers(tenant),
-                            peak_queued_walkers: accum.peak_queued_walkers,
+                            peak_queued_walkers: accum.peak_queued_walkers.get().max(0) as usize,
                             submitted_requests: accum.submitted_requests,
-                            submitted_walks: accum.submitted_walks,
-                            dispatched_chunks: accum.dispatched_chunks,
+                            submitted_walks: accum.submitted_walks.get(),
+                            dispatched_chunks: accum.dispatched_chunks.get(),
                             dispatched_walks: accum.dispatched_walks,
-                            completed_walks: accum.completed_walks,
-                            completed_steps: accum.completed_steps,
-                            rejected_overloaded: accum.rejected_overloaded,
-                            saturated_requeues: accum.saturated_requeues,
-                            failed_walks: accum.failed_walks,
+                            completed_walks: accum.completed_walks.get(),
+                            completed_steps: accum.completed_steps.get(),
+                            rejected_overloaded: accum.rejected_overloaded.get(),
+                            saturated_requeues: accum.saturated_requeues.get(),
+                            failed_walks: accum.failed_walks.get(),
                             wait_p50: Duration::ZERO,
                             wait_p99: Duration::ZERO,
                             wait_max: Duration::ZERO,
@@ -536,6 +569,7 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
                 window_limited = !state.sched.is_empty();
                 break;
             };
+            let dispatch_started = inner.telemetry.timer();
             let submit_result = match chunk.seed {
                 Some(seed) => {
                     inner
@@ -548,13 +582,39 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
             };
             match submit_result {
                 Ok(ticket) => {
+                    if let Some(started) = dispatch_started {
+                        inner.dispatch_ns.record_duration(started.elapsed());
+                    }
                     inner
                         .in_flight_walkers
                         .fetch_add(chunk.cost(), Ordering::Relaxed);
-                    let accum = state.tenants.entry(chunk.tenant.clone()).or_default();
-                    accum.dispatched_chunks += 1;
+                    let wait = chunk.enqueued_at.elapsed();
+                    let accum = tenant_accum(&inner, &mut state, &chunk.tenant);
+                    accum.dispatched_chunks.inc();
                     accum.dispatched_walks += chunk.cost() as u64;
-                    accum.record_wait(chunk.enqueued_at.elapsed());
+                    accum.record_wait(wait);
+                    // Stitch DRR-dispatch spans into the sampled walker
+                    // lifecycles. The sampling key is the *service* ticket
+                    // plus the walker's index within this chunk — the same
+                    // key the service hashed when it recorded the Submit
+                    // span a moment ago, so the gateway agrees on the
+                    // sampled set without any coordination.
+                    if inner.telemetry.tracer().is_some() {
+                        let wait_ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+                        for idx in 0..chunk.starts.len() as u64 {
+                            if inner.telemetry.is_sampled(ticket.id(), idx) {
+                                inner.telemetry.trace(
+                                    ticket.id(),
+                                    idx as u32,
+                                    TraceStage::GatewayDispatch {
+                                        tenant: chunk.tenant.as_str().to_string(),
+                                        wait_ns,
+                                        gateway_ticket: chunk.submission,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     in_flight.push(InFlightChunk {
                         ticket,
                         submission: chunk.submission,
@@ -567,11 +627,9 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
                     // The target inbox is full right now: park the chunk
                     // back at its queue front (nothing dropped, deficit
                     // refunded) and halve the window — we pushed too hard.
-                    state
-                        .tenants
-                        .entry(chunk.tenant.clone())
-                        .or_default()
-                        .saturated_requeues += 1;
+                    tenant_accum(&inner, &mut state, &chunk.tenant)
+                        .saturated_requeues
+                        .inc();
                     state.sched.requeue_front(chunk);
                     let ev = window.on_saturated();
                     record_window(&inner, &mut state, &window, ev, snapshot.peak_occupancy());
@@ -613,9 +671,9 @@ fn absorb_chunk(
         .in_flight_walkers
         .fetch_sub(chunk.cost, Ordering::Relaxed);
     let steps = results.total_steps();
-    let accum = state.tenants.entry(chunk.tenant.clone()).or_default();
-    accum.completed_walks += results.paths.len() as u64;
-    accum.completed_steps += steps as u64;
+    let accum = tenant_accum(inner, state, &chunk.tenant);
+    accum.completed_walks.add(results.paths.len() as u64);
+    accum.completed_steps.add(steps as u64);
     if let Some(sub) = state.submissions.get_mut(&chunk.submission) {
         for (&index, path) in chunk.indices.iter().zip(results.paths) {
             sub.paths[index as usize] = Some(path);
@@ -630,8 +688,8 @@ fn absorb_chunk(
 /// Terminal rejection of a chunk: record the failure on its submission so
 /// the waiter receives a typed error instead of hanging.
 fn fail_chunk(inner: &Inner, state: &mut State, chunk: Chunk, err: ServiceError) {
-    let accum = state.tenants.entry(chunk.tenant.clone()).or_default();
-    accum.failed_walks += chunk.cost() as u64;
+    let accum = tenant_accum(inner, state, &chunk.tenant);
+    accum.failed_walks.add(chunk.cost() as u64);
     if let Some(sub) = state.submissions.get_mut(&chunk.submission) {
         sub.error.get_or_insert(GatewayError::Rejected(err));
         sub.remaining = sub.remaining.saturating_sub(chunk.cost());

@@ -37,7 +37,17 @@
 //!   names exactly the one full inbox.
 //! * **Observability** ([`GatewayStats`]): per-tenant queue depth and
 //!   peak, dispatched/completed/rejected counts, queue-wait p50/p99, and
-//!   the AIMD window trace.
+//!   the AIMD window trace. The gateway records into the **service's**
+//!   telemetry handle
+//!   ([`WalkService::telemetry`](bingo_service::WalkService::telemetry)) —
+//!   build the service with
+//!   [`WalkService::build_with_telemetry`](bingo_service::WalkService::build_with_telemetry)
+//!   and the gateway's `gateway.tenant.wait_ns` / `gateway.dispatch_ns`
+//!   histograms land in the same registry as the shard-side stages, and
+//!   sampled walker lifecycles stitch a `dispatch(...)` span between
+//!   `submit` and the per-shard `step`/`hop` spans. See the
+//!   "Observability" section of the `bingo_service` crate docs for the
+//!   metric taxonomy and trace schema.
 //!
 //! The wire-in diagram lives in the `bingo_service` crate docs; direct
 //! service submission remains fully supported — the gateway is the

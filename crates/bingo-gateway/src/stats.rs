@@ -1,7 +1,15 @@
 //! Gateway observability: per-tenant queue/dispatch/completion counters,
 //! queue-wait percentiles, and the AIMD window trace.
+//!
+//! Like the service's shard counters, the per-tenant accumulators are
+//! **views over the shared telemetry registry** (labeled `tenant="…"`), so
+//! [`GatewayStats`], the registry expositions and external scrapers read
+//! one set of atomics. The queue-wait reservoir (exact microsecond
+//! percentiles) stays gateway-local; detailed telemetry additionally
+//! records waits into the `gateway.tenant.wait_ns` registry histogram.
 
 use bingo_sampling::rng::SplitMix64;
+use bingo_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
 use bingo_walks::TenantId;
 use std::time::Duration;
 
@@ -18,16 +26,22 @@ pub const WAIT_SAMPLE_CAP: usize = 65_536;
 /// into [`TenantStatsSnapshot`]).
 #[derive(Debug, Default)]
 pub(crate) struct TenantAccum {
+    /// Requests accepted (not in the registry taxonomy; walks are the
+    /// billing unit there).
     pub submitted_requests: u64,
-    pub submitted_walks: u64,
-    pub dispatched_chunks: u64,
+    /// Walkers handed to the service (taxonomy tracks chunks).
     pub dispatched_walks: u64,
-    pub completed_walks: u64,
-    pub completed_steps: u64,
-    pub rejected_overloaded: u64,
-    pub saturated_requeues: u64,
-    pub failed_walks: u64,
-    pub peak_queued_walkers: usize,
+    pub submitted_walks: Counter,
+    pub dispatched_chunks: Counter,
+    pub completed_walks: Counter,
+    pub completed_steps: Counter,
+    pub rejected_overloaded: Counter,
+    pub saturated_requeues: Counter,
+    pub failed_walks: Counter,
+    pub peak_queued_walkers: Gauge,
+    /// `gateway.tenant.wait_ns` — the registry's log2-bucketed view of the
+    /// queue waits (no-op unless telemetry is detailed).
+    pub wait_ns: Histogram,
     /// Queue-wait (enqueue → dispatch) reservoir, microseconds.
     pub wait_us: Vec<u64>,
     /// Total waits ever recorded (retained or not).
@@ -39,7 +53,29 @@ pub(crate) struct TenantAccum {
 }
 
 impl TenantAccum {
+    /// Resolve this tenant's counter set from the shared registry, keyed
+    /// by a `tenant` label.
+    pub(crate) fn register(telemetry: &Telemetry, tenant: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("tenant", tenant)];
+        TenantAccum {
+            submitted_walks: telemetry.counter_with(names::GATEWAY_TENANT_SUBMITTED_WALKS, labels),
+            dispatched_chunks: telemetry
+                .counter_with(names::GATEWAY_TENANT_DISPATCHED_CHUNKS, labels),
+            completed_walks: telemetry.counter_with(names::GATEWAY_TENANT_COMPLETED_WALKS, labels),
+            completed_steps: telemetry.counter_with(names::GATEWAY_TENANT_COMPLETED_STEPS, labels),
+            rejected_overloaded: telemetry
+                .counter_with(names::GATEWAY_TENANT_REJECTED_OVERLOADED, labels),
+            saturated_requeues: telemetry
+                .counter_with(names::GATEWAY_TENANT_SATURATED_REQUEUES, labels),
+            failed_walks: telemetry.counter_with(names::GATEWAY_TENANT_FAILED_WALKS, labels),
+            peak_queued_walkers: telemetry.gauge_with(names::GATEWAY_TENANT_PEAK_QUEUED, labels),
+            wait_ns: telemetry.histogram_with(names::GATEWAY_TENANT_WAIT_NS, labels),
+            ..TenantAccum::default()
+        }
+    }
+
     pub(crate) fn record_wait(&mut self, wait: Duration) {
+        self.wait_ns.record_duration(wait);
         self.record_wait_capped(wait, WAIT_SAMPLE_CAP);
     }
 

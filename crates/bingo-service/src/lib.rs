@@ -85,7 +85,58 @@
 //!
 //! Direct [`WalkService::submit`]/[`WalkClient`] use stays fully
 //! supported — the gateway is an optional front-end for workloads where
-//! submitters must not starve each other.
+//! submitters must not starve each other. Both layers record into one
+//! shared telemetry handle — see [Observability](#observability) below.
+//!
+//! ## Observability
+//!
+//! The whole serving stack records into a single
+//! [`Telemetry`](bingo_telemetry::Telemetry) handle
+//! ([`WalkService::build_with_telemetry`]; the gateway clones the
+//! service's handle via [`WalkService::telemetry`], so gateway and shard
+//! spans share one registry and one trace ring).
+//!
+//! **Metric taxonomy.** Names are stable, dot-separated
+//! `layer.scope.metric` constants in [`bingo_telemetry::names`]
+//! (`service.shard.*`, `service.context.*`, `gateway.tenant.*`, `pool.*`);
+//! per-instance dimensions (shard index, tenant) ride in labels. Counters
+//! and gauges are **always live** — [`ServiceStats`] and the gateway's
+//! stats are views over the registry's atomics, costing exactly what raw
+//! atomics cost — while duration histograms (log2-bucketed, nanoseconds,
+//! `*_ns`) only exist in detailed mode. The thread-pool shim's profile
+//! (calls, chunks, busy/idle nanos) is mirrored into the registry by
+//! [`record_pool_profile`].
+//!
+//! **Modes.** `Telemetry::disabled()` (what [`WalkService::build`] uses)
+//! adds nothing to the hot path: no clock reads, no histogram
+//! registrations, no tracer. Detailed mode (`Telemetry::enabled(seed)`,
+//! or `Telemetry::from_env` keyed on `BINGO_TELEMETRY=on|off`) records
+//! per-stage latency histograms: `service.submit_ns`,
+//! `service.shard.step_batch_ns`, `service.shard.inbox_dwell_ns`,
+//! `service.shard.update_apply_ns`, `service.forward.hop_ns`,
+//! `service.collect_ns`, `service.ticket.latency_ns`, and (through the
+//! gateway) `gateway.tenant.wait_ns` / `gateway.dispatch_ns`.
+//!
+//! **Lifecycle traces.** Detailed mode samples walkers
+//! **deterministically** — a pure hash of `(seed, ticket, walker)`, so the
+//! sampled set is identical across runs, thread counts and layers — and
+//! records spans into a bounded ring: `submit` → (`dispatch` when fronted
+//! by the gateway) → per-shard `step` batches → cross-shard `hop`s (with
+//! cache hit/miss and billed context bytes) → `collect`. A dump line reads
+//! like
+//!
+//! ```text
+//! t5/w24: submit(s3 v441) -> dispatch(heavy g1 wait=883823ns)
+//!   -> step(s3 x1 @e0) -> hop(s3->s1 miss 0B) -> step(s1 x1 @e0)
+//!   -> collect(len=6 hops=3 3384692ns)
+//! ```
+//!
+//! — walker 24 of service ticket 5 started on shard 3 at vertex 441, was
+//! dispatched by the gateway for tenant `heavy` after an 884µs queue wait,
+//! stepped on shard 3 at update epoch 0, hopped to shard 1 without a
+//! context-cache hit, and was collected after 3 hops with a final path of
+//! 6 vertices. Spans recorded by different shard threads stitch on
+//! `(ticket, walker)` — see `bingo_telemetry::Tracer::lifecycles`.
 //!
 //! ## Quickstart
 //!
@@ -138,8 +189,9 @@ pub mod stats;
 
 pub use client::{CollectionMode, RequestParts, WalkClient, WalkHandle, WalkOutput, WalkRequest};
 pub use service::{
-    AdmissionSnapshot, ContextTrace, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceError,
-    StepTrace, TicketResults, WalkService, WalkTicket, CONTEXT_HANDLE_BYTES,
+    record_pool_profile, AdmissionSnapshot, ContextTrace, IngestReceipt, PartitionStrategy,
+    ServiceConfig, ServiceError, StepTrace, TicketResults, WalkService, WalkTicket,
+    CONTEXT_HANDLE_BYTES,
 };
 pub use stats::{ServiceStats, ShardStatsSnapshot};
 

@@ -6,6 +6,7 @@ use bingo_core::partition::Partitioner;
 use bingo_core::{BingoConfig, BingoEngine, BingoError};
 use bingo_graph::{DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
 use bingo_sampling::rng::{Pcg64, SplitMix64};
+use bingo_telemetry::{names, Gauge, Histogram, Telemetry, TraceStage};
 use bingo_walks::walk_store::WalkStore;
 use bingo_walks::{
     CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, SharedWalkModel,
@@ -238,6 +239,15 @@ struct Walker {
     /// Second-order membership queries degraded by a missing carried
     /// context (capture faults), accumulated across shards.
     context_misses: u64,
+    /// Whether this walker is in the telemetry trace sample (decided once
+    /// at submit via the deterministic sampling hash, carried along so
+    /// every shard agrees without re-hashing).
+    sampled: bool,
+    /// When the last enqueue of this walker happened — `None` unless
+    /// telemetry is detailed. Lets the receiving shard measure inbox
+    /// dwell (and forward-hop latency for `hops > 0` arrivals) without
+    /// any clock read in disabled mode.
+    sent_at: Option<Instant>,
 }
 
 /// A completed walk on its way back to the service handle.
@@ -250,6 +260,9 @@ struct FinishedWalk {
     contexts: Vec<ContextTrace>,
     /// Capture faults this walk experienced (see `Walker::context_misses`).
     context_misses: u64,
+    /// Whether the walk is in the telemetry trace sample (see
+    /// `Walker::sampled`); the collector emits its `Collect` span.
+    sampled: bool,
     /// Worker-side completion time, so ticket latency measures when the
     /// walk actually finished, not when it was collected.
     finished_at: Instant,
@@ -259,8 +272,10 @@ enum ShardMsg {
     Walker(Box<Walker>),
     /// Pre-split update batch for this shard; applying it bumps the shard's
     /// epoch by one, even when the batch is empty (epochs advance uniformly
-    /// across shards, one per router flush).
-    Update(UpdateBatch),
+    /// across shards, one per router flush). The stamp is the router-side
+    /// flush time (`None` unless telemetry is detailed), for the
+    /// inbox-dwell histogram.
+    Update(UpdateBatch, Option<Instant>),
     Shutdown,
 }
 
@@ -397,6 +412,44 @@ pub struct WalkService {
     next_ticket: AtomicU64,
     workers: Vec<JoinHandle<()>>,
     started_at: Instant,
+    /// The shared observability handle every layer records into; the
+    /// per-shard [`ShardCounters`] are views over its registry.
+    telemetry: Telemetry,
+    /// `service.submit_ns`: submit call → all walkers enqueued.
+    submit_ns: Histogram,
+    /// `service.collect_ns`: walk finish → absorbed at the collector.
+    collect_ns: Histogram,
+    /// `service.ticket.latency_ns`: submit → last walk of the ticket done.
+    ticket_latency_ns: Histogram,
+    /// `service.update.epoch_lag`: router flushes − slowest shard's epoch,
+    /// refreshed on every [`WalkService::stats`] call.
+    epoch_lag: Gauge,
+}
+
+/// Mirror the thread-pool shim's cumulative profile into `telemetry`'s
+/// registry as the `pool.*` counters ([`names::POOL_CALLS`],
+/// [`names::POOL_CHUNKS_CLAIMED`], [`names::POOL_WORKER_BUSY_NS`],
+/// [`names::POOL_WORKER_IDLE_NS`], [`names::POOL_SCOPE_NS`]).
+///
+/// The shim's global cells stay authoritative (they are process-wide, not
+/// per-service); call this right before snapshotting or dumping the
+/// registry so the exposition reflects the latest pool activity. The
+/// nanosecond cells only advance while [`rayon::pool_profiling_enabled`]
+/// is on — [`WalkService::build_with_telemetry`] enables it whenever the
+/// handle is detailed.
+pub fn record_pool_profile(telemetry: &Telemetry) {
+    let p = rayon::pool_profile();
+    telemetry.counter(names::POOL_CALLS).set(p.calls);
+    telemetry
+        .counter(names::POOL_CHUNKS_CLAIMED)
+        .set(p.chunks_claimed);
+    telemetry
+        .counter(names::POOL_WORKER_BUSY_NS)
+        .set(p.worker_busy_ns);
+    telemetry
+        .counter(names::POOL_WORKER_IDLE_NS)
+        .set(p.worker_idle_ns);
+    telemetry.counter(names::POOL_SCOPE_NS).set(p.scope_ns);
 }
 
 impl WalkService {
@@ -404,7 +457,34 @@ impl WalkService {
     /// space into [`ServiceConfig::num_shards`] contiguous shards (uniform
     /// or degree-balanced per [`ServiceConfig::partition`]) and spawning
     /// one worker thread per shard.
+    ///
+    /// Telemetry runs in the zero-added-cost disabled mode (stats still
+    /// work — counters are always live); use
+    /// [`WalkService::build_with_telemetry`] for latency histograms and
+    /// lifecycle tracing.
     pub fn build(graph: &DynamicGraph, config: ServiceConfig) -> Result<Self> {
+        Self::build_with_telemetry(graph, config, Telemetry::disabled())
+    }
+
+    /// [`WalkService::build`] recording into the given [`Telemetry`]
+    /// handle. All per-shard counters register in its metric registry
+    /// (labeled `shard="<i>"`); when the handle is detailed, the per-stage
+    /// latency histograms (`service.submit_ns`,
+    /// `service.shard.step_batch_ns`, `service.shard.inbox_dwell_ns`,
+    /// `service.forward.hop_ns`, `service.collect_ns`, …) and sampled
+    /// walker lifecycle traces light up too. See the crate-level
+    /// "Observability" docs for the full taxonomy.
+    pub fn build_with_telemetry(
+        graph: &DynamicGraph,
+        config: ServiceConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self> {
+        if telemetry.is_detailed() {
+            // Enable-only: another service (or the user) may already rely
+            // on the pool profile, so detailed telemetry never turns the
+            // shim's clocks back off.
+            rayon::set_pool_profiling(true);
+        }
         let num_vertices = graph.num_vertices();
         let num_shards = config.num_shards.max(1);
         let partitioner = match config.partition {
@@ -420,8 +500,18 @@ impl WalkService {
             receivers.push(rx);
         }
         let counters: Vec<Arc<ShardCounters>> = (0..num_shards)
-            .map(|_| Arc::new(ShardCounters::default()))
+            .map(|shard| Arc::new(ShardCounters::register(&telemetry, shard)))
             .collect();
+        // Shard-loop latency histograms are unlabeled (one distribution
+        // across shards — per-shard load skew already shows in the busy/
+        // utilization counters) and resolved once here; in disabled mode
+        // they are no-op handles and never appear in the registry.
+        let hists = ShardHists {
+            step_batch_ns: telemetry.histogram(names::SERVICE_SHARD_STEP_BATCH_NS),
+            inbox_dwell_ns: telemetry.histogram(names::SERVICE_SHARD_INBOX_DWELL_NS),
+            update_apply_ns: telemetry.histogram(names::SERVICE_SHARD_UPDATE_APPLY_NS),
+            forward_hop_ns: telemetry.histogram(names::SERVICE_FORWARD_HOP_NS),
+        };
         let (done_tx, done_rx) = channel::<FinishedWalk>();
 
         let mut owned_counts = Vec::with_capacity(num_shards);
@@ -440,6 +530,8 @@ impl WalkService {
                 record_epochs: config.record_epochs,
                 context_encoding: config.context_encoding,
                 context_cache: HashMap::new(),
+                telemetry: telemetry.clone(),
+                hists: hists.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("bingo-shard-{shard_id}"))
@@ -477,7 +569,19 @@ impl WalkService {
             next_ticket: AtomicU64::new(1),
             workers,
             started_at: Instant::now(),
+            submit_ns: telemetry.histogram(names::SERVICE_SUBMIT_NS),
+            collect_ns: telemetry.histogram(names::SERVICE_COLLECT_NS),
+            ticket_latency_ns: telemetry.histogram(names::SERVICE_TICKET_LATENCY_NS),
+            epoch_lag: telemetry.gauge(names::SERVICE_UPDATE_EPOCH_LAG),
+            telemetry,
         })
+    }
+
+    /// The observability handle this service records into. Clone it into
+    /// co-located layers (the gateway does) so the whole stack shares one
+    /// metric registry and one trace ring.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of shards (worker threads).
@@ -563,9 +667,7 @@ impl WalkService {
                 .enumerate()
                 .find(|&(_, &extra)| extra > self.max_inbox)
             {
-                self.counters[shard]
-                    .saturated_rejections
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters[shard].saturated_rejections.inc();
                 return Err(ServiceError::Saturated {
                     shard,
                     queued: self.counters[shard].queue_depth().max(0) as usize,
@@ -579,9 +681,7 @@ impl WalkService {
                 }
                 let queued = self.counters[shard].queue_depth().max(0) as usize;
                 if queued + extra > self.max_inbox {
-                    self.counters[shard]
-                        .saturated_rejections
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters[shard].saturated_rejections.inc();
                     return Err(ServiceError::Saturated {
                         shard,
                         queued,
@@ -604,8 +704,24 @@ impl WalkService {
                 last_finish: None,
             },
         );
+        // One stamp for the whole fanout: every walker of this submission
+        // was enqueued "now" for dwell purposes, and disabled telemetry
+        // pays zero clock reads (`timer()` returns `None` without one).
+        let enqueued_at = self.telemetry.timer();
         for (index, &start) in starts.iter().enumerate() {
             let rng = Pcg64::seed_from_u64(walker_seed(base_seed, ticket, index as u64));
+            let owner = self.partitioner.owner(start);
+            let sampled = self.telemetry.is_sampled(ticket, index as u64);
+            if sampled {
+                self.telemetry.trace(
+                    ticket,
+                    index as u32,
+                    TraceStage::Submit {
+                        shard: owner as u32,
+                        start: u64::from(start),
+                    },
+                );
+            }
             let walker = Box::new(Walker {
                 ticket,
                 index: index as u32,
@@ -615,12 +731,16 @@ impl WalkService {
                 trace: Vec::new(),
                 contexts: Vec::new(),
                 context_misses: 0,
+                sampled,
+                sent_at: enqueued_at,
             });
-            let owner = self.partitioner.owner(start);
             self.counters[owner].on_enqueue();
             self.senders[owner]
                 .send(ShardMsg::Walker(walker))
                 .expect("shard worker alive");
+        }
+        if let Some(started) = enqueued_at {
+            self.submit_ns.record_duration(started.elapsed());
         }
         Ok(WalkTicket(ticket))
     }
@@ -668,6 +788,7 @@ impl WalkService {
             .last_finish
             .map(|t| t.duration_since(entry.submitted_at))
             .unwrap_or_default();
+        self.ticket_latency_ns.record_duration(latency);
         let mut paths = Vec::with_capacity(entry.walks.len());
         let mut hops = Vec::with_capacity(entry.walks.len());
         let mut traces = Vec::with_capacity(entry.walks.len());
@@ -809,7 +930,27 @@ impl WalkService {
             finished.index,
             finished.context_misses,
         );
+        if self.collect_ns.is_enabled() {
+            // Finish-to-absorb lag: how long the completed walk sat on the
+            // completion channel before a drainer picked it up.
+            self.collect_ns
+                .record_duration(finished.finished_at.elapsed());
+        }
         if let Some(entry) = pending.get_mut(&finished.ticket) {
+            if finished.sampled {
+                let latency = finished
+                    .finished_at
+                    .saturating_duration_since(entry.submitted_at);
+                self.telemetry.trace(
+                    finished.ticket,
+                    finished.index,
+                    TraceStage::Collect {
+                        path_len: finished.path.len() as u32,
+                        hops: finished.hops,
+                        latency_ns: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+                    },
+                );
+            }
             let slot = finished.index as usize;
             if entry.walks[slot].is_none() {
                 entry.received += 1;
@@ -870,11 +1011,12 @@ impl WalkService {
 
     fn flush_locked(&self, router: &mut RouterState) -> u64 {
         router.flushes += 1;
+        let flushed_at = self.telemetry.timer();
         for (shard, buffer) in router.buffers.iter_mut().enumerate() {
             let events = std::mem::take(buffer);
             self.counters[shard].on_enqueue();
             self.senders[shard]
-                .send(ShardMsg::Update(UpdateBatch::new(events)))
+                .send(ShardMsg::Update(UpdateBatch::new(events), flushed_at))
                 .expect("shard worker alive");
         }
         router.flushes
@@ -889,7 +1031,7 @@ impl WalkService {
             let reached = self
                 .counters
                 .iter()
-                .all(|c| c.epoch.load(Ordering::Acquire) >= receipt.epoch);
+                .all(|c| c.epoch.get_acquire() >= receipt.epoch);
             if reached {
                 return;
             }
@@ -929,13 +1071,23 @@ impl WalkService {
             saturated_rejections: self
                 .counters
                 .iter()
-                .map(|c| c.saturated_rejections.load(Ordering::Relaxed))
+                .map(|c| c.saturated_rejections.get())
                 .sum(),
         }
     }
 
     /// Snapshot of per-shard throughput/occupancy counters.
     pub fn stats(&self) -> ServiceStats {
+        // Refresh the update-epoch lag gauge: how many flushed epochs the
+        // slowest shard has not yet applied (0 = fully caught up).
+        let flushes = self.router.lock().unwrap().flushes;
+        let min_epoch = self
+            .counters
+            .iter()
+            .map(|c| c.epoch.get_acquire())
+            .min()
+            .unwrap_or(0);
+        self.epoch_lag.set(flushes.saturating_sub(min_epoch) as i64);
         ServiceStats {
             per_shard: self
                 .counters
@@ -1000,6 +1152,21 @@ impl AdmissionSnapshot {
     }
 }
 
+/// The shard-loop latency histograms, resolved once at service build and
+/// cloned into every worker. No-op handles in disabled telemetry.
+#[derive(Clone)]
+struct ShardHists {
+    /// `service.shard.step_batch_ns`: one walker visit (arrival →
+    /// finish/forward).
+    step_batch_ns: Histogram,
+    /// `service.shard.inbox_dwell_ns`: message enqueue → dequeue.
+    inbox_dwell_ns: Histogram,
+    /// `service.shard.update_apply_ns`: one update-batch application.
+    update_apply_ns: Histogram,
+    /// `service.forward.hop_ns`: forward send → dequeue at the peer.
+    forward_hop_ns: Histogram,
+}
+
 /// Everything one shard worker thread owns.
 struct ShardContext {
     shard_id: usize,
@@ -1015,6 +1182,8 @@ struct ShardContext {
     /// walker forwarded in the same wave. Cleared whenever an update batch
     /// actually carries events (empty epoch ticks keep it warm).
     context_cache: HashMap<VertexId, CarriedContext>,
+    telemetry: Telemetry,
+    hists: ShardHists,
 }
 
 impl ShardContext {
@@ -1025,15 +1194,60 @@ impl ShardContext {
     fn run(mut self, rx: Receiver<ShardMsg>) {
         while let Ok(msg) = rx.recv() {
             self.counters().on_dequeue();
+            // This stamp predates telemetry (it feeds `busy_nanos`), so
+            // detailed mode reuses it for dwell/step-batch/apply timing
+            // without adding clock reads to the disabled hot path.
             let started = Instant::now();
             match msg {
-                ShardMsg::Update(batch) => self.apply_update(batch),
-                ShardMsg::Walker(walker) => self.drive_walker(walker),
+                ShardMsg::Update(batch, flushed_at) => {
+                    self.record_dwell(flushed_at, started, false);
+                    self.apply_update(batch);
+                    if self.hists.update_apply_ns.is_enabled() {
+                        self.hists
+                            .update_apply_ns
+                            .record_duration(started.elapsed());
+                    }
+                }
+                ShardMsg::Walker(walker) => self.drive_walker(walker, started),
                 ShardMsg::Shutdown => break,
             }
             self.counters()
                 .busy_nanos
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .add(started.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Record how long a message sat in this shard's inbox (and, for a
+    /// forwarded walker, the full forward-hop latency: peer send →
+    /// dequeue here). `sent_at` is `None` unless telemetry is detailed.
+    fn record_dwell(&self, sent_at: Option<Instant>, dequeued_at: Instant, forwarded: bool) {
+        let Some(sent) = sent_at else { return };
+        let dwell = dequeued_at.saturating_duration_since(sent);
+        self.hists.inbox_dwell_ns.record_duration(dwell);
+        if forwarded {
+            self.hists.forward_hop_ns.record_duration(dwell);
+        }
+    }
+
+    /// Close out one walker visit: record the step-batch latency and, for
+    /// sampled walkers that actually stepped here, the `StepBatch`
+    /// lifecycle span.
+    fn end_visit(&self, walker: &Walker, visit_start: Instant, visit_steps: u32) {
+        if self.hists.step_batch_ns.is_enabled() {
+            self.hists
+                .step_batch_ns
+                .record_duration(visit_start.elapsed());
+        }
+        if walker.sampled && visit_steps > 0 {
+            self.telemetry.trace(
+                walker.ticket,
+                walker.index,
+                TraceStage::StepBatch {
+                    shard: self.shard_id as u32,
+                    steps: visit_steps,
+                    epoch: self.counters().epoch.get(),
+                },
+            );
         }
     }
 
@@ -1051,15 +1265,13 @@ impl ShardContext {
         }
         let outcome = self.engine.apply_batch(&batch);
         let c = self.counters();
-        c.updates_applied.fetch_add(
-            (outcome.inserted + outcome.deleted) as u64,
-            Ordering::Relaxed,
-        );
-        c.update_batches.fetch_add(1, Ordering::Relaxed);
+        c.updates_applied
+            .add((outcome.inserted + outcome.deleted) as u64);
+        c.update_batches.inc();
         // Publish the new generation *after* the batch is fully applied:
         // a reader seeing epoch e knows the engine reflects exactly the
         // first e flushed batches, never a partially applied one.
-        c.epoch.fetch_add(1, Ordering::Release);
+        c.epoch.add_release(1);
     }
 
     /// Capture the model-declared cross-shard context before forwarding:
@@ -1075,23 +1287,25 @@ impl ShardContext {
     /// shipped per forward) from the bytes actually materialized
     /// (`context_bytes_forwarded`: the encoded payload on a cache miss, a
     /// [`CONTEXT_HANDLE_BYTES`] handle on a hit).
-    fn attach_forward_context(&mut self, walker: &mut Walker) {
+    ///
+    /// Returns `(cache_hit, bytes_sent)` when a snapshot was attached (for
+    /// the forward-hop trace span), `None` when the model carries no
+    /// context or one is already attached.
+    fn attach_forward_context(&mut self, walker: &mut Walker) -> Option<(bool, usize)> {
         if walker.cursor.required_context() != ContextRequirement::PreviousAdjacency {
-            return;
+            return None;
         }
         let state = walker.cursor.state();
         let Some(prev) = state.prev() else {
-            return; // no history yet: the model's first step needs none
+            return None; // no history yet: the model's first step needs none
         };
         if state.carried_context().is_some() || !self.engine.owns(prev) {
-            return;
+            return None;
         }
         let (ctx, cache_hit) = match self.context_cache.get(&prev) {
             Some(cached) => (cached.clone(), true),
             None => {
-                let Some((raw, _hot)) = self.engine.context_fingerprint(prev) else {
-                    return;
-                };
+                let (raw, _hot) = self.engine.context_fingerprint(prev)?;
                 let ctx = self.context_encoding.encode(prev, raw);
                 self.context_cache.insert(prev, ctx.clone());
                 (ctx, false)
@@ -1103,40 +1317,41 @@ impl ShardContext {
             ctx.byte_len()
         };
         let c = self.counters();
-        c.context_bytes_raw.fetch_add(
-            CarriedContext::exact_wire_len(ctx.membership.len()) as u64,
-            Ordering::Relaxed,
-        );
-        c.context_bytes_forwarded
-            .fetch_add(bytes_sent as u64, Ordering::Relaxed);
+        c.context_bytes_raw
+            .add(CarriedContext::exact_wire_len(ctx.membership.len()) as u64);
+        c.context_bytes_forwarded.add(bytes_sent as u64);
         if cache_hit {
-            c.context_cache_hits.fetch_add(1, Ordering::Relaxed);
+            c.context_cache_hits.inc();
         } else {
-            c.context_cache_misses.fetch_add(1, Ordering::Relaxed);
+            c.context_cache_misses.inc();
         }
         if self.record_epochs {
             walker.contexts.push(ContextTrace {
                 vertex: ctx.vertex,
                 adjacency: ctx.membership.decoded().unwrap_or_default(),
                 shard: self.shard_id,
-                epoch: c.epoch.load(Ordering::Acquire),
+                epoch: c.epoch.get_acquire(),
                 bytes_sent,
                 cache_hit,
             });
         }
         walker.cursor.set_forward_context(ctx);
+        Some((cache_hit, bytes_sent))
     }
 
-    fn drive_walker(&mut self, mut walker: Box<Walker>) {
+    fn drive_walker(&mut self, mut walker: Box<Walker>, visit_start: Instant) {
+        self.record_dwell(walker.sent_at.take(), visit_start, walker.hops > 0);
         let c = self.counters();
-        c.walkers_received.fetch_add(1, Ordering::Relaxed);
+        c.walkers_received.inc();
         let record = self.record_epochs;
+        let mut visit_steps: u32 = 0;
         loop {
             let current = walker.cursor.current();
             // A walker at its deterministic length limit takes no further
             // sample: finish it here instead of forwarding it to another
             // shard for a no-op step.
             if !walker.cursor.is_done() && walker.cursor.at_length_limit() {
+                self.end_visit(&walker, visit_start, visit_steps);
                 self.finish_walker(*walker);
                 return;
             }
@@ -1147,20 +1362,34 @@ impl ShardContext {
                     // Defensive: a vertex nobody owns (it can only arise
                     // from a corrupted engine state) would self-forward
                     // forever; treat it as a dead end instead.
+                    self.end_visit(&walker, visit_start, visit_steps);
                     self.finish_walker(*walker);
                     return;
                 }
-                self.attach_forward_context(&mut walker);
-                self.counters()
-                    .walkers_forwarded
-                    .fetch_add(1, Ordering::Relaxed);
+                let context = self.attach_forward_context(&mut walker);
+                self.counters().walkers_forwarded.inc();
                 walker.hops += 1;
+                self.end_visit(&walker, visit_start, visit_steps);
+                if walker.sampled {
+                    let (cache_hit, bytes) = context.unwrap_or((false, 0));
+                    self.telemetry.trace(
+                        walker.ticket,
+                        walker.index,
+                        TraceStage::ForwardHop {
+                            from_shard: self.shard_id as u32,
+                            to_shard: owner as u32,
+                            cache_hit,
+                            bytes: bytes as u64,
+                        },
+                    );
+                }
+                walker.sent_at = self.telemetry.timer();
                 self.counters[owner].on_enqueue();
                 // A send can only fail during shutdown; drop the walker.
                 let _ = self.senders[owner].send(ShardMsg::Walker(walker));
                 return;
             }
-            let epoch = self.counters().epoch.load(Ordering::Acquire);
+            let epoch = self.counters().epoch.get_acquire();
             let stepped = walker.cursor.step(&self.engine, &mut walker.rng);
             let context_misses = walker.cursor.take_context_misses();
             if context_misses > 0 {
@@ -1172,13 +1401,12 @@ impl ShardContext {
                 // `debug_assert!` on it (panicking this worker thread would
                 // hang every waiter instead of failing loudly).
                 walker.context_misses += context_misses;
-                self.counters()
-                    .context_misses
-                    .fetch_add(context_misses, Ordering::Relaxed);
+                self.counters().context_misses.add(context_misses);
             }
             match stepped {
                 Some(next) => {
-                    self.counters().steps.fetch_add(1, Ordering::Relaxed);
+                    self.counters().steps.inc();
+                    visit_steps += 1;
                     if record {
                         walker.trace.push(StepTrace {
                             src: current,
@@ -1189,6 +1417,7 @@ impl ShardContext {
                     }
                 }
                 None => {
+                    self.end_visit(&walker, visit_start, visit_steps);
                     self.finish_walker(*walker);
                     return;
                 }
@@ -1197,13 +1426,12 @@ impl ShardContext {
     }
 
     fn finish_walker(&self, walker: Walker) {
-        self.counters()
-            .walks_completed
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters().walks_completed.inc();
         let _ = self.done_tx.send(FinishedWalk {
             ticket: walker.ticket,
             index: walker.index,
             context_misses: walker.context_misses,
+            sampled: walker.sampled,
             path: walker.cursor.into_path(),
             hops: walker.hops,
             trace: walker.trace,

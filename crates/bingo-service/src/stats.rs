@@ -1,94 +1,138 @@
 //! Service observability: per-shard throughput, occupancy and epoch
 //! counters, aggregated into a [`ServiceStats`] snapshot.
+//!
+//! Since the telemetry refactor the counters are **views over the shared
+//! [`bingo_telemetry::Registry`]**: every field of the (crate-internal)
+//! `ShardCounters` is a
+//! registry-backed handle registered under the stable taxonomy in
+//! [`bingo_telemetry::names`] with a `shard` label, so `ServiceStats`, the
+//! registry's `render()`/Prometheus/JSON expositions and any external
+//! scraper all read the same atomics. Recording cost is unchanged from the
+//! pre-registry raw atomics: handles are resolved once at service build,
+//! and each record is a single relaxed RMW.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use bingo_telemetry::{names, Counter, Gauge, Telemetry};
 use std::time::Duration;
 
 /// Lock-free counters shared between one shard worker and the service
-/// handle. Writers are the worker thread (steps, updates, epoch) and the
-/// message senders (queue depth); readers take relaxed snapshots.
+/// handle — registry-backed views (see the module docs). Writers are the
+/// worker thread (steps, updates, epoch) and the message senders (queue
+/// depth); readers take relaxed snapshots.
 #[derive(Debug, Default)]
 pub(crate) struct ShardCounters {
-    pub steps: AtomicU64,
-    pub walkers_received: AtomicU64,
-    pub walkers_forwarded: AtomicU64,
-    pub walks_completed: AtomicU64,
-    pub updates_applied: AtomicU64,
-    pub update_batches: AtomicU64,
+    pub steps: Counter,
+    pub walkers_received: Counter,
+    pub walkers_forwarded: Counter,
+    pub walks_completed: Counter,
+    pub updates_applied: Counter,
+    pub update_batches: Counter,
     /// Number of update batches applied so far — the shard's generation
     /// counter. A walk step that reads epoch `e` observed the engine state
-    /// after exactly `e` batches.
-    pub epoch: AtomicU64,
+    /// after exactly `e` batches. Written with [`Counter::add_release`]
+    /// *after* the batch is fully applied; read with
+    /// [`Counter::get_acquire`].
+    pub epoch: Counter,
     /// Messages currently queued (sender-incremented, worker-decremented).
-    pub queue_depth: AtomicI64,
+    pub queue_depth: Gauge,
     /// Highest queue depth the worker has observed on dequeue.
-    pub queue_high_water: AtomicU64,
+    pub queue_high_water: Gauge,
     /// Nanoseconds the worker spent processing messages (vs. idle).
-    pub busy_nanos: AtomicU64,
+    pub busy_nanos: Counter,
     /// Bytes of forwarded-context snapshots (membership fingerprints for
     /// second-order models) this shard actually materialized on outbound
     /// walkers: the encoded payload the first time a `(vertex, epoch)`
     /// snapshot ships, a small handle for every reuse.
-    pub context_bytes_forwarded: AtomicU64,
+    pub context_bytes_forwarded: Counter,
     /// Bytes the exact-`Vec` wire format (no caching, no compact encoding)
     /// would have shipped for the same forwards — the baseline
     /// `context_bytes_forwarded` is measured against.
-    pub context_bytes_raw: AtomicU64,
+    pub context_bytes_raw: Counter,
     /// Forwards whose membership snapshot was reused from this shard's
     /// `(vertex, epoch)` cache.
-    pub context_cache_hits: AtomicU64,
+    pub context_cache_hits: Counter,
     /// Forwards whose snapshot had to be encoded (cold vertex or first use
     /// this epoch).
-    pub context_cache_misses: AtomicU64,
+    pub context_cache_misses: Counter,
     /// Second-order membership queries that fell back to this shard's
     /// engine for a vertex it does not own because the forwarded context
     /// was missing or mismatched (capture faults — should stay zero; the
     /// worker also `debug_assert!`s on it).
-    pub context_misses: AtomicU64,
+    pub context_misses: Counter,
     /// Submissions rejected because this shard's inbox was at its
     /// configured `max_inbox` bound.
-    pub saturated_rejections: AtomicU64,
+    pub saturated_rejections: Counter,
 }
 
 impl ShardCounters {
+    /// Resolve this shard's counter set from the shared registry, keyed by
+    /// a `shard` label. Counters and gauges are always live (disabled
+    /// telemetry only turns off histograms and tracing), so the stats
+    /// snapshots below work in every mode.
+    pub(crate) fn register(telemetry: &Telemetry, shard: usize) -> Self {
+        let s = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &s)];
+        ShardCounters {
+            steps: telemetry.counter_with(names::SERVICE_SHARD_STEPS, labels),
+            walkers_received: telemetry.counter_with(names::SERVICE_SHARD_WALKERS_RECEIVED, labels),
+            walkers_forwarded: telemetry
+                .counter_with(names::SERVICE_SHARD_WALKERS_FORWARDED, labels),
+            walks_completed: telemetry.counter_with(names::SERVICE_SHARD_WALKS_COMPLETED, labels),
+            updates_applied: telemetry.counter_with(names::SERVICE_SHARD_UPDATES_APPLIED, labels),
+            update_batches: telemetry.counter_with(names::SERVICE_SHARD_UPDATE_BATCHES, labels),
+            epoch: telemetry.counter_with(names::SERVICE_SHARD_EPOCH, labels),
+            queue_depth: telemetry.gauge_with(names::SERVICE_SHARD_QUEUE_DEPTH, labels),
+            queue_high_water: telemetry.gauge_with(names::SERVICE_SHARD_QUEUE_HIGH_WATER, labels),
+            busy_nanos: telemetry.counter_with(names::SERVICE_SHARD_BUSY_NS, labels),
+            context_bytes_forwarded: telemetry
+                .counter_with(names::SERVICE_CONTEXT_BYTES_FORWARDED, labels),
+            context_bytes_raw: telemetry.counter_with(names::SERVICE_CONTEXT_BYTES_RAW, labels),
+            context_cache_hits: telemetry.counter_with(names::SERVICE_CONTEXT_CACHE_HITS, labels),
+            context_cache_misses: telemetry
+                .counter_with(names::SERVICE_CONTEXT_CACHE_MISSES, labels),
+            context_misses: telemetry
+                .counter_with(names::SERVICE_CONTEXT_MEMBERSHIP_FAULTS, labels),
+            saturated_rejections: telemetry
+                .counter_with(names::SERVICE_SHARD_SATURATED_REJECTIONS, labels),
+        }
+    }
+
     pub(crate) fn on_enqueue(&self) {
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.add(1);
     }
 
     pub(crate) fn on_dequeue(&self) {
-        let depth = self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let depth = self.queue_depth.add(-1);
         if depth > 0 {
-            self.queue_high_water
-                .fetch_max(depth as u64, Ordering::Relaxed);
+            self.queue_high_water.raise(depth);
         }
     }
 
     /// Current inbox occupancy (momentary; can read slightly negative
     /// during a concurrent enqueue/dequeue race).
     pub(crate) fn queue_depth(&self) -> i64 {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.get()
     }
 
     pub(crate) fn snapshot(&self, shard: usize, owned_vertices: usize) -> ShardStatsSnapshot {
         ShardStatsSnapshot {
             shard,
             owned_vertices,
-            steps: self.steps.load(Ordering::Relaxed),
-            walkers_received: self.walkers_received.load(Ordering::Relaxed),
-            walkers_forwarded: self.walkers_forwarded.load(Ordering::Relaxed),
-            walks_completed: self.walks_completed.load(Ordering::Relaxed),
-            updates_applied: self.updates_applied.load(Ordering::Relaxed),
-            update_batches: self.update_batches.load(Ordering::Relaxed),
-            epoch: self.epoch.load(Ordering::Acquire),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0),
-            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
-            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
-            context_bytes_forwarded: self.context_bytes_forwarded.load(Ordering::Relaxed),
-            context_bytes_raw: self.context_bytes_raw.load(Ordering::Relaxed),
-            context_cache_hits: self.context_cache_hits.load(Ordering::Relaxed),
-            context_cache_misses: self.context_cache_misses.load(Ordering::Relaxed),
-            context_misses: self.context_misses.load(Ordering::Relaxed),
-            saturated_rejections: self.saturated_rejections.load(Ordering::Relaxed),
+            steps: self.steps.get(),
+            walkers_received: self.walkers_received.get(),
+            walkers_forwarded: self.walkers_forwarded.get(),
+            walks_completed: self.walks_completed.get(),
+            updates_applied: self.updates_applied.get(),
+            update_batches: self.update_batches.get(),
+            epoch: self.epoch.get_acquire(),
+            queue_depth: self.queue_depth.get().max(0),
+            queue_high_water: self.queue_high_water.get().max(0) as u64,
+            busy: Duration::from_nanos(self.busy_nanos.get()),
+            context_bytes_forwarded: self.context_bytes_forwarded.get(),
+            context_bytes_raw: self.context_bytes_raw.get(),
+            context_cache_hits: self.context_cache_hits.get(),
+            context_cache_misses: self.context_cache_misses.get(),
+            context_misses: self.context_misses.get(),
+            saturated_rejections: self.saturated_rejections.get(),
         }
     }
 }
@@ -138,6 +182,20 @@ pub struct ShardStatsSnapshot {
     pub context_misses: u64,
     /// Submissions rejected at this shard's inbox bound.
     pub saturated_rejections: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// Fraction of `uptime` this shard's worker spent processing messages
+    /// (busy / uptime, clamped to `[0, 1]`; 0 when uptime is zero). The
+    /// complement is idle time parked on the inbox.
+    pub fn utilization(&self, uptime: Duration) -> f64 {
+        let secs = uptime.as_secs_f64();
+        if secs > 0.0 {
+            (self.busy.as_secs_f64() / secs).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Aggregate service statistics: one snapshot per shard plus uptime.
@@ -256,11 +314,23 @@ impl ServiceStats {
         }
     }
 
+    /// Mean worker utilization (busy / uptime) across all shards.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.per_shard.is_empty() {
+            return 0.0;
+        }
+        self.per_shard
+            .iter()
+            .map(|s| s.utilization(self.uptime))
+            .sum::<f64>()
+            / self.per_shard.len() as f64
+    }
+
     /// Render a small per-shard table for logs and examples.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10}  {:>8}  {:>6}  {:>9}\n",
+            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10}  {:>8}  {:>6}  {:>9}  {:>6}\n",
             "shard",
             "owned",
             "steps",
@@ -272,7 +342,8 @@ impl ServiceStats {
             "ctx_raw_kb",
             "ctx_kb",
             "hit%",
-            "busy"
+            "busy",
+            "util%"
         ));
         for s in &self.per_shard {
             let ctx_total = s.context_cache_hits + s.context_cache_misses;
@@ -282,7 +353,7 @@ impl ServiceStats {
                 0.0
             };
             out.push_str(&format!(
-                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10.1}  {:>8.1}  {:>6.1}  {:>8.3}s\n",
+                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10.1}  {:>8.1}  {:>6.1}  {:>8.3}s  {:>5.1}\n",
                 s.shard,
                 s.owned_vertices,
                 s.steps,
@@ -295,12 +366,13 @@ impl ServiceStats {
                 s.context_bytes_forwarded as f64 / 1024.0,
                 hit_pct,
                 s.busy.as_secs_f64(),
+                100.0 * s.utilization(self.uptime),
             ));
         }
         out.push_str(&format!(
             "total: {} steps ({:.0} steps/s), {} forwards ({:.1}% of steps), {} updates, \
              context {} -> {} bytes ({:.1}x shrink, {:.1}% cache hits, {} capture faults), \
-             {} saturation rejections, uptime {:.3}s\n",
+             {} saturation rejections, mean utilization {:.1}%, uptime {:.3}s\n",
             self.total_steps(),
             self.steps_per_sec(),
             self.total_forwards(),
@@ -312,6 +384,7 @@ impl ServiceStats {
             100.0 * self.context_cache_hit_rate(),
             self.total_context_misses(),
             self.total_saturated_rejections(),
+            100.0 * self.mean_utilization(),
             self.uptime.as_secs_f64(),
         ));
         out
@@ -325,7 +398,7 @@ mod tests {
     #[test]
     fn counters_snapshot_roundtrip() {
         let c = ShardCounters::default();
-        c.steps.fetch_add(10, Ordering::Relaxed);
+        c.steps.add(10);
         c.on_enqueue();
         c.on_enqueue();
         c.on_dequeue();
@@ -334,6 +407,25 @@ mod tests {
         assert_eq!(snap.owned_vertices, 100);
         assert_eq!(snap.steps, 10);
         assert_eq!(snap.queue_high_water, 2);
+    }
+
+    #[test]
+    fn registered_counters_are_registry_views() {
+        let telemetry = Telemetry::disabled();
+        let c = ShardCounters::register(&telemetry, 2);
+        c.steps.add(7);
+        c.epoch.add_release(1);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter(names::SERVICE_SHARD_STEPS, &[("shard", "2")]),
+            7,
+            "ShardCounters and the registry share one atomic"
+        );
+        assert_eq!(
+            snap.counter(names::SERVICE_SHARD_EPOCH, &[("shard", "2")]),
+            1
+        );
+        assert_eq!(c.snapshot(2, 10).steps, 7);
     }
 
     #[test]
@@ -360,6 +452,35 @@ mod tests {
         assert!((stats.steps_per_sec() - 50.0).abs() < 1e-9);
         assert!((stats.forward_ratio() - 0.1).abs() < 1e-12);
         assert!(stats.render().contains("steps/s"));
+    }
+
+    #[test]
+    fn utilization_is_busy_over_uptime() {
+        let stats = ServiceStats {
+            per_shard: vec![
+                ShardStatsSnapshot {
+                    shard: 0,
+                    busy: Duration::from_millis(500),
+                    ..Default::default()
+                },
+                ShardStatsSnapshot {
+                    shard: 1,
+                    busy: Duration::from_millis(1500),
+                    ..Default::default()
+                },
+            ],
+            uptime: Duration::from_secs(2),
+        };
+        assert!((stats.per_shard[0].utilization(stats.uptime) - 0.25).abs() < 1e-12);
+        assert!((stats.per_shard[1].utilization(stats.uptime) - 0.75).abs() < 1e-12);
+        assert!((stats.mean_utilization() - 0.5).abs() < 1e-12);
+        assert!(stats.render().contains("util%"));
+        assert!(stats.render().contains("mean utilization 50.0%"));
+
+        // Degenerate uptimes stay finite and clamped.
+        let s = &stats.per_shard[1];
+        assert_eq!(s.utilization(Duration::ZERO), 0.0);
+        assert_eq!(s.utilization(Duration::from_millis(1)), 1.0, "clamped");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Cheap, clonable metric handles.
+//!
+//! A handle is an `Arc` onto the shared atomic core held by the
+//! [`Registry`](crate::Registry): hot paths resolve their handles once (at
+//! construction time) and then record with a single atomic RMW — no name
+//! lookup, no lock, no allocation.
+//!
+//! [`Counter`] and [`Gauge`] are always live: the serving stack's
+//! `ServiceStats`/`GatewayStats` are views over them, so they cost exactly
+//! what the pre-telemetry raw atomics cost. [`Histogram`] handles come in a
+//! no-op flavour ([`Histogram::noop`]) that the disabled telemetry mode
+//! hands out, making `record` a single branch on already-resident data.
+
+use crate::hist::{HistogramCore, HistogramSnapshot};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1 (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value (relaxed).
+    ///
+    /// For mirroring a cumulative count accumulated elsewhere (e.g. the
+    /// thread-pool shim's global profile cells) into the registry — the
+    /// source stays authoritative, this handle is just its exposition view.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` with `Release` ordering, returning the **previous** value.
+    ///
+    /// For counters that *publish* state to other threads — the service's
+    /// per-shard update epoch increments with `Release` after the batch is
+    /// fully applied, so a reader that `Acquire`-loads the new epoch also
+    /// sees the applied updates.
+    #[inline]
+    pub fn add_release(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Release)
+    }
+
+    /// Current value with `Acquire` ordering (pairs with
+    /// [`add_release`](Counter::add_release)).
+    #[inline]
+    pub fn get_acquire(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, epoch lag).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge (relaxed).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative), returning the **previous** value.
+    #[inline]
+    pub fn add(&self, n: i64) -> i64 {
+        self.0.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (relaxed max).
+    #[inline]
+    pub fn raise(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram handle. May be a no-op (disabled telemetry):
+/// `record` on a no-op handle is a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A live histogram over `core`.
+    pub fn active(core: Arc<HistogramCore>) -> Self {
+        Histogram(Some(core))
+    }
+
+    /// A handle that drops every record (what disabled telemetry hands
+    /// out; also the `Default`).
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Whether records are actually stored.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.record(value);
+        }
+    }
+
+    /// Record a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        if let Some(core) = &self.0 {
+            core.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A point-in-time copy (empty for a no-op handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map(|core| core.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        assert_eq!(c.add_release(2), 4);
+        assert_eq!(c.get_acquire(), 6);
+
+        let g = Gauge::new();
+        g.set(10);
+        assert_eq!(g.add(-3), 10);
+        g.raise(5);
+        assert_eq!(g.get(), 7);
+        g.raise(20);
+        assert_eq!(g.get(), 20);
+    }
+
+    #[test]
+    fn noop_histogram_records_nothing() {
+        let h = Histogram::noop();
+        h.record(42);
+        h.record_duration(Duration::from_millis(1));
+        assert!(!h.is_enabled());
+        assert_eq!(h.snapshot().count(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The stable metric-name taxonomy.
+//!
+//! Every layer of the serving stack registers its metrics under these
+//! names, so dashboards, CI greps and tests key on one vocabulary.
+//! Names are dot-separated `layer.scope.metric`; per-instance dimensions
+//! (shard index, tenant name) ride in labels, not in the name. Durations
+//! are always recorded in **nanoseconds** and suffixed `_ns`.
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `service.shard.steps` | counter | steps sampled by a shard |
+//! | `service.shard.walkers_received` | counter | walker arrivals (fresh + forwarded) |
+//! | `service.shard.walkers_forwarded` | counter | walkers forwarded to another shard |
+//! | `service.shard.walks_completed` | counter | walks finished on a shard |
+//! | `service.shard.updates_applied` | counter | update events applied |
+//! | `service.shard.update_batches` | counter | update batches applied |
+//! | `service.shard.epoch` | counter | update epoch (Release-published) |
+//! | `service.shard.queue_depth` | gauge | current inbox occupancy |
+//! | `service.shard.queue_high_water` | gauge | max inbox occupancy seen |
+//! | `service.shard.busy_ns` | counter | nanos spent processing messages |
+//! | `service.shard.saturated_rejections` | counter | submits bounced off a full inbox |
+//! | `service.context.bytes_forwarded` | counter | context bytes actually sent |
+//! | `service.context.bytes_raw` | counter | exact-Vec baseline context bytes |
+//! | `service.context.cache_hits` | counter | forwarded-context cache hits |
+//! | `service.context.cache_misses` | counter | forwarded-context cache misses |
+//! | `service.context.membership_faults` | counter | second-order fallback probes |
+//! | `service.submit_ns` | histogram | submit call → all walkers enqueued |
+//! | `service.shard.step_batch_ns` | histogram | one walker visit on a shard |
+//! | `service.shard.inbox_dwell_ns` | histogram | message enqueue → dequeue |
+//! | `service.shard.update_apply_ns` | histogram | one update batch application |
+//! | `service.forward.hop_ns` | histogram | forward send → dequeue at peer |
+//! | `service.collect_ns` | histogram | walk finish → absorbed at collector |
+//! | `service.ticket.latency_ns` | histogram | submit → ticket complete |
+//! | `service.update.epoch_lag` | gauge | router flushes − slowest shard epoch |
+//! | `gateway.tenant.submitted_walks` | counter | walks offered by a tenant |
+//! | `gateway.tenant.completed_walks` | counter | walks completed for a tenant |
+//! | `gateway.tenant.completed_steps` | counter | steps completed for a tenant |
+//! | `gateway.tenant.failed_walks` | counter | walks lost to submit failures |
+//! | `gateway.tenant.dispatched_chunks` | counter | chunks handed to the service |
+//! | `gateway.tenant.saturated_requeues` | counter | dispatches bounced by saturation |
+//! | `gateway.tenant.rejected_overloaded` | counter | submits rejected queue-full |
+//! | `gateway.tenant.peak_queued` | gauge | max walkers queued at once |
+//! | `gateway.tenant.wait_ns` | histogram | enqueue → DRR dispatch |
+//! | `gateway.dispatch_ns` | histogram | one service-submit call |
+//! | `pool.calls` | counter | top-level parallel calls |
+//! | `pool.chunks_claimed` | counter | chunks executed by workers |
+//! | `pool.worker.busy_ns` | counter | nanos workers spent in chunk bodies |
+//! | `pool.worker.idle_ns` | counter | team-scope nanos not spent in chunks |
+//! | `pool.scope_ns` | counter | wall nanos inside parallel scopes |
+
+/// `service.shard.steps` — steps sampled by a shard (counter).
+pub const SERVICE_SHARD_STEPS: &str = "service.shard.steps";
+/// `service.shard.walkers_received` — walker arrivals (counter).
+pub const SERVICE_SHARD_WALKERS_RECEIVED: &str = "service.shard.walkers_received";
+/// `service.shard.walkers_forwarded` — cross-shard forwards (counter).
+pub const SERVICE_SHARD_WALKERS_FORWARDED: &str = "service.shard.walkers_forwarded";
+/// `service.shard.walks_completed` — walks finished (counter).
+pub const SERVICE_SHARD_WALKS_COMPLETED: &str = "service.shard.walks_completed";
+/// `service.shard.updates_applied` — update events applied (counter).
+pub const SERVICE_SHARD_UPDATES_APPLIED: &str = "service.shard.updates_applied";
+/// `service.shard.update_batches` — update batches applied (counter).
+pub const SERVICE_SHARD_UPDATE_BATCHES: &str = "service.shard.update_batches";
+/// `service.shard.epoch` — per-shard update epoch (counter, Release-published).
+pub const SERVICE_SHARD_EPOCH: &str = "service.shard.epoch";
+/// `service.shard.queue_depth` — current inbox occupancy (gauge).
+pub const SERVICE_SHARD_QUEUE_DEPTH: &str = "service.shard.queue_depth";
+/// `service.shard.queue_high_water` — max inbox occupancy (gauge).
+pub const SERVICE_SHARD_QUEUE_HIGH_WATER: &str = "service.shard.queue_high_water";
+/// `service.shard.busy_ns` — nanos processing messages (counter).
+pub const SERVICE_SHARD_BUSY_NS: &str = "service.shard.busy_ns";
+/// `service.shard.saturated_rejections` — inbox-full bounces (counter).
+pub const SERVICE_SHARD_SATURATED_REJECTIONS: &str = "service.shard.saturated_rejections";
+/// `service.context.bytes_forwarded` — context bytes sent (counter).
+pub const SERVICE_CONTEXT_BYTES_FORWARDED: &str = "service.context.bytes_forwarded";
+/// `service.context.bytes_raw` — exact-Vec baseline bytes (counter).
+pub const SERVICE_CONTEXT_BYTES_RAW: &str = "service.context.bytes_raw";
+/// `service.context.cache_hits` — forwarded-context cache hits (counter).
+pub const SERVICE_CONTEXT_CACHE_HITS: &str = "service.context.cache_hits";
+/// `service.context.cache_misses` — forwarded-context cache misses (counter).
+pub const SERVICE_CONTEXT_CACHE_MISSES: &str = "service.context.cache_misses";
+/// `service.context.membership_faults` — second-order fallbacks (counter).
+pub const SERVICE_CONTEXT_MEMBERSHIP_FAULTS: &str = "service.context.membership_faults";
+/// `service.submit_ns` — submit-call latency (histogram).
+pub const SERVICE_SUBMIT_NS: &str = "service.submit_ns";
+/// `service.shard.step_batch_ns` — one walker visit (histogram).
+pub const SERVICE_SHARD_STEP_BATCH_NS: &str = "service.shard.step_batch_ns";
+/// `service.shard.inbox_dwell_ns` — enqueue → dequeue (histogram).
+pub const SERVICE_SHARD_INBOX_DWELL_NS: &str = "service.shard.inbox_dwell_ns";
+/// `service.shard.update_apply_ns` — one batch application (histogram).
+pub const SERVICE_SHARD_UPDATE_APPLY_NS: &str = "service.shard.update_apply_ns";
+/// `service.forward.hop_ns` — forward send → peer dequeue (histogram).
+pub const SERVICE_FORWARD_HOP_NS: &str = "service.forward.hop_ns";
+/// `service.collect_ns` — finish → absorbed (histogram).
+pub const SERVICE_COLLECT_NS: &str = "service.collect_ns";
+/// `service.ticket.latency_ns` — submit → complete (histogram).
+pub const SERVICE_TICKET_LATENCY_NS: &str = "service.ticket.latency_ns";
+/// `service.update.epoch_lag` — router flushes − min shard epoch (gauge).
+pub const SERVICE_UPDATE_EPOCH_LAG: &str = "service.update.epoch_lag";
+/// `gateway.tenant.submitted_walks` — offered walks (counter).
+pub const GATEWAY_TENANT_SUBMITTED_WALKS: &str = "gateway.tenant.submitted_walks";
+/// `gateway.tenant.completed_walks` — completed walks (counter).
+pub const GATEWAY_TENANT_COMPLETED_WALKS: &str = "gateway.tenant.completed_walks";
+/// `gateway.tenant.completed_steps` — completed steps (counter).
+pub const GATEWAY_TENANT_COMPLETED_STEPS: &str = "gateway.tenant.completed_steps";
+/// `gateway.tenant.failed_walks` — walks lost to failures (counter).
+pub const GATEWAY_TENANT_FAILED_WALKS: &str = "gateway.tenant.failed_walks";
+/// `gateway.tenant.dispatched_chunks` — chunks dispatched (counter).
+pub const GATEWAY_TENANT_DISPATCHED_CHUNKS: &str = "gateway.tenant.dispatched_chunks";
+/// `gateway.tenant.saturated_requeues` — saturation bounces (counter).
+pub const GATEWAY_TENANT_SATURATED_REQUEUES: &str = "gateway.tenant.saturated_requeues";
+/// `gateway.tenant.rejected_overloaded` — queue-full rejections (counter).
+pub const GATEWAY_TENANT_REJECTED_OVERLOADED: &str = "gateway.tenant.rejected_overloaded";
+/// `gateway.tenant.peak_queued` — max walkers queued (gauge).
+pub const GATEWAY_TENANT_PEAK_QUEUED: &str = "gateway.tenant.peak_queued";
+/// `gateway.tenant.wait_ns` — queue wait (histogram).
+pub const GATEWAY_TENANT_WAIT_NS: &str = "gateway.tenant.wait_ns";
+/// `gateway.dispatch_ns` — one service-submit call (histogram).
+pub const GATEWAY_DISPATCH_NS: &str = "gateway.dispatch_ns";
+/// `pool.calls` — top-level parallel calls (counter).
+pub const POOL_CALLS: &str = "pool.calls";
+/// `pool.chunks_claimed` — chunks executed (counter).
+pub const POOL_CHUNKS_CLAIMED: &str = "pool.chunks_claimed";
+/// `pool.worker.busy_ns` — worker nanos in chunk bodies (counter).
+pub const POOL_WORKER_BUSY_NS: &str = "pool.worker.busy_ns";
+/// `pool.worker.idle_ns` — team nanos outside chunk bodies (counter).
+pub const POOL_WORKER_IDLE_NS: &str = "pool.worker.idle_ns";
+/// `pool.scope_ns` — wall nanos inside parallel scopes (counter).
+pub const POOL_SCOPE_NS: &str = "pool.scope_ns";

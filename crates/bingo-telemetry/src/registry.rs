@@ -1,0 +1,431 @@
+//! The metrics registry: named, labeled metrics with mergeable snapshots.
+//!
+//! Registration (name → shared atomic core) takes a mutex, but it happens
+//! once per metric at construction time; the [`Counter`]/[`Gauge`]/
+//! [`Histogram`] handles it returns record lock-free ever after. Metric
+//! identity is `(name, labels)`: the name comes from the stable taxonomy
+//! in [`crate::names`], per-instance dimensions (shard index, tenant) go
+//! in labels.
+//!
+//! [`RegistrySnapshot`] is an ordered point-in-time copy that merges with
+//! other snapshots (counters/gauges add, histograms add bucket-wise) and
+//! renders three ways: a human-readable table ([`RegistrySnapshot::render`]),
+//! Prometheus-style exposition text ([`RegistrySnapshot::to_prometheus`]),
+//! and one-line JSON ([`RegistrySnapshot::to_json`]).
+
+use crate::hist::HistogramCore;
+use crate::json::{escape, JsonArray, JsonObject};
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A metric's identity: taxonomy name plus ordered `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Taxonomy name, e.g. `service.shard.steps`.
+    pub name: String,
+    /// Ordered label pairs, e.g. `[("shard", "2")]`.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key from a name and label pairs.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// The shared metric store. Cheap to clone (`Arc` inside); all clones see
+/// the same metrics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    slots: Arc<Mutex<BTreeMap<MetricKey, Slot>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot<T>(
+        &self,
+        key: MetricKey,
+        make: impl FnOnce() -> Slot,
+        view: impl FnOnce(&Slot) -> Option<T>,
+    ) -> T {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = slots.entry(key.clone()).or_insert_with(make);
+        view(slot).unwrap_or_else(|| panic!("metric {key} registered with a different kind"))
+    }
+
+    /// The counter registered under `(name, labels)`, creating it at zero
+    /// on first use. Panics if the key is registered as another kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.slot(
+            MetricKey::new(name, labels),
+            || Slot::Counter(Counter::new()),
+            |s| match s {
+                Slot::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge registered under `(name, labels)`, creating it at zero on
+    /// first use. Panics if the key is registered as another kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.slot(
+            MetricKey::new(name, labels),
+            || Slot::Gauge(Gauge::new()),
+            |s| match s {
+                Slot::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram registered under `(name, labels)`, creating it empty
+    /// on first use. Panics if the key is registered as another kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.slot(
+            MetricKey::new(name, labels),
+            || Slot::Histogram(Arc::new(HistogramCore::new())),
+            |s| match s {
+                Slot::Histogram(core) => Some(Histogram::active(Arc::clone(core))),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RegistrySnapshot {
+            entries: slots
+                .iter()
+                .map(|(key, slot)| {
+                    let value = match slot {
+                        Slot::Counter(c) => MetricValue::Counter(c.get()),
+                        Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Slot::Histogram(core) => MetricValue::Histogram(core.snapshot()),
+                    };
+                    (key.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self
+            .slots
+            .lock()
+            .map(|s| s.len())
+            .unwrap_or_else(|e| e.into_inner().len());
+        write!(f, "Registry({n} metrics)")
+    }
+}
+
+/// A snapshot value: one of the three metric kinds.
+// Snapshot values live on the cold exposition path and most entries in a
+// detailed registry are histograms anyway, so boxing the large variant
+// would add an allocation per entry without shrinking real snapshots.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram's buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// An ordered point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Metric readings keyed by `(name, labels)`, in key order.
+    pub entries: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl RegistrySnapshot {
+    /// The reading under `(name, labels)`, if present.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.entries.get(&MetricKey::new(name, labels))
+    }
+
+    /// The counter reading under `(name, labels)` (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge reading under `(name, labels)` (0 when absent).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> i64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram under `(name, labels)` (empty when absent).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramSnapshot {
+        match self.get(name, labels) {
+            Some(MetricValue::Histogram(h)) => *h,
+            _ => HistogramSnapshot::default(),
+        }
+    }
+
+    /// The merged histogram across every labeled instance of `name`
+    /// (bucket-wise sum; empty when none exist).
+    pub fn histogram_across_labels(&self, name: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (key, value) in &self.entries {
+            if key.name == name {
+                if let MetricValue::Histogram(h) = value {
+                    merged.merge(h);
+                }
+            }
+        }
+        merged
+    }
+
+    /// The summed counter across every labeled instance of `name`.
+    pub fn counter_across_labels(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(key, _)| key.name == name)
+            .map(|(_, value)| match value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Fold another snapshot into this one: counters and gauges add,
+    /// histograms merge bucket-wise, unknown keys are inserted. Associative
+    /// and commutative, so shard- or process-local snapshots can be
+    /// combined in any order.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (key, value) in &other.entries {
+            match (self.entries.get_mut(key), value) {
+                (Some(MetricValue::Counter(mine)), MetricValue::Counter(theirs)) => {
+                    *mine += theirs;
+                }
+                (Some(MetricValue::Gauge(mine)), MetricValue::Gauge(theirs)) => {
+                    *mine += theirs;
+                }
+                (Some(MetricValue::Histogram(mine)), MetricValue::Histogram(theirs)) => {
+                    mine.merge(theirs);
+                }
+                (Some(_), _) => {} // kind mismatch: keep ours
+                (None, value) => {
+                    self.entries.insert(key.clone(), value.clone());
+                }
+            }
+        }
+    }
+
+    /// Human-readable table, one metric per line in key order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{key:<58} {v}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{key:<58} {v}\n")),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("{key:<58} {}\n", h.render()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus-style exposition text: dots in names become underscores,
+    /// histograms expand to `_count`/`_sum` plus cumulative `_bucket{le=…}`
+    /// series on the log2 bucket upper edges.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.entries {
+            let name = key.name.replace('.', "_");
+            let labels = |extra: Option<(&str, String)>| -> String {
+                let mut pairs: Vec<String> = key
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+                    .collect();
+                if let Some((k, v)) = extra {
+                    pairs.push(format!("{k}=\"{v}\""));
+                }
+                if pairs.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", pairs.join(","))
+                }
+            };
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{name}{} {v}\n", labels(None)));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{name}{} {v}\n", labels(None)));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, &n) in h.buckets().iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        let le = if i + 1 < crate::hist::NUM_BUCKETS {
+                            crate::hist::bucket_lower_bound(i + 1).to_string()
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cumulative}\n",
+                            labels(Some(("le", le)))
+                        ));
+                    }
+                    out.push_str(&format!("{name}_count{} {}\n", labels(None), h.count()));
+                    out.push_str(&format!("{name}_sum{} {}\n", labels(None), h.sum()));
+                }
+            }
+        }
+        out
+    }
+
+    /// One-line JSON: `{"metric{label=\"v\"}": value, …}`; histograms
+    /// serialize as `{count, sum, p50, p90, p99}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        for (key, value) in &self.entries {
+            let key_text = key.to_string();
+            match value {
+                MetricValue::Counter(v) => obj.field_num(&key_text, v),
+                MetricValue::Gauge(v) => obj.field_num(&key_text, v),
+                MetricValue::Histogram(h) => {
+                    let mut inner = JsonObject::new();
+                    inner
+                        .field_num("count", h.count())
+                        .field_num("sum", h.sum())
+                        .field_num("p50", h.quantile(0.50))
+                        .field_num("p90", h.quantile(0.90))
+                        .field_num("p99", h.quantile(0.99));
+                    obj.field_raw(&key_text, &inner.finish())
+                }
+            };
+        }
+        obj.finish()
+    }
+
+    /// `[p50, p99]` of the merged histogram under `name` (across labels),
+    /// as a JSON array string — the shape the repro summaries embed.
+    pub fn latency_json(&self, name: &str) -> String {
+        let h = self.histogram_across_labels(name);
+        let mut arr = JsonArray::new();
+        arr.push_num(h.quantile(0.50)).push_num(h.quantile(0.99));
+        arr.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_core_different_kind_panics() {
+        let reg = Registry::new();
+        let a = reg.counter("x.count", &[("shard", "0")]);
+        let b = reg.counter("x.count", &[("shard", "0")]);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        let other = reg.counter("x.count", &[("shard", "1")]);
+        assert_eq!(other.get(), 0);
+        assert!(std::panic::catch_unwind(|| reg.gauge("x.count", &[("shard", "0")])).is_err());
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let a = Registry::new();
+        a.counter("c", &[]).add(2);
+        a.gauge("g", &[]).set(-1);
+        a.histogram("h", &[]).record(8);
+        let b = Registry::new();
+        b.counter("c", &[]).add(5);
+        b.histogram("h", &[]).record(8);
+        b.counter("only_b", &[]).add(1);
+
+        let mut left = a.snapshot();
+        left.merge(&b.snapshot());
+        let mut right = b.snapshot();
+        right.merge(&a.snapshot());
+        assert_eq!(left, right, "merge is commutative");
+        assert_eq!(left.counter("c", &[]), 7);
+        assert_eq!(left.gauge("g", &[]), -1);
+        assert_eq!(left.counter("only_b", &[]), 1);
+        assert_eq!(left.histogram("h", &[]).count(), 2);
+        assert_eq!(left.histogram("h", &[]).quantile(0.5), 8);
+    }
+
+    #[test]
+    fn expositions_cover_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("svc.steps", &[("shard", "0")]).add(10);
+        reg.gauge("svc.lag", &[]).set(2);
+        reg.histogram("svc.lat_ns", &[]).record(100);
+        let snap = reg.snapshot();
+        let render = snap.render();
+        assert!(render.contains("svc.steps{shard=\"0\"}"));
+        assert!(render.contains("p99=64"), "100 sits in [64,128): {render}");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("svc_steps{shard=\"0\"} 10"));
+        assert!(prom.contains("svc_lat_ns_bucket{le=\"128\"} 1"));
+        assert!(prom.contains("svc_lat_ns_count 1"));
+        let json = snap.to_json();
+        assert!(json.contains("\"svc.lag\":2"));
+        assert!(json.contains("\"count\":1"));
+    }
+}

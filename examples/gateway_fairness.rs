@@ -11,7 +11,11 @@
 //! inbox occupancy.
 //!
 //! The final line is a machine-readable JSON summary (per-tenant counts,
-//! step shares, queue-wait p50/p99, the AIMD window trace) that CI greps.
+//! step shares, queue-wait p50/p99, the AIMD window trace, and the shared
+//! telemetry registry's per-stage latency quantiles) that CI greps. The
+//! run records into one `Telemetry` handle across the gateway and the
+//! service (`BINGO_TELEMETRY=off` opts out), so sampled walker lifecycles
+//! stitch the DRR dispatch to the shard-side spans.
 //!
 //! ```text
 //! cargo run --release --example gateway_fairness
@@ -19,6 +23,8 @@
 
 use bingo::gateway::{AimdConfig, TenantId};
 use bingo::prelude::*;
+use bingo::telemetry::json::{JsonArray, JsonObject};
+use bingo::telemetry::{names, Tracer};
 use rand::RngCore;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,8 +50,9 @@ fn main() {
         graph.num_edges(),
     );
 
+    let telemetry = Telemetry::from_env(0x6A7E, true);
     let service = Arc::new(
-        WalkService::build(
+        WalkService::build_with_telemetry(
             &graph,
             ServiceConfig {
                 num_shards: SHARDS,
@@ -54,6 +61,7 @@ fn main() {
                 partition: PartitionStrategy::DegreeBalanced,
                 ..ServiceConfig::default()
             },
+            telemetry.clone(),
         )
         .expect("service builds"),
     );
@@ -182,56 +190,107 @@ fn main() {
         heavy_t.saturated_requeues + light_t.saturated_requeues,
     );
 
-    // Machine-readable summary (grepped by CI).
-    let tenant_json = |t: &bingo::gateway::TenantStatsSnapshot, share: f64| {
-        format!(
-            "{{\"tenant\":\"{}\",\"weight\":{},\"submitted_walks\":{},\"completed_walks\":{},\
-             \"completed_steps\":{},\"share_at_cut\":{:.4},\"peak_queued\":{},\
-             \"saturated_requeues\":{},\"rejected_overloaded\":{},\"wait_p50_ms\":{:.3},\
-             \"wait_p99_ms\":{:.3}}}",
-            t.tenant,
-            t.weight,
-            t.submitted_walks,
-            t.completed_walks,
-            t.completed_steps,
-            share,
-            t.peak_queued_walkers,
-            t.saturated_requeues,
-            t.rejected_overloaded,
-            t.wait_p50.as_secs_f64() * 1e3,
-            t.wait_p99.as_secs_f64() * 1e3,
-        )
+    // Telemetry view of the same run: per-stage latency quantiles from the
+    // registry shared by the gateway and the service, plus the sampled
+    // walker lifecycles that stitch across both layers.
+    let telemetry_json = if telemetry.is_detailed() {
+        bingo::service::record_pool_profile(&telemetry);
+        let snap = telemetry.snapshot();
+        let mut latencies = JsonObject::new();
+        for (key, name) in [
+            ("queue_wait", names::GATEWAY_TENANT_WAIT_NS),
+            ("dispatch", names::GATEWAY_DISPATCH_NS),
+            ("step_batch", names::SERVICE_SHARD_STEP_BATCH_NS),
+            ("forward_hop", names::SERVICE_FORWARD_HOP_NS),
+            ("collect", names::SERVICE_COLLECT_NS),
+            ("ticket", names::SERVICE_TICKET_LATENCY_NS),
+        ] {
+            if snap.histogram_across_labels(name).count() > 0 {
+                latencies.field_raw(key, &snap.latency_json(name));
+            }
+        }
+        let lifecycles = telemetry
+            .tracer()
+            .map(Tracer::complete_lifecycle_lines)
+            .unwrap_or_default();
+        let mut tel = JsonObject::new();
+        tel.field_raw("latency_ns_p50_p99", &latencies.finish())
+            .field_num("lifecycles_complete", lifecycles.len());
+        let dispatched = lifecycles.iter().find(|l| l.contains("dispatch("));
+        if let Some(line) = dispatched.or_else(|| lifecycles.first()) {
+            tel.field_str("sample_lifecycle", line);
+        }
+        println!(
+            "sampled lifecycles: {} complete; example: {}",
+            lifecycles.len(),
+            dispatched
+                .or_else(|| lifecycles.first())
+                .map_or("<none>", String::as_str),
+        );
+        assert!(
+            dispatched.is_some(),
+            "at least one sampled lifecycle must stitch the gateway dispatch \
+             to the service spans"
+        );
+        Some(tel.finish())
+    } else {
+        None
     };
+
+    // Machine-readable summary (grepped by CI), built on the shared
+    // dependency-free JSON writer.
+    let tenant_json = |t: &bingo::gateway::TenantStatsSnapshot, share: f64| {
+        let mut obj = JsonObject::new();
+        obj.field_str("tenant", t.tenant.as_str())
+            .field_num("weight", t.weight)
+            .field_num("submitted_walks", t.submitted_walks)
+            .field_num("completed_walks", t.completed_walks)
+            .field_num("completed_steps", t.completed_steps)
+            .field_num("share_at_cut", format!("{share:.4}"))
+            .field_num("peak_queued", t.peak_queued_walkers)
+            .field_num("saturated_requeues", t.saturated_requeues)
+            .field_num("rejected_overloaded", t.rejected_overloaded)
+            .field_num(
+                "wait_p50_ms",
+                format!("{:.3}", t.wait_p50.as_secs_f64() * 1e3),
+            )
+            .field_num(
+                "wait_p99_ms",
+                format!("{:.3}", t.wait_p99.as_secs_f64() * 1e3),
+            );
+        obj.finish()
+    };
+    let mut tenants = JsonArray::new();
+    tenants
+        .push_raw(&tenant_json(heavy_t, heavy_share))
+        .push_raw(&tenant_json(light_t, light_share));
     // The full trace can run to hundreds of adjustments; print a prefix
     // (the sawtooth shape shows within a few cycles) plus the total count.
-    let trace_json: Vec<String> = stats
-        .window_trace
-        .iter()
-        .take(48)
-        .map(|s| format!("[{:.1},{}]", s.at.as_secs_f64() * 1e3, s.window))
-        .collect();
-    println!(
-        "{{\"experiment\":\"gateway_fairness\",\"tenants\":[{},{}],\"heavy_share\":{:.4},\
-         \"light_share\":{:.4},\"expected_share\":{:.4},\"fairness_ok\":{},\"dropped\":{},\
-         \"overloaded\":{},\"queue_bound\":{},\"window_min\":{},\"window_max\":{},\
-         \"window_final\":{},\"aimd_adjustments\":{},\"aimd_trace_ms_window\":[{}],\
-         \"elapsed_s\":{:.3}}}",
-        tenant_json(heavy_t, heavy_share),
-        tenant_json(light_t, light_share),
-        heavy_share,
-        light_share,
-        expected_share,
-        fairness_ok,
-        dropped,
-        overloaded,
-        QUEUE_BOUND,
-        stats.window_min_seen,
-        stats.window_max_seen,
-        stats.window,
-        stats.window_trace.len(),
-        trace_json.join(","),
-        elapsed.as_secs_f64(),
-    );
+    let mut trace = JsonArray::new();
+    for s in stats.window_trace.iter().take(48) {
+        trace.push_raw(&format!("[{:.1},{}]", s.at.as_secs_f64() * 1e3, s.window));
+    }
+    let mut summary = JsonObject::new();
+    summary
+        .field_str("experiment", "gateway_fairness")
+        .field_raw("tenants", &tenants.finish())
+        .field_num("heavy_share", format!("{heavy_share:.4}"))
+        .field_num("light_share", format!("{light_share:.4}"))
+        .field_num("expected_share", format!("{expected_share:.4}"))
+        .field_bool("fairness_ok", fairness_ok)
+        .field_num("dropped", dropped)
+        .field_num("overloaded", overloaded)
+        .field_num("queue_bound", QUEUE_BOUND)
+        .field_num("window_min", stats.window_min_seen)
+        .field_num("window_max", stats.window_max_seen)
+        .field_num("window_final", stats.window)
+        .field_num("aimd_adjustments", stats.window_trace.len())
+        .field_raw("aimd_trace_ms_window", &trace.finish())
+        .field_num("elapsed_s", format!("{:.3}", elapsed.as_secs_f64()));
+    if let Some(tel) = &telemetry_json {
+        summary.field_raw("telemetry", tel);
+    }
+    println!("{}", summary.finish());
 
     // Hard acceptance criteria.
     assert_eq!(

@@ -11,6 +11,14 @@
 //! shard 0. A node2vec wave (served through the `WalkClient` facade)
 //! exercises the forwarded-context path.
 //!
+//! Unless `BINGO_TELEMETRY=off`, the balanced workload then runs a third
+//! time with detailed telemetry: the example prints per-stage latency
+//! p50/p99 (submit, step batch, inbox dwell, forward hop, collection),
+//! sampled walker lifecycle traces stitched across shards, the thread-pool
+//! profile, and `telemetry_overhead_pct` — the detailed run's wall-clock
+//! cost over the telemetry-disabled baseline (the disabled mode itself
+//! adds no clock reads, so the baseline run *is* the no-telemetry cost).
+//!
 //! ```text
 //! cargo run --release --example service_throughput
 //! ```
@@ -18,6 +26,7 @@
 use bingo::prelude::*;
 use bingo::sampling::stats::{chi_square, chi_square_critical_999};
 use bingo::service::{PartitionStrategy, ServiceConfig};
+use bingo::telemetry::{names, Tracer};
 use bingo_graph::updates::UpdateKind;
 use std::collections::BTreeMap;
 
@@ -33,8 +42,9 @@ fn serve_waves(
     graph: &DynamicGraph,
     batches: &[UpdateBatch],
     partition: PartitionStrategy,
+    telemetry: Telemetry,
 ) -> (ServiceStats, Vec<TicketResults>, std::time::Duration) {
-    let service = WalkService::build(
+    let service = WalkService::build_with_telemetry(
         graph,
         ServiceConfig {
             num_shards: SHARDS,
@@ -42,6 +52,7 @@ fn serve_waves(
             partition,
             ..ServiceConfig::default()
         },
+        telemetry,
     )
     .expect("service builds");
     let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
@@ -93,9 +104,18 @@ fn main() {
     // stand-in concentrates degree in the low vertex ids, so the uniform
     // split overloads shard 0 while the degree-balanced split evens out
     // the per-shard step share.
-    let (uniform_stats, _, uniform_elapsed) =
-        serve_waves(&graph, &batches, PartitionStrategy::Uniform);
-    let (stats, waves, elapsed) = serve_waves(&graph, &batches, PartitionStrategy::DegreeBalanced);
+    let (uniform_stats, _, uniform_elapsed) = serve_waves(
+        &graph,
+        &batches,
+        PartitionStrategy::Uniform,
+        Telemetry::disabled(),
+    );
+    let (stats, waves, elapsed) = serve_waves(
+        &graph,
+        &batches,
+        PartitionStrategy::DegreeBalanced,
+        Telemetry::disabled(),
+    );
     println!("\nper-shard step share (% of all steps sampled):");
     println!(
         "  uniform split:          {:?}",
@@ -125,6 +145,93 @@ fn main() {
         uniform_elapsed.as_secs_f64(),
         total_steps as f64 / elapsed.as_secs_f64() / 1e3,
     );
+
+    // Same balanced workload once more with detailed telemetry: per-stage
+    // latency histograms, sampled lifecycle traces, the pool profile, and
+    // the wall-clock overhead of recording it all.
+    let telemetry = Telemetry::from_env(0x7417, true);
+    if telemetry.is_detailed() {
+        let (_, _, detailed_elapsed) = serve_waves(
+            &graph,
+            &batches,
+            PartitionStrategy::DegreeBalanced,
+            telemetry.clone(),
+        );
+        bingo::service::record_pool_profile(&telemetry);
+        let snap = telemetry.snapshot();
+        let stages = [
+            ("submit", names::SERVICE_SUBMIT_NS),
+            ("step_batch", names::SERVICE_SHARD_STEP_BATCH_NS),
+            ("inbox_dwell", names::SERVICE_SHARD_INBOX_DWELL_NS),
+            ("update_apply", names::SERVICE_SHARD_UPDATE_APPLY_NS),
+            ("forward_hop", names::SERVICE_FORWARD_HOP_NS),
+            ("collect", names::SERVICE_COLLECT_NS),
+            ("ticket", names::SERVICE_TICKET_LATENCY_NS),
+        ];
+        println!("\nper-stage latency p50/p99 (ns, log2-bucket lower edges):");
+        for (label, name) in stages {
+            let h = snap.histogram_across_labels(name);
+            println!(
+                "  {label:<12} count={:<8} p50={:<10} p99={}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99)
+            );
+        }
+        let step_batch_count = snap
+            .histogram_across_labels(names::SERVICE_SHARD_STEP_BATCH_NS)
+            .count();
+        println!("step_batch_count={step_batch_count}");
+        println!(
+            "pool profile: calls={} chunks={} busy_ns={} idle_ns={}",
+            snap.counter(names::POOL_CALLS, &[]),
+            snap.counter(names::POOL_CHUNKS_CLAIMED, &[]),
+            snap.counter(names::POOL_WORKER_BUSY_NS, &[]),
+            snap.counter(names::POOL_WORKER_IDLE_NS, &[]),
+        );
+
+        // Sampled lifecycles: deterministic in (seed, ticket, walker), so
+        // the same walkers are traced whatever BINGO_THREADS says. Print a
+        // few stitched examples, preferring cross-shard journeys.
+        let lifecycles = telemetry
+            .tracer()
+            .map(Tracer::complete_lifecycle_lines)
+            .unwrap_or_default();
+        let mut shown: Vec<&String> = lifecycles
+            .iter()
+            .filter(|l| l.contains("hop("))
+            .take(2)
+            .collect();
+        shown.extend(lifecycles.iter().filter(|l| !l.contains("hop(")).take(1));
+        println!(
+            "sampled walker lifecycles: {} complete (showing {}):",
+            lifecycles.len(),
+            shown.len()
+        );
+        for line in shown {
+            println!("  {line}");
+        }
+
+        let overhead_pct = 100.0 * (detailed_elapsed.as_secs_f64() - elapsed.as_secs_f64())
+            / elapsed.as_secs_f64();
+        println!(
+            "telemetry_overhead_pct={overhead_pct:.1} (detailed {:.3}s vs disabled {:.3}s)",
+            detailed_elapsed.as_secs_f64(),
+            elapsed.as_secs_f64()
+        );
+
+        assert!(step_batch_count > 0, "step-batch latencies were recorded");
+        assert!(
+            snap.histogram_across_labels(names::SERVICE_FORWARD_HOP_NS)
+                .count()
+                > 0,
+            "cross-shard hops recorded forward latencies"
+        );
+        assert!(
+            lifecycles.iter().any(|l| l.contains("hop(")),
+            "at least one sampled lifecycle crossed shards"
+        );
+    }
 
     // Validate the post-update sampling distribution on a fresh balanced
     // service over the fully-updated graph: pick the busiest vertex and

@@ -39,7 +39,10 @@
 
 pub mod pool;
 
-pub use pool::{current_num_threads, with_threads};
+pub use pool::{
+    current_num_threads, pool_profile, pool_profiling_enabled, reset_pool_profile,
+    set_pool_profiling, with_threads, PoolProfile,
+};
 
 /// A per-item pipeline stage: feeds each input item through the composed
 /// combinator stack, emitting zero or more outputs (zero for a filtered

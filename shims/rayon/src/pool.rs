@@ -42,8 +42,9 @@
 //! without adding parallelism.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Upper bound on the number of chunks a parallel call is split into (before
 /// `with_min_len` coarsening). More chunks than workers gives the
@@ -58,6 +59,85 @@ thread_local! {
     static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
     /// Scoped thread-count override installed by [`with_threads`].
     static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Process-wide cumulative pool profile cells (shim extension, std-only so
+/// the shim keeps zero dependencies; the serving stack mirrors these into
+/// its telemetry registry under the `pool.*` metric names).
+struct ProfileCells {
+    calls: AtomicU64,
+    chunks_claimed: AtomicU64,
+    worker_busy_ns: AtomicU64,
+    worker_idle_ns: AtomicU64,
+    scope_ns: AtomicU64,
+}
+
+static PROFILE: ProfileCells = ProfileCells {
+    calls: AtomicU64::new(0),
+    chunks_claimed: AtomicU64::new(0),
+    worker_busy_ns: AtomicU64::new(0),
+    worker_idle_ns: AtomicU64::new(0),
+    scope_ns: AtomicU64::new(0),
+};
+
+/// Whether the nanosecond timers run. Call/chunk counts are always cheap
+/// and always collected; the busy/idle/scope clocks cost two `Instant`
+/// reads per chunk and are off unless something opts in.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// A point-in-time copy of the pool's cumulative profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolProfile {
+    /// Top-level parallel calls executed (`run_chunks` entries, including
+    /// sequential fast-path and nested-inline executions).
+    pub calls: u64,
+    /// Chunks executed. Chunk boundaries are thread-count-independent, so
+    /// for a given workload this count is identical under any
+    /// `BINGO_THREADS`.
+    pub chunks_claimed: u64,
+    /// Nanoseconds workers spent inside chunk bodies (0 unless profiling
+    /// is enabled).
+    pub worker_busy_ns: u64,
+    /// Worker wall nanoseconds *not* spent in chunk bodies — claim loops,
+    /// waiting on the scope (0 unless profiling is enabled).
+    pub worker_idle_ns: u64,
+    /// Wall nanoseconds inside parallel sections, as seen by the calling
+    /// thread (0 unless profiling is enabled).
+    pub scope_ns: u64,
+}
+
+/// Turn the pool's nanosecond timers on or off (counts are always on).
+/// `bingo_service::WalkService::build_with_telemetry` enables this
+/// automatically when its telemetry handle is detailed.
+pub fn set_pool_profiling(enabled: bool) {
+    PROFILING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the nanosecond timers are currently on.
+pub fn pool_profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// A point-in-time copy of the pool's cumulative profile counters.
+pub fn pool_profile() -> PoolProfile {
+    PoolProfile {
+        calls: PROFILE.calls.load(Ordering::Relaxed),
+        chunks_claimed: PROFILE.chunks_claimed.load(Ordering::Relaxed),
+        worker_busy_ns: PROFILE.worker_busy_ns.load(Ordering::Relaxed),
+        worker_idle_ns: PROFILE.worker_idle_ns.load(Ordering::Relaxed),
+        scope_ns: PROFILE.scope_ns.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero every profile cell (for before/after measurements in tests and
+/// experiments; racy against concurrent parallel calls, so reset while the
+/// pool is quiet).
+pub fn reset_pool_profile() {
+    PROFILE.calls.store(0, Ordering::Relaxed);
+    PROFILE.chunks_claimed.store(0, Ordering::Relaxed);
+    PROFILE.worker_busy_ns.store(0, Ordering::Relaxed);
+    PROFILE.worker_idle_ns.store(0, Ordering::Relaxed);
+    PROFILE.scope_ns.store(0, Ordering::Relaxed);
 }
 
 /// Parse a `BINGO_THREADS`-style value: a positive integer. `None` for
@@ -145,12 +225,25 @@ where
         chunks.push(chunk);
     }
     debug_assert_eq!(chunks.len(), num_chunks);
+    PROFILE.calls.fetch_add(1, Ordering::Relaxed);
+    PROFILE
+        .chunks_claimed
+        .fetch_add(num_chunks as u64, Ordering::Relaxed);
+    let profiling = pool_profiling_enabled();
 
     let workers = current_num_threads().min(num_chunks);
     if workers <= 1 {
         // Sequential fast path: same chunk boundaries, same results, no
-        // thread traffic. This is also the nested-call path.
-        return chunks.into_iter().map(chunk_fn).collect();
+        // thread traffic. This is also the nested-call path. The caller IS
+        // the worker here: scope == busy, idle = 0.
+        let started = profiling.then(Instant::now);
+        let out: Vec<R> = chunks.into_iter().map(chunk_fn).collect();
+        if let Some(started) = started {
+            let ns = started.elapsed().as_nanos() as u64;
+            PROFILE.scope_ns.fetch_add(ns, Ordering::Relaxed);
+            PROFILE.worker_busy_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+        return out;
     }
 
     // Input and output slots the team claims through an atomic cursor. The
@@ -164,10 +257,13 @@ where
     let abort = AtomicBool::new(false);
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
+    let scope_started = profiling.then(Instant::now);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 IN_POOL_WORKER.with(|flag| flag.set(true));
+                let worker_started = profiling.then(Instant::now);
+                let mut busy_ns = 0u64;
                 loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
@@ -181,7 +277,12 @@ where
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .take()
                         .expect("chunk claimed once");
-                    match catch_unwind(AssertUnwindSafe(|| chunk_fn(chunk))) {
+                    let chunk_started = profiling.then(Instant::now);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| chunk_fn(chunk)));
+                    if let Some(started) = chunk_started {
+                        busy_ns += started.elapsed().as_nanos() as u64;
+                    }
+                    match outcome {
                         Ok(result) => {
                             *outputs[i]
                                 .lock()
@@ -197,9 +298,21 @@ where
                         }
                     }
                 }
+                if let Some(started) = worker_started {
+                    let wall = started.elapsed().as_nanos() as u64;
+                    PROFILE.worker_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+                    PROFILE
+                        .worker_idle_ns
+                        .fetch_add(wall.saturating_sub(busy_ns), Ordering::Relaxed);
+                }
             });
         }
     });
+    if let Some(started) = scope_started {
+        PROFILE
+            .scope_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
 
     if let Some(payload) = panic_payload
         .into_inner()
@@ -256,6 +369,30 @@ mod tests {
             with_threads(5, || panic!("boom"));
         }));
         assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn profile_counts_calls_and_chunks() {
+        // Other tests in this binary run concurrently and also bump the
+        // global cells, so assert on deltas with ≥, never equality.
+        let before = pool_profile();
+        set_pool_profiling(true);
+        let sums: Vec<u64> = with_threads(4, || {
+            run_chunks((0..1_000u64).collect(), 1, |chunk: Vec<u64>| {
+                chunk.iter().sum::<u64>()
+            })
+        });
+        set_pool_profiling(false);
+        assert_eq!(sums.iter().sum::<u64>(), 1_000 * 999 / 2);
+        let after = pool_profile();
+        assert!(after.calls > before.calls);
+        let expected_chunks = 1_000u64.div_ceil(chunk_size(1_000, 1) as u64);
+        assert!(after.chunks_claimed >= before.chunks_claimed + expected_chunks);
+        assert!(
+            after.scope_ns > before.scope_ns,
+            "profiling was on: the scope clock must have advanced"
+        );
+        assert!(after.worker_busy_ns > before.worker_busy_ns);
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub use bingo_gateway as gateway;
 pub use bingo_graph as graph;
 pub use bingo_sampling as sampling;
 pub use bingo_service as service;
+pub use bingo_telemetry as telemetry;
 pub use bingo_walks as walks;
 
 /// Commonly used types, re-exported for convenience.
@@ -100,6 +101,7 @@ pub mod prelude {
         CollectionMode, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceStats,
         TicketResults, WalkClient, WalkOutput, WalkRequest, WalkService, WalkTicket,
     };
+    pub use bingo_telemetry::{Telemetry, TelemetryConfig};
     pub use bingo_walks::{
         CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, DeepWalkConfig,
         Node2VecConfig, PprConfig, SharedWalkModel, StepSampler, Transition, TransitionSampler,
