@@ -172,11 +172,13 @@ impl PartitionedEngine {
 
     /// Total number of cross-partition walker forwards observed so far.
     pub fn forwards(&self) -> u64 {
+        // relaxed-ok: stats counter read for reporting.
         self.forwards.load(Ordering::Relaxed)
     }
 
     /// Total number of partition-local sampling queries observed so far.
     pub fn local_hits(&self) -> u64 {
+        // relaxed-ok: stats counter read for reporting.
         self.local_hits.load(Ordering::Relaxed)
     }
 
@@ -190,9 +192,9 @@ impl PartitionedEngine {
     ) -> Option<VertexId> {
         let owner = self.partitioner.owner(v);
         if owner == querying_partition {
-            self.local_hits.fetch_add(1, Ordering::Relaxed);
+            self.local_hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
         } else {
-            self.forwards.fetch_add(1, Ordering::Relaxed);
+            self.forwards.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
         }
         self.engines.get(owner)?.sample_neighbor(v, rng)
     }
@@ -215,9 +217,9 @@ impl PartitionedEngine {
             };
             let next_partition = self.partitioner.owner(next);
             if next_partition == current_partition {
-                self.local_hits.fetch_add(1, Ordering::Relaxed);
+                self.local_hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
             } else {
-                self.forwards.fetch_add(1, Ordering::Relaxed);
+                self.forwards.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
             }
             current = next;
             current_partition = next_partition;

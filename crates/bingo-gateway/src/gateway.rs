@@ -12,9 +12,10 @@ use bingo_service::{
 };
 use bingo_telemetry::{names, Histogram, Telemetry, TraceStage};
 use bingo_walks::TenantId;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -231,21 +232,26 @@ impl Gateway {
             service,
             config,
             chunk_cap,
-            state: Mutex::new(State {
-                sched: DrrScheduler::new(config.quantum_walkers.max(1)),
-                submissions: HashMap::new(),
-                tenants: HashMap::new(),
-                next_submission: 1,
-                window_now: window.window(),
-                window_min_seen: window.window(),
-                window_max_seen: window.window(),
-                window_trace: Vec::new(),
-                dispatch_ticks: 0,
-                shutdown: false,
-            }),
+            state: Mutex::new_named(
+                State {
+                    sched: DrrScheduler::new(config.quantum_walkers.max(1)),
+                    submissions: HashMap::new(),
+                    tenants: HashMap::new(),
+                    next_submission: 1,
+                    window_now: window.window(),
+                    window_min_seen: window.window(),
+                    window_max_seen: window.window(),
+                    window_trace: Vec::new(),
+                    dispatch_ticks: 0,
+                    shutdown: false,
+                },
+                "gateway.state",
+            ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             in_flight_walkers: AtomicUsize::new(0),
+            // lint:allow(determinism): uptime epoch for stats/telemetry
+            // only; never feeds walk output.
             started_at: Instant::now(),
             dispatch_ns: telemetry.histogram(names::GATEWAY_DISPATCH_NS),
             telemetry,
@@ -274,7 +280,7 @@ impl Gateway {
     /// inherit it.
     pub fn set_tenant_weight(&self, tenant: impl Into<TenantId>, weight: u32) {
         let tenant = tenant.into();
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         state.sched.set_weight(&tenant, weight.max(1));
     }
 
@@ -306,7 +312,7 @@ impl Gateway {
         let tenant = parts.meta.tenant.clone();
         let partitioner = self.inner.service.partitioner();
 
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         if state.shutdown {
             return Err(GatewayError::ShuttingDown);
         }
@@ -343,6 +349,8 @@ impl Gateway {
                 error: None,
             },
         );
+        // lint:allow(determinism): queue-wait timestamp feeding the
+        // tenant wait histogram (telemetry); walks never observe it.
         let now = Instant::now();
         for (shard, group) in
             shard_aligned_chunks(&starts, |v| partitioner.owner(v), self.inner.chunk_cap)
@@ -374,7 +382,7 @@ impl Gateway {
     /// Block until every walk of `ticket` completed (or its submission
     /// failed terminally) and return the assembled results.
     pub fn wait(&self, ticket: GatewayTicket) -> Result<GatewayResults, GatewayError> {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         loop {
             let sub = state
                 .submissions
@@ -383,13 +391,13 @@ impl Gateway {
             if sub.remaining == 0 {
                 return Self::take_results(&mut state, ticket);
             }
-            state = self.inner.done_cv.wait(state).unwrap();
+            state = self.inner.done_cv.wait(state);
         }
     }
 
     /// Non-blocking completion check; `None` while walks are outstanding.
     pub fn try_wait(&self, ticket: GatewayTicket) -> Option<Result<GatewayResults, GatewayError>> {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         let sub = state
             .submissions
             .get(&ticket.0)
@@ -430,7 +438,7 @@ impl Gateway {
         // stats in a tight loop don't serialize the dispatcher (which
         // needs this mutex for every dispatch and absorb).
         let (mut rows, mut stats) = {
-            let state = self.inner.state.lock().unwrap();
+            let state = self.inner.state.lock();
             let rows: Vec<(TenantStatsSnapshot, Vec<u64>)> = state
                 .tenants
                 .iter()
@@ -466,7 +474,9 @@ impl Gateway {
                 window_min_seen: state.window_min_seen,
                 window_max_seen: state.window_max_seen,
                 window_trace: state.window_trace.clone(),
-                in_flight_walkers: self.inner.in_flight_walkers.load(Ordering::Relaxed),
+                // Acquire: pairs with the AcqRel dispatch/absorb updates
+                // so the snapshot is no fresher than the state beside it.
+                in_flight_walkers: self.inner.in_flight_walkers.load(Ordering::Acquire),
                 dispatch_ticks: state.dispatch_ticks,
                 uptime: self.inner.started_at.elapsed(),
             };
@@ -495,7 +505,7 @@ impl Gateway {
     }
 
     fn begin_shutdown(&self) {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         state.shutdown = true;
         drop(state);
         self.inner.work_cv.notify_all();
@@ -540,7 +550,7 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
             window_limited,
         );
 
-        let mut state = inner.state.lock().unwrap();
+        let mut state = inner.state.lock();
         state.dispatch_ticks += 1;
         record_window(
             &inner,
@@ -557,7 +567,10 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
         // the DRR scheduler.
         window_limited = false;
         loop {
-            let occupied = inner.in_flight_walkers.load(Ordering::Relaxed);
+            // Acquire: the AIMD budget decision must observe every
+            // completed absorb's fetch_sub (AcqRel) — a stale occupancy
+            // here would over-admit past the window.
+            let occupied = inner.in_flight_walkers.load(Ordering::Acquire);
             let budget = window.window().saturating_sub(occupied);
             if budget == 0 {
                 window_limited = !state.sched.is_empty();
@@ -585,9 +598,11 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
                     if let Some(started) = dispatch_started {
                         inner.dispatch_ns.record_duration(started.elapsed());
                     }
+                    // AcqRel: synchronization-bearing occupancy counter —
+                    // the dispatcher's window budget reads it with Acquire.
                     inner
                         .in_flight_walkers
-                        .fetch_add(chunk.cost(), Ordering::Relaxed);
+                        .fetch_add(chunk.cost(), Ordering::AcqRel);
                     let wait = chunk.enqueued_at.elapsed();
                     let accum = tenant_accum(&inner, &mut state, &chunk.tenant);
                     accum.dispatched_chunks.inc();
@@ -648,14 +663,11 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
         if in_flight.is_empty() && state.sched.is_empty() {
             // Fully idle: sleep until a submission (or shutdown) arrives —
             // zero CPU while the gateway has nothing to do.
-            let _unused = inner.work_cv.wait(state).unwrap();
+            let _unused = inner.work_cv.wait(state);
         } else {
             // Work outstanding: wake after a tick to poll completions and
             // re-run the controller (or earlier, on a new submission).
-            let _unused = inner
-                .work_cv
-                .wait_timeout(state, inner.config.tick)
-                .unwrap();
+            let _unused = inner.work_cv.wait_timeout(state, inner.config.tick);
         }
     }
 }
@@ -667,9 +679,11 @@ fn absorb_chunk(
     chunk: InFlightChunk,
     results: bingo_service::TicketResults,
 ) {
+    // AcqRel: releases this chunk's completion to the dispatcher's
+    // Acquire window-budget read.
     inner
         .in_flight_walkers
-        .fetch_sub(chunk.cost, Ordering::Relaxed);
+        .fetch_sub(chunk.cost, Ordering::AcqRel);
     let steps = results.total_steps();
     let accum = tenant_accum(inner, state, &chunk.tenant);
     accum.completed_walks.add(results.paths.len() as u64);
@@ -717,7 +731,7 @@ fn record_window(
             at: inner.started_at.elapsed(),
             window: w,
             peak_occupancy,
-            in_flight: inner.in_flight_walkers.load(Ordering::Relaxed),
+            in_flight: inner.in_flight_walkers.load(Ordering::Acquire), // window-trace sample
         });
     }
 }

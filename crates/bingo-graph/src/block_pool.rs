@@ -43,8 +43,8 @@ impl<T> BlockPool<T> {
     /// Create a pool managing capacity classes `2^0 .. 2^max_class`.
     pub fn new(max_class: usize) -> Self {
         BlockPool {
-            free: Mutex::new((0..=max_class).map(|_| Vec::new()).collect()),
-            stats: Mutex::new(BlockPoolStats::default()),
+            free: Mutex::new_named((0..=max_class).map(|_| Vec::new()).collect(), "pool.free"),
+            stats: Mutex::new_named(BlockPoolStats::default(), "pool.stats"),
             max_class,
         }
     }

@@ -1,0 +1,12 @@
+//! Fixture: `atomics-ordering` must fire on an unjustified Relaxed.
+//! Linted with a virtual path inside a non-telemetry crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bump_justified(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter
+}

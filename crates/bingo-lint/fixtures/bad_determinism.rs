@@ -1,0 +1,28 @@
+//! Fixture: `determinism` must fire on a clock read, an entropy-seeded
+//! RNG, and an order-sensitive HashMap iteration — and must accept the
+//! order-insensitive fold at the bottom.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn timed_walk() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn seeded_badly() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn ordered_output(weights: HashMap<u64, f64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in weights.iter() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn order_insensitive_ok(weights: HashMap<u64, f64>) -> f64 {
+    weights.values().sum()
+}

@@ -1,0 +1,13 @@
+//! Fixture: `panic-hygiene` must fire on the bare `unwrap()` and the
+//! `println!` when linted under a serving-layer virtual path, and accept
+//! the `expect` with its invariant message.
+
+pub fn handle(input: Option<u64>) -> u64 {
+    let v = input.unwrap();
+    println!("handled {v}");
+    v
+}
+
+pub fn handle_documented(input: Option<u64>) -> u64 {
+    input.expect("caller validated the ticket before dispatch")
+}

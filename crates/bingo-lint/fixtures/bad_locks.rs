@@ -1,0 +1,31 @@
+//! Fixture: `lock-discipline` must fire twice — once for the ABBA
+//! cycle (`take_ab` orders a→b, `take_ba` orders b→a) and once for the
+//! lock held across a blocking `recv`.
+
+use parking_lot::Mutex;
+use std::sync::mpsc::Receiver;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+    inbox: Mutex<Receiver<u64>>,
+}
+
+impl Pair {
+    pub fn take_ab(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn take_ba(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+
+    pub fn drain_holding_lock(&self) -> u64 {
+        let rx = self.inbox.lock();
+        rx.recv().unwrap_or(0)
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: `metric-names` must fire on a counter whose name literal is
+//! not in the bingo-telemetry taxonomy.
+
+use bingo_telemetry::Registry;
+
+pub fn record(registry: &Registry) {
+    registry.counter("walks.misspelled.total").incr(1);
+}

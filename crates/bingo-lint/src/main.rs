@@ -1,0 +1,122 @@
+//! The `bingo-lint` CLI.
+//!
+//! ```text
+//! cargo run -p bingo-lint -- --workspace          # lint the whole tree
+//! cargo run -p bingo-lint -- path/to/file.rs ...  # lint specific files
+//! cargo run -p bingo-lint -- --workspace --rule lock-discipline
+//! cargo run -p bingo-lint -- --list-rules
+//! ```
+//!
+//! Exit code 0 = clean, 1 = findings, 2 = usage/IO error. Findings print
+//! one per line as `file:line: [rule] message`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bingo-lint [--workspace | FILE...] [--rule RULE] [--list-rules]\n\
+         run `--list-rules` for the rule catalogue"
+    );
+    ExitCode::from(2)
+}
+
+/// Locate the workspace root: walk up from CWD to the first directory
+/// holding a `Cargo.toml` that declares `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut rule: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--rule" => match it.next() {
+                Some(r) => rule = Some(r),
+                None => return usage(),
+            },
+            "--list-rules" => {
+                for (name, what) in bingo_lint::RULES {
+                    println!("{name:16} {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(),
+            f if !f.starts_with('-') => files.push(arg),
+            _ => return usage(),
+        }
+    }
+    if let Some(r) = &rule {
+        if !bingo_lint::RULES.iter().any(|(name, _)| name == r) {
+            eprintln!("bingo-lint: unknown rule `{r}` (see --list-rules)");
+            return ExitCode::from(2);
+        }
+    }
+    // Exactly one input mode: `--workspace` with no file list, or a
+    // non-empty file list without `--workspace`.
+    if workspace != files.is_empty() {
+        return usage();
+    }
+
+    let findings = if workspace {
+        let Some(root) = workspace_root() else {
+            eprintln!("bingo-lint: no workspace Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        };
+        match bingo_lint::lint_workspace(&root, rule.as_deref()) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("bingo-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut inputs = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(Path::new(f)) {
+                Ok(source) => inputs.push(bingo_lint::FileInput {
+                    path: f.clone(),
+                    source,
+                }),
+                Err(e) => {
+                    eprintln!("bingo-lint: {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let cfg = bingo_lint::LintConfig {
+            only_rule: rule,
+            ..Default::default()
+        };
+        bingo_lint::lint_files(&inputs, &cfg)
+    };
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        eprintln!("bingo-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bingo-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

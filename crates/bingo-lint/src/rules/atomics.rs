@@ -1,0 +1,56 @@
+//! `atomics-ordering` — the workspace-wide memory-ordering audit.
+//!
+//! Bingo's determinism claim rides on hand-rolled synchronization, so
+//! every `Ordering::Relaxed` must be *provably* plain data: a telemetry
+//! or stats counter (anything in `bingo-telemetry`, which is counters by
+//! construction), or annotated in place with `// relaxed-ok: <reason>`
+//! naming the argument why no ordering is needed. Synchronization-bearing
+//! atomics (cursors other threads observe, completion/claim flags) must
+//! use Acquire/Release — i.e. they simply can't appear as `Relaxed`
+//! without a reviewable justification.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::{crate_of, exempt, Finding};
+
+pub(crate) const RULE: &str = "atomics-ordering";
+
+/// Paths whose `Relaxed` sites are whitelisted wholesale: the telemetry
+/// crate is counters/gauges by construction (its one synchronization
+/// point, the epoch counter, already uses `add_release`/`get_acquire`).
+fn whitelisted(path: &str) -> bool {
+    crate_of(path) == "bingo-telemetry"
+}
+
+pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if whitelisted(path) {
+        return findings;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.text != "Relaxed" {
+            continue;
+        }
+        // Require the `Ordering::Relaxed` shape (or a lone `Relaxed` after
+        // `use ... Ordering::{..}`? — no: a bare `Relaxed` ident outside a
+        // path is matched too, erring strict).
+        let is_path = i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":";
+        if is_path && i >= 3 && toks[i - 3].text != "Ordering" {
+            continue; // some other `X::Relaxed`
+        }
+        if exempt(lexed, i, RULE) || lexed.window_has_comment(i, "relaxed-ok") {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RULE,
+            file: path.to_string(),
+            line: t.line,
+            message: "Ordering::Relaxed outside the telemetry layer: justify with \
+                      `// relaxed-ok: <reason>` or upgrade to Acquire/Release if this \
+                      atomic synchronizes data"
+                .to_string(),
+        });
+    }
+    findings
+}

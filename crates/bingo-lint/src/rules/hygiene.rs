@@ -1,0 +1,61 @@
+//! `panic-hygiene` — serving-layer code must not panic casually or write
+//! to stdout.
+//!
+//! `bingo-service` and `bingo-gateway` are the long-running serving
+//! layers: a stray `unwrap()` turns a recoverable condition into a
+//! worker-thread death (which strands walks), and a `println!` corrupts
+//! the machine-readable output contract (examples/repro emit JSON on
+//! stdout). `expect("<invariant>")` is allowed — it documents why the
+//! panic is unreachable — as is anything in test code. Genuine
+//! exceptions take `// lint:allow(panic-hygiene): <reason>`.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::{crate_of, exempt, Finding};
+
+pub(crate) const RULE: &str = "panic-hygiene";
+
+fn checked(path: &str) -> bool {
+    matches!(crate_of(path), "bingo-service" | "bingo-gateway")
+}
+
+pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !checked(path) {
+        return findings;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let unwrap = t.text == "unwrap"
+            && i >= 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            && toks.get(i + 2).is_some_and(|t| t.text == ")");
+        let println = t.text == "println" && toks.get(i + 1).is_some_and(|t| t.text == "!");
+        if !(unwrap || println) {
+            continue;
+        }
+        if exempt(lexed, i, RULE) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RULE,
+            file: path.to_string(),
+            line: t.line,
+            message: if unwrap {
+                "unwrap() in serving-layer code: handle the error, use \
+                 expect(\"<invariant>\") to document unreachability, or justify with \
+                 `// lint:allow(panic-hygiene): <reason>`"
+                    .to_string()
+            } else {
+                "println! in serving-layer code: stdout carries the JSON output \
+                 contract; use the telemetry registry or return the data"
+                    .to_string()
+            },
+        });
+    }
+    findings
+}

@@ -1,0 +1,60 @@
+//! `metric-names` — keep the metric taxonomy closed.
+//!
+//! Every metric name used in code must exist as a const in
+//! `bingo-telemetry/src/names.rs` (the stable `layer.scope.metric`
+//! taxonomy). Code that goes through `names::CONST` is checked by the
+//! compiler already; this rule catches the bypass — a string literal
+//! passed straight to `counter("...")` / `gauge("...")` /
+//! `histogram("...")`, which would mint an off-taxonomy metric that no
+//! dashboard or exposition consumer knows about.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::{crate_of, exempt, Finding};
+use std::collections::BTreeSet;
+
+pub(crate) const RULE: &str = "metric-names";
+
+const REGISTER_METHODS: &[&str] = &["counter", "gauge", "histogram"];
+
+pub fn check(path: &str, lexed: &Lexed, names: &BTreeSet<String>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // The telemetry crate itself may handle arbitrary names (it defines
+    // the registry and its tests/fixtures); everyone else must stay on
+    // the taxonomy.
+    if crate_of(path) == "bingo-telemetry" {
+        return findings;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !REGISTER_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Shape: `.method ( "literal"` — a direct string argument.
+        if i == 0 || toks[i - 1].text != "." {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|t| t.text == "(") else {
+            continue;
+        };
+        let _ = open;
+        let Some(arg) = toks.get(i + 2).filter(|t| t.kind == TokKind::Str) else {
+            continue;
+        };
+        if names.contains(&arg.text) || exempt(lexed, i, RULE) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RULE,
+            file: path.to_string(),
+            line: arg.line,
+            message: format!(
+                "metric name \"{}\" is not in the bingo-telemetry taxonomy \
+                 (crates/bingo-telemetry/src/names.rs): add a const there and use \
+                 `names::...` instead of a string literal",
+                arg.text,
+            ),
+        });
+    }
+    findings
+}

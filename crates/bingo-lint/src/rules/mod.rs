@@ -1,0 +1,8 @@
+//! The lint rules. Each module exposes a `check` (or `collect` +
+//! aggregate, for the cross-file lock graph) over one lexed file.
+
+pub mod atomics;
+pub mod determinism;
+pub mod hygiene;
+pub mod locks;
+pub mod metrics;

@@ -138,6 +138,30 @@
 //! 6 vertices. Spans recorded by different shard threads stitch on
 //! `(ticket, walker)` — see `bingo_telemetry::Tracer::lifecycles`.
 //!
+//! ## Concurrency invariants
+//!
+//! The service's locking is small and ordered; `bingo-lint` enforces the
+//! discipline statically and `BINGO_LOCK_CHECK=on` checks it at runtime
+//! (see the workspace README's *Concurrency invariants* section):
+//!
+//! * Three named locks: `service.pending` (ticket state + the
+//!   `pending_cv` condvar), `service.done_rx` (the collector's end of the
+//!   completion channel), `service.router` (update coalescing). The only
+//!   nested order is **`done_rx` → `pending`** — every path agrees, so
+//!   the cross-function lock-order graph is acyclic.
+//! * Collection uses a **single-drainer hand-off**: exactly one waiter
+//!   holds `done_rx` and blocks on `recv`, depositing every completion it
+//!   sees and waking peers through `pending_cv`; peers whose ticket is
+//!   already complete never touch the channel. Holding `done_rx` across
+//!   that blocking `recv` is the design, and carries the one
+//!   `lint:allow(lock-discipline)` in the tree.
+//! * Worker threads own their shard's engine outright — no locking on
+//!   the step path at all; cross-shard movement is message passing.
+//! * Atomics: ticket IDs are `Relaxed` RMW allocations (annotated
+//!   `relaxed-ok`); per-shard stats counters are `Relaxed` (telemetry
+//!   registry); nothing in this crate uses an atomic for inter-thread
+//!   sync without `Acquire`/`Release`.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -12,11 +12,12 @@ use bingo_walks::{
     CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, SharedWalkModel,
     WalkCursor, WalkSpec,
 };
+use parking_lot::{Condvar, Mutex};
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -407,7 +408,7 @@ pub struct WalkService {
     /// whenever the drain role is released, so waiters parked in
     /// [`WalkService::wait`] learn about their ticket completing (or about
     /// their turn to drain) without polling.
-    pending_cv: std::sync::Condvar,
+    pending_cv: Condvar,
     router: Mutex<RouterState>,
     next_ticket: AtomicU64,
     workers: Vec<JoinHandle<()>>,
@@ -556,18 +557,26 @@ impl WalkService {
             senders,
             counters,
             owned_counts,
-            done_rx: Mutex::new(done_rx),
-            pending: Mutex::new(Collector {
-                tickets: HashMap::new(),
-                draining: false,
-            }),
-            pending_cv: std::sync::Condvar::new(),
-            router: Mutex::new(RouterState {
-                buffers: vec![Vec::new(); num_shards],
-                flushes: 0,
-            }),
+            done_rx: Mutex::new_named(done_rx, "service.done_rx"),
+            pending: Mutex::new_named(
+                Collector {
+                    tickets: HashMap::new(),
+                    draining: false,
+                },
+                "service.pending",
+            ),
+            pending_cv: Condvar::new(),
+            router: Mutex::new_named(
+                RouterState {
+                    buffers: vec![Vec::new(); num_shards],
+                    flushes: 0,
+                },
+                "service.router",
+            ),
             next_ticket: AtomicU64::new(1),
             workers,
+            // lint:allow(determinism): uptime epoch for stats/latency
+            // reporting only; walk output never observes it.
             started_at: Instant::now(),
             submit_ns: telemetry.histogram(names::SERVICE_SUBMIT_NS),
             collect_ns: telemetry.histogram(names::SERVICE_COLLECT_NS),
@@ -692,14 +701,18 @@ impl WalkService {
             }
         }
 
+        // relaxed-ok: ticket-id allocator; RMW atomicity alone guarantees
+        // unique ids, and the ticket is published via the pending mutex.
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let base_seed = seed.unwrap_or(self.seed);
-        self.pending.lock().unwrap().tickets.insert(
+        self.pending.lock().tickets.insert(
             ticket,
             PendingTicket {
                 model: model.clone(),
                 walks: (0..starts.len()).map(|_| None).collect(),
                 received: 0,
+                // lint:allow(determinism): latency stamp feeding the
+                // ticket-latency histogram (telemetry only).
                 submitted_at: Instant::now(),
                 last_finish: None,
             },
@@ -753,13 +766,15 @@ impl WalkService {
     /// error (which is reserved for explicitly empty start lists).
     pub fn submit_all_vertices(&self, spec: WalkSpec) -> Result<WalkTicket> {
         if self.num_vertices == 0 {
+            // relaxed-ok: ticket-id allocator (see submit_inner).
             let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-            self.pending.lock().unwrap().tickets.insert(
+            self.pending.lock().tickets.insert(
                 ticket,
                 PendingTicket {
                     model: spec.to_model(),
                     walks: Vec::new(),
                     received: 0,
+                    // lint:allow(determinism): latency stamp (telemetry).
                     submitted_at: Instant::now(),
                     last_finish: None,
                 },
@@ -816,13 +831,13 @@ impl WalkService {
     /// [`WalkService::wait`] to park until completion.
     pub fn try_wait(&self, ticket: WalkTicket) -> Option<TicketResults> {
         {
-            let mut collector = self.pending.lock().unwrap();
+            let mut collector = self.pending.lock();
             if let Some(results) = self.take_if_complete(&mut collector.tickets, ticket) {
                 return Some(results);
             }
         }
-        if let Ok(rx) = self.done_rx.try_lock() {
-            let mut collector = self.pending.lock().unwrap();
+        if let Some(rx) = self.done_rx.try_lock() {
+            let mut collector = self.pending.lock();
             while let Ok(finished) = rx.try_recv() {
                 self.absorb(&mut collector.tickets, finished);
             }
@@ -845,7 +860,7 @@ impl WalkService {
     /// sleep-polls, and a blocked waiter costs zero CPU until a walk of
     /// interest actually finishes.
     pub fn wait(&self, ticket: WalkTicket) -> TicketResults {
-        let mut collector = self.pending.lock().unwrap();
+        let mut collector = self.pending.lock();
         loop {
             if let Some(results) = self.take_if_complete(&mut collector.tickets, ticket) {
                 return results;
@@ -860,7 +875,7 @@ impl WalkService {
             // role, so its notify can never race past us: we either see
             // the new state on re-check or we are already parked when the
             // signal fires.
-            collector = self.pending_cv.wait(collector).unwrap();
+            collector = self.pending_cv.wait(collector);
         }
     }
 
@@ -874,14 +889,12 @@ impl WalkService {
         struct DrainGuard<'a>(&'a WalkService);
         impl Drop for DrainGuard<'_> {
             fn drop(&mut self) {
-                if let Ok(mut collector) = self.0.pending.lock() {
-                    collector.draining = false;
-                }
+                self.0.pending.lock().draining = false;
                 self.0.pending_cv.notify_all();
             }
         }
         let guard = DrainGuard(self);
-        let rx = self.done_rx.lock().unwrap();
+        let rx = self.done_rx.lock();
         // Re-check completeness now that the channel lock is held: between
         // claiming the drain role and acquiring `done_rx`, a non-blocking
         // `try_wait` (e.g. the gateway dispatcher's completion poll) may
@@ -890,7 +903,7 @@ impl WalkService {
         // send may ever come. Holding the channel lock closes the window:
         // every later absorb goes through this thread.
         {
-            let mut collector = self.pending.lock().unwrap();
+            let mut collector = self.pending.lock();
             if let Some(results) = self.take_if_complete(&mut collector.tickets, ticket) {
                 drop(collector);
                 drop(guard);
@@ -900,8 +913,14 @@ impl WalkService {
         loop {
             // Parks the thread until a shard worker finishes a walk; only
             // a worker-side send wakes it (no timeout, no polling).
+            // lint:allow(lock-discipline): the single-drainer design holds
+            // the `done_rx` channel lock across this blocking recv ON
+            // PURPOSE — exactly one waiter may drain at a time, and the
+            // hand-off protocol (claim under `pending`, release via
+            // DrainGuard) guarantees no other thread can need `done_rx`
+            // while we park here; see the method docs above.
             let finished = rx.recv().expect("shard workers alive");
-            let mut collector = self.pending.lock().unwrap();
+            let mut collector = self.pending.lock();
             self.absorb(&mut collector.tickets, finished);
             while let Ok(more) = rx.try_recv() {
                 self.absorb(&mut collector.tickets, more);
@@ -969,7 +988,7 @@ impl WalkService {
     /// as one new epoch. Returns the receipt carrying that epoch.
     pub fn ingest(&self, batch: &UpdateBatch) -> IngestReceipt {
         let splits = batch.split_by_owner(self.num_shards(), |v| self.partitioner.owner(v));
-        let mut router = self.router.lock().unwrap();
+        let mut router = self.router.lock();
         for (buffer, split) in router.buffers.iter_mut().zip(splits) {
             buffer.extend(split.into_events());
         }
@@ -985,7 +1004,7 @@ impl WalkService {
     /// [`ServiceConfig::coalesce_capacity`], then all are flushed as one
     /// epoch. Returns a receipt only when a flush happened.
     pub fn ingest_event(&self, event: UpdateEvent) -> Option<IngestReceipt> {
-        let mut router = self.router.lock().unwrap();
+        let mut router = self.router.lock();
         let owner = self.partitioner.owner(event.src());
         router.buffers[owner].push(event);
         if router.buffers[owner].len() >= self.coalesce_capacity {
@@ -1001,7 +1020,7 @@ impl WalkService {
 
     /// Flush all buffered streamed events to the shards as one epoch.
     pub fn flush(&self) -> IngestReceipt {
-        let mut router = self.router.lock().unwrap();
+        let mut router = self.router.lock();
         let epoch = self.flush_locked(&mut router);
         IngestReceipt {
             epoch,
@@ -1080,7 +1099,7 @@ impl WalkService {
     pub fn stats(&self) -> ServiceStats {
         // Refresh the update-epoch lag gauge: how many flushed epochs the
         // slowest shard has not yet applied (0 = fully caught up).
-        let flushes = self.router.lock().unwrap().flushes;
+        let flushes = self.router.lock().flushes;
         let min_epoch = self
             .counters
             .iter()
@@ -1197,6 +1216,8 @@ impl ShardContext {
             // This stamp predates telemetry (it feeds `busy_nanos`), so
             // detailed mode reuses it for dwell/step-batch/apply timing
             // without adding clock reads to the disabled hot path.
+            // lint:allow(determinism): worker busy-time stamp; stats only,
+            // never influences sampling or walk output.
             let started = Instant::now();
             match msg {
                 ShardMsg::Update(batch, flushed_at) => {
@@ -1436,6 +1457,7 @@ impl ShardContext {
             hops: walker.hops,
             trace: walker.trace,
             contexts: walker.contexts,
+            // lint:allow(determinism): collect-latency stamp (telemetry).
             finished_at: Instant::now(),
         });
     }

@@ -17,9 +17,10 @@ use crate::hist::HistogramCore;
 use crate::json::{escape, JsonArray, JsonObject};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::HistogramSnapshot;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A metric's identity: taxonomy name plus ordered `(key, value)` labels.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -68,15 +69,26 @@ enum Slot {
 
 /// The shared metric store. Cheap to clone (`Arc` inside); all clones see
 /// the same metrics.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Registry {
     slots: Arc<Mutex<BTreeMap<MetricKey, Slot>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
-        Self::default()
+        Registry {
+            slots: Arc::new(Mutex::new_named(
+                BTreeMap::new(),
+                "telemetry.registry.slots",
+            )),
+        }
     }
 
     fn slot<T>(
@@ -85,10 +97,7 @@ impl Registry {
         make: impl FnOnce() -> Slot,
         view: impl FnOnce(&Slot) -> Option<T>,
     ) -> T {
-        let mut slots = self
-            .slots
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut slots = self.slots.lock();
         let slot = slots.entry(key.clone()).or_insert_with(make);
         view(slot).unwrap_or_else(|| panic!("metric {key} registered with a different kind"))
     }
@@ -134,10 +143,7 @@ impl Registry {
 
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let slots = self
-            .slots
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slots = self.slots.lock();
         RegistrySnapshot {
             entries: slots
                 .iter()
@@ -156,11 +162,7 @@ impl Registry {
 
 impl fmt::Debug for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let n = self
-            .slots
-            .lock()
-            .map(|s| s.len())
-            .unwrap_or_else(|e| e.into_inner().len());
+        let n = self.slots.lock().len();
         write!(f, "Registry({n} metrics)")
     }
 }

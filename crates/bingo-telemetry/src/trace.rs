@@ -26,9 +26,9 @@
 //! evicted and counted in [`Tracer::dropped`]. Saturation therefore costs
 //! recent history, never memory.
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// One stage of a walker's lifecycle. All fields are plain data so events
 /// can be rendered, diffed and asserted on without touching the stack.
@@ -162,9 +162,10 @@ impl Tracer {
             n => u64::MAX / n,
         };
         Tracer {
-            ring: Mutex::new(std::collections::VecDeque::with_capacity(
-                capacity.min(4096),
-            )),
+            ring: Mutex::new_named(
+                std::collections::VecDeque::with_capacity(capacity.min(4096)),
+                "telemetry.trace.ring",
+            ),
             capacity: capacity.max(1),
             seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -202,10 +203,7 @@ impl Tracer {
             seq,
             stage,
         };
-        let mut ring = self
-            .ring
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut ring = self.ring.lock();
         if ring.len() >= self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -215,10 +213,7 @@ impl Tracer {
 
     /// Number of events currently buffered (never exceeds the capacity).
     pub fn len(&self) -> usize {
-        self.ring
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        self.ring.lock().len()
     }
 
     /// Whether no events are buffered.
@@ -238,13 +233,7 @@ impl Tracer {
 
     /// A copy of the buffered events in record (seq) order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut events: Vec<TraceEvent> = self
-            .ring
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .iter()
-            .cloned()
-            .collect();
+        let mut events: Vec<TraceEvent> = self.ring.lock().iter().cloned().collect();
         events.sort_by_key(|e| e.seq);
         events
     }

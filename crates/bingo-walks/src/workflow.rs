@@ -122,6 +122,8 @@ impl EvaluationWorkflow {
         let mut rounds = Vec::with_capacity(batches.len());
         for batch in batches {
             let ingest = system.ingest(batch, self.mode);
+            // lint:allow(determinism): RoundReport wall-time measurement
+            // (bench reporting); sampling is seed-driven and unaffected.
             let walk_start = std::time::Instant::now();
             let results = walk_engine.run_all_vertices(system, &self.spec);
             let walk_time = walk_start.elapsed();

@@ -110,22 +110,27 @@ pub struct PoolProfile {
 /// `bingo_service::WalkService::build_with_telemetry` enables this
 /// automatically when its telemetry handle is detailed.
 pub fn set_pool_profiling(enabled: bool) {
+    // relaxed-ok: an on/off stats switch; a late-observed toggle only
+    // means one parallel call is profiled (or not) a beat later.
     PROFILING.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether the nanosecond timers are currently on.
 pub fn pool_profiling_enabled() -> bool {
+    // relaxed-ok: see set_pool_profiling.
     PROFILING.load(Ordering::Relaxed)
 }
 
 /// A point-in-time copy of the pool's cumulative profile counters.
 pub fn pool_profile() -> PoolProfile {
+    // relaxed-ok (all loads below): monotone stats counters read for
+    // reporting; torn cross-counter snapshots are acceptable.
     PoolProfile {
-        calls: PROFILE.calls.load(Ordering::Relaxed),
-        chunks_claimed: PROFILE.chunks_claimed.load(Ordering::Relaxed),
-        worker_busy_ns: PROFILE.worker_busy_ns.load(Ordering::Relaxed),
-        worker_idle_ns: PROFILE.worker_idle_ns.load(Ordering::Relaxed),
-        scope_ns: PROFILE.scope_ns.load(Ordering::Relaxed),
+        calls: PROFILE.calls.load(Ordering::Relaxed), // relaxed-ok: stats
+        chunks_claimed: PROFILE.chunks_claimed.load(Ordering::Relaxed), // relaxed-ok: stats
+        worker_busy_ns: PROFILE.worker_busy_ns.load(Ordering::Relaxed), // relaxed-ok: stats
+        worker_idle_ns: PROFILE.worker_idle_ns.load(Ordering::Relaxed), // relaxed-ok: stats
+        scope_ns: PROFILE.scope_ns.load(Ordering::Relaxed), // relaxed-ok: stats
     }
 }
 
@@ -133,11 +138,12 @@ pub fn pool_profile() -> PoolProfile {
 /// experiments; racy against concurrent parallel calls, so reset while the
 /// pool is quiet).
 pub fn reset_pool_profile() {
-    PROFILE.calls.store(0, Ordering::Relaxed);
-    PROFILE.chunks_claimed.store(0, Ordering::Relaxed);
-    PROFILE.worker_busy_ns.store(0, Ordering::Relaxed);
-    PROFILE.worker_idle_ns.store(0, Ordering::Relaxed);
-    PROFILE.scope_ns.store(0, Ordering::Relaxed);
+    // relaxed-ok (all stores below): stats reset, documented racy.
+    PROFILE.calls.store(0, Ordering::Relaxed); // relaxed-ok: stats reset
+    PROFILE.chunks_claimed.store(0, Ordering::Relaxed); // relaxed-ok: stats reset
+    PROFILE.worker_busy_ns.store(0, Ordering::Relaxed); // relaxed-ok: stats reset
+    PROFILE.worker_idle_ns.store(0, Ordering::Relaxed); // relaxed-ok: stats reset
+    PROFILE.scope_ns.store(0, Ordering::Relaxed); // relaxed-ok: stats reset
 }
 
 /// Parse a `BINGO_THREADS`-style value: a positive integer. `None` for
@@ -225,7 +231,10 @@ where
         chunks.push(chunk);
     }
     debug_assert_eq!(chunks.len(), num_chunks);
+    // relaxed-ok: stats counters (calls / chunks_claimed); nothing reads
+    // them for synchronization.
     PROFILE.calls.fetch_add(1, Ordering::Relaxed);
+    // relaxed-ok: stats counter.
     PROFILE
         .chunks_claimed
         .fetch_add(num_chunks as u64, Ordering::Relaxed);
@@ -236,11 +245,15 @@ where
         // Sequential fast path: same chunk boundaries, same results, no
         // thread traffic. This is also the nested-call path. The caller IS
         // the worker here: scope == busy, idle = 0.
+        // lint:allow(determinism): opt-in profiling clock; never feeds
+        // walk output, only the PoolProfile stats cells.
         let started = profiling.then(Instant::now);
         let out: Vec<R> = chunks.into_iter().map(chunk_fn).collect();
         if let Some(started) = started {
             let ns = started.elapsed().as_nanos() as u64;
+            // relaxed-ok: profiling nanosecond accumulators, stats only.
             PROFILE.scope_ns.fetch_add(ns, Ordering::Relaxed);
+            // relaxed-ok: profiling accumulator, stats only.
             PROFILE.worker_busy_ns.fetch_add(ns, Ordering::Relaxed);
         }
         return out;
@@ -257,18 +270,28 @@ where
     let abort = AtomicBool::new(false);
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
+    // lint:allow(determinism): opt-in profiling clock, stats only.
     let scope_started = profiling.then(Instant::now);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 IN_POOL_WORKER.with(|flag| flag.set(true));
+                // lint:allow(determinism): opt-in profiling clock.
                 let worker_started = profiling.then(Instant::now);
                 let mut busy_ns = 0u64;
                 loop {
-                    if abort.load(Ordering::Relaxed) {
+                    // Acquire: pairs with the Release store below so a
+                    // worker that observes the abort flag also observes
+                    // everything the panicking worker published before it.
+                    if abort.load(Ordering::Acquire) {
                         break;
                     }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    // AcqRel: the chunk-claim point. The RMW total order
+                    // alone guarantees unique claims, but acquire/release
+                    // also orders each claim with the claimant's slot
+                    // traffic, so no later claimer can observe a slot
+                    // ahead of the cursor that handed it out.
+                    let i = cursor.fetch_add(1, Ordering::AcqRel);
                     if i >= inputs.len() {
                         break;
                     }
@@ -277,6 +300,7 @@ where
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .take()
                         .expect("chunk claimed once");
+                    // lint:allow(determinism): opt-in profiling clock.
                     let chunk_started = profiling.then(Instant::now);
                     let outcome = catch_unwind(AssertUnwindSafe(|| chunk_fn(chunk)));
                     if let Some(started) = chunk_started {
@@ -289,7 +313,9 @@ where
                                 .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
                         }
                         Err(payload) => {
-                            abort.store(true, Ordering::Relaxed);
+                            // Release: publishes the panic decision (and
+                            // everything before it) to Acquire readers.
+                            abort.store(true, Ordering::Release);
                             panic_payload
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -300,7 +326,9 @@ where
                 }
                 if let Some(started) = worker_started {
                     let wall = started.elapsed().as_nanos() as u64;
+                    // relaxed-ok: profiling accumulators, stats only.
                     PROFILE.worker_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+                    // relaxed-ok: profiling accumulator, stats only.
                     PROFILE
                         .worker_idle_ns
                         .fetch_add(wall.saturating_sub(busy_ns), Ordering::Relaxed);
@@ -309,6 +337,7 @@ where
         }
     });
     if let Some(started) = scope_started {
+        // relaxed-ok: profiling accumulator, stats only.
         PROFILE
             .scope_ns
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);

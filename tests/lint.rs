@@ -1,0 +1,216 @@
+//! Tier-1 coverage for the lint gate itself.
+//!
+//! Three layers: every rule must fire on its known-bad fixture snippet
+//! (linted under a virtual path so path-sensitive rules engage), the
+//! real tree must be clean end-to-end, and the `parking_lot` shim's
+//! runtime lock-order checker must panic on a seeded ABBA inversion.
+
+use bingo_lint::{lint_files, lint_workspace, parse_metric_names, FileInput, LintConfig};
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    // The root package's manifest dir is the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Lint one fixture file as if it lived at `virtual_path`.
+fn lint_fixture(name: &str, virtual_path: &str, cfg: &LintConfig) -> Vec<bingo_lint::Finding> {
+    let disk = repo_root().join("crates/bingo-lint/fixtures").join(name);
+    let source = std::fs::read_to_string(&disk)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", disk.display()));
+    lint_files(
+        &[FileInput {
+            path: virtual_path.to_string(),
+            source,
+        }],
+        cfg,
+    )
+}
+
+fn rule_lines(findings: &[bingo_lint::Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn atomics_fixture_fires_only_on_unjustified_relaxed() {
+    let findings = lint_fixture(
+        "bad_atomics.rs",
+        "crates/bingo-core/src/fixture.rs",
+        &LintConfig::default(),
+    );
+    // The bare Relaxed fires; the `// relaxed-ok:` one does not.
+    assert_eq!(rule_lines(&findings, "atomics-ordering"), vec![7]);
+}
+
+#[test]
+fn atomics_fixture_is_exempt_inside_telemetry() {
+    let findings = lint_fixture(
+        "bad_atomics.rs",
+        "crates/bingo-telemetry/src/fixture.rs",
+        &LintConfig::default(),
+    );
+    assert!(rule_lines(&findings, "atomics-ordering").is_empty());
+}
+
+#[test]
+fn determinism_fixture_fires_on_clock_entropy_and_iteration() {
+    let findings = lint_fixture(
+        "bad_determinism.rs",
+        "crates/bingo-walks/src/fixture.rs",
+        &LintConfig::default(),
+    );
+    let lines = rule_lines(&findings, "determinism");
+    assert_eq!(lines.len(), 3, "clock + entropy + iteration: {findings:?}");
+    // The order-insensitive `.values().sum()` fold must NOT be flagged.
+    let source =
+        std::fs::read_to_string(repo_root().join("crates/bingo-lint/fixtures/bad_determinism.rs"))
+            .expect("fixture readable");
+    let sum_line = source
+        .lines()
+        .position(|l| l.contains(".values().sum()"))
+        .expect("fold present") as u32
+        + 1;
+    assert!(!lines.contains(&sum_line));
+}
+
+#[test]
+fn lock_fixture_fires_on_cycle_and_blocking_hold() {
+    let findings = lint_fixture(
+        "bad_locks.rs",
+        "crates/bingo-service/src/fixture.rs",
+        &LintConfig::default(),
+    );
+    let locks: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "lock-discipline")
+        .collect();
+    let cycles = locks.iter().filter(|f| f.message.contains("cycle")).count();
+    let blocking = locks
+        .iter()
+        .filter(|f| f.message.contains("blocking"))
+        .count();
+    assert_eq!(
+        cycles, 2,
+        "one report per direction of the ABBA pair: {locks:?}"
+    );
+    assert_eq!(blocking, 1, "recv under the inbox lock: {locks:?}");
+}
+
+#[test]
+fn metrics_fixture_fires_on_unknown_name_and_accepts_known() {
+    let names_src =
+        std::fs::read_to_string(repo_root().join("crates/bingo-telemetry/src/names.rs"))
+            .expect("names.rs readable");
+    let cfg = LintConfig {
+        metric_names: parse_metric_names(&names_src),
+        ..Default::default()
+    };
+    let findings = lint_fixture(
+        "bad_metrics.rs",
+        "crates/bingo-gateway/src/fixture.rs",
+        &cfg,
+    );
+    assert_eq!(rule_lines(&findings, "metric-names").len(), 1);
+
+    let good = lint_files(
+        &[FileInput {
+            path: "crates/bingo-gateway/src/fixture.rs".to_string(),
+            source: "pub fn f(r: &Registry) { r.counter(\"service.shard.steps\").incr(1); }\n"
+                .to_string(),
+        }],
+        &cfg,
+    );
+    assert!(rule_lines(&good, "metric-names").is_empty(), "{good:?}");
+}
+
+#[test]
+fn hygiene_fixture_fires_on_unwrap_and_println_not_expect() {
+    let findings = lint_fixture(
+        "bad_hygiene.rs",
+        "crates/bingo-service/src/fixture.rs",
+        &LintConfig::default(),
+    );
+    assert_eq!(rule_lines(&findings, "panic-hygiene"), vec![6, 7]);
+
+    // The same code outside the serving layers is not hygiene-checked.
+    let elsewhere = lint_fixture(
+        "bad_hygiene.rs",
+        "crates/bingo-graph/src/fixture.rs",
+        &LintConfig::default(),
+    );
+    assert!(rule_lines(&elsewhere, "panic-hygiene").is_empty());
+}
+
+#[test]
+fn baseline_suppresses_by_rule_and_path_prefix() {
+    let cfg = LintConfig {
+        allow: vec![(
+            "atomics-ordering".to_string(),
+            "crates/bingo-core/".to_string(),
+        )],
+        ..Default::default()
+    };
+    let findings = lint_fixture("bad_atomics.rs", "crates/bingo-core/src/fixture.rs", &cfg);
+    assert!(rule_lines(&findings, "atomics-ordering").is_empty());
+}
+
+#[test]
+fn real_tree_is_clean() {
+    let findings = lint_workspace(repo_root(), None).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "the tree must lint clean; run `cargo run -p bingo-lint -- --workspace`:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn runtime_lock_order_checker_panics_on_seeded_inversion() {
+    parking_lot::force_enable_lock_check();
+    let a = parking_lot::Mutex::new_named(0u32, "linttest.inv_a");
+    let b = parking_lot::Mutex::new_named(0u32, "linttest.inv_b");
+    // Establish the order a -> b.
+    {
+        let ga = a.lock();
+        let _gb = b.lock();
+        drop(_gb);
+        drop(ga);
+    }
+    // Now acquire in the opposite order: the checker must panic at the
+    // second acquisition, before blocking.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }));
+    let err = result.expect_err("ABBA inversion must panic under BINGO_LOCK_CHECK");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("lock-order inversion"),
+        "unexpected panic payload: {msg}"
+    );
+}
+
+#[test]
+fn runtime_checker_accepts_consistent_order() {
+    parking_lot::force_enable_lock_check();
+    let a = parking_lot::Mutex::new_named(0u32, "linttest.ok_a");
+    let b = parking_lot::Mutex::new_named(0u32, "linttest.ok_b");
+    for _ in 0..3 {
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
