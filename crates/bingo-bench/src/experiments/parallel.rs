@@ -15,6 +15,20 @@
 //!   per-walker seeds are index-derived and the shim's chunk boundaries
 //!   are thread-count-independent, so parallelism must never show through
 //!   in the output.
+//!
+//! Three extra rows keep the *persistent* pool honest (the retired design
+//! spawned a scoped thread team per call, whose spawn cost dominated
+//! sub-millisecond passes):
+//!
+//! * `warm_vs_cold_pool` — mean wall clock of a sub-millisecond chunked
+//!   pass, per-call thread spawning (`seq_s`, the retired design,
+//!   emulated with `std::thread::scope`) vs the warm persistent pool
+//!   (`par_s`); `speedup` is the machine-readable spawn-cost win.
+//! * `pool_steals` / `pool_park_ratio` — runtime profile over the whole
+//!   experiment (value in the `speedup` column, `-` elsewhere): work
+//!   items executed by a non-posting worker, and the share of worker
+//!   wall time spent *parked* on the injector condvar — parked time is
+//!   free (no spin), which is what makes the warm pool cheap to keep.
 
 use crate::common::{fmt_secs, timed, ExperimentConfig, ResultTable};
 use bingo_core::{BingoConfig, BingoEngine};
@@ -55,6 +69,10 @@ pub fn parallel(config: &ExperimentConfig) -> ResultTable {
         "Parallel runtime: shim thread team vs BINGO_THREADS=1 (best of rounds)",
         &["phase", "threads", "seq_s", "par_s", "speedup", "identical"],
     );
+    // Arm the pool's nanosecond timers for the whole experiment so the
+    // closing profile rows (steals, park ratio) have real data.
+    rayon::set_pool_profiling(true);
+    rayon::reset_pool_profile();
     let threads = rayon::current_num_threads();
     let mut rng = config.rng(0x9A11E1);
     let graph = StandinDataset::LiveJournal.build(config.scale, &mut rng);
@@ -98,6 +116,88 @@ pub fn parallel(config: &ExperimentConfig) -> ResultTable {
         par_walk,
         walks_identical,
     ));
+
+    // Warm persistent pool vs per-call thread spawning on a pass short
+    // enough that spawn cost is the bill: the retired scoped-team design
+    // paid `team` thread spawns per call, the parked pool pays a mutex
+    // push and a notify. The team is pinned to at least 2 so the pool is
+    // genuinely exercised even on a single-core runner.
+    let team = threads.max(2);
+    let items: Vec<u64> = (0..16_384u64).collect();
+    let mix = |x: u64| {
+        let mut z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 31;
+        z.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+    };
+    let passes = (config.rounds * 16).max(16);
+    let expected: u64 = items.iter().map(|&x| mix(x)).fold(0, u64::wrapping_add);
+    let (warm_ok, warm_total) = timed(|| {
+        use rayon::prelude::*;
+        rayon::with_threads(team, || {
+            (0..passes).all(|_| {
+                let sum = items
+                    .par_iter()
+                    .map(|&x| mix(x))
+                    .reduce(|| 0u64, u64::wrapping_add);
+                sum == expected
+            })
+        })
+    });
+    let (cold_ok, cold_total) = timed(|| {
+        (0..passes).all(|_| {
+            // The retired design: spawn a fresh scoped team, split the
+            // range contiguously, join — every pass pays the spawns.
+            let share = items.len().div_ceil(team);
+            let sum = std::thread::scope(|scope| {
+                items
+                    .chunks(share)
+                    .map(|chunk| {
+                        scope
+                            .spawn(move || chunk.iter().map(|&x| mix(x)).fold(0, u64::wrapping_add))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("scoped worker"))
+                    .fold(0, u64::wrapping_add)
+            });
+            sum == expected
+        })
+    });
+    let cold_pass = cold_total / passes as u32;
+    let warm_pass = warm_total / passes as u32;
+    table.push_row(vec![
+        "warm_vs_cold_pool".to_string(),
+        team.to_string(),
+        // Sub-millisecond per-pass times need more than fmt_secs's 3
+        // decimals to be legible.
+        format!("{:.6}", cold_pass.as_secs_f64()),
+        format!("{:.6}", warm_pass.as_secs_f64()),
+        format!(
+            "{:.2}",
+            cold_pass.as_secs_f64() / warm_pass.as_secs_f64().max(1e-9)
+        ),
+        if warm_ok && cold_ok { "yes" } else { "NO" }.to_string(),
+    ]);
+
+    // Pool profile over everything this experiment ran (profiling was
+    // armed on entry): steal traffic proves helpers participate; the park
+    // ratio says the warm pool waits parked, not spinning.
+    let profile = rayon::pool_profile();
+    let worker_wall = profile.worker_busy_ns + profile.worker_idle_ns + profile.park_ns;
+    let park_ratio = profile.park_ns as f64 / worker_wall.max(1) as f64;
+    let value_row = |phase: &str, value: String| {
+        vec![
+            phase.to_string(),
+            team.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            value,
+            "-".to_string(),
+        ]
+    };
+    table.push_row(value_row("pool_steals", profile.steals.to_string()));
+    table.push_row(value_row("pool_park_ratio", format!("{park_ratio:.3}")));
+    rayon::set_pool_profiling(false);
 
     table
 }

@@ -19,6 +19,7 @@
 
 use bingo_graph::VertexId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Activity counters of the engine's context provider (monotonic over the
@@ -34,19 +35,44 @@ pub struct ContextProviderStats {
 }
 
 /// Per-generation cache of hot-hub adjacency fingerprints.
-#[derive(Debug, Clone, Default)]
+///
+/// Lookups go through `&self` so concurrent walkers holding a shared
+/// engine lock can serve fingerprints; the hit/miss tallies are atomics
+/// for the same reason. Installing or invalidating the hot set still
+/// requires `&mut` — sharded deployments do both under their exclusive
+/// engine lock (see [`BingoEngine::warm_context`](crate::BingoEngine::warm_context)).
+#[derive(Debug, Default)]
 pub(crate) struct ContextProvider {
     /// Snapshots of the top-k owned vertices by degree, valid for the
     /// current engine generation.
     hot: HashMap<VertexId, Arc<Vec<VertexId>>>,
     /// Whether `hot` reflects the current generation.
     built: bool,
-    stats: ContextProviderStats,
+    /// Atomic so `&self` lookups can tally; monotonic counters only, no
+    /// ordering relationship with the fingerprints themselves.
+    hot_hits: AtomicU64,
+    /// Atomic for the same reason as `hot_hits`.
+    cold_builds: AtomicU64,
+    hot_rebuilds: u64,
+}
+
+impl Clone for ContextProvider {
+    fn clone(&self) -> Self {
+        ContextProvider {
+            hot: self.hot.clone(),
+            built: self.built,
+            // relaxed-ok: monotonic stat counters; no ordering required.
+            hot_hits: AtomicU64::new(self.hot_hits.load(Ordering::Relaxed)),
+            // relaxed-ok: monotonic stat counters; no ordering required.
+            cold_builds: AtomicU64::new(self.cold_builds.load(Ordering::Relaxed)),
+            hot_rebuilds: self.hot_rebuilds,
+        }
+    }
 }
 
 impl ContextProvider {
-    /// Drop every snapshot; the hot set is rebuilt lazily on the next
-    /// [`ContextProvider::get`] after [`ContextProvider::install_hot`].
+    /// Drop every snapshot; the hot set is rebuilt on the next
+    /// [`ContextProvider::install_hot`].
     pub(crate) fn invalidate(&mut self) {
         self.hot.clear();
         self.built = false;
@@ -60,23 +86,31 @@ impl ContextProvider {
     pub(crate) fn install_hot(&mut self, hot: HashMap<VertexId, Arc<Vec<VertexId>>>) {
         self.hot = hot;
         self.built = true;
-        self.stats.hot_rebuilds += 1;
+        self.hot_rebuilds += 1;
     }
 
     /// Look up `v` in the hot set (counts a hit on success).
-    pub(crate) fn get(&mut self, v: VertexId) -> Option<Arc<Vec<VertexId>>> {
+    pub(crate) fn get(&self, v: VertexId) -> Option<Arc<Vec<VertexId>>> {
         let fp = self.hot.get(&v).cloned();
         if fp.is_some() {
-            self.stats.hot_hits += 1;
+            // relaxed-ok: monotonic stat counter; no ordering required.
+            self.hot_hits.fetch_add(1, Ordering::Relaxed);
         }
         fp
     }
 
-    pub(crate) fn count_cold_build(&mut self) {
-        self.stats.cold_builds += 1;
+    pub(crate) fn count_cold_build(&self) {
+        // relaxed-ok: monotonic stat counter; no ordering required.
+        self.cold_builds.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn stats(&self) -> ContextProviderStats {
-        self.stats
+        ContextProviderStats {
+            // relaxed-ok: monotonic stat counter; no ordering required.
+            hot_hits: self.hot_hits.load(Ordering::Relaxed),
+            // relaxed-ok: monotonic stat counter; no ordering required.
+            cold_builds: self.cold_builds.load(Ordering::Relaxed),
+            hot_rebuilds: self.hot_rebuilds,
+        }
     }
 }

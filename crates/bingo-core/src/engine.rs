@@ -277,12 +277,32 @@ impl BingoEngine {
     /// encoded on demand. Returns the fingerprint and whether it came from
     /// the hot cache. `None` when this engine does not own `v`.
     pub fn context_fingerprint(&mut self, v: VertexId) -> Option<(Arc<Vec<VertexId>>, bool)> {
-        let i = self.local(v)?;
+        self.local(v)?;
+        self.warm_context();
+        self.context_fingerprint_shared(v)
+    }
+
+    /// Build and install the hot-hub fingerprint set for the current engine
+    /// generation, if it is not already built. Sharded deployments call
+    /// this under their exclusive engine lock (at build time and after
+    /// every structural update batch) so the concurrent read path —
+    /// [`BingoEngine::context_fingerprint_shared`] — never needs `&mut`.
+    pub fn warm_context(&mut self) {
         if !self.context.is_built() {
             let hot =
                 Self::build_hot_set(&self.spaces, self.vertex_base, self.config.context_hot_hubs);
             self.context.install_hot(hot);
         }
+    }
+
+    /// [`BingoEngine::context_fingerprint`] through a shared reference:
+    /// serves hot hubs installed by an earlier [`BingoEngine::warm_context`]
+    /// and falls back to an on-demand cold build otherwise. Unlike the
+    /// `&mut` entry point it never (re)builds the hot set — readers that
+    /// race a structural invalidation degrade to cold builds until the
+    /// next `warm_context`, they never observe a stale fingerprint.
+    pub fn context_fingerprint_shared(&self, v: VertexId) -> Option<(Arc<Vec<VertexId>>, bool)> {
+        let i = self.local(v)?;
         if let Some(fp) = self.context.get(v) {
             return Some((fp, true));
         }

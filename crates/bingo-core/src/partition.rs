@@ -56,8 +56,68 @@ impl Partitioner {
         Self::balanced_by_weight(&weights, num_partitions)
     }
 
+    /// Create a visit-frequency-balanced contiguous split: a cheap, seeded
+    /// warm-up walk pass over `graph` observes where biased walkers
+    /// actually *depart from* — hub-adjacent vertices absorb
+    /// disproportionately many steps even after degree balancing, because
+    /// walkers funnel through them — and feeds the observed per-vertex
+    /// departure counts into [`Partitioner::balanced_by_weight`].
+    ///
+    /// The pass runs one short biased walk per vertex directly on the
+    /// dynamic graph (cumulative-bias scan, no engine build), with every
+    /// walk's RNG derived from `seed` and the start vertex alone, so the
+    /// split is bit-identical for a given `(graph, num_partitions, seed)`
+    /// regardless of thread count. Counts are +1-smoothed so isolated
+    /// vertices still carry weight and boundaries stay well-defined on
+    /// sparse graphs.
+    pub fn balanced_by_visits(graph: &DynamicGraph, num_partitions: usize, seed: u64) -> Self {
+        /// Steps per warm-up walk: enough to diffuse a walker past its
+        /// immediate neighborhood, cheap enough to run from every vertex.
+        const WARMUP_WALK_LEN: usize = 8;
+        let n = graph.num_vertices();
+        let mut departures = vec![1usize; n];
+        for start in 0..n {
+            let mut expander = bingo_sampling::rng::SplitMix64::new(
+                seed ^ (start as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut rng = bingo_sampling::rng::Pcg64::new(
+                ((expander.next() as u128) << 64) | expander.next() as u128,
+                expander.next() as u128,
+            );
+            let mut current = start as VertexId;
+            for _ in 0..WARMUP_WALK_LEN {
+                let Ok(adjacency) = graph.neighbors(current) else {
+                    break;
+                };
+                let edges = adjacency.edges();
+                let total: f64 = edges.iter().map(|e| e.bias.value()).sum();
+                // A non-finite or non-positive bias mass means there is
+                // nothing to sample from; the walk ends at this vertex.
+                if !total.is_finite() || total <= 0.0 {
+                    break;
+                }
+                departures[current as usize] += 1;
+                // Cumulative-bias linear scan with a [0, 1) draw from the
+                // walk's own stream.
+                let unit = (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let mut remaining = unit * total;
+                let mut next = edges[edges.len() - 1].dst;
+                for edge in edges {
+                    remaining -= edge.bias.value();
+                    if remaining < 0.0 {
+                        next = edge.dst;
+                        break;
+                    }
+                }
+                current = next;
+            }
+        }
+        Self::balanced_by_weight(&departures, num_partitions)
+    }
+
     /// Create a contiguous split balancing arbitrary per-vertex weights
-    /// (the primitive behind [`Partitioner::balanced_by_degree`]).
+    /// (the primitive behind [`Partitioner::balanced_by_degree`] and
+    /// [`Partitioner::balanced_by_visits`]).
     pub fn balanced_by_weight(weights: &[usize], num_partitions: usize) -> Self {
         let n = weights.len();
         let p = num_partitions.max(1);
@@ -333,6 +393,39 @@ mod tests {
         assert!(
             balanced_spread < uniform_spread,
             "balanced {balanced_spread} vs uniform {uniform_spread}"
+        );
+    }
+
+    #[test]
+    fn balanced_by_visits_evens_out_walker_load_and_is_deterministic() {
+        // An attractor hub: every ring vertex points back at vertex 0 with
+        // a heavy bias, so walkers keep funnelling through the hub and most
+        // observed *departures* happen there — a skew degree balancing
+        // alone cannot see. The visit-weighted split must give partition 0
+        // far fewer vertices than the uniform split does.
+        let n = 16usize;
+        let mut g = DynamicGraph::new(n);
+        for dst in 1..n as u32 {
+            g.insert_edge(0, dst, Bias::from_int(1)).unwrap();
+        }
+        for v in 1..n as u32 {
+            g.insert_edge(v, 0, Bias::from_int(3)).unwrap();
+            g.insert_edge(v, (v + 1) % n as u32, Bias::from_int(1))
+                .unwrap();
+        }
+        let weighted = Partitioner::balanced_by_visits(&g, 2, 42);
+        // Deterministic: same (graph, partitions, seed) → same boundaries.
+        assert_eq!(weighted, Partitioner::balanced_by_visits(&g, 2, 42));
+        // Covers [0, n) contiguously.
+        assert_eq!(weighted.range(0).0, 0);
+        assert_eq!(weighted.range(1).1, n);
+        assert_eq!(weighted.range(0).1, weighted.range(1).0);
+        // The hub partition shrinks below the uniform n/2 split.
+        let (s, e) = weighted.range(0);
+        assert!(
+            e - s < n / 2,
+            "hub partition kept {} of {n} vertices",
+            e - s
         );
     }
 

@@ -4,7 +4,7 @@
 //! [`WalkClient`] dispatches a [`WalkRequest`] — a builder carrying the
 //! walk model, start vertices, seed, in-flight bound, and collection mode —
 //! identically to a local [`BingoEngine`] (synchronous, in-process) or a
-//! sharded [`WalkService`] (concurrent worker threads), returning a common
+//! sharded [`WalkService`] (concurrent shard tasks), returning a common
 //! [`WalkHandle`] for `wait`/`try_collect`. Application code chooses a
 //! backend once, at client construction, and never changes after that.
 //!

@@ -9,10 +9,15 @@
 //! ## Architecture
 //!
 //! * The vertex space is split into `S` contiguous shards
-//!   (`bingo_core::partition::Partitioner`); each shard's worker thread
-//!   exclusively owns a [`bingo_core::BingoEngine`] built over its range
-//!   with [`bingo_core::BingoEngine::build_range`], so sampling structures
-//!   are never shared or locked.
+//!   (`bingo_core::partition::Partitioner` — uniform, degree-balanced, or
+//!   visit-frequency-weighted via a seeded warm-up walk pass); each shard
+//!   owns a [`bingo_core::BingoEngine`] built over its range with
+//!   [`bingo_core::BingoEngine::build_range`]. Shards are **resumable
+//!   tasks on the process-wide worker pool** (the `rayon` shim's
+//!   persistent parked workers), not dedicated threads, and idle shards
+//!   steal forwarded-walker batches from hot shards' inboxes — stealing
+//!   happens at the queue, never at the engine, which stays shard-owned
+//!   behind a read/write lock (see `service` module docs).
 //! * An **update router** splits incoming
 //!   [`UpdateBatch`](bingo_graph::UpdateBatch) streams by owning shard
 //!   (`UpdateBatch::split_by_owner` semantics), coalesces streamed events
@@ -79,7 +84,8 @@
 //!                ┌─────▼──────────────────────────────┐
 //!                │ WalkService                        │
 //!                │  shard inboxes (max_inbox bound)   │
-//!                │  worker threads + BingoEngines     │
+//!                │  shard tasks + BingoEngines on the │
+//!                │  shared persistent worker pool     │
 //!                └────────────────────────────────────┘
 //! ```
 //!
@@ -135,7 +141,7 @@
 //! dispatched by the gateway for tenant `heavy` after an 884µs queue wait,
 //! stepped on shard 3 at update epoch 0, hopped to shard 1 without a
 //! context-cache hit, and was collected after 3 hops with a final path of
-//! 6 vertices. Spans recorded by different shard threads stitch on
+//! 6 vertices. Spans recorded by different shard tasks stitch on
 //! `(ticket, walker)` — see `bingo_telemetry::Tracer::lifecycles`.
 //!
 //! ## Concurrency invariants
@@ -144,23 +150,40 @@
 //! discipline statically and `BINGO_LOCK_CHECK=on` checks it at runtime
 //! (see the workspace README's *Concurrency invariants* section):
 //!
-//! * Three named locks: `service.pending` (ticket state + the
-//!   `pending_cv` condvar), `service.done_rx` (the collector's end of the
-//!   completion channel), `service.router` (update coalescing). The only
-//!   nested order is **`done_rx` → `pending`** — every path agrees, so
-//!   the cross-function lock-order graph is acyclic.
+//! * Named locks: `service.pending` (ticket state + the `pending_cv`
+//!   condvar), `service.done_rx` (the collector's end of the completion
+//!   channel), `service.router` (update coalescing), per shard
+//!   `service.shard_inbox` / `service.shard_engine` (an `RwLock`) /
+//!   `service.shard_ctx_cache`, and `service.termination` (shutdown
+//!   rendezvous). The nested orders are **`done_rx` → `pending`**,
+//!   **`router` → `shard_inbox`** (flush pushes while coalescing), and
+//!   **`shard_engine` → `shard_ctx_cache`** (context captured under the
+//!   read guard, cache cleared under the write guard) — every path
+//!   agrees, so the cross-function lock-order graph stays acyclic even
+//!   jointly with the pool's `rayon.*` locks.
 //! * Collection uses a **single-drainer hand-off**: exactly one waiter
 //!   holds `done_rx` and blocks on `recv`, depositing every completion it
 //!   sees and waking peers through `pending_cv`; peers whose ticket is
 //!   already complete never touch the channel. Holding `done_rx` across
 //!   that blocking `recv` is the design, and carries the one
 //!   `lint:allow(lock-discipline)` in the tree.
-//! * Worker threads own their shard's engine outright — no locking on
-//!   the step path at all; cross-shard movement is message passing.
+//! * Engines stay **shard-owned** behind `service.shard_engine`: walker
+//!   visits (the owner's or a thief's) sample under the read guard,
+//!   update batches apply under the write guard, and the epoch counter is
+//!   published inside the write guard — so a stolen visit observes
+//!   exactly the epoch the owner's task would have shown it. Forwards and
+//!   completions act only *after* the engine guard drops: no lock edge
+//!   ever leaves an engine toward an inbox, the pool injector, or the
+//!   done channel.
+//! * Steals drain **leading walker messages only** from a victim's inbox,
+//!   and the inbox guard drops before the victim's engine is read — the
+//!   queue is the unit of theft, never the engine.
 //! * Atomics: ticket IDs are `Relaxed` RMW allocations (annotated
 //!   `relaxed-ok`); per-shard stats counters are `Relaxed` (telemetry
-//!   registry); nothing in this crate uses an atomic for inter-thread
-//!   sync without `Acquire`/`Release`.
+//!   registry); the per-shard scheduling latch CASes `AcqRel` and the
+//!   idle transition publishes with `Release` before its lost-wakeup
+//!   recheck — nothing in this crate uses an atomic for inter-thread sync
+//!   without `Acquire`/`Release`.
 //!
 //! ## Quickstart
 //!

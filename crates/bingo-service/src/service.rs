@@ -1,5 +1,30 @@
-//! The sharded walk service: shard worker threads, the update router, and
-//! the ticketed walk-submission API.
+//! The sharded walk service: resumable shard tasks on the shared worker
+//! pool, cross-shard batch stealing, the update router, and the ticketed
+//! walk-submission API.
+//!
+//! # Shard tasks, not shard threads
+//!
+//! Shards no longer own dedicated OS threads. Each shard is a small state
+//! machine (`ShardState`: a locked inbox plus a schedule flag) whose
+//! work runs as **resumable tasks on the process-wide worker pool** (the
+//! `rayon` shim's persistent parked workers, grown to at least
+//! `num_shards` at build). Pushing a message CASes the shard's flag from
+//! `IDLE` to `SCHEDULED` and spawns one activation; an activation drains a
+//! bounded batch from the inbox, processes it, and either re-enqueues
+//! itself (inbox still hot), steals from a hot peer, or goes idle with a
+//! lost-wakeup-safe recheck.
+//!
+//! # Stealing happens at the queue, never at the engine
+//!
+//! An idle shard task may drain a batch of *forwarded-walker* messages
+//! from the front of a hot peer's inbox and execute them — **against the
+//! owning shard's engine**, through the same epoch-checked read path the
+//! owner uses. Engines stay shard-owned behind a `RwLock`: walker visits
+//! hold a read guard, update batches hold the write guard, so a steal can
+//! never observe a torn update and per-shard epoch ordering is preserved
+//! (thieves stop at the first non-walker message). `BINGO_STEAL=off`
+//! disables stealing without changing any walk output — paths depend only
+//! on each walker's private RNG and the engine epoch it sampled under.
 
 use crate::stats::{ServiceStats, ShardCounters};
 use bingo_core::partition::Partitioner;
@@ -12,13 +37,12 @@ use bingo_walks::{
     CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, SharedWalkModel,
     WalkCursor, WalkSpec,
 };
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Errors produced by the walk service.
@@ -116,12 +140,21 @@ pub enum PartitionStrategy {
     /// ([`Partitioner::balanced_by_degree`]): on skewed graphs this
     /// equalizes per-shard sampling load instead of vertex counts.
     DegreeBalanced,
+    /// Contiguous ranges balanced by *observed visit frequency*
+    /// ([`Partitioner::balanced_by_visits`]): a cheap seeded warm-up walk
+    /// pass over the graph counts where biased walkers actually step, so
+    /// shards equalize on walk traffic rather than raw degree — attractor
+    /// vertices that absorb walkers weigh more than degree alone predicts.
+    /// The warm-up is seeded from [`ServiceConfig::seed`], keeping the
+    /// split deterministic.
+    VisitWeighted,
 }
 
 /// Configuration of a [`WalkService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Number of vertex shards (worker threads). At least 1.
+    /// Number of vertex shards (resumable tasks on the shared worker
+    /// pool). At least 1.
     pub num_shards: usize,
     /// Seed from which every walker's RNG stream is derived.
     pub seed: u64,
@@ -150,6 +183,13 @@ pub struct ServiceConfig {
     /// answers; [`ContextEncoding::Bloom`] is smallest but approximate
     /// (see `bingo_walks::model` for the format table).
     pub context_encoding: ContextEncoding,
+    /// Whether idle shard tasks steal forwarded-walker batches from hot
+    /// shards' inboxes. `None` (the default) reads the `BINGO_STEAL`
+    /// environment variable (`off`/`0`/`false` disables, anything else —
+    /// including unset — enables); `Some(_)` overrides the environment.
+    /// Stealing never changes walk output, only which shard task executes
+    /// a visit, so this is purely a load-balance/latency knob.
+    pub steal: Option<bool>,
 }
 
 impl Default for ServiceConfig {
@@ -163,9 +203,39 @@ impl Default for ServiceConfig {
             max_inbox: 0,
             partition: PartitionStrategy::Uniform,
             context_encoding: ContextEncoding::Exact,
+            steal: None,
         }
     }
 }
+
+/// Resolve the effective stealing switch: an explicit
+/// [`ServiceConfig::steal`] wins; otherwise `BINGO_STEAL=off|0|false`
+/// disables and anything else enables.
+fn resolve_steal(config: &ServiceConfig) -> bool {
+    config.steal.unwrap_or_else(|| {
+        !matches!(
+            std::env::var("BINGO_STEAL").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
+    })
+}
+
+/// Messages one shard-task activation processes before re-enqueueing
+/// itself, bounding how long a single shard can monopolize a pool worker.
+const TASK_BATCH: usize = 32;
+/// Maximum consecutive walker messages a thief drains from the front of a
+/// victim's inbox in one steal.
+const STEAL_BATCH: usize = 8;
+/// Minimum inbox depth that makes a shard worth stealing from (and that
+/// triggers help wakeups of idle peers on enqueue).
+const STEAL_THRESHOLD: usize = 4;
+
+/// [`ShardState::sched`]: no activation is scheduled; the next push must
+/// CAS to `SCHED_SCHEDULED` and spawn one.
+const SCHED_IDLE: u8 = 0;
+/// [`ShardState::sched`]: an activation is queued or running and is
+/// guaranteed to re-check the inbox before the shard goes idle.
+const SCHED_SCHEDULED: u8 = 1;
 
 /// Bytes billed for re-forwarding a snapshot already shipped this epoch: a
 /// `(vertex, epoch)` handle instead of the payload. In-process this is an
@@ -375,13 +445,19 @@ struct RouterState {
 
 /// A vertex-sharded, multi-threaded walk service over the Bingo engine.
 ///
-/// See the crate-level documentation for a quickstart. Internally the
-/// service runs one worker thread per shard; each worker exclusively owns a
-/// [`BingoEngine`] built over its contiguous vertex range
-/// ([`BingoEngine::build_range`]) and serially processes an inbox of walker
-/// and update messages — so a walk step can never observe a partially
-/// applied ("torn") update, and the per-shard epoch counter totally orders
-/// steps against update batches.
+/// See the crate-level documentation for a quickstart. Internally each
+/// shard owns a [`BingoEngine`] built over its contiguous vertex range
+/// ([`BingoEngine::build_range`]) behind a `RwLock`, and its inbox of
+/// walker and update messages is processed by **resumable tasks on the
+/// shared worker pool** (see the module docs) — walker visits sample under
+/// the read guard, update batches apply under the write guard, so a walk
+/// step can never observe a partially applied ("torn") update, and the
+/// per-shard epoch counter totally orders steps against update batches.
+/// Idle shard tasks steal forwarded-walker batches from hot shards'
+/// inboxes (disable with `BINGO_STEAL=off` or [`ServiceConfig::steal`]);
+/// a stolen visit runs against the owning shard's engine through the same
+/// epoch-checked read path, so stealing moves CPU work without moving
+/// ownership.
 ///
 /// Walks are submitted either as built-in [`WalkSpec`]s
 /// ([`WalkService::submit`]) or as arbitrary
@@ -399,7 +475,9 @@ pub struct WalkService {
     seed: u64,
     coalesce_capacity: usize,
     max_inbox: usize,
-    senders: Vec<Sender<ShardMsg>>,
+    /// The state shard tasks run against, `Arc`-shared with every task
+    /// activation in flight on the pool.
+    shared: Arc<ServiceShared>,
     counters: Vec<Arc<ShardCounters>>,
     owned_counts: Vec<usize>,
     done_rx: Mutex<Receiver<FinishedWalk>>,
@@ -411,7 +489,9 @@ pub struct WalkService {
     pending_cv: Condvar,
     router: Mutex<RouterState>,
     next_ticket: AtomicU64,
-    workers: Vec<JoinHandle<()>>,
+    /// Set once [`WalkService::stop_workers`] has run, disarming the
+    /// redundant stop from `Drop` after an explicit `shutdown()`.
+    stopped: bool,
     started_at: Instant,
     /// The shared observability handle every layer records into; the
     /// per-shard [`ShardCounters`] are views over its registry.
@@ -430,7 +510,9 @@ pub struct WalkService {
 /// Mirror the thread-pool shim's cumulative profile into `telemetry`'s
 /// registry as the `pool.*` counters ([`names::POOL_CALLS`],
 /// [`names::POOL_CHUNKS_CLAIMED`], [`names::POOL_WORKER_BUSY_NS`],
-/// [`names::POOL_WORKER_IDLE_NS`], [`names::POOL_SCOPE_NS`]).
+/// [`names::POOL_WORKER_IDLE_NS`], [`names::POOL_SCOPE_NS`]) and the
+/// persistent-runtime counters ([`names::RUNTIME_POOL_STEALS`],
+/// [`names::RUNTIME_POOL_TASKS`], [`names::RUNTIME_POOL_PARK_NS`]).
 ///
 /// The shim's global cells stay authoritative (they are process-wide, not
 /// per-service); call this right before snapshotting or dumping the
@@ -451,13 +533,18 @@ pub fn record_pool_profile(telemetry: &Telemetry) {
         .counter(names::POOL_WORKER_IDLE_NS)
         .set(p.worker_idle_ns);
     telemetry.counter(names::POOL_SCOPE_NS).set(p.scope_ns);
+    telemetry.counter(names::RUNTIME_POOL_STEALS).set(p.steals);
+    telemetry.counter(names::RUNTIME_POOL_TASKS).set(p.tasks);
+    telemetry
+        .counter(names::RUNTIME_POOL_PARK_NS)
+        .set(p.park_ns);
 }
 
 impl WalkService {
     /// Build a service over a snapshot of `graph`, partitioning the vertex
-    /// space into [`ServiceConfig::num_shards`] contiguous shards (uniform
-    /// or degree-balanced per [`ServiceConfig::partition`]) and spawning
-    /// one worker thread per shard.
+    /// space into [`ServiceConfig::num_shards`] contiguous shards (uniform,
+    /// degree-balanced or visit-weighted per [`ServiceConfig::partition`])
+    /// whose work runs as resumable tasks on the shared worker pool.
     ///
     /// Telemetry runs in the zero-added-cost disabled mode (stats still
     /// work — counters are always live); use
@@ -491,15 +578,11 @@ impl WalkService {
         let partitioner = match config.partition {
             PartitionStrategy::Uniform => Partitioner::new(num_vertices, num_shards),
             PartitionStrategy::DegreeBalanced => Partitioner::balanced_by_degree(graph, num_shards),
+            PartitionStrategy::VisitWeighted => {
+                Partitioner::balanced_by_visits(graph, num_shards, config.seed)
+            }
         };
 
-        let mut senders = Vec::with_capacity(num_shards);
-        let mut receivers = Vec::with_capacity(num_shards);
-        for _ in 0..num_shards {
-            let (tx, rx) = channel::<ShardMsg>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
         let counters: Vec<Arc<ShardCounters>> = (0..num_shards)
             .map(|shard| Arc::new(ShardCounters::register(&telemetry, shard)))
             .collect();
@@ -515,38 +598,43 @@ impl WalkService {
         };
         let (done_tx, done_rx) = channel::<FinishedWalk>();
 
+        // Shard tasks run on the process-wide worker pool: make sure it
+        // has at least one parked worker per shard, so every shard can
+        // make progress even when all of them are hot at once (and so
+        // shutdown can't deadlock behind a task that never gets a slot).
+        rayon::ensure_pool_workers(num_shards);
+
         let mut owned_counts = Vec::with_capacity(num_shards);
-        let mut workers = Vec::with_capacity(num_shards);
-        for (shard_id, rx) in receivers.into_iter().enumerate() {
+        let mut shards = Vec::with_capacity(num_shards);
+        for shard_id in 0..num_shards {
             let (start, end) = partitioner.range(shard_id);
             owned_counts.push(end - start);
-            let engine = BingoEngine::build_range(graph, start..end, config.engine)?;
-            let ctx = ShardContext {
-                shard_id,
-                engine,
-                partitioner: partitioner.clone(),
-                senders: senders.clone(),
-                counters: counters.clone(),
-                done_tx: done_tx.clone(),
-                record_epochs: config.record_epochs,
-                context_encoding: config.context_encoding,
-                context_cache: HashMap::new(),
-                telemetry: telemetry.clone(),
-                hists: hists.clone(),
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("bingo-shard-{shard_id}"))
-                // Shard workers ARE the service's parallelism: pin the
-                // rayon shim's team to 1 inside the worker so per-shard
-                // engine calls (apply_batch, memory_report, …) never spawn
-                // a nested thread team per shard — with K shards that
-                // would put K × nproc transient threads on the update hot
-                // path. Library-level parallelism still serves the initial
-                // `build_range` calls above, which run on the caller.
-                .spawn(move || rayon::with_threads(1, move || ctx.run(rx)))
-                .expect("spawn shard worker");
-            workers.push(handle);
+            let mut engine = BingoEngine::build_range(graph, start..end, config.engine)?;
+            // Install the hot-hub fingerprint set while we still hold the
+            // engine exclusively: walkers capture forwarded context through
+            // the shared read path, which can serve but not build it.
+            engine.warm_context();
+            shards.push(ShardState {
+                inbox: Mutex::new_named(VecDeque::new(), "service.shard_inbox"),
+                sched: AtomicU8::new(SCHED_IDLE),
+                terminated: AtomicBool::new(false),
+                engine: RwLock::new_named(engine, "service.shard_engine"),
+                context_cache: Mutex::new_named(HashMap::new(), "service.shard_ctx_cache"),
+            });
         }
+        let shared = Arc::new(ServiceShared {
+            shards,
+            partitioner: partitioner.clone(),
+            counters: counters.clone(),
+            done_tx,
+            record_epochs: config.record_epochs,
+            context_encoding: config.context_encoding,
+            steal: resolve_steal(&config),
+            telemetry: telemetry.clone(),
+            hists,
+            termination: Mutex::new_named(0, "service.termination"),
+            termination_cv: Condvar::new(),
+        });
 
         Ok(WalkService {
             partitioner,
@@ -554,7 +642,7 @@ impl WalkService {
             seed: config.seed,
             coalesce_capacity: config.coalesce_capacity.max(1),
             max_inbox: config.max_inbox,
-            senders,
+            shared,
             counters,
             owned_counts,
             done_rx: Mutex::new_named(done_rx, "service.done_rx"),
@@ -574,7 +662,7 @@ impl WalkService {
                 "service.router",
             ),
             next_ticket: AtomicU64::new(1),
-            workers,
+            stopped: false,
             // lint:allow(determinism): uptime epoch for stats/latency
             // reporting only; walk output never observes it.
             started_at: Instant::now(),
@@ -593,9 +681,9 @@ impl WalkService {
         &self.telemetry
     }
 
-    /// Number of shards (worker threads).
+    /// Number of shards (scheduled as tasks on the shared worker pool).
     pub fn num_shards(&self) -> usize {
-        self.senders.len()
+        self.shared.shards.len()
     }
 
     /// Number of vertices in the serviced graph.
@@ -747,10 +835,7 @@ impl WalkService {
                 sampled,
                 sent_at: enqueued_at,
             });
-            self.counters[owner].on_enqueue();
-            self.senders[owner]
-                .send(ShardMsg::Walker(walker))
-                .expect("shard worker alive");
+            self.shared.push(owner, ShardMsg::Walker(walker));
         }
         if let Some(started) = enqueued_at {
             self.submit_ns.record_duration(started.elapsed());
@@ -1033,10 +1118,10 @@ impl WalkService {
         let flushed_at = self.telemetry.timer();
         for (shard, buffer) in router.buffers.iter_mut().enumerate() {
             let events = std::mem::take(buffer);
-            self.counters[shard].on_enqueue();
-            self.senders[shard]
-                .send(ShardMsg::Update(UpdateBatch::new(events), flushed_at))
-                .expect("shard worker alive");
+            self.shared.push(
+                shard,
+                ShardMsg::Update(UpdateBatch::new(events), flushed_at),
+            );
         }
         router.flushes
     }
@@ -1118,22 +1203,31 @@ impl WalkService {
         }
     }
 
-    /// Stop all shard workers and return the final statistics. Outstanding
+    /// Stop all shard tasks and return the final statistics. Outstanding
     /// tickets should be waited on first; walkers still in flight when the
     /// shutdown message overtakes them are dropped.
     pub fn shutdown(mut self) -> ServiceStats {
         self.stop_workers();
         let stats = self.stats();
-        // Drop disarms the redundant second stop.
+        // The `stopped` flag disarms the redundant second stop in Drop.
         stats
     }
 
     fn stop_workers(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(ShardMsg::Shutdown);
+        if self.stopped {
+            return;
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        self.stopped = true;
+        let n = self.shared.shards.len();
+        for shard in 0..n {
+            self.shared.push(shard, ShardMsg::Shutdown);
+        }
+        // Park until every shard task has processed its Shutdown. The pool
+        // workers are daemon threads shared across services, so there is
+        // no JoinHandle to join — termination is a counted condvar.
+        let mut done = self.shared.termination.lock();
+        while *done < n {
+            done = self.shared.termination_cv.wait(done);
         }
     }
 }
@@ -1186,33 +1280,148 @@ struct ShardHists {
     forward_hop_ns: Histogram,
 }
 
-/// Everything one shard worker thread owns.
-struct ShardContext {
-    shard_id: usize,
-    engine: BingoEngine,
+/// One shard's task-visible state: inbox, scheduling latch, engine and
+/// forwarded-context cache. Everything a peer needs for stealing lives
+/// here behind its own lock — and the engine is only ever reached through
+/// `engine`, never through the inbox, so a thief can drain a queue without
+/// touching sampling state.
+struct ShardState {
+    /// FIFO message queue. Pushers append under the lock; the shard's own
+    /// task drains bounded batches from the front; thieves pop leading
+    /// `Walker` messages only, preserving the shard's walker/update order.
+    inbox: Mutex<VecDeque<ShardMsg>>,
+    /// Two-state scheduling latch ([`SCHED_IDLE`]/[`SCHED_SCHEDULED`]):
+    /// makes "at most one activation in flight per shard" a CAS and makes
+    /// wakeups lost-wakeup-safe (see `run_shard_task`'s idle transition).
+    sched: AtomicU8,
+    /// Set once this shard has processed [`ShardMsg::Shutdown`]. Pushes to
+    /// a terminated shard are dropped, like sends on a closed channel.
+    terminated: AtomicBool,
+    /// The shard's engine. Walker visits — the owner's or a thief's —
+    /// sample under the read guard; update batches apply under the write
+    /// guard, so no step ever observes a torn update.
+    engine: RwLock<BingoEngine>,
+    /// Encoded snapshots captured this epoch, reused (`Arc` clone) by every
+    /// walker forwarded in the same wave. Cleared whenever an update batch
+    /// actually carries structural events (empty epoch ticks keep it
+    /// warm). Locked only while the engine lock is already held (order:
+    /// engine → ctx_cache).
+    context_cache: Mutex<HashMap<VertexId, CarriedContext>>,
+}
+
+/// What a walker visit ended with — decided under the engine read guard,
+/// acted on after it drops, so a forward or finish never holds an engine
+/// lock while touching inboxes, the pool injector, or the done channel.
+enum VisitOutcome {
+    /// The walk completed (or dead-ended) on this shard.
+    Finished,
+    /// The walk crossed into shard `to`'s range and must be forwarded;
+    /// `context` is the `(cache_hit, bytes_sent)` of the capture attached
+    /// under the engine guard (`None` when the model carries no context).
+    /// Carrying it out of the guarded section lets the forward-hop trace
+    /// be recorded *after* the visit's step-batch span, preserving
+    /// lifecycle order, and with no engine lock held.
+    Forward {
+        to: usize,
+        context: Option<(bool, usize)>,
+    },
+}
+
+/// The state shared by the service handle and every shard-task activation
+/// in flight on the worker pool.
+struct ServiceShared {
+    shards: Vec<ShardState>,
     partitioner: Partitioner,
-    senders: Vec<Sender<ShardMsg>>,
     counters: Vec<Arc<ShardCounters>>,
     done_tx: Sender<FinishedWalk>,
     record_epochs: bool,
     /// Wire encoding for captured membership snapshots.
     context_encoding: ContextEncoding,
-    /// Encoded snapshots captured this epoch, reused (`Arc` clone) by every
-    /// walker forwarded in the same wave. Cleared whenever an update batch
-    /// actually carries events (empty epoch ticks keep it warm).
-    context_cache: HashMap<VertexId, CarriedContext>,
+    /// Whether idle shard tasks steal walker batches (resolved once at
+    /// build from [`ServiceConfig::steal`] / `BINGO_STEAL`).
+    steal: bool,
     telemetry: Telemetry,
     hists: ShardHists,
+    /// Number of shards that have processed their Shutdown message; the
+    /// condvar wakes `stop_workers` when it reaches `shards.len()`.
+    termination: Mutex<usize>,
+    termination_cv: Condvar,
 }
 
-impl ShardContext {
-    fn counters(&self) -> &ShardCounters {
-        &self.counters[self.shard_id]
+impl ServiceShared {
+    /// Enqueue a message on `shard`'s inbox and guarantee an activation
+    /// will process it. When the enqueue leaves a deep backlog, idle peers
+    /// are woken too so they can steal from it.
+    fn push(self: &Arc<Self>, shard: usize, msg: ShardMsg) {
+        if self.shards[shard].terminated.load(Ordering::Acquire) {
+            // Shutdown raced this send: drop the message, matching the old
+            // closed-channel semantics (in-flight walkers are abandoned).
+            return;
+        }
+        let depth;
+        {
+            let mut inbox = self.shards[shard].inbox.lock();
+            inbox.push_back(msg);
+            depth = inbox.len();
+        }
+        self.counters[shard].on_enqueue();
+        self.schedule(shard);
+        if self.steal && depth >= STEAL_THRESHOLD {
+            self.wake_helpers(shard);
+        }
     }
 
-    fn run(mut self, rx: Receiver<ShardMsg>) {
-        while let Ok(msg) = rx.recv() {
-            self.counters().on_dequeue();
+    /// Make sure an activation is queued for `shard`: CAS the latch from
+    /// IDLE to SCHEDULED and spawn one on the pool. A failed CAS means an
+    /// activation is already in flight and will re-check the inbox before
+    /// the shard goes idle — no message can be stranded.
+    fn schedule(self: &Arc<Self>, shard: usize) {
+        if self.shards[shard].terminated.load(Ordering::Acquire) {
+            return;
+        }
+        if self.shards[shard]
+            .sched
+            .compare_exchange(
+                SCHED_IDLE,
+                SCHED_SCHEDULED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            let shared = Arc::clone(self);
+            rayon::spawn(move || shared.run_shard_task(shard));
+        }
+    }
+
+    /// Help trigger: schedule every idle peer of a hot shard. A woken peer
+    /// with an empty inbox of its own goes straight to the steal path; the
+    /// CAS in `schedule` makes this free for peers already running.
+    fn wake_helpers(self: &Arc<Self>, hot: usize) {
+        for peer in 0..self.shards.len() {
+            if peer != hot {
+                self.schedule(peer);
+            }
+        }
+    }
+
+    /// One shard-task activation: drain a bounded batch from the inbox
+    /// (under the lock), process it (outside the lock), then either
+    /// re-enqueue, steal, or go idle with a lost-wakeup-safe recheck.
+    fn run_shard_task(self: Arc<Self>, shard_id: usize) {
+        let me = &self.shards[shard_id];
+        let mut batch = Vec::with_capacity(TASK_BATCH);
+        {
+            let mut inbox = me.inbox.lock();
+            while batch.len() < TASK_BATCH {
+                match inbox.pop_front() {
+                    Some(msg) => batch.push(msg),
+                    None => break,
+                }
+            }
+        }
+        for msg in batch {
+            self.counters[shard_id].on_dequeue();
             // This stamp predates telemetry (it feeds `busy_nanos`), so
             // detailed mode reuses it for dwell/step-batch/apply timing
             // without adding clock reads to the disabled hot path.
@@ -1220,22 +1429,117 @@ impl ShardContext {
             // never influences sampling or walk output.
             let started = Instant::now();
             match msg {
-                ShardMsg::Update(batch, flushed_at) => {
+                ShardMsg::Update(update, flushed_at) => {
                     self.record_dwell(flushed_at, started, false);
-                    self.apply_update(batch);
+                    self.apply_update(shard_id, update);
                     if self.hists.update_apply_ns.is_enabled() {
                         self.hists
                             .update_apply_ns
                             .record_duration(started.elapsed());
                     }
                 }
-                ShardMsg::Walker(walker) => self.drive_walker(walker, started),
-                ShardMsg::Shutdown => break,
+                ShardMsg::Walker(walker) => self.drive_walker(shard_id, shard_id, walker, started),
+                ShardMsg::Shutdown => {
+                    // Messages still queued (or drained into this batch)
+                    // are dropped, matching the old channel semantics.
+                    self.mark_terminated(shard_id);
+                    return;
+                }
             }
-            self.counters()
+            self.counters[shard_id]
                 .busy_nanos
                 .add(started.elapsed().as_nanos() as u64);
         }
+        // Inbox still hot: keep the SCHEDULED claim, yield this worker
+        // slot, and continue on a fresh activation so one shard never
+        // monopolizes a pool worker.
+        if !me.inbox.lock().is_empty() {
+            let shared = Arc::clone(&self);
+            rayon::spawn(move || shared.run_shard_task(shard_id));
+            return;
+        }
+        if self.steal && self.try_steal(shard_id) {
+            // Stolen visits may have forwarded walkers back to this shard
+            // (and the victim may still be hot): look again.
+            let shared = Arc::clone(&self);
+            rayon::spawn(move || shared.run_shard_task(shard_id));
+            return;
+        }
+        // Idle transition, lost-wakeup-safe: publish IDLE *first*, then
+        // re-check the inbox. A concurrent push either sees IDLE (its CAS
+        // schedules a fresh activation) or enqueued before our store and
+        // is caught by this recheck.
+        me.sched.store(SCHED_IDLE, Ordering::Release);
+        if !me.inbox.lock().is_empty() {
+            self.schedule(shard_id);
+        }
+    }
+
+    /// Steal at the queue, never at the engine: drain up to
+    /// [`STEAL_BATCH`] *leading walker messages* from the deepest
+    /// backlogged peer and execute them here — against the victim's
+    /// engine, through the same epoch-checked read path the owner uses.
+    /// Stopping at the first non-walker message preserves the victim's
+    /// walker/update order, so a stolen visit observes exactly the epoch
+    /// the owner's task would have shown it. Returns whether anything was
+    /// stolen.
+    fn try_steal(self: &Arc<Self>, thief: usize) -> bool {
+        // Pick the deepest backlog at or past the threshold — depth gauges
+        // only, no peer locks taken during selection.
+        let mut victim: Option<(usize, usize)> = None;
+        for (peer, counters) in self.counters.iter().enumerate() {
+            if peer == thief {
+                continue;
+            }
+            let depth = counters.queue_depth().max(0) as usize;
+            if depth >= STEAL_THRESHOLD && victim.is_none_or(|(_, best)| depth > best) {
+                victim = Some((peer, depth));
+            }
+        }
+        let Some((victim, _)) = victim else {
+            return false;
+        };
+        let mut stolen = Vec::new();
+        {
+            let mut inbox = self.shards[victim].inbox.lock();
+            while stolen.len() < STEAL_BATCH && matches!(inbox.front(), Some(ShardMsg::Walker(_))) {
+                match inbox.pop_front() {
+                    Some(ShardMsg::Walker(walker)) => stolen.push(walker),
+                    _ => unreachable!("front was just matched as a walker"),
+                }
+            }
+            // The inbox guard drops here, BEFORE any engine lock is taken:
+            // holding it across the visit would deadlock against the
+            // victim's own task (engine acquired while inbox wanted).
+        }
+        if stolen.is_empty() {
+            return false;
+        }
+        let c = &self.counters[thief];
+        c.stolen_batches.inc();
+        c.stolen_walkers.add(stolen.len() as u64);
+        for walker in stolen {
+            // Queue-depth accounting stays with the victim (its inbox
+            // shrank); execution time is billed to the thief.
+            self.counters[victim].on_dequeue();
+            // lint:allow(determinism): busy-time stamp; stats only.
+            let started = Instant::now();
+            self.drive_walker(thief, victim, walker, started);
+            self.counters[thief]
+                .busy_nanos
+                .add(started.elapsed().as_nanos() as u64);
+        }
+        true
+    }
+
+    /// Count this shard as terminated and wake `stop_workers`.
+    fn mark_terminated(&self, shard_id: usize) {
+        self.shards[shard_id]
+            .terminated
+            .store(true, Ordering::Release);
+        let mut done = self.termination.lock();
+        *done += 1;
+        self.termination_cv.notify_all();
     }
 
     /// Record how long a message sat in this shard's inbox (and, for a
@@ -1252,8 +1556,15 @@ impl ShardContext {
 
     /// Close out one walker visit: record the step-batch latency and, for
     /// sampled walkers that actually stepped here, the `StepBatch`
-    /// lifecycle span.
-    fn end_visit(&self, walker: &Walker, visit_start: Instant, visit_steps: u32) {
+    /// lifecycle span (attributed to the *owning* shard, whose engine and
+    /// epoch the steps sampled under).
+    fn end_visit(
+        &self,
+        owner_shard: usize,
+        walker: &Walker,
+        visit_start: Instant,
+        visit_steps: u32,
+    ) {
         if self.hists.step_batch_ns.is_enabled() {
             self.hists
                 .step_batch_ns
@@ -1264,33 +1575,43 @@ impl ShardContext {
                 walker.ticket,
                 walker.index,
                 TraceStage::StepBatch {
-                    shard: self.shard_id as u32,
+                    shard: owner_shard as u32,
                     steps: visit_steps,
-                    epoch: self.counters().epoch.get(),
+                    epoch: self.counters[owner_shard].epoch.get(),
                 },
             );
         }
     }
 
-    fn apply_update(&mut self, batch: UpdateBatch) {
+    fn apply_update(&self, shard_id: usize, batch: UpdateBatch) {
         let structural = batch
             .events()
             .iter()
             .any(|e| !matches!(e, UpdateEvent::UpdateBias { .. }));
+        let me = &self.shards[shard_id];
+        let mut engine = me.engine.write();
         if structural {
             // Snapshots captured under the previous epoch may describe
             // adjacencies this batch changes. Bias-only batches (and empty
             // epoch ticks) keep the cache warm: fingerprints are membership
-            // sets, which reweights never alter.
-            self.context_cache.clear();
+            // sets, which reweights never alter. (Lock order: engine →
+            // ctx_cache, same as the capture path.)
+            me.context_cache.lock().clear();
         }
-        let outcome = self.engine.apply_batch(&batch);
-        let c = self.counters();
+        let outcome = engine.apply_batch(&batch);
+        if structural {
+            // Structural mutations invalidated the engine's hot-hub
+            // fingerprint set; rebuild it while we still hold the write
+            // guard, because the shared read path cannot.
+            engine.warm_context();
+        }
+        let c = &self.counters[shard_id];
         c.updates_applied
             .add((outcome.inserted + outcome.deleted) as u64);
         c.update_batches.inc();
-        // Publish the new generation *after* the batch is fully applied:
-        // a reader seeing epoch e knows the engine reflects exactly the
+        // Publish the new generation *after* the batch is fully applied
+        // but *before* the write guard drops: a reader that acquires the
+        // read lock and sees epoch e knows the engine reflects exactly the
         // first e flushed batches, never a partially applied one.
         c.epoch.add_release(1);
     }
@@ -1312,7 +1633,12 @@ impl ShardContext {
     /// Returns `(cache_hit, bytes_sent)` when a snapshot was attached (for
     /// the forward-hop trace span), `None` when the model carries no
     /// context or one is already attached.
-    fn attach_forward_context(&mut self, walker: &mut Walker) -> Option<(bool, usize)> {
+    fn attach_forward_context(
+        &self,
+        owner_shard: usize,
+        engine: &BingoEngine,
+        walker: &mut Walker,
+    ) -> Option<(bool, usize)> {
         if walker.cursor.required_context() != ContextRequirement::PreviousAdjacency {
             return None;
         }
@@ -1320,16 +1646,23 @@ impl ShardContext {
         let Some(prev) = state.prev() else {
             return None; // no history yet: the model's first step needs none
         };
-        if state.carried_context().is_some() || !self.engine.owns(prev) {
+        if state.carried_context().is_some() || !engine.owns(prev) {
             return None;
         }
-        let (ctx, cache_hit) = match self.context_cache.get(&prev) {
-            Some(cached) => (cached.clone(), true),
-            None => {
-                let (raw, _hot) = self.engine.context_fingerprint(prev)?;
-                let ctx = self.context_encoding.encode(prev, raw);
-                self.context_cache.insert(prev, ctx.clone());
-                (ctx, false)
+        // The caller holds the owner's engine read guard, so the cache
+        // lock nests engine → ctx_cache — the same order `apply_update`
+        // uses, and the guard also pins the epoch the fingerprint
+        // describes (no update can slip between capture and cache insert).
+        let (ctx, cache_hit) = {
+            let mut cache = self.shards[owner_shard].context_cache.lock();
+            match cache.get(&prev) {
+                Some(cached) => (cached.clone(), true),
+                None => {
+                    let (raw, _hot) = engine.context_fingerprint_shared(prev)?;
+                    let ctx = self.context_encoding.encode(prev, raw);
+                    cache.insert(prev, ctx.clone());
+                    (ctx, false)
+                }
             }
         };
         let bytes_sent = if cache_hit {
@@ -1337,7 +1670,7 @@ impl ShardContext {
         } else {
             ctx.byte_len()
         };
-        let c = self.counters();
+        let c = &self.counters[owner_shard];
         c.context_bytes_raw
             .add(CarriedContext::exact_wire_len(ctx.membership.len()) as u64);
         c.context_bytes_forwarded.add(bytes_sent as u64);
@@ -1350,7 +1683,7 @@ impl ShardContext {
             walker.contexts.push(ContextTrace {
                 vertex: ctx.vertex,
                 adjacency: ctx.membership.decoded().unwrap_or_default(),
-                shard: self.shard_id,
+                shard: owner_shard,
                 epoch: c.epoch.get_acquire(),
                 bytes_sent,
                 cache_hit,
@@ -1360,94 +1693,112 @@ impl ShardContext {
         Some((cache_hit, bytes_sent))
     }
 
-    fn drive_walker(&mut self, mut walker: Box<Walker>, visit_start: Instant) {
+    /// Run one walker visit: sample steps against `owner_shard`'s engine
+    /// (under its read guard) until the walk finishes, dead-ends, or
+    /// crosses out of the shard's range. `exec_shard` is the shard task
+    /// doing the work — equal to `owner_shard` except for stolen visits —
+    /// and is where the executed steps are attributed, so the stats
+    /// measure where the CPU time actually went. Semantic counters
+    /// (arrivals, forwards, completions, context accounting) and all
+    /// traces stay with the owner.
+    fn drive_walker(
+        self: &Arc<Self>,
+        exec_shard: usize,
+        owner_shard: usize,
+        mut walker: Box<Walker>,
+        visit_start: Instant,
+    ) {
         self.record_dwell(walker.sent_at.take(), visit_start, walker.hops > 0);
-        let c = self.counters();
-        c.walkers_received.inc();
+        self.counters[owner_shard].walkers_received.inc();
         let record = self.record_epochs;
         let mut visit_steps: u32 = 0;
-        loop {
-            let current = walker.cursor.current();
-            // A walker at its deterministic length limit takes no further
-            // sample: finish it here instead of forwarding it to another
-            // shard for a no-op step.
-            if !walker.cursor.is_done() && walker.cursor.at_length_limit() {
-                self.end_visit(&walker, visit_start, visit_steps);
-                self.finish_walker(*walker);
-                return;
-            }
-            if !self.engine.owns(current) {
-                // The walk crossed into another shard's range: forward.
-                let owner = self.partitioner.owner(current);
-                if owner == self.shard_id {
-                    // Defensive: a vertex nobody owns (it can only arise
-                    // from a corrupted engine state) would self-forward
-                    // forever; treat it as a dead end instead.
-                    self.end_visit(&walker, visit_start, visit_steps);
-                    self.finish_walker(*walker);
-                    return;
+        let outcome = {
+            let engine = self.shards[owner_shard].engine.read();
+            let outcome = loop {
+                let current = walker.cursor.current();
+                // A walker at its deterministic length limit takes no
+                // further sample: finish it here instead of forwarding it
+                // to another shard for a no-op step.
+                if !walker.cursor.is_done() && walker.cursor.at_length_limit() {
+                    break VisitOutcome::Finished;
                 }
-                let context = self.attach_forward_context(&mut walker);
-                self.counters().walkers_forwarded.inc();
-                walker.hops += 1;
-                self.end_visit(&walker, visit_start, visit_steps);
+                if !engine.owns(current) {
+                    // The walk crossed into another shard's range: forward.
+                    let owner = self.partitioner.owner(current);
+                    if owner == owner_shard {
+                        // Defensive: a vertex nobody owns (it can only
+                        // arise from a corrupted engine state) would
+                        // self-forward forever; treat it as a dead end.
+                        break VisitOutcome::Finished;
+                    }
+                    let context = self.attach_forward_context(owner_shard, &engine, &mut walker);
+                    self.counters[owner_shard].walkers_forwarded.inc();
+                    walker.hops += 1;
+                    break VisitOutcome::Forward { to: owner, context };
+                }
+                let epoch = self.counters[owner_shard].epoch.get_acquire();
+                let stepped = walker.cursor.step(&*engine, &mut walker.rng);
+                let context_misses = walker.cursor.take_context_misses();
+                if context_misses > 0 {
+                    // A second-order membership query fell back to this
+                    // shard's engine for a vertex it does not own: the
+                    // forwarding shard failed to attach (or attached a
+                    // mismatched) context. Keep serving — the distribution
+                    // degrades instead of the walk dying — count it here,
+                    // and let the collector side `debug_assert!` on it
+                    // (panicking a pool worker would hang every waiter
+                    // instead of failing loudly).
+                    walker.context_misses += context_misses;
+                    self.counters[owner_shard]
+                        .context_misses
+                        .add(context_misses);
+                }
+                match stepped {
+                    Some(next) => {
+                        self.counters[exec_shard].steps.inc();
+                        visit_steps += 1;
+                        if record {
+                            walker.trace.push(StepTrace {
+                                src: current,
+                                dst: next,
+                                shard: owner_shard,
+                                epoch,
+                            });
+                        }
+                    }
+                    None => break VisitOutcome::Finished,
+                }
+            };
+            self.end_visit(owner_shard, &walker, visit_start, visit_steps);
+            outcome
+            // The engine read guard drops here: the forward/finish below
+            // touches inboxes, the pool injector and the done channel with
+            // no engine lock held.
+        };
+        match outcome {
+            VisitOutcome::Finished => self.finish_walker(owner_shard, *walker),
+            VisitOutcome::Forward { to, context } => {
                 if walker.sampled {
                     let (cache_hit, bytes) = context.unwrap_or((false, 0));
                     self.telemetry.trace(
                         walker.ticket,
                         walker.index,
                         TraceStage::ForwardHop {
-                            from_shard: self.shard_id as u32,
-                            to_shard: owner as u32,
+                            from_shard: owner_shard as u32,
+                            to_shard: to as u32,
                             cache_hit,
                             bytes: bytes as u64,
                         },
                     );
                 }
                 walker.sent_at = self.telemetry.timer();
-                self.counters[owner].on_enqueue();
-                // A send can only fail during shutdown; drop the walker.
-                let _ = self.senders[owner].send(ShardMsg::Walker(walker));
-                return;
-            }
-            let epoch = self.counters().epoch.get_acquire();
-            let stepped = walker.cursor.step(&self.engine, &mut walker.rng);
-            let context_misses = walker.cursor.take_context_misses();
-            if context_misses > 0 {
-                // A second-order membership query fell back to this shard's
-                // engine for a vertex it does not own: the forwarding shard
-                // failed to attach (or attached a mismatched) context. Keep
-                // serving — the distribution degrades instead of the walk
-                // dying — count it here, and let the collector side
-                // `debug_assert!` on it (panicking this worker thread would
-                // hang every waiter instead of failing loudly).
-                walker.context_misses += context_misses;
-                self.counters().context_misses.add(context_misses);
-            }
-            match stepped {
-                Some(next) => {
-                    self.counters().steps.inc();
-                    visit_steps += 1;
-                    if record {
-                        walker.trace.push(StepTrace {
-                            src: current,
-                            dst: next,
-                            shard: self.shard_id,
-                            epoch,
-                        });
-                    }
-                }
-                None => {
-                    self.end_visit(&walker, visit_start, visit_steps);
-                    self.finish_walker(*walker);
-                    return;
-                }
+                self.push(to, ShardMsg::Walker(walker));
             }
         }
     }
 
-    fn finish_walker(&self, walker: Walker) {
-        self.counters().walks_completed.inc();
+    fn finish_walker(&self, owner_shard: usize, walker: Walker) {
+        self.counters[owner_shard].walks_completed.inc();
         let _ = self.done_tx.send(FinishedWalk {
             ticket: walker.ticket,
             index: walker.index,

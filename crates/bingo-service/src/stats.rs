@@ -14,9 +14,10 @@
 use bingo_telemetry::{names, Counter, Gauge, Telemetry};
 use std::time::Duration;
 
-/// Lock-free counters shared between one shard worker and the service
-/// handle — registry-backed views (see the module docs). Writers are the
-/// worker thread (steps, updates, epoch) and the message senders (queue
+/// Lock-free counters shared between one shard's task activations and the
+/// service handle — registry-backed views (see the module docs). Writers
+/// are whichever pool worker runs the shard's task (steps, updates, epoch
+/// — or a thief's, for stolen visits) and the message pushers (queue
 /// depth); readers take relaxed snapshots.
 #[derive(Debug, Default)]
 pub(crate) struct ShardCounters {
@@ -61,6 +62,12 @@ pub(crate) struct ShardCounters {
     /// Submissions rejected because this shard's inbox was at its
     /// configured `max_inbox` bound.
     pub saturated_rejections: Counter,
+    /// Walker batches this shard's task drained from a hot peer's inbox
+    /// (attributed to the *executing* shard, like `steps`, so the stolen
+    /// work shows up where the CPU time went).
+    pub stolen_batches: Counter,
+    /// Walker visits this shard executed via stealing.
+    pub stolen_walkers: Counter,
 }
 
 impl ShardCounters {
@@ -93,6 +100,8 @@ impl ShardCounters {
                 .counter_with(names::SERVICE_CONTEXT_MEMBERSHIP_FAULTS, labels),
             saturated_rejections: telemetry
                 .counter_with(names::SERVICE_SHARD_SATURATED_REJECTIONS, labels),
+            stolen_batches: telemetry.counter_with(names::SERVICE_SHARD_STOLEN_BATCHES, labels),
+            stolen_walkers: telemetry.counter_with(names::SERVICE_SHARD_STOLEN_WALKERS, labels),
         }
     }
 
@@ -133,6 +142,8 @@ impl ShardCounters {
             context_cache_misses: self.context_cache_misses.get(),
             context_misses: self.context_misses.get(),
             saturated_rejections: self.saturated_rejections.get(),
+            stolen_batches: self.stolen_batches.get(),
+            stolen_walkers: self.stolen_walkers.get(),
         }
     }
 }
@@ -182,6 +193,11 @@ pub struct ShardStatsSnapshot {
     pub context_misses: u64,
     /// Submissions rejected at this shard's inbox bound.
     pub saturated_rejections: u64,
+    /// Walker batches this shard drained from a hot peer's inbox
+    /// (executing-shard attribution, like `steps`).
+    pub stolen_batches: u64,
+    /// Walker visits this shard executed via stealing.
+    pub stolen_walkers: u64,
 }
 
 impl ShardStatsSnapshot {
@@ -289,6 +305,30 @@ impl ServiceStats {
         self.per_shard.iter().map(|s| s.saturated_rejections).sum()
     }
 
+    /// Total walker batches stolen from hot shards' inboxes.
+    pub fn total_stolen_batches(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.stolen_batches).sum()
+    }
+
+    /// Total walker visits executed via stealing.
+    pub fn total_stolen_walkers(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.stolen_walkers).sum()
+    }
+
+    /// The hottest shard's share of total executed steps, in `[0, 1]`
+    /// (0 when nothing stepped). With stealing active this measures how
+    /// evenly *execution* spread across shard tasks — the load-balance
+    /// number the CI gate checks — independent of which shard owned the
+    /// vertices.
+    pub fn hottest_step_share(&self) -> f64 {
+        let total = self.total_steps();
+        if total == 0 {
+            return 0.0;
+        }
+        let peak = self.per_shard.iter().map(|s| s.steps).max().unwrap_or(0);
+        peak as f64 / total as f64
+    }
+
     /// Total messages currently queued across all shard inboxes.
     pub fn total_queue_depth(&self) -> i64 {
         self.per_shard.iter().map(|s| s.queue_depth).sum()
@@ -328,17 +368,20 @@ impl ServiceStats {
 
     /// Render a small per-shard table for logs and examples.
     pub fn render(&self) -> String {
+        let total_steps = self.total_steps();
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10}  {:>8}  {:>6}  {:>9}  {:>6}\n",
+            "{:>5}  {:>8}  {:>10}  {:>6}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>7}  {:>10}  {:>8}  {:>6}  {:>9}  {:>6}\n",
             "shard",
             "owned",
             "steps",
+            "step%",
             "walkers",
             "forwards",
             "updates",
             "batches",
             "qmax",
+            "stolen",
             "ctx_raw_kb",
             "ctx_kb",
             "hit%",
@@ -352,16 +395,23 @@ impl ServiceStats {
             } else {
                 0.0
             };
+            let step_pct = if total_steps > 0 {
+                100.0 * s.steps as f64 / total_steps as f64
+            } else {
+                0.0
+            };
             out.push_str(&format!(
-                "{:>5}  {:>8}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>10.1}  {:>8.1}  {:>6.1}  {:>8.3}s  {:>5.1}\n",
+                "{:>5}  {:>8}  {:>10}  {:>6.1}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}  {:>7}  {:>10.1}  {:>8.1}  {:>6.1}  {:>8.3}s  {:>5.1}\n",
                 s.shard,
                 s.owned_vertices,
                 s.steps,
+                step_pct,
                 s.walkers_received,
                 s.walkers_forwarded,
                 s.updates_applied,
                 s.update_batches,
                 s.queue_high_water,
+                s.stolen_walkers,
                 s.context_bytes_raw as f64 / 1024.0,
                 s.context_bytes_forwarded as f64 / 1024.0,
                 hit_pct,
@@ -371,13 +421,17 @@ impl ServiceStats {
         }
         out.push_str(&format!(
             "total: {} steps ({:.0} steps/s), {} forwards ({:.1}% of steps), {} updates, \
+             {} batches stolen ({} walkers), hottest shard {:.1}% of steps, \
              context {} -> {} bytes ({:.1}x shrink, {:.1}% cache hits, {} capture faults), \
              {} saturation rejections, mean utilization {:.1}%, uptime {:.3}s\n",
-            self.total_steps(),
+            total_steps,
             self.steps_per_sec(),
             self.total_forwards(),
             100.0 * self.forward_ratio(),
             self.total_updates_applied(),
+            self.total_stolen_batches(),
+            self.total_stolen_walkers(),
+            100.0 * self.hottest_step_share(),
             self.total_context_bytes_raw(),
             self.total_context_bytes(),
             self.context_shrink_factor(),
@@ -521,6 +575,37 @@ mod tests {
         let idle = ServiceStats::default();
         assert_eq!(idle.context_cache_hit_rate(), 0.0);
         assert_eq!(idle.context_shrink_factor(), 1.0);
+    }
+
+    #[test]
+    fn steal_aggregates_and_hottest_step_share() {
+        let stats = ServiceStats {
+            per_shard: vec![
+                ShardStatsSnapshot {
+                    shard: 0,
+                    steps: 30,
+                    stolen_batches: 2,
+                    stolen_walkers: 12,
+                    ..Default::default()
+                },
+                ShardStatsSnapshot {
+                    shard: 1,
+                    steps: 70,
+                    ..Default::default()
+                },
+            ],
+            uptime: Duration::from_secs(1),
+        };
+        assert_eq!(stats.total_stolen_batches(), 2);
+        assert_eq!(stats.total_stolen_walkers(), 12);
+        assert!((stats.hottest_step_share() - 0.7).abs() < 1e-12);
+        let rendered = stats.render();
+        assert!(rendered.contains("2 batches stolen (12 walkers)"));
+        assert!(rendered.contains("hottest shard 70.0% of steps"));
+        assert!(rendered.contains("stolen"), "per-shard steal column");
+        assert!(rendered.contains("step%"), "per-shard step-share column");
+        // No steps at all: the share is defined as zero, not NaN.
+        assert_eq!(ServiceStats::default().hottest_step_share(), 0.0);
     }
 
     #[test]

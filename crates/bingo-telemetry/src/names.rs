@@ -47,6 +47,11 @@
 //! | `pool.worker.busy_ns` | counter | nanos workers spent in chunk bodies |
 //! | `pool.worker.idle_ns` | counter | team-scope nanos not spent in chunks |
 //! | `pool.scope_ns` | counter | wall nanos inside parallel scopes |
+//! | `runtime.pool.steals` | counter | work items run by a helper, not the poster |
+//! | `runtime.pool.tasks` | counter | detached tasks executed on the pool |
+//! | `runtime.pool.park_ns` | counter | nanos workers spent condvar-parked |
+//! | `service.shard.stolen_batches` | counter | walker batches stolen from a peer inbox |
+//! | `service.shard.stolen_walkers` | counter | walker visits executed via stealing |
 
 /// `service.shard.steps` — steps sampled by a shard (counter).
 pub const SERVICE_SHARD_STEPS: &str = "service.shard.steps";
@@ -126,3 +131,16 @@ pub const POOL_WORKER_BUSY_NS: &str = "pool.worker.busy_ns";
 pub const POOL_WORKER_IDLE_NS: &str = "pool.worker.idle_ns";
 /// `pool.scope_ns` — wall nanos inside parallel scopes (counter).
 pub const POOL_SCOPE_NS: &str = "pool.scope_ns";
+/// `runtime.pool.steals` — work items run by a helper worker rather than
+/// the thread that posted them (counter).
+pub const RUNTIME_POOL_STEALS: &str = "runtime.pool.steals";
+/// `runtime.pool.tasks` — detached tasks executed on the pool (counter).
+pub const RUNTIME_POOL_TASKS: &str = "runtime.pool.tasks";
+/// `runtime.pool.park_ns` — nanos workers spent condvar-parked (counter).
+pub const RUNTIME_POOL_PARK_NS: &str = "runtime.pool.park_ns";
+/// `service.shard.stolen_batches` — walker batches a shard task drained
+/// from a hot peer's inbox (counter, attributed to the executing shard).
+pub const SERVICE_SHARD_STOLEN_BATCHES: &str = "service.shard.stolen_batches";
+/// `service.shard.stolen_walkers` — walker visits executed via stealing
+/// (counter, attributed to the executing shard).
+pub const SERVICE_SHARD_STOLEN_WALKERS: &str = "service.shard.stolen_walkers";

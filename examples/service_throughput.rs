@@ -4,12 +4,18 @@
 //! test against the fully-updated graph and per-shard `ServiceStats` are
 //! printed.
 //!
-//! The wave workload runs twice — once on the uniform vertex split and
-//! once on the degree-balanced split (`Partitioner::balanced_by_degree`) —
-//! and prints the per-shard step share of both, showing how the balanced
-//! split spreads the power-law load that the uniform split piles onto
-//! shard 0. A node2vec wave (served through the `WalkClient` facade)
-//! exercises the forwarded-context path.
+//! The wave workload runs three times — on the uniform vertex split, on
+//! the degree-balanced split (`Partitioner::balanced_by_degree`) and on
+//! the visit-weighted split (`Partitioner::balanced_by_visits`, which
+//! weighs vertices by seeded warm-up-walk traffic instead of raw degree) —
+//! and prints two per-shard views of each: owner-attributed walker
+//! routing (judges the partitioner — stealing never moves ownership) and
+//! executed step share (judges the runtime — idle shards steal walker
+//! batches out of hot shards' inboxes, so execution flattens even on a
+//! skewed split). The printed `hottest_shard_step_share` (executed steps,
+//! so stealing counts for the thief) is gated at ≤40% by CI. A node2vec
+//! wave (served through the `WalkClient` facade) exercises the
+//! forwarded-context path.
 //!
 //! Unless `BINGO_TELEMETRY=off`, the balanced workload then runs a third
 //! time with detailed telemetry: the example prints per-stage latency
@@ -82,6 +88,20 @@ fn step_share(stats: &ServiceStats) -> Vec<f64> {
         .collect()
 }
 
+/// Owner-attributed load: walker visits routed to each shard because it
+/// owns the vertex, regardless of which task executed them. Stealing
+/// moves *execution* between shards but never ownership, so this view —
+/// not executed steps — is what judges partition quality.
+fn owner_share(stats: &ServiceStats) -> Vec<f64> {
+    let total: u64 = stats.per_shard.iter().map(|s| s.walkers_received).sum();
+    let total = total.max(1) as f64;
+    stats
+        .per_shard
+        .iter()
+        .map(|s| 100.0 * s.walkers_received as f64 / total)
+        .collect()
+}
+
 fn main() {
     // A scaled-down LiveJournal stand-in plus a mixed update stream.
     let mut rng = Pcg64::seed_from_u64(0x5E71CE);
@@ -116,21 +136,60 @@ fn main() {
         PartitionStrategy::DegreeBalanced,
         Telemetry::disabled(),
     );
-    println!("\nper-shard step share (% of all steps sampled):");
+    let (visit_stats, _, _) = serve_waves(
+        &graph,
+        &batches,
+        PartitionStrategy::VisitWeighted,
+        Telemetry::disabled(),
+    );
+    let fmt_shares =
+        |shares: Vec<f64>| -> Vec<String> { shares.iter().map(|s| format!("{s:.1}%")).collect() };
+    // Two views of the same load. Owner-attributed walker routing judges
+    // the *partitioner* (stealing never moves ownership); executed steps
+    // judge the *runtime* (stealing moves execution off hot shards).
+    println!("\nper-shard owner load (% of walker visits routed by ownership):");
     println!(
         "  uniform split:          {:?}",
-        step_share(&uniform_stats)
-            .iter()
-            .map(|s| format!("{s:.1}%"))
-            .collect::<Vec<_>>()
+        fmt_shares(owner_share(&uniform_stats))
     );
     println!(
         "  degree-balanced split:  {:?}",
-        step_share(&stats)
-            .iter()
-            .map(|s| format!("{s:.1}%"))
-            .collect::<Vec<_>>()
+        fmt_shares(owner_share(&stats))
     );
+    println!(
+        "  visit-weighted split:   {:?}",
+        fmt_shares(owner_share(&visit_stats))
+    );
+    println!("per-shard step share (% of all steps executed, thief-attributed):");
+    println!(
+        "  uniform split:          {:?}",
+        fmt_shares(step_share(&uniform_stats))
+    );
+    println!(
+        "  degree-balanced split:  {:?}",
+        fmt_shares(step_share(&stats))
+    );
+    println!(
+        "  visit-weighted split:   {:?}",
+        fmt_shares(step_share(&visit_stats))
+    );
+    println!(
+        "batch stealing: uniform {} batches ({} walkers), degree-balanced {} ({}), \
+         visit-weighted {} ({})",
+        uniform_stats.total_stolen_batches(),
+        uniform_stats.total_stolen_walkers(),
+        stats.total_stolen_batches(),
+        stats.total_stolen_walkers(),
+        visit_stats.total_stolen_batches(),
+        visit_stats.total_stolen_walkers(),
+    );
+    // CI gates on this line: with a balanced split plus inbox stealing, no
+    // shard task may end up executing more than 40% of all steps.
+    let hottest = 100.0
+        * stats
+            .hottest_step_share()
+            .max(visit_stats.hottest_step_share());
+    println!("hottest_shard_step_share={hottest:.1}");
 
     let total_steps: usize = waves.iter().map(TicketResults::total_steps).sum();
     let total_walks: usize = waves.iter().map(|w| w.paths.len()).sum();
@@ -348,14 +407,23 @@ fn main() {
         0,
         "no second-order membership query may fall back to a non-owning shard"
     );
-    let uniform_max = step_share(&uniform_stats)
+    // Partition quality is judged on owner-attributed routing: stealing
+    // rebalances *execution* for every strategy (so executed-step shares
+    // converge), but only a better partition reduces the walker traffic a
+    // hub shard owns in the first place.
+    let uniform_max = owner_share(&uniform_stats)
         .into_iter()
         .fold(0.0f64, f64::max);
-    let balanced_max = step_share(&stats).into_iter().fold(0.0f64, f64::max);
+    let balanced_max = owner_share(&stats).into_iter().fold(0.0f64, f64::max);
     assert!(
         balanced_max <= uniform_max + 1e-9,
-        "degree-balanced split must not increase the hottest shard's share \
+        "degree-balanced split must not increase the hottest shard's owner load \
          ({balanced_max:.1}% vs {uniform_max:.1}%)"
+    );
+    assert!(
+        hottest <= 40.0,
+        "balanced split + batch stealing must keep the hottest shard at \
+         <=40% of executed steps (got {hottest:.1}%)"
     );
     println!("ok");
 }

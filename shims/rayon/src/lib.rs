@@ -1,26 +1,35 @@
 //! Offline stand-in for the `rayon` crate — with a **real parallel
-//! runtime**.
+//! runtime** on a **persistent worker pool**.
 //!
 //! The build environment has no registry access, so this shim provides the
 //! rayon entry points the workspace uses (`par_iter`, `par_iter_mut`,
-//! `into_par_iter`) over its own executor: a lazily-sized, chunk-splitting
-//! fork-join scheduler on `std::thread` (see [`pool`]). Engine builds and
-//! walk passes in `bingo-core`/`bingo-walks` therefore run genuinely
-//! multi-threaded, not just the shard workers in `bingo-service`.
+//! `into_par_iter`, [`join`], [`spawn`]) over its own executor: a
+//! lazily-initialized team of condvar-parked daemon workers fed through a
+//! global injector (see the `runtime` module's docs in the source), shared
+//! by the fork-join combinators here and by `bingo-service`'s shard tasks.
+//! Engine builds and walk passes in `bingo-core`/`bingo-walks` therefore
+//! run genuinely multi-threaded, and a parallel call costs a queue push —
+//! not a per-call thread spawn (the retired design spawned a scoped team
+//! per call, which dominated sub-millisecond passes).
 //!
 //! ## Execution model
 //!
 //! * The team size comes from `BINGO_THREADS` (a positive integer), else
 //!   [`std::thread::available_parallelism`]; [`current_num_threads`] reports
 //!   it and [`with_threads`] pins it for a scope (shim extension used by the
-//!   determinism tests and `repro parallel`).
+//!   determinism tests and `repro parallel`). Workers are persistent
+//!   daemons: the pool grows to the largest team ever requested (plus
+//!   [`ensure_pool_workers`] floors) and parks idle workers on a condvar.
 //! * Inputs are split into chunks whose boundaries depend only on the input
-//!   length and [`ParIter::with_min_len`] — never on the thread count — and
-//!   outputs are reassembled in input order. **Every combinator is
-//!   bit-identical across thread counts**, including chunked `reduce` and
-//!   floating-point `sum`.
+//!   length and [`ParIter::with_min_len`] — never on the thread count or on
+//!   which participant claims which chunk — and outputs are reassembled in
+//!   input order. **Every combinator is bit-identical across thread
+//!   counts**, including chunked `reduce` and floating-point `sum`.
+//!   Chunking is fused and range-based: chunk items are moved straight out
+//!   of the one source buffer, never re-materialized per chunk.
 //! * Worker panics are re-raised on the caller with their original payload;
-//!   nested parallel calls inside a worker run sequentially inline.
+//!   nested parallel calls inside a pool participant run sequentially
+//!   inline.
 //!
 //! ## Closure contract
 //!
@@ -35,14 +44,21 @@
 //! [`ParIter::reduce`] additionally has a **semantic** contract the type
 //! system cannot check: see its docs.
 
-#![forbid(unsafe_code)]
+// The persistent pool serves *borrowed* fork-join jobs, which requires a
+// contained lifetime erasure plus the fused chunk store's in-place item
+// moves; every unsafe site is `#[allow]`ed individually next to its
+// SAFETY argument (see `runtime.rs` / `pool.rs`). Everything else in the
+// shim stays safe code.
+#![deny(unsafe_code)]
 
 pub mod pool;
+mod runtime;
 
 pub use pool::{
     current_num_threads, pool_profile, pool_profiling_enabled, reset_pool_profile,
     set_pool_profiling, with_threads, PoolProfile,
 };
+pub use runtime::{ensure_pool_workers, join, spawn};
 
 /// A per-item pipeline stage: feeds each input item through the composed
 /// combinator stack, emitting zero or more outputs (zero for a filtered
@@ -264,7 +280,7 @@ where
             op,
             min_len,
         } = self;
-        let chunks = pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+        let chunks = pool::run_chunks(source, min_len, |chunk| {
             let mut out = Vec::with_capacity(chunk.len());
             for item in chunk {
                 op.feed(item, &mut |x| out.push(x));
@@ -291,7 +307,7 @@ where
             op,
             min_len,
         } = self;
-        let partials = pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+        let partials = pool::run_chunks(source, min_len, |chunk| {
             let mut acc: Option<A> = None;
             for item in chunk {
                 op.feed(item, &mut |x| {
@@ -356,7 +372,7 @@ where
                 op,
                 min_len,
             } = self;
-            pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+            pool::run_chunks(source, min_len, |chunk| {
                 let mut items = Vec::with_capacity(chunk.len());
                 for item in chunk {
                     op.feed(item, &mut |x| items.push(x));
@@ -374,7 +390,7 @@ where
             op,
             min_len,
         } = self;
-        let partials = pool::run_chunks(source, min_len, |chunk: Vec<S>| {
+        let partials = pool::run_chunks(source, min_len, |chunk| {
             let mut n = 0usize;
             for item in chunk {
                 op.feed(item, &mut |_| n += 1);

@@ -8,8 +8,16 @@
 //! full team. Per-walker RNG streams are index-derived and the shim's
 //! chunk boundaries are thread-count-independent, so nothing about
 //! scheduling may leak into the results.
+//!
+//! The same contract extends to the sharded service now that its shards
+//! are resumable tasks on the shared pool: cross-shard batch stealing
+//! changes *where* a walker's visit executes, never the visit itself
+//! (thieves run against the owning shard's engine through the same
+//! epoch-checked read path), so `WalkResults` must be bit-identical at
+//! any thread count with stealing on or off.
 
 use bingo::prelude::*;
+use bingo::service::ServiceConfig;
 use bingo::walks::WalkStore;
 
 fn test_graph(vertices: usize, edges: usize, seed: u64) -> DynamicGraph {
@@ -101,6 +109,108 @@ fn walk_engine_results_are_thread_count_independent() {
     let seq = run(1);
     let par = run(8);
     assert_eq!(seq, par);
+}
+
+/// One sharded node2vec wave (second-order, so walkers are forwarded with
+/// carried context) under a pinned team size and an explicit steal policy.
+/// Returns the result paths, slotted by walker index.
+fn service_walk_paths(graph: &DynamicGraph, threads: usize, steal: bool) -> Vec<Vec<VertexId>> {
+    rayon::with_threads(threads, || {
+        let service = WalkService::build(
+            graph,
+            ServiceConfig {
+                num_shards: 4,
+                seed: 0x57EA_11CE,
+                steal: Some(steal),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service builds");
+        let spec = WalkSpec::Node2Vec(Node2VecConfig {
+            walk_length: 14,
+            p: 0.5,
+            q: 2.0,
+        });
+        let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+        let results = service.wait(service.submit(spec, &starts).expect("submit"));
+        service.shutdown();
+        results.paths
+    })
+}
+
+#[test]
+fn service_results_are_thread_count_and_steal_independent() {
+    // Walk paths depend only on the per-walker RNG stream and the engine
+    // state at the observed epoch — never on which shard task (owner or
+    // thief) executed the visit, or on how many workers the pool has.
+    let graph = test_graph(240, 1900, 0x0577_EA11);
+    let baseline = service_walk_paths(&graph, 1, false);
+    assert_eq!(baseline.len(), graph.num_vertices());
+    for threads in [1, 2, 4, 8] {
+        for steal in [false, true] {
+            assert_eq!(
+                service_walk_paths(&graph, threads, steal),
+                baseline,
+                "WalkResults diverged at {threads} threads, steal={steal}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hot_shard_batches_are_stolen_by_idle_peers() {
+    // Every walk starts on shard 0 and is one step long, so shard 0's
+    // inbox floods far past the steal threshold while shards 1–3 sit
+    // idle: the help-trigger must let them drain batches from shard 0's
+    // inbox, and the stolen visits are attributed to the thieves.
+    let n = 64usize;
+    let mut graph = DynamicGraph::new(n);
+    for v in 0..n as VertexId {
+        graph
+            .insert_edge(v, (v + 1) % n as VertexId, Bias::from_int(1))
+            .unwrap();
+    }
+    let trials = 40_000;
+    let service = WalkService::build(
+        &graph,
+        ServiceConfig {
+            num_shards: 4,
+            seed: 0x57EA,
+            // Explicit: the CI matrix runs this suite with BINGO_STEAL=off,
+            // and the config override outranks the environment.
+            steal: Some(true),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let starts = vec![0 as VertexId; trials];
+    let results = service.wait(
+        service
+            .submit(
+                WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 1 }),
+                &starts,
+            )
+            .unwrap(),
+    );
+    assert_eq!(results.paths.len(), trials);
+    let stats = service.shutdown();
+    assert_eq!(stats.total_steps(), trials as u64);
+    assert!(
+        stats.total_stolen_walkers() > 0,
+        "idle peers must steal from the flooded shard: {}",
+        stats.render()
+    );
+    assert!(stats.total_stolen_batches() > 0);
+    // Stolen visits are executed by non-owners: every step a peer shard
+    // reports here came out of shard 0's inbox.
+    let peer_steps: u64 = stats.per_shard[1..].iter().map(|s| s.steps).sum();
+    let peer_stolen: u64 = stats.per_shard[1..].iter().map(|s| s.stolen_walkers).sum();
+    assert_eq!(peer_steps, peer_stolen, "peer steps all come from steals");
+    assert_eq!(
+        stats.per_shard[0].steps + peer_steps,
+        trials as u64,
+        "owner + thieves cover every visit"
+    );
 }
 
 #[test]
