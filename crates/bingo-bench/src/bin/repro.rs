@@ -102,6 +102,12 @@ const EXPERIMENTS: &[Experiment] = &[
         run: experiments::gateway,
     },
     Experiment {
+        name: "obs",
+        description:
+            "Observability plane: exposition endpoint round-trip latency, flight-ring accounting",
+        run: experiments::obs,
+    },
+    Experiment {
         name: "parallel",
         description:
             "Rayon-shim thread team: engine-build/walk-pass speedup vs 1 thread, determinism",

@@ -14,12 +14,14 @@
 //! | Batch size / walk length / distribution sweeps | Figure 15 | [`sweeps::fig15a`] etc. |
 //! | Piecewise update & sampling breakdown | Figure 16 | [`updates::fig16`] |
 //! | Sharded walk-service throughput sweep | — (beyond the paper) | [`service::service`] |
+//! | Exposition latency + flight-ring accounting | — (beyond the paper) | [`obs::obs`] |
 //! | Sharded node2vec equivalence (chi-square) | — (beyond the paper) | [`service::service_node2vec`] |
 //! | Gateway weighted fairness + AIMD sweep | — (beyond the paper) | [`gateway::gateway`] |
 //! | Shim thread-team speedup + determinism | — (beyond the paper) | [`parallel::parallel`] |
 
 pub mod gateway;
 pub mod memory;
+pub mod obs;
 pub mod parallel;
 pub mod service;
 pub mod sweeps;
@@ -28,6 +30,7 @@ pub mod updates;
 
 pub use gateway::gateway;
 pub use memory::{fig11, fig13, fig14};
+pub use obs::obs;
 pub use parallel::parallel;
 pub use service::{service, service_node2vec};
 pub use sweeps::{fig15a, fig15b, fig15c, fig9};

@@ -1,0 +1,175 @@
+//! Observability experiment: endpoint round-trip latency of the
+//! exposition server and the flight ring's capacity accounting, measured
+//! against a live serving stack.
+//!
+//! Beyond the paper: the introspection plane must be cheap enough to
+//! scrape while the stack serves walks. A small sharded service runs a
+//! wave workload to populate the registry, then each endpoint is fetched
+//! `rounds × 8` times over plain `TcpStream`s and the per-endpoint p50 /
+//! max round-trip times are gated (a scrape must never take a meaningful
+//! fraction of a dispatch tick). A final row checks the flight ring:
+//! configured capacity, events recorded by the run, and the exact drop
+//! counter.
+
+use crate::common::{ExperimentConfig, ResultTable};
+use bingo_graph::datasets::StandinDataset;
+use bingo_graph::VertexId;
+use bingo_obs::{ObsConfig, ObsServer};
+use bingo_service::{PartitionStrategy, ServiceConfig, WalkService};
+use bingo_telemetry::{Telemetry, TelemetryConfig};
+use bingo_walks::{DeepWalkConfig, WalkSpec};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Round-trip bound for the PASS column: generous enough for debug builds
+/// and loaded CI machines, tight enough to catch a scrape that serializes
+/// against the serving path.
+const MAX_P50: Duration = Duration::from_millis(50);
+const MAX_WORST: Duration = Duration::from_millis(500);
+
+fn fetch(addr: SocketAddr, path: &str) -> (usize, Duration) {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read response to close");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.len())
+        .unwrap_or(0);
+    (body, start.elapsed())
+}
+
+/// Exposition endpoint latency + flight-ring accounting.
+pub fn obs(config: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Observability: exposition round-trip latency and flight-ring accounting",
+        &["probe", "fetches", "p50_us", "max_us", "value", "pass"],
+    );
+
+    let flight_capacity = 512usize;
+    let telemetry = Telemetry::new(TelemetryConfig {
+        detailed: true,
+        trace_seed: config.seed,
+        flight_capacity,
+        ..TelemetryConfig::default()
+    });
+    let mut rng = config.rng(0x0B5);
+    let graph = StandinDataset::Amazon.build(config.scale, &mut rng);
+    let service = Arc::new(
+        WalkService::build_with_telemetry(
+            &graph,
+            ServiceConfig {
+                num_shards: 4,
+                seed: config.seed,
+                partition: PartitionStrategy::DegreeBalanced,
+                ..ServiceConfig::default()
+            },
+            telemetry.clone(),
+        )
+        .expect("service builds"),
+    );
+    // Populate every metric family the endpoints render: walk waves record
+    // steps, forwards, lifecycle traces and flight events.
+    let starts: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let spec = WalkSpec::DeepWalk(DeepWalkConfig {
+        walk_length: config.walk_length.clamp(4, 20),
+    });
+    for _ in 0..config.rounds.max(1) {
+        let ticket = service.submit(spec, &starts).expect("submit wave");
+        service.wait(ticket);
+    }
+
+    let server = ObsServer::serve(
+        ObsConfig::default(),
+        telemetry.clone(),
+        Some(Arc::clone(&service)),
+        None,
+    )
+    .expect("bind an ephemeral loopback port");
+    let addr = server.local_addr();
+
+    let fetches = (config.rounds.max(1) * 8).max(16);
+    for path in ["/metrics", "/status", "/healthz", "/flight"] {
+        let mut latencies = Vec::with_capacity(fetches);
+        let mut last_bytes = 0usize;
+        for _ in 0..fetches {
+            let (bytes, elapsed) = fetch(addr, path);
+            last_bytes = bytes;
+            latencies.push(elapsed);
+        }
+        latencies.sort_unstable();
+        let p50 = latencies[latencies.len() / 2];
+        let worst = *latencies.last().expect("at least one fetch");
+        let pass = last_bytes > 0 && p50 <= MAX_P50 && worst <= MAX_WORST;
+        table.push_row(vec![
+            path.to_string(),
+            fetches.to_string(),
+            p50.as_micros().to_string(),
+            worst.as_micros().to_string(),
+            format!("{last_bytes}B"),
+            if pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    server.shutdown();
+
+    // Flight-ring accounting: the ring must hold what it was configured to
+    // hold, and the drop counter must be exactly recorded − capacity once
+    // the ring has wrapped (zero before).
+    let flight = telemetry.flight();
+    let recorded = flight.recorded();
+    let expected_drops = recorded.saturating_sub(flight_capacity as u64);
+    let pass = flight.capacity() == flight_capacity
+        && recorded > 0
+        && flight.dropped() == expected_drops
+        && flight.events().len() <= flight_capacity;
+    table.push_row(vec![
+        "flight-ring".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!(
+            "cap={} rec={recorded} drop={}",
+            flight.capacity(),
+            flight.dropped()
+        ),
+        if pass { "PASS" } else { "FAIL" }.to_string(),
+    ]);
+    table.attach_telemetry(&telemetry);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_experiment_serves_and_accounts() {
+        let config = ExperimentConfig {
+            scale: 4000,
+            rounds: 2,
+            walk_length: 8,
+            ..ExperimentConfig::default()
+        };
+        let table = obs(&config);
+        assert_eq!(table.rows.len(), 5);
+        // Latency gates can wobble on a loaded debug-build test machine;
+        // what must hold unconditionally is that every endpoint returned a
+        // body and the flight-ring accounting row passed.
+        for row in &table.rows {
+            assert_ne!(row[4], "0B", "endpoint returned an empty body: {row:?}");
+        }
+        let ring = table.rows.last().expect("flight-ring row");
+        assert_eq!(ring[0], "flight-ring");
+        assert_eq!(ring[5], "PASS", "flight accounting must be exact: {ring:?}");
+    }
+}

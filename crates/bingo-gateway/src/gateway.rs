@@ -10,7 +10,7 @@ use bingo_graph::VertexId;
 use bingo_service::{
     CollectionMode, ServiceError, WalkOutput, WalkRequest, WalkService, WalkTicket,
 };
-use bingo_telemetry::{names, Histogram, Telemetry, TraceStage};
+use bingo_telemetry::{names, FlightEventKind, Histogram, Telemetry, TraceStage};
 use bingo_walks::TenantId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -493,6 +493,18 @@ impl Gateway {
         stats
     }
 
+    /// Age of the oldest chunk still waiting in a tenant queue, `None`
+    /// when every queue is empty. The observability plane's stall
+    /// watchdog uses this to spot a gateway whose backlog sits still
+    /// (e.g. a wedged service keeping the window shut).
+    pub fn oldest_queued_age(&self) -> Option<Duration> {
+        let oldest = {
+            let state = self.inner.state.lock();
+            state.sched.oldest_enqueued_at()
+        };
+        oldest.map(|at| at.elapsed())
+    }
+
     /// Drain every queued and in-flight chunk, stop the dispatcher, and
     /// return the final statistics. New submissions are refused from the
     /// moment this is called.
@@ -642,6 +654,15 @@ fn run_dispatcher(inner: Arc<Inner>, mut window: AimdWindow) {
                     // The target inbox is full right now: park the chunk
                     // back at its queue front (nothing dropped, deficit
                     // refunded) and halve the window — we pushed too hard.
+                    if let ServiceError::Saturated { shard, queued, .. } = &err {
+                        inner
+                            .telemetry
+                            .flight()
+                            .record(FlightEventKind::SaturatedBounce {
+                                shard: *shard as u64,
+                                depth: *queued as u64,
+                            });
+                    }
                     tenant_accum(&inner, &mut state, &chunk.tenant)
                         .saturated_requeues
                         .inc();
@@ -726,6 +747,12 @@ fn record_window(
     state.window_now = w;
     state.window_min_seen = state.window_min_seen.min(w);
     state.window_max_seen = state.window_max_seen.max(w);
+    if event != WindowEvent::Hold {
+        inner
+            .telemetry
+            .flight()
+            .record(FlightEventKind::WindowChange { window: w as u64 });
+    }
     if event != WindowEvent::Hold && state.window_trace.len() < inner.config.window_trace_cap {
         state.window_trace.push(WindowSample {
             at: inner.started_at.elapsed(),

@@ -47,7 +47,11 @@
 //!   sampled walker lifecycles stitch a `dispatch(...)` span between
 //!   `submit` and the per-shard `step`/`hop` spans. See the
 //!   "Observability" section of the `bingo_service` crate docs for the
-//!   metric taxonomy and trace schema.
+//!   metric taxonomy and trace schema. The `bingo-obs` crate serves all
+//!   of it over HTTP (`/metrics`, `/status`, `/healthz`, …) and watches
+//!   the gateway for stalls via [`Gateway::oldest_queued_age`]; window
+//!   moves and saturation bounces also land in its flight recorder
+//!   (see the workspace README's *Observability* section).
 //!
 //! The wire-in diagram lives in the `bingo_service` crate docs; direct
 //! service submission remains fully supported — the gateway is the

@@ -152,6 +152,19 @@ impl DrrScheduler {
         self.active.is_empty()
     }
 
+    /// Enqueue time of the oldest chunk still queued across all tenants
+    /// (`None` when nothing is queued). The stall watchdog compares this
+    /// against now to detect a gateway whose queues sit still while the
+    /// window never reopens.
+    pub fn oldest_enqueued_at(&self) -> Option<Instant> {
+        // `.min()` is an order-insensitive fold over the unordered map.
+        self.tenants
+            .values()
+            .filter_map(|t| t.queue.front())
+            .map(|c| c.enqueued_at)
+            .min()
+    }
+
     /// Append a chunk to its tenant's queue.
     pub fn enqueue(&mut self, chunk: Chunk) {
         let tenant = chunk.tenant.clone();
@@ -400,6 +413,19 @@ mod tests {
         // pays for it without earning another quantum.
         let again = sched.next(usize::MAX).expect("re-dispatch");
         assert_eq!(again.submission, 1, "rejected chunk keeps FIFO position");
+    }
+
+    #[test]
+    fn oldest_enqueued_at_tracks_queue_fronts() {
+        let mut sched = DrrScheduler::new(8);
+        assert!(sched.oldest_enqueued_at().is_none());
+        let first = chunk("a", 1, 4);
+        let first_at = first.enqueued_at;
+        sched.enqueue(first);
+        sched.enqueue(chunk("b", 2, 4));
+        assert_eq!(sched.oldest_enqueued_at(), Some(first_at));
+        while sched.next(usize::MAX).is_some() {}
+        assert!(sched.oldest_enqueued_at().is_none());
     }
 
     #[test]

@@ -25,13 +25,15 @@ use std::collections::HashSet;
 pub(crate) const RULE: &str = "determinism";
 
 /// Layers allowed to read clocks / observe nondeterminism: telemetry
-/// (latency histograms are its purpose), the bench/repro harness, the
-/// lint itself (its reports are not walk output), and examples.
+/// (latency histograms are its purpose), the observability plane (the
+/// stall watchdog measures wall time by design and never feeds walks),
+/// the bench/repro harness, the lint itself (its reports are not walk
+/// output), and examples.
 fn clock_whitelisted(path: &str) -> bool {
     matches!(
         crate_of(path),
         // criterion IS the bench harness; its whole purpose is timing.
-        "bingo-telemetry" | "bingo-bench" | "bingo-lint" | "criterion"
+        "bingo-telemetry" | "bingo-obs" | "bingo-bench" | "bingo-lint" | "criterion"
     ) || path.starts_with("examples/")
         || path.contains("/benches/")
 }

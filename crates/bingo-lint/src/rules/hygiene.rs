@@ -1,10 +1,11 @@
 //! `panic-hygiene` — serving-layer code must not panic casually or write
 //! to stdout.
 //!
-//! `bingo-service` and `bingo-gateway` are the long-running serving
-//! layers: a stray `unwrap()` turns a recoverable condition into a
-//! worker-thread death (which strands walks), and a `println!` corrupts
-//! the machine-readable output contract (examples/repro emit JSON on
+//! `bingo-service`, `bingo-gateway` and `bingo-obs` are the long-running
+//! serving layers: a stray `unwrap()` turns a recoverable condition into
+//! a worker-thread death (which strands walks — or, in the exposition
+//! server, kills the accept loop), and a `println!` corrupts the
+//! machine-readable output contract (examples/repro emit JSON on
 //! stdout). `expect("<invariant>")` is allowed — it documents why the
 //! panic is unreachable — as is anything in test code. Genuine
 //! exceptions take `// lint:allow(panic-hygiene): <reason>`.
@@ -15,7 +16,10 @@ use crate::{crate_of, exempt, Finding};
 pub(crate) const RULE: &str = "panic-hygiene";
 
 fn checked(path: &str) -> bool {
-    matches!(crate_of(path), "bingo-service" | "bingo-gateway")
+    matches!(
+        crate_of(path),
+        "bingo-service" | "bingo-gateway" | "bingo-obs"
+    )
 }
 
 pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {

@@ -144,6 +144,15 @@
 //! 6 vertices. Spans recorded by different shard tasks stitch on
 //! `(ticket, walker)` — see `bingo_telemetry::Tracer::lifecycles`.
 //!
+//! **Exposition.** Everything above — the registry as Prometheus text,
+//! per-shard stats as JSON, the trace ring, the flight recorder's
+//! structured runtime events (steals, saturation bounces, epoch
+//! advances, shard park/unpark), and a lazy stall watchdog — is served
+//! over HTTP by the `bingo-obs` crate (`/metrics`, `/status`, `/trace`,
+//! `/flight`, `/healthz`), opt-in via `BINGO_OBS=host:port`. See the
+//! workspace README's *Observability* section for the endpoint table and
+//! flight-event taxonomy.
+//!
 //! ## Concurrency invariants
 //!
 //! The service's locking is small and ordered; `bingo-lint` enforces the

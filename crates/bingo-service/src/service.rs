@@ -31,7 +31,7 @@ use bingo_core::partition::Partitioner;
 use bingo_core::{BingoConfig, BingoEngine, BingoError};
 use bingo_graph::{DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
 use bingo_sampling::rng::{Pcg64, SplitMix64};
-use bingo_telemetry::{names, Gauge, Histogram, Telemetry, TraceStage};
+use bingo_telemetry::{names, FlightEventKind, Gauge, Histogram, Telemetry, TraceStage};
 use bingo_walks::walk_store::WalkStore;
 use bingo_walks::{
     CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, SharedWalkModel,
@@ -764,10 +764,17 @@ impl WalkService {
                 .enumerate()
                 .find(|&(_, &extra)| extra > self.max_inbox)
             {
+                let queued = self.counters[shard].queue_depth().max(0) as usize;
                 self.counters[shard].saturated_rejections.inc();
+                self.telemetry
+                    .flight()
+                    .record(FlightEventKind::SaturatedBounce {
+                        shard: shard as u64,
+                        depth: queued as u64,
+                    });
                 return Err(ServiceError::Saturated {
                     shard,
-                    queued: self.counters[shard].queue_depth().max(0) as usize,
+                    queued,
                     capacity: self.max_inbox,
                     retryable: false,
                 });
@@ -779,6 +786,12 @@ impl WalkService {
                 let queued = self.counters[shard].queue_depth().max(0) as usize;
                 if queued + extra > self.max_inbox {
                     self.counters[shard].saturated_rejections.inc();
+                    self.telemetry
+                        .flight()
+                        .record(FlightEventKind::SaturatedBounce {
+                            shard: shard as u64,
+                            depth: queued as u64,
+                        });
                     return Err(ServiceError::Saturated {
                         shard,
                         queued,
@@ -1389,6 +1402,11 @@ impl ServiceShared {
             )
             .is_ok()
         {
+            self.telemetry
+                .flight()
+                .record(FlightEventKind::ShardUnpark {
+                    shard: shard as u64,
+                });
             let shared = Arc::clone(self);
             rayon::spawn(move || shared.run_shard_task(shard));
         }
@@ -1470,6 +1488,9 @@ impl ServiceShared {
         // schedules a fresh activation) or enqueued before our store and
         // is caught by this recheck.
         me.sched.store(SCHED_IDLE, Ordering::Release);
+        self.telemetry.flight().record(FlightEventKind::ShardPark {
+            shard: shard_id as u64,
+        });
         if !me.inbox.lock().is_empty() {
             self.schedule(shard_id);
         }
@@ -1518,6 +1539,13 @@ impl ServiceShared {
         let c = &self.counters[thief];
         c.stolen_batches.inc();
         c.stolen_walkers.add(stolen.len() as u64);
+        self.telemetry
+            .flight()
+            .record(FlightEventKind::StealExecuted {
+                thief: thief as u64,
+                victim: victim as u64,
+                walkers: stolen.len() as u64,
+            });
         for walker in stolen {
             // Queue-depth accounting stays with the victim (its inbox
             // shrank); execution time is billed to the thief.
@@ -1614,6 +1642,12 @@ impl ServiceShared {
         // read lock and sees epoch e knows the engine reflects exactly the
         // first e flushed batches, never a partially applied one.
         c.epoch.add_release(1);
+        self.telemetry
+            .flight()
+            .record(FlightEventKind::EpochAdvance {
+                shard: shard_id as u64,
+                epoch: c.epoch.get_acquire(),
+            });
     }
 
     /// Capture the model-declared cross-shard context before forwarding:

@@ -1,0 +1,388 @@
+//! `flight` — a lock-free bounded ring of structured runtime events.
+//!
+//! The flight recorder is the post-mortem counterpart to the sampled
+//! [`Tracer`](crate::Tracer): instead of following individual walkers it
+//! records *rare, load-bearing* runtime transitions — a steal executing, a
+//! `Saturated` bounce, an AIMD window change, an epoch advance, a shard
+//! parking or unparking, a watchdog trip. Events carry a **relative tick**
+//! (the monotonically increasing record index), never a wall-clock
+//! timestamp, so recording from inside the deterministic pipeline stays
+//! determinism-lint-clean.
+//!
+//! The ring is a fixed array of per-slot seqlocks: a writer claims a slot
+//! with one `fetch_add` on the head counter, marks the slot's sequence odd
+//! while the payload words are in flight, and marks it even (encoding the
+//! claiming tick) when done. Readers snapshot without blocking writers and
+//! simply skip torn slots. When the ring wraps, the oldest events are
+//! overwritten and counted by [`FlightRecorder::dropped`].
+//!
+//! On panic, [`FlightRecorder::install_panic_hook`] dumps the ring to
+//! stderr so a wedged CI run leaves a diagnosable trail.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One structured runtime event. Payload fields are small integers so the
+/// record path is a handful of atomic stores — cheap enough to leave on
+/// even in release runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A shard (`thief`) stole a batch of `walkers` from `victim`'s inbox.
+    StealExecuted {
+        /// Shard that executed the steal.
+        thief: u64,
+        /// Shard the batch was taken from.
+        victim: u64,
+        /// Walkers moved by the steal.
+        walkers: u64,
+    },
+    /// An admission attempt bounced with `Saturated` at `shard` whose
+    /// inbox sat at `depth` walkers.
+    SaturatedBounce {
+        /// Shard that refused admission.
+        shard: u64,
+        /// Inbox depth observed at the bounce.
+        depth: u64,
+    },
+    /// The gateway's AIMD in-flight window moved to `window`.
+    WindowChange {
+        /// New window size in walkers.
+        window: u64,
+    },
+    /// `shard` applied an update batch and advanced to `epoch`.
+    EpochAdvance {
+        /// Shard that advanced.
+        shard: u64,
+        /// Epoch after the advance.
+        epoch: u64,
+    },
+    /// `shard`'s task drained its inbox and returned to the idle state.
+    ShardPark {
+        /// Shard that parked.
+        shard: u64,
+    },
+    /// `shard` was scheduled onto the pool after new work arrived.
+    ShardUnpark {
+        /// Shard that was scheduled.
+        shard: u64,
+    },
+    /// The stall watchdog observed `shard` holding `depth` queued walkers
+    /// without progress past the stall threshold.
+    WatchdogTrip {
+        /// Shard flagged as stalled.
+        shard: u64,
+        /// Inbox depth at the trip.
+        depth: u64,
+    },
+}
+
+impl FlightEventKind {
+    fn encode(self) -> (u64, u64, u64, u64) {
+        match self {
+            FlightEventKind::StealExecuted {
+                thief,
+                victim,
+                walkers,
+            } => (1, thief, victim, walkers),
+            FlightEventKind::SaturatedBounce { shard, depth } => (2, shard, depth, 0),
+            FlightEventKind::WindowChange { window } => (3, window, 0, 0),
+            FlightEventKind::EpochAdvance { shard, epoch } => (4, shard, epoch, 0),
+            FlightEventKind::ShardPark { shard } => (5, shard, 0, 0),
+            FlightEventKind::ShardUnpark { shard } => (6, shard, 0, 0),
+            FlightEventKind::WatchdogTrip { shard, depth } => (7, shard, depth, 0),
+        }
+    }
+
+    fn decode(code: u64, a: u64, b: u64, c: u64) -> Option<Self> {
+        Some(match code {
+            1 => FlightEventKind::StealExecuted {
+                thief: a,
+                victim: b,
+                walkers: c,
+            },
+            2 => FlightEventKind::SaturatedBounce { shard: a, depth: b },
+            3 => FlightEventKind::WindowChange { window: a },
+            4 => FlightEventKind::EpochAdvance { shard: a, epoch: b },
+            5 => FlightEventKind::ShardPark { shard: a },
+            6 => FlightEventKind::ShardUnpark { shard: a },
+            7 => FlightEventKind::WatchdogTrip { shard: a, depth: b },
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase tag for the event kind (used by dumps and docs).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FlightEventKind::StealExecuted { .. } => "steal",
+            FlightEventKind::SaturatedBounce { .. } => "saturated",
+            FlightEventKind::WindowChange { .. } => "window",
+            FlightEventKind::EpochAdvance { .. } => "epoch",
+            FlightEventKind::ShardPark { .. } => "park",
+            FlightEventKind::ShardUnpark { .. } => "unpark",
+            FlightEventKind::WatchdogTrip { .. } => "watchdog-trip",
+        }
+    }
+
+    fn render(&self) -> String {
+        match *self {
+            FlightEventKind::StealExecuted {
+                thief,
+                victim,
+                walkers,
+            } => format!("steal thief={thief} victim={victim} walkers={walkers}"),
+            FlightEventKind::SaturatedBounce { shard, depth } => {
+                format!("saturated shard={shard} depth={depth}")
+            }
+            FlightEventKind::WindowChange { window } => format!("window window={window}"),
+            FlightEventKind::EpochAdvance { shard, epoch } => {
+                format!("epoch shard={shard} epoch={epoch}")
+            }
+            FlightEventKind::ShardPark { shard } => format!("park shard={shard}"),
+            FlightEventKind::ShardUnpark { shard } => format!("unpark shard={shard}"),
+            FlightEventKind::WatchdogTrip { shard, depth } => {
+                format!("watchdog-trip shard={shard} depth={depth}")
+            }
+        }
+    }
+}
+
+/// A decoded flight-recorder event: a relative tick plus the event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Record index at which the event was written. Ticks are relative and
+    /// monotonic, not wall-clock times: event `t+1` was recorded after
+    /// event `t`, nothing more.
+    pub tick: u64,
+    /// The recorded event.
+    pub kind: FlightEventKind,
+}
+
+impl FlightEvent {
+    /// One-line rendering, e.g. `[42] steal thief=1 victim=0 walkers=8`.
+    pub fn render(&self) -> String {
+        format!("[{}] {}", self.tick, self.kind.render())
+    }
+}
+
+/// One ring slot: a seqlock over four payload words. `seq == 0` means the
+/// slot has never been written; odd means a write is in flight; even
+/// `2*tick + 2` means tick `tick`'s payload is complete.
+struct Slot {
+    seq: AtomicU64,
+    code: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    c: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            code: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Ring {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+/// The bounded, lock-free flight recorder. Cloning shares the ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    ring: Arc<Ring>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Arc::new(Ring {
+                head: AtomicU64::new(0),
+                slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            }),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.ring.slots.len()
+    }
+
+    /// Record one event. Wait-free: one `fetch_add` plus five stores.
+    pub fn record(&self, kind: FlightEventKind) {
+        // The tick counter orders events; payload visibility is carried by
+        // the seq Release stores below.
+        let tick = self.ring.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.ring.slots[(tick % self.ring.slots.len() as u64) as usize];
+        let (code, a, b, c) = kind.encode();
+        // Odd seq: payload in flight — readers skip the slot.
+        slot.seq.store(tick * 2 + 1, Ordering::Release);
+        slot.code.store(code, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.c.store(c, Ordering::Relaxed);
+        // Even seq encodes the claiming tick, so a reader can pair the
+        // payload with its tick and detect overwrites between its loads.
+        slot.seq.store(tick * 2 + 2, Ordering::Release);
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.ring.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to ring wraparound: everything recorded beyond the
+    /// ring's capacity has overwritten an older slot.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Snapshot the ring's readable events, oldest first. Slots with a
+    /// write in flight (or overwritten mid-read) are skipped rather than
+    /// reported torn.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.capacity());
+        for slot in self.ring.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or write in flight
+            }
+            let code = slot.code.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            let c = slot.c.load(Ordering::Relaxed);
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 != s2 {
+                continue; // overwritten between the two seq loads
+            }
+            let tick = s1 / 2 - 1;
+            if let Some(kind) = FlightEventKind::decode(code, a, b, c) {
+                out.push(FlightEvent { tick, kind });
+            }
+        }
+        out.sort_by_key(|e| e.tick);
+        out
+    }
+
+    /// Human-readable dump of the ring: a header with capacity, recorded
+    /// and dropped counts, then one line per readable event.
+    pub fn dump(&self) -> String {
+        let events = self.events();
+        let mut out = format!(
+            "flight recorder: {} events (capacity {}, {} recorded, {} dropped)\n",
+            events.len(),
+            self.capacity(),
+            self.recorded(),
+            self.dropped()
+        );
+        for event in &events {
+            out.push_str(&event.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Install a process-wide panic hook that dumps this ring to stderr
+    /// (chaining the previously installed hook), so a panicking run leaves
+    /// its last recorded events in the log.
+    pub fn install_panic_hook(&self) {
+        let sink: Box<dyn Write + Send> = Box::new(StderrSink);
+        self.install_panic_hook_to(Arc::new(Mutex::new_named(sink, "telemetry.flight.sink")));
+    }
+
+    /// [`install_panic_hook`](Self::install_panic_hook) with an explicit
+    /// sink instead of stderr. Exposed so tests can assert on the dumped
+    /// bytes without capturing the process's stderr.
+    pub fn install_panic_hook_to(&self, sink: Arc<Mutex<Box<dyn Write + Send>>>) {
+        let recorder = self.clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            {
+                let mut sink = sink.lock();
+                let _ = writeln!(sink, "{}", recorder.dump().trim_end());
+                let _ = sink.flush();
+            }
+            previous(info);
+        }));
+    }
+}
+
+/// Forwarder so the stderr handle is resolved at write time, not capture
+/// time (test harnesses replace stderr per test).
+struct StderrSink;
+
+impl Write for StderrSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        std::io::stderr().write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::stderr().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_in_order() {
+        let rec = FlightRecorder::new(8);
+        rec.record(FlightEventKind::ShardUnpark { shard: 0 });
+        rec.record(FlightEventKind::StealExecuted {
+            thief: 1,
+            victim: 0,
+            walkers: 8,
+        });
+        rec.record(FlightEventKind::ShardPark { shard: 0 });
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].tick, 0);
+        assert_eq!(events[1].kind.tag(), "steal");
+        assert_eq!(rec.recorded(), 3);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let rec = FlightRecorder::new(4);
+        for shard in 0..10u64 {
+            rec.record(FlightEventKind::ShardPark { shard });
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 6);
+        // The surviving ticks are the newest four.
+        let ticks: Vec<u64> = events.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn dump_mentions_counts() {
+        let rec = FlightRecorder::new(2);
+        rec.record(FlightEventKind::WindowChange { window: 64 });
+        let dump = rec.dump();
+        assert!(dump.contains("capacity 2"));
+        assert!(dump.contains("window window=64"));
+    }
+}

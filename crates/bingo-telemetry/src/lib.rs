@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -52,6 +53,7 @@ pub mod names;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use hist::{bucket_index, bucket_lower_bound, HistogramSnapshot, NUM_BUCKETS};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{MetricKey, MetricValue, Registry, RegistrySnapshot};
@@ -75,6 +77,10 @@ pub struct TelemetryConfig {
     pub trace_sample_one_in: u64,
     /// Ring-buffer bound on buffered trace events.
     pub trace_capacity: usize,
+    /// Ring-buffer bound on flight-recorder events. The recorder is always
+    /// live (recording a rare event is a handful of atomic stores), in
+    /// every mode including [`Telemetry::disabled`].
+    pub flight_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -84,6 +90,7 @@ impl Default for TelemetryConfig {
             trace_seed: 0xB1960,
             trace_sample_one_in: 64,
             trace_capacity: 65_536,
+            flight_capacity: 1024,
         }
     }
 }
@@ -92,6 +99,7 @@ struct Inner {
     registry: Registry,
     detailed: bool,
     tracer: Option<Tracer>,
+    flight: FlightRecorder,
     started: Instant,
 }
 
@@ -132,6 +140,7 @@ impl Telemetry {
                 registry: Registry::new(),
                 detailed: config.detailed,
                 tracer,
+                flight: FlightRecorder::new(config.flight_capacity),
                 started: Instant::now(),
             }),
         }
@@ -240,6 +249,13 @@ impl Telemetry {
     /// The tracer, if lifecycle tracing is on.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.inner.tracer.as_ref()
+    }
+
+    /// The flight recorder — always live, in every mode. See
+    /// the [`crate::flight`] module for the event taxonomy.
+    #[inline]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
     }
 
     /// Whether `(ticket, walker)` is in the sampled trace set (`false`

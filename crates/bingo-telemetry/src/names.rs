@@ -52,6 +52,12 @@
 //! | `runtime.pool.park_ns` | counter | nanos workers spent condvar-parked |
 //! | `service.shard.stolen_batches` | counter | walker batches stolen from a peer inbox |
 //! | `service.shard.stolen_walkers` | counter | walker visits executed via stealing |
+//! | `obs.http.requests` | counter | exposition requests served (labeled by endpoint) |
+//! | `obs.http.errors` | counter | malformed/unroutable exposition requests |
+//! | `obs.flight.recorded` | counter | flight-recorder events mirrored at snapshot time |
+//! | `obs.flight.dropped` | counter | flight events lost to ring wraparound |
+//! | `obs.watchdog.checks` | counter | lazy watchdog evaluations |
+//! | `obs.watchdog.trips` | counter | stall-watchdog trips (shard or gateway) |
 
 /// `service.shard.steps` — steps sampled by a shard (counter).
 pub const SERVICE_SHARD_STEPS: &str = "service.shard.steps";
@@ -144,3 +150,21 @@ pub const SERVICE_SHARD_STOLEN_BATCHES: &str = "service.shard.stolen_batches";
 /// `service.shard.stolen_walkers` — walker visits executed via stealing
 /// (counter, attributed to the executing shard).
 pub const SERVICE_SHARD_STOLEN_WALKERS: &str = "service.shard.stolen_walkers";
+/// `obs.http.requests` — exposition requests served, labeled
+/// `endpoint="/metrics"` etc. (counter).
+pub const OBS_HTTP_REQUESTS: &str = "obs.http.requests";
+/// `obs.http.errors` — malformed or unroutable exposition requests
+/// (counter).
+pub const OBS_HTTP_ERRORS: &str = "obs.http.errors";
+/// `obs.flight.recorded` — flight-recorder events ever recorded, mirrored
+/// into the registry at snapshot time (counter).
+pub const OBS_FLIGHT_RECORDED: &str = "obs.flight.recorded";
+/// `obs.flight.dropped` — flight events overwritten by ring wraparound,
+/// mirrored at snapshot time (counter).
+pub const OBS_FLIGHT_DROPPED: &str = "obs.flight.dropped";
+/// `obs.watchdog.checks` — lazy stall-watchdog evaluations (counter).
+pub const OBS_WATCHDOG_CHECKS: &str = "obs.watchdog.checks";
+/// `obs.watchdog.trips` — stall-watchdog trips: a shard sat non-empty
+/// without progress, or the gateway's oldest queued request aged past the
+/// threshold (counter).
+pub const OBS_WATCHDOG_TRIPS: &str = "obs.watchdog.trips";

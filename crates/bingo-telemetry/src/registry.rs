@@ -14,7 +14,7 @@
 //! and one-line JSON ([`RegistrySnapshot::to_json`]).
 
 use crate::hist::HistogramCore;
-use crate::json::{escape, JsonArray, JsonObject};
+use crate::json::{JsonArray, JsonObject};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::HistogramSnapshot;
 use parking_lot::Mutex;
@@ -286,7 +286,9 @@ impl RegistrySnapshot {
 
     /// Prometheus-style exposition text: dots in names become underscores,
     /// histograms expand to `_count`/`_sum` plus cumulative `_bucket{le=…}`
-    /// series on the log2 bucket upper edges.
+    /// series on the log2 bucket upper edges. Label values are escaped per
+    /// the Prometheus text format ([`escape_prometheus_label`]), which is
+    /// *not* JSON escaping.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (key, value) in &self.entries {
@@ -295,7 +297,7 @@ impl RegistrySnapshot {
                 let mut pairs: Vec<String> = key
                     .labels
                     .iter()
-                    .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_prometheus_label(v)))
                     .collect();
                 if let Some((k, v)) = extra {
                     pairs.push(format!("{k}=\"{v}\""));
@@ -372,6 +374,25 @@ impl RegistrySnapshot {
     }
 }
 
+/// Escape a label value per the Prometheus text exposition format: only
+/// backslash, double-quote and line feed are escaped (`\\`, `\"`, `\n`);
+/// every other byte — including tabs and other control characters — passes
+/// through verbatim. This is deliberately *not* JSON escaping: JSON's
+/// `\t`/`\r`/`\uXXXX` sequences are invalid in Prometheus label values and
+/// make scrapers reject the whole exposition.
+pub fn escape_prometheus_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +431,29 @@ mod tests {
         assert_eq!(left.counter("only_b", &[]), 1);
         assert_eq!(left.histogram("h", &[]).count(), 2);
         assert_eq!(left.histogram("h", &[]).quantile(0.5), 8);
+    }
+
+    #[test]
+    fn prometheus_label_escaping_is_text_format_not_json() {
+        let reg = Registry::new();
+        // Hostile label values: backslash, double-quote, newline, tab.
+        reg.counter("evil.count", &[("tenant", "a\\b\"c\nd\te")])
+            .add(1);
+        let prom = reg.snapshot().to_prometheus();
+        // Prometheus text format: \\ , \" , \n escaped; tab passes raw.
+        assert!(
+            prom.contains("evil_count{tenant=\"a\\\\b\\\"c\\nd\te\"} 1"),
+            "bad exposition: {prom:?}"
+        );
+        // JSON-only sequences must not appear.
+        assert!(!prom.contains("\\t"), "JSON tab escape leaked: {prom:?}");
+        assert!(!prom.contains("\\u"), "JSON \\u escape leaked: {prom:?}");
+        // The escaped newline keeps the sample on one physical line.
+        let line = prom
+            .lines()
+            .find(|l| l.starts_with("evil_count"))
+            .expect("sample rendered");
+        assert!(line.ends_with(" 1"));
     }
 
     #[test]

@@ -17,17 +17,43 @@
 //! service (`BINGO_TELEMETRY=off` opts out), so sampled walker lifecycles
 //! stitch the DRR dispatch to the shard-side spans.
 //!
+//! With `--obs`, the run additionally exposes the whole stack — gateway
+//! and service — through the observability plane on an ephemeral loopback
+//! port (printed as `obs_addr=`), then fetches its own `/healthz` and
+//! `/status` so CI can gate on them in single-process output.
+//!
 //! ```text
-//! cargo run --release --example gateway_fairness
+//! cargo run --release --example gateway_fairness [-- --obs]
 //! ```
 
 use bingo::gateway::{AimdConfig, TenantId};
+use bingo::obs::{ObsConfig, ObsServer};
 use bingo::prelude::*;
 use bingo::telemetry::json::{JsonArray, JsonObject};
 use bingo::telemetry::{names, Tracer};
 use rand::RngCore;
+use std::io::{Read as IoRead, Write as IoWrite};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Minimal HTTP/1.0 GET against the exposition server: returns the body.
+fn obs_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to obs server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read response to close");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .expect("response has a header/body separator")
+}
 
 const SHARDS: usize = 4;
 /// Scale divisor for the LiveJournal stand-in (~8k vertices).
@@ -40,6 +66,7 @@ const LIGHT_WEIGHT: u32 = 1;
 const QUEUE_BOUND: usize = 25_000;
 
 fn main() {
+    let obs_enabled = std::env::args().any(|a| a == "--obs");
     let mut rng = Pcg64::seed_from_u64(0x6A7E);
     let graph = bingo::graph::datasets::StandinDataset::LiveJournal.build(SCALE, &mut rng);
     let num_vertices = graph.num_vertices();
@@ -65,7 +92,8 @@ fn main() {
         )
         .expect("service builds"),
     );
-    let gateway = Gateway::new(
+    let service_for_obs = Arc::clone(&service);
+    let gateway = Arc::new(Gateway::new(
         service,
         GatewayConfig {
             chunk_walkers: 32,
@@ -81,7 +109,22 @@ fn main() {
             },
             ..GatewayConfig::default()
         },
-    );
+    ));
+    // With --obs, expose the full stack for the duration of the run; the
+    // fetched values are printed at the end, after the drain.
+    let obs_server = if obs_enabled {
+        let server = ObsServer::serve(
+            ObsConfig::default(),
+            telemetry.clone(),
+            Some(service_for_obs),
+            Some(Arc::clone(&gateway)),
+        )
+        .expect("bind an ephemeral loopback port");
+        println!("obs_addr={}", server.local_addr());
+        Some(server)
+    } else {
+        None
+    };
 
     // Saturating offered load: both tenants enqueue their full workload up
     // front (interleaved, so neither gets a head start), far more than the
@@ -157,7 +200,21 @@ fn main() {
         total_paths += results.paths.len();
     }
     let elapsed = t0.elapsed();
-    let stats = gateway.shutdown();
+    // Scrape ourselves after the drain: every tenant's completions are in
+    // the registry, and a healthy stack must report exactly that.
+    if let Some(server) = &obs_server {
+        let health = obs_get(server.local_addr(), "/healthz");
+        println!("obs_healthz={}", health.trim());
+        let status = obs_get(server.local_addr(), "/status");
+        println!("obs_status={}", status.trim());
+        assert_eq!(health.trim(), "ok", "/healthz must report healthy");
+        assert!(
+            status.contains("\"per_tenant\":["),
+            "/status must carry the gateway tenant table"
+        );
+        server.shutdown();
+    }
+    let stats = gateway.stats();
     println!("\nper-tenant gateway stats:\n{}", stats.render());
 
     let heavy_t = stats.tenant(&heavy_id).expect("heavy tenant exists");

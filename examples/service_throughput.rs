@@ -25,16 +25,44 @@
 //! cost over the telemetry-disabled baseline (the disabled mode itself
 //! adds no clock reads, so the baseline run *is* the no-telemetry cost).
 //!
+//! With `--obs`, the validation service additionally runs with the
+//! observability plane attached: an exposition server binds an ephemeral
+//! loopback port (printed as `obs_addr=`), and the example fetches its own
+//! `/metrics` and `/healthz` over a plain `TcpStream` so CI can gate on the
+//! scraped values in single-process output.
+//!
 //! ```text
-//! cargo run --release --example service_throughput
+//! cargo run --release --example service_throughput [-- --obs]
 //! ```
 
+use bingo::obs::{ObsConfig, ObsServer};
 use bingo::prelude::*;
 use bingo::sampling::stats::{chi_square, chi_square_critical_999};
 use bingo::service::{PartitionStrategy, ServiceConfig};
 use bingo::telemetry::{names, Tracer};
 use bingo_graph::updates::UpdateKind;
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Minimal HTTP/1.0 GET against the exposition server: returns the body.
+fn obs_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to obs server");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read response to close");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .expect("response has a header/body separator")
+}
 
 const SHARDS: usize = 4;
 const TOTAL_EVENTS: usize = 12_000;
@@ -103,6 +131,10 @@ fn owner_share(stats: &ServiceStats) -> Vec<f64> {
 }
 
 fn main() {
+    // Observability is opt-in: the --obs flag (ephemeral port) or a
+    // BINGO_OBS=host:port bind address. Neither set → no listener at all.
+    let obs_enabled = std::env::args().any(|a| a == "--obs")
+        || std::env::var(bingo::obs::OBS_ENV).is_ok_and(|v| !v.trim().is_empty());
     // A scaled-down LiveJournal stand-in plus a mixed update stream.
     let mut rng = Pcg64::seed_from_u64(0x5E71CE);
     let mut graph = bingo::graph::datasets::StandinDataset::LiveJournal.build(1_000, &mut rng);
@@ -297,16 +329,26 @@ fn main() {
     // chi-square the service's transitions against the edge biases.
     let mut mirror = graph.clone();
     mirror.apply_batch(&stream);
-    let service = WalkService::build(
-        &mirror,
-        ServiceConfig {
-            num_shards: SHARDS,
-            seed: 0x7418,
-            partition: PartitionStrategy::DegreeBalanced,
-            ..ServiceConfig::default()
-        },
-    )
-    .expect("service builds");
+    // With --obs the validation service records into a live registry so
+    // the exposition server has something to serve.
+    let obs_telemetry = if obs_enabled {
+        Telemetry::enabled(0x7418)
+    } else {
+        Telemetry::disabled()
+    };
+    let service = Arc::new(
+        WalkService::build_with_telemetry(
+            &mirror,
+            ServiceConfig {
+                num_shards: SHARDS,
+                seed: 0x7418,
+                partition: PartitionStrategy::DegreeBalanced,
+                ..ServiceConfig::default()
+            },
+            obs_telemetry.clone(),
+        )
+        .expect("service builds"),
+    );
     let v = (0..mirror.num_vertices() as VertexId)
         .max_by_key(|&v| mirror.degree(v))
         .expect("non-empty graph");
@@ -361,7 +403,41 @@ fn main() {
         n2v.num_walks, n2v.total_steps
     );
 
-    let final_stats = service.shutdown();
+    // With --obs, expose the validation service and scrape ourselves: the
+    // printed lines are what CI gates on (nonzero step samples, healthy).
+    if obs_enabled {
+        // BINGO_OBS picks the bind address when set; --obs alone takes an
+        // ephemeral loopback port.
+        let from_env = bingo::obs::serve_from_env(&obs_telemetry, Some(Arc::clone(&service)), None);
+        let server = match from_env {
+            Some(server) => server,
+            None => ObsServer::serve(
+                ObsConfig::default(),
+                obs_telemetry.clone(),
+                Some(Arc::clone(&service)),
+                None,
+            )
+            .expect("bind an ephemeral loopback port"),
+        };
+        println!("obs_addr={}", server.local_addr());
+        let metrics = obs_get(server.local_addr(), "/metrics");
+        let scraped_steps: u64 = metrics
+            .lines()
+            .filter(|l| l.starts_with("service_shard_steps"))
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+            .sum();
+        println!("obs_metrics_steps_total={scraped_steps}");
+        let health = obs_get(server.local_addr(), "/healthz");
+        println!("obs_healthz={}", health.trim());
+        assert!(
+            scraped_steps > 0,
+            "scraped /metrics must show executed steps"
+        );
+        assert_eq!(health.trim(), "ok", "/healthz must report healthy");
+        server.shutdown();
+    }
+
+    let final_stats = service.stats();
     println!(
         "\nper-shard service stats (validation service):\n{}",
         final_stats.render()

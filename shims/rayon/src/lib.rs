@@ -58,7 +58,7 @@ pub use pool::{
     current_num_threads, pool_profile, pool_profiling_enabled, reset_pool_profile,
     set_pool_profiling, with_threads, PoolProfile,
 };
-pub use runtime::{ensure_pool_workers, join, spawn};
+pub use runtime::{ensure_pool_workers, join, spawn, spawn_blocking};
 
 /// A per-item pipeline stage: feeds each input item through the composed
 /// combinator stack, emitting zero or more outputs (zero for a filtered

@@ -283,6 +283,18 @@ pub fn spawn<F: FnOnce() + Send + 'static>(f: F) {
     runtime().push_task(Box::new(f));
 }
 
+/// Queue a long-lived, potentially blocking task (an accept loop, a
+/// connection handler that may sit in a read) onto the persistent pool,
+/// growing the pool by one worker first so the parked task never starves
+/// fork-join passes or shard tasks of their workers (shim extension;
+/// rayon proper has no blocking-task story).
+pub fn spawn_blocking<F: FnOnce() + Send + 'static>(f: F) {
+    let rt = runtime();
+    let workers = rt.inject.lock().workers;
+    rt.ensure_workers(workers + 1);
+    rt.push_task(Box::new(f));
+}
+
 /// A posted `join` closure: taken by at most one helper, result handed
 /// back through a slot.
 struct JoinJob<B, RB> {

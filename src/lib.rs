@@ -29,6 +29,10 @@
 //!   per-tenant queues, deficit-round-robin fair scheduling with
 //!   configurable weights, and AIMD adaptive backpressure driven by the
 //!   service's occupancy counters.
+//! * [`obs`] — the introspection plane: a dependency-free HTTP exposition
+//!   server (`/metrics`, `/status`, `/trace`, `/flight`, `/healthz`), a
+//!   lock-free flight recorder of runtime events (dumped on panic), and a
+//!   lazy stall watchdog behind `/healthz`. Opt-in via `BINGO_OBS`.
 //!
 //! ## Quickstart
 //!
@@ -83,6 +87,7 @@ pub use bingo_baselines as baselines;
 pub use bingo_core as core;
 pub use bingo_gateway as gateway;
 pub use bingo_graph as graph;
+pub use bingo_obs as obs;
 pub use bingo_sampling as sampling;
 pub use bingo_service as service;
 pub use bingo_telemetry as telemetry;
@@ -96,6 +101,7 @@ pub mod prelude {
         Bias, BiasDistribution, DynamicGraph, GraphGenerator, UpdateBatch, UpdateEvent,
         UpdateStreamBuilder, VertexId,
     };
+    pub use bingo_obs::{ObsConfig, ObsServer, WatchdogConfig};
     pub use bingo_sampling::{rng::Pcg64, AliasTable, CdfTable, Sampler};
     pub use bingo_service::{
         CollectionMode, IngestReceipt, PartitionStrategy, ServiceConfig, ServiceStats,
