@@ -113,6 +113,12 @@ const EXPERIMENTS: &[Experiment] = &[
             "Rayon-shim thread team: engine-build/walk-pass speedup vs 1 thread, determinism",
         run: experiments::parallel,
     },
+    Experiment {
+        name: "transport",
+        description:
+            "Serialized wire round-trip vs in-process forwarding; scoped vs wholesale invalidation",
+        run: experiments::transport,
+    },
 ];
 
 fn print_usage() {

@@ -18,6 +18,7 @@
 //! | Sharded node2vec equivalence (chi-square) | — (beyond the paper) | [`service::service_node2vec`] |
 //! | Gateway weighted fairness + AIMD sweep | — (beyond the paper) | [`gateway::gateway`] |
 //! | Shim thread-team speedup + determinism | — (beyond the paper) | [`parallel::parallel`] |
+//! | Serialized transport round-trip + scoped invalidation | — (beyond the paper) | [`transport::transport`] |
 
 pub mod gateway;
 pub mod memory;
@@ -26,6 +27,7 @@ pub mod parallel;
 pub mod service;
 pub mod sweeps;
 pub mod tables;
+pub mod transport;
 pub mod updates;
 
 pub use gateway::gateway;
@@ -35,4 +37,5 @@ pub use parallel::parallel;
 pub use service::{service, service_node2vec};
 pub use sweeps::{fig15a, fig15b, fig15c, fig9};
 pub use tables::{table1, table2, table3, table4};
+pub use transport::transport;
 pub use updates::{fig12, fig16};

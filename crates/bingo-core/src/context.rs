@@ -9,10 +9,16 @@
 //! The provider removes it: the top-k owned vertices by degree get
 //! their fingerprints built **once per engine generation** and held behind
 //! `Arc`s (handing one out is a pointer clone), while cold vertices are
-//! built on demand. Any structural mutation of the engine's edge set (insert
-//! or delete — reweights keep membership intact) invalidates the provider; the hot set is rebuilt lazily on the next request, so
-//! workloads that never capture context (first-order walks) never pay for
-//! it.
+//! built on demand. A structural mutation of the engine's edge set (insert
+//! or delete — reweights keep membership intact) invalidates only the
+//! snapshots of the vertices it touched: the update paths know their
+//! source-vertex sets, so untouched hubs keep serving `Arc` clones across
+//! epochs and touched hot hubs are re-encoded in place
+//! (`ContextProvider::invalidate_vertices`). Wholesale flushes (the
+//! pre-scoping behavior, kept behind
+//! `BingoConfig::scoped_context_invalidation = false` as the measurable
+//! baseline) rebuild the hot set lazily on the next request, so workloads
+//! that never capture context (first-order walks) never pay for it.
 //!
 //! The provider is owned by [`BingoEngine`](crate::BingoEngine) and used
 //! through [`BingoEngine::context_fingerprint`](crate::BingoEngine::context_fingerprint).
@@ -32,6 +38,11 @@ pub struct ContextProviderStats {
     pub cold_builds: u64,
     /// Times the hot set was (re)built after an invalidation.
     pub hot_rebuilds: u64,
+    /// Hot snapshots evicted individually by scoped invalidation (vs the
+    /// whole-set flushes counted via `hot_rebuilds`).
+    pub scoped_evictions: u64,
+    /// Hot snapshots re-encoded in place after a scoped eviction.
+    pub hot_refreshes: u64,
 }
 
 /// Per-generation cache of hot-hub adjacency fingerprints.
@@ -54,6 +65,8 @@ pub(crate) struct ContextProvider {
     /// Atomic for the same reason as `hot_hits`.
     cold_builds: AtomicU64,
     hot_rebuilds: u64,
+    scoped_evictions: u64,
+    hot_refreshes: u64,
 }
 
 impl Clone for ContextProvider {
@@ -66,6 +79,8 @@ impl Clone for ContextProvider {
             // relaxed-ok: monotonic stat counters; no ordering required.
             cold_builds: AtomicU64::new(self.cold_builds.load(Ordering::Relaxed)),
             hot_rebuilds: self.hot_rebuilds,
+            scoped_evictions: self.scoped_evictions,
+            hot_refreshes: self.hot_refreshes,
         }
     }
 }
@@ -76,6 +91,31 @@ impl ContextProvider {
     pub(crate) fn invalidate(&mut self) {
         self.hot.clear();
         self.built = false;
+    }
+
+    /// Scoped invalidation: drop only the snapshots of `touched` vertices,
+    /// returning the ids that were actually hot. The rest of the hot set —
+    /// whose adjacency the update did not change — stays valid, and `built`
+    /// stays `true`, so untouched hubs keep serving `Arc` clones across
+    /// structural epochs. Callers re-encode the returned ids in place
+    /// ([`ContextProvider::refresh_hot`]) so touched hubs do not silently
+    /// degrade to cold builds.
+    pub(crate) fn invalidate_vertices(&mut self, touched: &[VertexId]) -> Vec<VertexId> {
+        let mut evicted = Vec::new();
+        for &v in touched {
+            if self.hot.remove(&v).is_some() {
+                evicted.push(v);
+            }
+        }
+        self.scoped_evictions += evicted.len() as u64;
+        evicted
+    }
+
+    /// Re-install a freshly encoded snapshot for a vertex evicted by
+    /// [`ContextProvider::invalidate_vertices`].
+    pub(crate) fn refresh_hot(&mut self, v: VertexId, fingerprint: Arc<Vec<VertexId>>) {
+        self.hot.insert(v, fingerprint);
+        self.hot_refreshes += 1;
     }
 
     pub(crate) fn is_built(&self) -> bool {
@@ -111,6 +151,8 @@ impl ContextProvider {
             // relaxed-ok: monotonic stat counter; no ordering required.
             cold_builds: self.cold_builds.load(Ordering::Relaxed),
             hot_rebuilds: self.hot_rebuilds,
+            scoped_evictions: self.scoped_evictions,
+            hot_refreshes: self.hot_refreshes,
         }
     }
 }

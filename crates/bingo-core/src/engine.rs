@@ -315,6 +315,31 @@ impl BingoEngine {
         self.context.stats()
     }
 
+    /// Invalidate context fingerprints after a structural mutation of the
+    /// out-adjacency of `touched` (owned, deduplicated source vertices).
+    /// With [`BingoConfig::scoped_context_invalidation`] the eviction is
+    /// scoped: only the touched vertices' snapshots drop, and evicted hot
+    /// hubs are re-encoded in place, so untouched hubs keep their shared
+    /// `Arc`s across structural epochs. With the knob off (the measurable
+    /// baseline) the whole hot set flushes and is rebuilt lazily.
+    fn invalidate_context_for(&mut self, touched: &[VertexId]) {
+        if !self.config.scoped_context_invalidation {
+            self.context.invalidate();
+            return;
+        }
+        if !self.context.is_built() {
+            // Nothing cached yet — the first warm_context builds from the
+            // already-updated adjacency.
+            return;
+        }
+        for v in self.context.invalidate_vertices(touched) {
+            if let Some(i) = self.local(v) {
+                let fingerprint = Arc::new(Self::fingerprint_of(&self.spaces[i]));
+                self.context.refresh_hot(v, fingerprint);
+            }
+        }
+    }
+
     /// Streaming edge insertion (`O(K)` for the affected vertex).
     pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, bias: Bias) -> Result<()> {
         if (dst as usize) >= self.global_vertices {
@@ -326,7 +351,7 @@ impl BingoEngine {
         self.vertex_space_mut(src)?.insert(dst, bias)?;
         self.num_edges += 1;
         self.stats.insertions += 1;
-        self.context.invalidate();
+        self.invalidate_context_for(&[src]);
         Ok(())
     }
 
@@ -335,7 +360,7 @@ impl BingoEngine {
         self.vertex_space_mut(src)?.delete(dst)?;
         self.num_edges -= 1;
         self.stats.deletions += 1;
-        self.context.invalidate();
+        self.invalidate_context_for(&[src]);
         Ok(())
     }
 
@@ -381,7 +406,7 @@ impl BingoEngine {
         let outcome = space.apply_batch(&[], &dsts);
         self.num_edges -= outcome.deleted;
         self.stats.deletions += outcome.deleted as u64;
-        self.context.invalidate();
+        self.invalidate_context_for(&[v]);
         Ok(outcome.deleted)
     }
 
@@ -414,6 +439,10 @@ impl BingoEngine {
         // CPU-side reordering step of Figure 10(a): per-vertex work lists.
         type VertexOps = Option<(Vec<(VertexId, Bias)>, Vec<VertexId>)>;
         let mut per_vertex: Vec<VertexOps> = vec![None; self.spaces.len()];
+        // The vertices whose neighbor-id membership this batch changes —
+        // exactly the fingerprint-invalidation scope (bias-only touches
+        // keep membership intact and stay out of it).
+        let mut structural_srcs: Vec<VertexId> = Vec::new();
         let mut structural = false;
         for event in batch.events() {
             let Some(src) = self.local(event.src()) else {
@@ -429,11 +458,13 @@ impl BingoEngine {
                     if valid_dst(dst) {
                         entry.0.push((dst, bias));
                         structural = true;
+                        structural_srcs.push(event.src());
                     }
                 }
                 UpdateEvent::Delete { dst, .. } => {
                     entry.1.push(dst);
                     structural = true;
+                    structural_srcs.push(event.src());
                 }
                 UpdateEvent::UpdateBias { dst, bias, .. } => {
                     // Reweights keep the neighbor-id set intact, so they do
@@ -483,8 +514,13 @@ impl BingoEngine {
             // Inserts/deletes change neighbor-id membership, so cached
             // fingerprints of touched vertices are stale. Empty flushes and
             // bias-only batches leave the hot set intact — epoch ticks
-            // without adjacency changes must not evict it.
-            self.context.invalidate();
+            // without adjacency changes must not evict it. The batch knows
+            // exactly which source vertices it touched, so invalidation is
+            // scoped to them (`split_by_owner`-style locality) instead of
+            // flushing every hub the batch never went near.
+            structural_srcs.sort_unstable();
+            structural_srcs.dedup();
+            self.invalidate_context_for(&structural_srcs);
         }
         total
     }
@@ -898,15 +934,18 @@ mod tests {
         assert_eq!(stats.hot_hits, 2);
         assert_eq!(stats.cold_builds, 1);
 
-        // A mutation invalidates; the next request rebuilds the hot set and
-        // reflects the new adjacency.
+        // A mutation invalidates the touched vertex's snapshot; scoped
+        // invalidation refreshes it in place — no whole-set rebuild.
         let dst = (0..120u32).find(|&d| !engine.has_edge(hub, d)).unwrap();
         engine.insert_edge(hub, dst, Bias::from_int(3)).unwrap();
         let (fp3, hot3) = engine.context_fingerprint(hub).unwrap();
         assert!(hot3);
         assert!(!Arc::ptr_eq(&fp1, &fp3), "stale snapshot dropped");
         assert!(fp3.binary_search(&dst).is_ok(), "new edge visible");
-        assert_eq!(engine.context_provider_stats().hot_rebuilds, 2);
+        let stats = engine.context_provider_stats();
+        assert_eq!(stats.hot_rebuilds, 1, "scoped eviction, not a flush");
+        assert_eq!(stats.scoped_evictions, 1);
+        assert_eq!(stats.hot_refreshes, 1);
 
         // Batched updates invalidate too.
         let batch = UpdateBatch::new(vec![UpdateEvent::Delete { src: hub, dst }]);
@@ -939,6 +978,62 @@ mod tests {
         // Non-owned vertices have no fingerprint.
         let mut shard = BingoEngine::build_range(&graph, 0..10, BingoConfig::default()).unwrap();
         assert!(shard.context_fingerprint(50).is_none());
+    }
+
+    #[test]
+    fn scoped_invalidation_keeps_untouched_hub_snapshots() {
+        let graph = random_graph(77, 200, 4000);
+        let config = BingoConfig {
+            context_hot_hubs: 16,
+            ..BingoConfig::default()
+        };
+        let mut scoped = BingoEngine::build(&graph, config).unwrap();
+        let mut wholesale = BingoEngine::build(
+            &graph,
+            BingoConfig {
+                scoped_context_invalidation: false,
+                ..config
+            },
+        )
+        .unwrap();
+
+        let mut by_degree: Vec<VertexId> = (0..200u32).collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(scoped.degree(v)));
+        let (hub_a, hub_b) = (by_degree[0], by_degree[1]);
+        let (fp_a, hot_a) = scoped.context_fingerprint(hub_a).unwrap();
+        let (_, hot_b) = scoped.context_fingerprint(hub_b).unwrap();
+        assert!(hot_a && hot_b, "both top hubs in a 16-entry hot set");
+        wholesale.warm_context();
+
+        // A batch touching only hub_b must leave hub_a's Arc untouched
+        // under scoped invalidation — and flush it under wholesale.
+        let dst = (0..200u32).find(|&d| !scoped.has_edge(hub_b, d)).unwrap();
+        let batch = UpdateBatch::new(vec![UpdateEvent::Insert {
+            src: hub_b,
+            dst,
+            bias: Bias::from_int(2),
+        }]);
+        scoped.apply_batch(&batch);
+        wholesale.apply_batch(&batch);
+
+        let (fp_a2, hot_a2) = scoped.context_fingerprint_shared(hub_a).unwrap();
+        assert!(hot_a2, "untouched hub stays hot without a re-warm");
+        assert!(Arc::ptr_eq(&fp_a, &fp_a2), "untouched snapshot survives");
+        let (fp_b2, hot_b2) = scoped.context_fingerprint_shared(hub_b).unwrap();
+        assert!(hot_b2, "touched hub was refreshed in place");
+        assert!(fp_b2.binary_search(&dst).is_ok(), "refresh sees the insert");
+
+        // Wholesale flush: until the next warm_context, even the untouched
+        // hub degrades to a cold build — the miss cost scoping removes.
+        let (_, wholesale_hot) = wholesale.context_fingerprint_shared(hub_a).unwrap();
+        assert!(!wholesale_hot, "wholesale flush dropped the untouched hub");
+
+        let s = scoped.context_provider_stats();
+        assert_eq!(s.hot_rebuilds, 1);
+        assert_eq!(s.scoped_evictions, 1);
+        assert_eq!(s.hot_refreshes, 1);
+        let w = wholesale.context_provider_stats();
+        assert_eq!(w.scoped_evictions, 0, "knob off never scopes");
     }
 
     #[test]

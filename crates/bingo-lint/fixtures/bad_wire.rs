@@ -1,0 +1,24 @@
+//! Fixture: `wire-format` must fire on endianness, width, and ordering
+//! hazards in a wire-path file — and stay quiet on the escaped line.
+
+use std::collections::HashMap;
+
+pub struct FrameIndex {
+    pub offsets: HashMap<u32, usize>,
+}
+
+pub fn encode(path: &[u32], buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&path.len().to_le_bytes());
+    for v in path {
+        buf.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+pub fn decode_len(raw: [u8; 8]) -> usize {
+    usize::from_le_bytes(raw)
+}
+
+pub fn decode_tag(raw: [u8; 4]) -> u32 {
+    // lint:allow(wire-format) interop with a fixed big-endian peer
+    u32::from_be_bytes(raw)
+}

@@ -117,6 +117,10 @@ pub const RULES: &[(&str, &str)] = &[
         "panic-hygiene",
         "no unwrap()/println! in bingo-service/bingo-gateway non-test code",
     ),
+    (
+        "wire-format",
+        "wire-path files: little-endian only, no usize on the wire, no unordered containers",
+    ),
 ];
 
 /// The crate a workspace-relative path belongs to (`crates/x/...` or
@@ -152,6 +156,9 @@ pub fn lint_files(files: &[FileInput], cfg: &LintConfig) -> Vec<Finding> {
         }
         if cfg.rule_enabled("panic-hygiene") {
             findings.extend(rules::hygiene::check(&file.path, &lexed));
+        }
+        if cfg.rule_enabled("wire-format") {
+            findings.extend(rules::wire::check(&file.path, &lexed));
         }
     }
     if cfg.rule_enabled("lock-discipline") {

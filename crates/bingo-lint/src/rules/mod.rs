@@ -6,3 +6,4 @@ pub mod determinism;
 pub mod hygiene;
 pub mod locks;
 pub mod metrics;
+pub mod wire;

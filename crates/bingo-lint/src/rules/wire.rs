@@ -1,0 +1,116 @@
+//! `wire-format` — the serialization-boundary hygiene rule.
+//!
+//! Files that define on-wire layouts (`**/wire.rs`, `**/wire/**`) must
+//! encode portably and deterministically: every integer crosses the
+//! boundary as fixed-width little-endian (the spec in
+//! `bingo_walks::wire`). Three patterns break that and are flagged:
+//!
+//! - **native/big-endian conversions** (`to_ne_bytes`, `from_ne_bytes`,
+//!   `to_be_bytes`, `from_be_bytes`) — `ne` silently changes the format
+//!   between hosts, `be` silently diverges from the spec;
+//! - **platform-width `usize` flowing into a byte conversion** — a
+//!   `usize` mentioned in the same statement as
+//!   `to_le_bytes`/`from_le_bytes`, or the `.len().to_le_bytes()`
+//!   shape. Lengths must be pinned through one audited width helper
+//!   (see `len_u32` in `bingo_walks::wire`) so a 32-bit peer reads the
+//!   same frame;
+//! - **unordered containers** (`HashMap`/`HashSet`) — their iteration
+//!   order would leak into the byte stream; wire code uses sorted
+//!   `Vec`s (or `BTreeMap`) so equal values encode to equal bytes.
+//!
+//! A justified exception carries `// lint:allow(wire-format)` in its
+//! statement window (e.g. interop with a fixed big-endian peer).
+
+use crate::lexer::{Lexed, TokKind};
+use crate::{exempt, Finding};
+
+pub(crate) const RULE: &str = "wire-format";
+
+/// Only files that define wire layouts are held to this rule.
+fn checked(path: &str) -> bool {
+    path.ends_with("/wire.rs") || path.contains("/wire/")
+}
+
+const NON_LE: &[&str] = &[
+    "to_ne_bytes",
+    "from_ne_bytes",
+    "to_be_bytes",
+    "from_be_bytes",
+];
+
+/// Token index range of the statement containing `idx`: from just after
+/// the closest preceding `;`/`{`/`}` through just before the next one.
+fn statement_span(lexed: &Lexed, idx: usize) -> (usize, usize) {
+    let toks = &lexed.tokens;
+    let boundary = |i: usize| {
+        toks[i].kind == TokKind::Punct && matches!(toks[i].text.as_str(), ";" | "{" | "}")
+    };
+    let mut start = idx;
+    while start > 0 && !boundary(start - 1) {
+        start -= 1;
+    }
+    let mut end = idx + 1;
+    while end < toks.len() && !boundary(end) {
+        end += 1;
+    }
+    (start, end)
+}
+
+pub fn check(path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !checked(path) {
+        return findings;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let message = match t.text.as_str() {
+            text if NON_LE.contains(&text) => format!(
+                "`{text}` in a wire-format file: the wire is fixed-width little-endian \
+                 (use to_le_bytes/from_le_bytes, or justify with `// lint:allow({RULE})`)"
+            ),
+            "HashMap" | "HashSet" => format!(
+                "unordered `{}` in a wire-format file: iteration order would leak into \
+                 the byte stream; use a sorted Vec or BTreeMap",
+                t.text
+            ),
+            "to_le_bytes" | "from_le_bytes" => {
+                // `.len().to_le_bytes()` encodes a platform-width length
+                // directly; a `usize` anywhere else in the statement means
+                // one flows into the conversion unpinned.
+                let after_len_call = i >= 4
+                    && toks[i - 1].text == "."
+                    && toks[i - 2].text == ")"
+                    && toks[i - 3].text == "("
+                    && toks[i - 4].text == "len";
+                let (s, e) = statement_span(lexed, i);
+                let usize_in_stmt = toks[s..e]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "usize");
+                if !(after_len_call || usize_in_stmt) {
+                    continue;
+                }
+                format!(
+                    "platform-width usize flows into `{}`: pin the width through an \
+                     audited helper (e.g. a u32 length guard) so 32-bit peers read \
+                     the same frame",
+                    t.text
+                )
+            }
+            _ => continue,
+        };
+        if exempt(lexed, i, RULE) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RULE,
+            file: path.to_string(),
+            line: t.line,
+            message,
+        });
+    }
+    findings
+}

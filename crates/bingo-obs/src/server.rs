@@ -315,6 +315,17 @@ fn render_status(inner: &ServerInner) -> String {
             "hottest_step_share",
             &format!("{:.4}", stats.hottest_step_share()),
         );
+        // Snapshot-handle negotiation and the serialized-transport byte
+        // flow (zero until a forward offers a handle / ships a frame).
+        svc.field_num("handle_offers", stats.total_handle_offers());
+        svc.field_num("handle_hits", stats.total_handle_hits());
+        svc.field_num("body_requests", stats.total_body_requests());
+        svc.field_raw(
+            "handle_hit_rate",
+            &format!("{:.4}", stats.handle_hit_rate()),
+        );
+        svc.field_num("transport_bytes_sent", stats.total_transport_bytes_sent());
+        svc.field_num("transport_bytes_recv", stats.total_transport_bytes_recv());
         let total_steps = stats.total_steps().max(1);
         let mut shards = JsonArray::new();
         for sh in &stats.per_shard {

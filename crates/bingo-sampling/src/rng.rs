@@ -69,6 +69,26 @@ impl Pcg64 {
         let s = ((self.next() as u128) << 64) | self.next() as u128;
         Pcg64::new(s, stream as u128)
     }
+
+    /// The raw `(state, increment)` pair, for serializing an in-flight
+    /// generator (e.g. a forwarded walker's RNG crossing a process
+    /// boundary). Round-trips exactly through
+    /// [`Pcg64::from_raw_parts`] — unlike [`Pcg64::new`], which scrambles
+    /// its inputs to decorrelate user-chosen seeds.
+    pub fn to_raw_parts(&self) -> (u128, u128) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuild a generator from a raw `(state, increment)` pair previously
+    /// read with [`Pcg64::to_raw_parts`]. The low increment bit is forced
+    /// to 1 (a PCG stream invariant) so no byte pattern can produce an
+    /// invalid generator.
+    pub fn from_raw_parts(state: u128, inc: u128) -> Self {
+        Pcg64 {
+            state,
+            inc: inc | 1,
+        }
+    }
 }
 
 impl RngCore for Pcg64 {
@@ -248,6 +268,19 @@ mod tests {
         let a: Vec<u64> = (0..20).map(|_| s1.next()).collect();
         let b: Vec<u64> = (0..20).map(|_| s2.next()).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pcg_raw_parts_round_trip_mid_stream() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        for _ in 0..17 {
+            rng.next();
+        }
+        let (state, inc) = rng.to_raw_parts();
+        let mut resumed = Pcg64::from_raw_parts(state, inc);
+        let expect: Vec<u64> = (0..32).map(|_| rng.next()).collect();
+        let got: Vec<u64> = (0..32).map(|_| resumed.next()).collect();
+        assert_eq!(expect, got, "raw parts must resume the exact stream");
     }
 
     #[test]

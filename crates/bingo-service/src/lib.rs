@@ -42,12 +42,25 @@
 //!   hubs once per epoch (`bingo_core::context`), each shard encodes a
 //!   `(vertex, epoch)` snapshot at most once per
 //!   [`ServiceConfig::context_encoding`] (exact / delta-varint / opt-in
-//!   Bloom — see `bingo_walks::model` for the wire formats), and every
-//!   walker forwarded in the same wave shares it as an `Arc` clone. A
-//!   missing capture is **not** silently served as "no edge": the
-//!   fallback is counted per shard (`context_misses`) and asserted on in
-//!   debug builds. Finished walks are collected by ticket and can be
-//!   deposited into a [`WalkStore`](bingo_walks::walk_store::WalkStore).
+//!   Bloom — see `bingo_walks::model` for the wire formats), and what
+//!   ships is **negotiated with the receiver's snapshot cache**: a
+//!   `(vertex, epoch)` the receiver already holds goes as a true 16-byte
+//!   handle ([`CONTEXT_HANDLE_BYTES`]), a miss ships the body and seeds
+//!   the receiver. A missing capture is **not** silently served as "no
+//!   edge": the fallback is counted per shard (`context_misses`) and
+//!   asserted on in debug builds. Finished walks are collected by ticket
+//!   and can be deposited into a
+//!   [`WalkStore`](bingo_walks::walk_store::WalkStore).
+//! * The **distribution boundary is pluggable** (see the [`transport`]
+//!   module and the workspace README's *Distribution readiness*
+//!   section): [`TransportMode::Serialized`] round-trips every forwarded
+//!   walker through the versioned wire format of `bingo_walks::wire` —
+//!   encode, carry via a [`ShardTransport`], decode, rebuild from the
+//!   frame alone — so the accounted bytes are real bytes and the same
+//!   forwarding path works across process boundaries
+//!   ([`WalkService::build_with_transport`]; proven by
+//!   `examples/two_process_demo.rs` over a loopback `TcpStream`). Walk
+//!   output is bit-identical to the in-process mode.
 //! * The [`WalkClient`] facade serves the same [`WalkRequest`]s from
 //!   either a sharded service or a plain in-process
 //!   [`BingoEngine`](bingo_core::BingoEngine) — one front-end, two
@@ -163,13 +176,18 @@
 //!   condvar), `service.done_rx` (the collector's end of the completion
 //!   channel), `service.router` (update coalescing), per shard
 //!   `service.shard_inbox` / `service.shard_engine` (an `RwLock`) /
-//!   `service.shard_ctx_cache`, and `service.termination` (shutdown
-//!   rendezvous). The nested orders are **`done_rx` → `pending`**,
-//!   **`router` → `shard_inbox`** (flush pushes while coalescing), and
-//!   **`shard_engine` → `shard_ctx_cache`** (context captured under the
-//!   read guard, cache cleared under the write guard) — every path
-//!   agrees, so the cross-function lock-order graph stays acyclic even
-//!   jointly with the pool's `rayon.*` locks.
+//!   `service.shard_ctx_cache` (sender-side encode cache) /
+//!   `service.shard_rx_cache` (receiver-side handle-negotiation cache),
+//!   `service.models` (ticket → walk model, for rebuilding serialized
+//!   frames), and `service.termination` (shutdown rendezvous). The
+//!   nested orders are **`done_rx` → `pending`**, **`pending` →
+//!   `models`** (collection drops the model), **`router` →
+//!   `shard_inbox`** (flush pushes while coalescing), and
+//!   **`shard_engine` → `shard_ctx_cache`** / **`shard_engine` →
+//!   `shard_rx_cache`** (capture and negotiation under the read guard,
+//!   eviction under the write guard; the two caches are never held
+//!   together) — every path agrees, so the cross-function lock-order
+//!   graph stays acyclic even jointly with the pool's `rayon.*` locks.
 //! * Collection uses a **single-drainer hand-off**: exactly one waiter
 //!   holds `done_rx` and blocks on `recv`, depositing every completion it
 //!   sees and waking peers through `pending_cv`; peers whose ticket is
@@ -242,6 +260,7 @@
 pub mod client;
 pub mod service;
 pub mod stats;
+pub mod transport;
 
 pub use client::{CollectionMode, RequestParts, WalkClient, WalkHandle, WalkOutput, WalkRequest};
 pub use service::{
@@ -250,6 +269,7 @@ pub use service::{
     CONTEXT_HANDLE_BYTES,
 };
 pub use stats::{ServiceStats, ShardStatsSnapshot};
+pub use transport::{LoopbackTransport, ShardTransport, TransportMode};
 
 // The context-encoding knob of `ServiceConfig` and the tenant metadata of
 // `WalkRequest` live in `bingo-walks` (walk-model layer); re-exported so
@@ -952,5 +972,204 @@ mod tests {
             assert_eq!(trace.src, pair[0]);
             assert_eq!(trace.dst, pair[1]);
         }
+    }
+
+    fn node2vec(len: usize) -> WalkSpec {
+        WalkSpec::Node2Vec(Node2VecConfig {
+            walk_length: len,
+            p: 0.5,
+            q: 2.0,
+        })
+    }
+
+    #[test]
+    fn serialized_transport_is_bit_identical_and_bills_real_bytes() {
+        // The tentpole invariant: routing every forwarded walker through
+        // encode → carry → decode → rebuild must not change a single step,
+        // and in serialized mode the byte counters count real frames.
+        let graph = ring_graph(24);
+        let starts = [0u32, 6, 13, 23];
+        let run = |mode: TransportMode| {
+            let service = WalkService::build(
+                &graph,
+                ServiceConfig {
+                    num_shards: 4,
+                    transport: mode,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap();
+            let results = service.wait(service.submit(node2vec(12), &starts).unwrap());
+            (results.paths, service.shutdown())
+        };
+        let (in_paths, in_stats) = run(TransportMode::InProcess);
+        let (ser_paths, ser_stats) = run(TransportMode::Serialized);
+        assert_eq!(
+            in_paths, ser_paths,
+            "the wire round-trip must be invisible to walk output"
+        );
+        assert!(ser_stats.total_forwards() > 0, "ring walks cross shards");
+        assert!(
+            ser_stats.total_transport_bytes_sent() > 0,
+            "serialized forwards ship frames"
+        );
+        assert_eq!(
+            ser_stats.total_transport_bytes_sent(),
+            ser_stats.total_transport_bytes_recv(),
+            "the loopback carrier delivers every byte it is handed"
+        );
+        assert_eq!(
+            in_stats.total_transport_bytes_sent(),
+            0,
+            "in-process forwards ship nothing"
+        );
+        assert_eq!(
+            ser_stats.total_context_misses(),
+            0,
+            "rebuilt walkers answer every membership query from the frame"
+        );
+    }
+
+    #[test]
+    fn handle_negotiation_ships_handles_on_repeat_forwards() {
+        // First submission seeds the receivers' snapshot caches (every
+        // offer ships the body); a second identical submission in the same
+        // epoch finds them warm, so offers resolve to 16-byte handles.
+        let graph = ring_graph(24);
+        let starts: Vec<u32> = (0..24).collect();
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        service.wait(service.submit(node2vec(10), &starts).unwrap());
+        service.wait(service.submit(node2vec(10), &starts).unwrap());
+        let stats = service.shutdown();
+        assert!(
+            stats.total_handle_offers() > 0,
+            "ring snapshots are larger than a handle, so offers happen"
+        );
+        assert!(stats.total_handle_hits() > 0, "repeat forwards hit");
+        assert!(stats.total_body_requests() > 0, "first forwards seed");
+        assert_eq!(
+            stats.total_handle_hits() + stats.total_body_requests(),
+            stats.total_handle_offers(),
+            "every offer either hits or ships the body"
+        );
+        assert!(stats.handle_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_cache_occupancy_stays_bounded_across_epochs() {
+        // Satellite regression: snapshot caches hold one slot per key, so
+        // a long structural-update stream must not grow them — occupancy
+        // is bounded by the forwarded-vertex set, never by epoch count.
+        let graph = ring_graph(16);
+        let num_shards = 4usize;
+        let service = WalkService::build(
+            &graph,
+            ServiceConfig {
+                num_shards,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let starts: Vec<u32> = (0..16).collect();
+        for i in 0..16u32 {
+            service.wait(service.submit(node2vec(8), &starts).unwrap());
+            let receipt = service.ingest(&UpdateBatch::new(vec![UpdateEvent::Insert {
+                src: i,
+                dst: (i + 5) % 16,
+                bias: Bias::from_int(1),
+            }]));
+            service.sync(receipt);
+            let (sender, receiver) = service.snapshot_cache_occupancy();
+            assert!(
+                sender <= 16,
+                "sender cache exceeds the vertex set: {sender}"
+            );
+            assert!(
+                receiver <= num_shards * 16,
+                "receiver caches exceed (shard, vertex) keys: {receiver}"
+            );
+        }
+        let (sender, receiver) = service.snapshot_cache_occupancy();
+        assert!(sender > 0 || receiver > 0, "walks populated the caches");
+        service.shutdown();
+    }
+
+    #[test]
+    fn scoped_invalidation_keeps_untouched_snapshots_warm() {
+        // Scoped mode evicts only the vertices a structural batch touched;
+        // the wholesale baseline flushes everything a structurally-updated
+        // shard owns. The batch touches one vertex per shard (the router
+        // splits it by owner), so under wholesale EVERY shard flushes and
+        // both cache tiers end empty, while scoped eviction drops at most
+        // the four touched vertices.
+        let run = |scoped: bool| {
+            let graph = ring_graph(16);
+            let engine = bingo_core::BingoConfig {
+                scoped_context_invalidation: scoped,
+                ..Default::default()
+            };
+            let service = WalkService::build(
+                &graph,
+                ServiceConfig {
+                    num_shards: 4,
+                    engine,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap();
+            let starts: Vec<u32> = (0..16).collect();
+            service.wait(service.submit(node2vec(10), &starts).unwrap());
+            let before = service.snapshot_cache_occupancy();
+            // One touched vertex in each shard's uniform 4-vertex range.
+            let events: Vec<UpdateEvent> = [0u32, 4, 8, 12]
+                .iter()
+                .map(|&src| UpdateEvent::Insert {
+                    src,
+                    dst: (src + 7) % 16,
+                    bias: Bias::from_int(1),
+                })
+                .collect();
+            let receipt = service.ingest(&UpdateBatch::new(events));
+            service.sync(receipt);
+            let after = service.snapshot_cache_occupancy();
+            service.shutdown();
+            (before, after)
+        };
+        let (scoped_before, scoped_after) = run(true);
+        assert!(
+            scoped_before.0 > 0 && scoped_before.1 > 0,
+            "walks populated both cache tiers: {scoped_before:?}"
+        );
+        // At most the four touched vertices may leave the sender tier.
+        assert!(
+            scoped_after.0 + 4 >= scoped_before.0,
+            "scoped eviction dropped more than the touched vertices: \
+             {scoped_before:?} -> {scoped_after:?}"
+        );
+        assert!(
+            scoped_after.0 > 0,
+            "untouched snapshots survive a scoped eviction"
+        );
+        let (wholesale_before, wholesale_after) = run(false);
+        assert_eq!(
+            wholesale_before, scoped_before,
+            "identical workload populates identically"
+        );
+        assert_eq!(
+            wholesale_after,
+            (0, 0),
+            "wholesale invalidation empties both cache tiers"
+        );
+        assert!(
+            scoped_after.0 > wholesale_after.0,
+            "scoped keeps snapshots the wholesale baseline throws away"
+        );
     }
 }

@@ -27,12 +27,14 @@
 //! on each walker's private RNG and the engine epoch it sampled under.
 
 use crate::stats::{ServiceStats, ShardCounters};
+use crate::transport::{LoopbackTransport, ShardTransport, TransportMode};
 use bingo_core::partition::Partitioner;
 use bingo_core::{BingoConfig, BingoEngine, BingoError};
 use bingo_graph::{DynamicGraph, UpdateBatch, UpdateEvent, VertexId};
 use bingo_sampling::rng::{Pcg64, SplitMix64};
 use bingo_telemetry::{names, FlightEventKind, Gauge, Histogram, Telemetry, TraceStage};
 use bingo_walks::walk_store::WalkStore;
+use bingo_walks::wire::{self, ContextHandle, FrameContext, WalkerFrame};
 use bingo_walks::{
     CarriedContext, ContextEncoding, ContextMembership, ContextRequirement, SharedWalkModel,
     WalkCursor, WalkSpec,
@@ -190,6 +192,13 @@ pub struct ServiceConfig {
     /// Stealing never changes walk output, only which shard task executes
     /// a visit, so this is purely a load-balance/latency knob.
     pub steal: Option<bool>,
+    /// How forwarded walkers cross the shard boundary. The default
+    /// ([`TransportMode::InProcess`]) moves them as in-process
+    /// allocations; [`TransportMode::Serialized`] round-trips every
+    /// forward through the versioned wire format (encode → carry →
+    /// decode → rebuild), making the accounted bytes real bytes while
+    /// keeping walk output bit-identical. See [`crate::transport`].
+    pub transport: TransportMode,
 }
 
 impl Default for ServiceConfig {
@@ -204,6 +213,7 @@ impl Default for ServiceConfig {
             partition: PartitionStrategy::Uniform,
             context_encoding: ContextEncoding::Exact,
             steal: None,
+            transport: TransportMode::default(),
         }
     }
 }
@@ -237,13 +247,14 @@ const SCHED_IDLE: u8 = 0;
 /// guaranteed to re-check the inbox before the shard goes idle.
 const SCHED_SCHEDULED: u8 = 1;
 
-/// Bytes billed for re-forwarding a snapshot already shipped this epoch: a
-/// `(vertex, epoch)` handle instead of the payload. In-process this is an
-/// `Arc` clone; the constant models what a wire protocol with a receiver-
-/// side snapshot cache would resend. Snapshots whose payload is smaller
-/// than the handle are billed at payload size (a real protocol would just
-/// inline them).
-pub const CONTEXT_HANDLE_BYTES: usize = 16;
+/// Bytes shipped when the receiver's snapshot cache already holds the
+/// offered `(vertex, epoch)` snapshot: the wire-format
+/// [`ContextHandle`] instead of the payload (re-exported from
+/// [`bingo_walks::wire`], whose encoder defines the layout). Snapshots
+/// whose payload is no larger than the handle always ship inline — a
+/// handle would not save anything — so negotiation only engages past
+/// this size.
+pub use bingo_walks::wire::CONTEXT_HANDLE_BYTES;
 
 /// Derive one walker's RNG seed from the submission seed and its
 /// `(ticket, index)` coordinates.
@@ -289,12 +300,15 @@ pub struct ContextTrace {
     pub shard: usize,
     /// The capturing shard's epoch at capture time.
     pub epoch: u64,
-    /// Bytes billed to `context_bytes_forwarded` for this forward: the
-    /// snapshot's wire size on a cache miss, [`CONTEXT_HANDLE_BYTES`] on a
-    /// hit.
+    /// Bytes billed to `context_bytes_forwarded` for this forward — equal
+    /// to what the wire frame ships: the snapshot's encoded size when the
+    /// receiver had to be sent the body, [`CONTEXT_HANDLE_BYTES`] when
+    /// the receiver's snapshot cache already held this `(vertex, epoch)`
+    /// and a handle sufficed.
     pub bytes_sent: usize,
-    /// Whether the snapshot was reused from the shard's `(vertex, epoch)`
-    /// cache.
+    /// Whether the *sender's* encode cache already held the snapshot
+    /// (encode reuse — independent of the receiver-side handle
+    /// negotiation that decides `bytes_sent`).
     pub cache_hit: bool,
 }
 
@@ -567,6 +581,24 @@ impl WalkService {
         config: ServiceConfig,
         telemetry: Telemetry,
     ) -> Result<Self> {
+        Self::build_with_transport(graph, config, telemetry, Arc::new(LoopbackTransport))
+    }
+
+    /// [`WalkService::build_with_telemetry`] with a custom
+    /// [`ShardTransport`] carrying the encoded walker frames. Only
+    /// meaningful with [`TransportMode::Serialized`] (the in-process mode
+    /// never encodes a frame): every cross-shard forward is encoded,
+    /// handed to `carrier`, and rebuilt from the bytes it returns — the
+    /// hook the two-process demo uses to route forwards through a real
+    /// loopback `TcpStream`. A carrier error (or undecodable bytes) falls
+    /// back to forwarding the original in-process walker, so no walk is
+    /// ever lost to the transport.
+    pub fn build_with_transport(
+        graph: &DynamicGraph,
+        config: ServiceConfig,
+        telemetry: Telemetry,
+        carrier: Arc<dyn ShardTransport>,
+    ) -> Result<Self> {
         if telemetry.is_detailed() {
             // Enable-only: another service (or the user) may already rely
             // on the pool profile, so detailed telemetry never turns the
@@ -620,6 +652,7 @@ impl WalkService {
                 terminated: AtomicBool::new(false),
                 engine: RwLock::new_named(engine, "service.shard_engine"),
                 context_cache: Mutex::new_named(HashMap::new(), "service.shard_ctx_cache"),
+                rx_cache: Mutex::new_named(HashMap::new(), "service.shard_rx_cache"),
             });
         }
         let shared = Arc::new(ServiceShared {
@@ -630,6 +663,10 @@ impl WalkService {
             record_epochs: config.record_epochs,
             context_encoding: config.context_encoding,
             steal: resolve_steal(&config),
+            serialized: config.transport == TransportMode::Serialized,
+            carrier,
+            scoped_invalidation: config.engine.scoped_context_invalidation,
+            models: Mutex::new_named(HashMap::new(), "service.models"),
             telemetry: telemetry.clone(),
             hists,
             termination: Mutex::new_named(0, "service.termination"),
@@ -818,6 +855,10 @@ impl WalkService {
                 last_finish: None,
             },
         );
+        // Register the model for the serialized forward path (wire frames
+        // carry the path, not the model); dropped when the ticket is
+        // collected. Same lifecycle as the pending entry.
+        self.shared.models.lock().insert(ticket, model.clone());
         // One stamp for the whole fanout: every walker of this submission
         // was enqueued "now" for dwell purposes, and disabled telemetry
         // pays zero clock reads (`timer()` returns `None` without one).
@@ -897,6 +938,9 @@ impl WalkService {
             return None;
         }
         let entry = pending.remove(&ticket.0).expect("entry present");
+        // The ticket is done: no more forwards can need its model. (Lock
+        // order: pending → models; `models` nests innermost everywhere.)
+        self.shared.models.lock().remove(&ticket.0);
         let latency = entry
             .last_finish
             .map(|t| t.duration_since(entry.submitted_at))
@@ -1193,6 +1237,26 @@ impl WalkService {
         }
     }
 
+    /// Point-in-time occupancy of the context snapshot caches:
+    /// `(sender_entries, receiver_entries)` summed across shards — the
+    /// sender-side encode caches and the receiver-side handle-negotiation
+    /// caches. Both are one-slot-per-key maps evicted by the structural
+    /// updates that touch them, so occupancy is bounded by the set of
+    /// vertices that actually forwarded context, **not** by how many
+    /// epochs have passed (the regression the bounded-occupancy test
+    /// pins).
+    pub fn snapshot_cache_occupancy(&self) -> (usize, usize) {
+        let mut sender = 0;
+        let mut receiver = 0;
+        for shard in &self.shared.shards {
+            // Taken with no other lock held (each released before the
+            // next); the engine → cache order only constrains nesting.
+            sender += shard.context_cache.lock().len();
+            receiver += shard.rx_cache.lock().len();
+        }
+        (sender, receiver)
+    }
+
     /// Snapshot of per-shard throughput/occupancy counters.
     pub fn stats(&self) -> ServiceStats {
         // Refresh the update-epoch lag gauge: how many flushed epochs the
@@ -1314,12 +1378,27 @@ struct ShardState {
     /// sample under the read guard; update batches apply under the write
     /// guard, so no step ever observes a torn update.
     engine: RwLock<BingoEngine>,
-    /// Encoded snapshots captured this epoch, reused (`Arc` clone) by every
-    /// walker forwarded in the same wave. Cleared whenever an update batch
-    /// actually carries structural events (empty epoch ticks keep it
-    /// warm). Locked only while the engine lock is already held (order:
-    /// engine → ctx_cache).
-    context_cache: Mutex<HashMap<VertexId, CarriedContext>>,
+    /// Sender-side encode cache: snapshots captured on this shard, stamped
+    /// with their capture epoch and reused by every walker forwarded in
+    /// the same wave. Entry presence implies validity — structural update
+    /// batches evict exactly the vertices they touched (scoped mode) or
+    /// clear the map (wholesale baseline), while bias-only batches and
+    /// empty epoch ticks keep it warm (fingerprints are membership sets,
+    /// which reweights never alter). One slot per vertex, so occupancy is
+    /// bounded by the shard's forwarded-vertex set no matter how many
+    /// epochs pass. Locked only while the engine lock is already held
+    /// (order: engine → ctx_cache).
+    context_cache: Mutex<HashMap<VertexId, (u64, CarriedContext)>>,
+    /// Receiver-side snapshot cache for handle negotiation, keyed by
+    /// `(owner_shard, vertex)` and holding the snapshot's capture epoch:
+    /// a forward whose `(vertex, epoch)` is already here ships a true
+    /// [`CONTEXT_HANDLE_BYTES`] handle; otherwise the body ships and
+    /// seeds this cache. One slot per key (newer captures overwrite), so
+    /// occupancy is bounded like `context_cache`; the owning shard's
+    /// structural updates evict its touched keys from every peer's cache.
+    /// Locked only while an engine lock is already held (order: engine →
+    /// rx_cache), and never together with `context_cache`.
+    rx_cache: Mutex<HashMap<(u32, VertexId), (u64, CarriedContext)>>,
 }
 
 /// What a walker visit ended with — decided under the engine read guard,
@@ -1329,15 +1408,29 @@ enum VisitOutcome {
     /// The walk completed (or dead-ended) on this shard.
     Finished,
     /// The walk crossed into shard `to`'s range and must be forwarded;
-    /// `context` is the `(cache_hit, bytes_sent)` of the capture attached
-    /// under the engine guard (`None` when the model carries no context).
-    /// Carrying it out of the guarded section lets the forward-hop trace
-    /// be recorded *after* the visit's step-batch span, preserving
-    /// lifecycle order, and with no engine lock held.
+    /// `context` describes the capture/negotiation done under the engine
+    /// guard (`None` when the model carries no context). Carrying it out
+    /// of the guarded section lets the forward-hop trace be recorded
+    /// *after* the visit's step-batch span, preserving lifecycle order,
+    /// and with no engine lock held — and gives the serialized forward
+    /// path the negotiated handle for the wire frame.
     Forward {
         to: usize,
-        context: Option<(bool, usize)>,
+        context: Option<ForwardNegotiation>,
     },
+}
+
+/// What [`ServiceShared::attach_forward_context`] decided for one
+/// forwarded snapshot, carried out of the engine-guarded section.
+struct ForwardNegotiation {
+    /// The *sender's* encode cache already held the snapshot.
+    cache_hit: bool,
+    /// Bytes billed — and, in serialized mode, actually framed: the body
+    /// on a receiver miss, [`CONTEXT_HANDLE_BYTES`] on a receiver hit.
+    bytes_sent: usize,
+    /// `Some` when the receiver held the `(vertex, epoch)` snapshot: the
+    /// wire frame ships this handle instead of the body.
+    handle: Option<ContextHandle>,
 }
 
 /// The state shared by the service handle and every shard-task activation
@@ -1353,6 +1446,23 @@ struct ServiceShared {
     /// Whether idle shard tasks steal walker batches (resolved once at
     /// build from [`ServiceConfig::steal`] / `BINGO_STEAL`).
     steal: bool,
+    /// Whether forwarded walkers round-trip through the wire format
+    /// ([`TransportMode::Serialized`]).
+    serialized: bool,
+    /// The frame carrier serialized forwards go through
+    /// ([`LoopbackTransport`] unless
+    /// [`WalkService::build_with_transport`] plugged a real one).
+    carrier: Arc<dyn ShardTransport>,
+    /// Whether snapshot-cache eviction is scoped to the vertices a
+    /// structural batch touched (mirrors
+    /// [`BingoConfig::scoped_context_invalidation`], which the engines
+    /// apply to their hot-hub sets — this flag applies the same policy to
+    /// the service-level encode and receiver caches).
+    scoped_invalidation: bool,
+    /// Walk models of outstanding tickets, so the serialized forward path
+    /// can rebuild a cursor from a decoded frame (frames carry the path,
+    /// not the model). Registered at submit, removed at collection.
+    models: Mutex<HashMap<u64, SharedWalkModel>>,
     telemetry: Telemetry,
     hists: ShardHists,
     /// Number of shards that have processed their Shutdown message; the
@@ -1612,19 +1722,54 @@ impl ServiceShared {
     }
 
     fn apply_update(&self, shard_id: usize, batch: UpdateBatch) {
-        let structural = batch
+        // The vertices whose adjacency membership this batch changes —
+        // the exact invalidation scope. Bias-only events stay out of it:
+        // fingerprints are membership sets, which reweights never alter.
+        let mut touched: Vec<VertexId> = batch
             .events()
             .iter()
-            .any(|e| !matches!(e, UpdateEvent::UpdateBias { .. }));
+            .filter(|e| !matches!(e, UpdateEvent::UpdateBias { .. }))
+            .map(|e| e.src())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let structural = !touched.is_empty();
         let me = &self.shards[shard_id];
         let mut engine = me.engine.write();
         if structural {
             // Snapshots captured under the previous epoch may describe
-            // adjacencies this batch changes. Bias-only batches (and empty
-            // epoch ticks) keep the cache warm: fingerprints are membership
-            // sets, which reweights never alter. (Lock order: engine →
-            // ctx_cache, same as the capture path.)
-            me.context_cache.lock().clear();
+            // adjacencies this batch changes: evict them from this
+            // shard's encode cache AND from every peer's receiver-side
+            // handle cache (which holds copies keyed to this shard), so a
+            // stale `(vertex, epoch)` can never satisfy a handle offer.
+            // Scoped mode drops exactly the touched vertices — every
+            // other entry stays warm across the epoch advance — while the
+            // wholesale baseline flushes everything this shard owns.
+            // Bias-only batches and empty epoch ticks evict nothing.
+            // (Lock order: engine → ctx_cache / engine → rx_cache, same
+            // as the capture path; the two caches are never held
+            // together.)
+            if self.scoped_invalidation {
+                {
+                    let mut cache = me.context_cache.lock();
+                    for &v in &touched {
+                        cache.remove(&v);
+                    }
+                }
+                for peer in &self.shards {
+                    let mut rx = peer.rx_cache.lock();
+                    for &v in &touched {
+                        rx.remove(&(shard_id as u32, v));
+                    }
+                }
+            } else {
+                me.context_cache.lock().clear();
+                for peer in &self.shards {
+                    peer.rx_cache
+                        .lock()
+                        .retain(|&(owner, _), _| owner != shard_id as u32);
+                }
+            }
         }
         let outcome = engine.apply_batch(&batch);
         if structural {
@@ -1657,22 +1802,29 @@ impl ServiceShared {
     ///
     /// Snapshots are encoded per [`ServiceConfig::context_encoding`], built
     /// at most once per `(vertex, epoch)` (hot hubs come pre-built from the
-    /// engine's context provider) and shared across every walker forwarded
-    /// in the same wave as an `Arc` clone. Byte accounting distinguishes
-    /// the exact-`Vec` baseline (`context_bytes_raw`: what PR-2's format
-    /// shipped per forward) from the bytes actually materialized
-    /// (`context_bytes_forwarded`: the encoded payload on a cache miss, a
-    /// [`CONTEXT_HANDLE_BYTES`] handle on a hit).
+    /// engine's context provider) and reused by every walker forwarded in
+    /// the same wave. What actually ships is then **negotiated with the
+    /// receiver's snapshot cache**: a snapshot the receiver already holds
+    /// at the same `(vertex, epoch)` ships as a true
+    /// [`CONTEXT_HANDLE_BYTES`] [`ContextHandle`]; otherwise the encoded
+    /// body ships and seeds the receiver's cache (resolved synchronously
+    /// here, so the "body request" costs no separate hop in-process —
+    /// counted as `service.context.body_request` either way). Bodies no
+    /// larger than a handle always ship inline. Byte accounting
+    /// distinguishes the exact-`Vec` baseline (`context_bytes_raw`) from
+    /// the bytes the negotiated wire frame carries
+    /// (`context_bytes_forwarded` — real frame bytes in serialized mode).
     ///
-    /// Returns `(cache_hit, bytes_sent)` when a snapshot was attached (for
-    /// the forward-hop trace span), `None` when the model carries no
-    /// context or one is already attached.
+    /// Returns the negotiation outcome when a snapshot was attached,
+    /// `None` when the model carries no context or one is already
+    /// attached.
     fn attach_forward_context(
         &self,
         owner_shard: usize,
+        to: usize,
         engine: &BingoEngine,
         walker: &mut Walker,
-    ) -> Option<(bool, usize)> {
+    ) -> Option<ForwardNegotiation> {
         if walker.cursor.required_context() != ContextRequirement::PreviousAdjacency {
             return None;
         }
@@ -1683,28 +1835,55 @@ impl ServiceShared {
         if state.carried_context().is_some() || !engine.owns(prev) {
             return None;
         }
+        let c = &self.counters[owner_shard];
         // The caller holds the owner's engine read guard, so the cache
         // lock nests engine → ctx_cache — the same order `apply_update`
         // uses, and the guard also pins the epoch the fingerprint
         // describes (no update can slip between capture and cache insert).
-        let (ctx, cache_hit) = {
+        // The stored stamp is the *capture* epoch: bias-only epoch ticks
+        // advance the counter without invalidating membership, so entry
+        // presence (upheld by the eviction in `apply_update`) — not stamp
+        // freshness — is what implies validity.
+        let (capture_epoch, ctx, cache_hit) = {
             let mut cache = self.shards[owner_shard].context_cache.lock();
             match cache.get(&prev) {
-                Some(cached) => (cached.clone(), true),
+                Some(&(stamp, ref cached)) => (stamp, cached.clone(), true),
                 None => {
                     let (raw, _hot) = engine.context_fingerprint_shared(prev)?;
                     let ctx = self.context_encoding.encode(prev, raw);
-                    cache.insert(prev, ctx.clone());
-                    (ctx, false)
+                    let stamp = c.epoch.get_acquire();
+                    cache.insert(prev, (stamp, ctx.clone()));
+                    (stamp, ctx, false)
                 }
             }
         };
-        let bytes_sent = if cache_hit {
-            CONTEXT_HANDLE_BYTES.min(ctx.byte_len())
+        let body_len = ctx.byte_len();
+        // Handle negotiation with the receiving shard's snapshot cache
+        // (engine → rx_cache, never while ctx_cache is held). Only worth
+        // it when the handle is actually smaller than the body.
+        let (bytes_sent, handle) = if body_len > CONTEXT_HANDLE_BYTES {
+            c.context_handle_offers.inc();
+            let mut rx = self.shards[to].rx_cache.lock();
+            let key = (owner_shard as u32, prev);
+            match rx.get(&key) {
+                Some(&(stamp, _)) if stamp == capture_epoch => {
+                    c.context_handle_hits.inc();
+                    let handle = ContextHandle {
+                        vertex: prev,
+                        owner_shard: owner_shard as u32,
+                        epoch: capture_epoch,
+                    };
+                    (CONTEXT_HANDLE_BYTES, Some(handle))
+                }
+                _ => {
+                    rx.insert(key, (capture_epoch, ctx.clone()));
+                    c.context_body_requests.inc();
+                    (body_len, None)
+                }
+            }
         } else {
-            ctx.byte_len()
+            (body_len, None)
         };
-        let c = &self.counters[owner_shard];
         c.context_bytes_raw
             .add(CarriedContext::exact_wire_len(ctx.membership.len()) as u64);
         c.context_bytes_forwarded.add(bytes_sent as u64);
@@ -1724,7 +1903,113 @@ impl ServiceShared {
             });
         }
         walker.cursor.set_forward_context(ctx);
-        Some((cache_hit, bytes_sent))
+        Some(ForwardNegotiation {
+            cache_hit,
+            bytes_sent,
+            handle,
+        })
+    }
+
+    /// Serialized-mode forward: encode the walker into its versioned wire
+    /// frame, hand the bytes to the carrier, decode what arrives, and
+    /// rebuild the walker **from the frame alone** — cursor replayed from
+    /// the path, RNG restored from its raw parts, context taken from the
+    /// frame (inline body) or resolved from the receiver's snapshot cache
+    /// (negotiated handle). The walker the receiving shard processes then
+    /// contains exactly what crossed the wire, so serialized and
+    /// in-process runs are bit-identical by construction, not by
+    /// assumption.
+    ///
+    /// Debug-only baggage (step/context traces, the dwell stamp) is moved
+    /// out-of-band onto the rebuilt walker: it is collector-side
+    /// diagnostics, not walk state, and a real remote protocol would ship
+    /// it on a side channel if at all.
+    ///
+    /// Any failure — carrier error, undecodable bytes, unknown ticket, a
+    /// handle whose snapshot was evicted mid-flight — falls back to the
+    /// original in-process walker: the forward degrades to zero-copy
+    /// instead of losing the walk (the attach-time context is still on
+    /// its cursor, so even the evicted-handle race keeps the membership
+    /// answers intact).
+    fn round_trip(
+        &self,
+        owner_shard: usize,
+        to: usize,
+        mut walker: Box<Walker>,
+        handle: Option<ContextHandle>,
+    ) -> Box<Walker> {
+        let (rng_state, rng_inc) = walker.rng.to_raw_parts();
+        let context = match handle {
+            Some(h) => FrameContext::Handle(h),
+            None => match walker.cursor.state().carried_context() {
+                Some(ctx) => FrameContext::Inline(ctx.clone()),
+                None => FrameContext::None,
+            },
+        };
+        let frame = WalkerFrame {
+            ticket: walker.ticket,
+            index: walker.index,
+            hops: walker.hops,
+            context_misses: walker.context_misses,
+            sampled: walker.sampled,
+            rng_state,
+            rng_inc,
+            path: walker.cursor.path().to_vec(),
+            context,
+        };
+        let mut buf = Vec::with_capacity(frame.encoded_len());
+        let sent = wire::encode_walker(&frame, &mut buf);
+        self.counters[owner_shard]
+            .transport_bytes_sent
+            .add(sent as u64);
+        let Ok(delivered) = self.carrier.carry(to, buf) else {
+            return walker;
+        };
+        let Ok((decoded, _)) = wire::decode_walker(&delivered) else {
+            return walker;
+        };
+        let Some(model) = self.models.lock().get(&decoded.ticket).cloned() else {
+            return walker;
+        };
+        let Some(mut cursor) = WalkCursor::resume(model, decoded.path) else {
+            return walker;
+        };
+        match decoded.context {
+            FrameContext::Inline(ctx) => {
+                cursor.set_forward_context(ctx);
+            }
+            FrameContext::Handle(h) => {
+                let resolved = {
+                    let rx = self.shards[to].rx_cache.lock();
+                    match rx.get(&(h.owner_shard, h.vertex)) {
+                        Some(&(stamp, ref ctx)) if stamp == h.epoch => Some(ctx.clone()),
+                        _ => None,
+                    }
+                };
+                match resolved.or_else(|| walker.cursor.state().carried_context().cloned()) {
+                    Some(ctx) => {
+                        cursor.set_forward_context(ctx);
+                    }
+                    None => return walker,
+                }
+            }
+            FrameContext::None => {}
+        }
+        self.counters[to]
+            .transport_bytes_recv
+            .add(delivered.len() as u64);
+        Box::new(Walker {
+            ticket: decoded.ticket,
+            index: decoded.index,
+            cursor,
+            rng: Pcg64::from_raw_parts(decoded.rng_state, decoded.rng_inc),
+            hops: decoded.hops,
+            trace: std::mem::take(&mut walker.trace),
+            contexts: std::mem::take(&mut walker.contexts),
+            context_misses: decoded.context_misses,
+            sampled: decoded.sampled,
+            sent_at: walker.sent_at.take(),
+        })
     }
 
     /// Run one walker visit: sample steps against `owner_shard`'s engine
@@ -1765,7 +2050,8 @@ impl ServiceShared {
                         // self-forward forever; treat it as a dead end.
                         break VisitOutcome::Finished;
                     }
-                    let context = self.attach_forward_context(owner_shard, &engine, &mut walker);
+                    let context =
+                        self.attach_forward_context(owner_shard, owner, &engine, &mut walker);
                     self.counters[owner_shard].walkers_forwarded.inc();
                     walker.hops += 1;
                     break VisitOutcome::Forward { to: owner, context };
@@ -1813,7 +2099,9 @@ impl ServiceShared {
             VisitOutcome::Finished => self.finish_walker(owner_shard, *walker),
             VisitOutcome::Forward { to, context } => {
                 if walker.sampled {
-                    let (cache_hit, bytes) = context.unwrap_or((false, 0));
+                    let (cache_hit, bytes) = context
+                        .as_ref()
+                        .map_or((false, 0), |n| (n.cache_hit, n.bytes_sent));
                     self.telemetry.trace(
                         walker.ticket,
                         walker.index,
@@ -1826,6 +2114,12 @@ impl ServiceShared {
                     );
                 }
                 walker.sent_at = self.telemetry.timer();
+                let walker = if self.serialized {
+                    let handle = context.and_then(|n| n.handle);
+                    self.round_trip(owner_shard, to, walker, handle)
+                } else {
+                    walker
+                };
                 self.push(to, ShardMsg::Walker(walker));
             }
         }

@@ -59,6 +59,24 @@ pub(crate) struct ShardCounters {
     /// was missing or mismatched (capture faults — should stay zero; the
     /// worker also `debug_assert!`s on it).
     pub context_misses: Counter,
+    /// Forwards where this shard offered the receiver a `(vertex, epoch)`
+    /// snapshot handle instead of unconditionally shipping the body
+    /// (bodies no larger than a handle always ship inline and are not
+    /// offered).
+    pub context_handle_offers: Counter,
+    /// Offered handles the receiver's snapshot cache already held at the
+    /// same `(vertex, epoch)`: the forward shipped the 16-byte handle.
+    pub context_handle_hits: Counter,
+    /// Offered handles the receiver did not hold: the forward shipped the
+    /// encoded body and seeded the receiver's cache.
+    pub context_body_requests: Counter,
+    /// Bytes of encoded walker frames this shard handed to the
+    /// [`ShardTransport`](crate::ShardTransport) (serialized mode only;
+    /// zero in-process).
+    pub transport_bytes_sent: Counter,
+    /// Bytes of walker frames delivered *to* this shard by the transport
+    /// and successfully decoded (serialized mode only).
+    pub transport_bytes_recv: Counter,
     /// Submissions rejected because this shard's inbox was at its
     /// configured `max_inbox` bound.
     pub saturated_rejections: Counter,
@@ -98,6 +116,13 @@ impl ShardCounters {
                 .counter_with(names::SERVICE_CONTEXT_CACHE_MISSES, labels),
             context_misses: telemetry
                 .counter_with(names::SERVICE_CONTEXT_MEMBERSHIP_FAULTS, labels),
+            context_handle_offers: telemetry
+                .counter_with(names::SERVICE_CONTEXT_HANDLE_OFFER, labels),
+            context_handle_hits: telemetry.counter_with(names::SERVICE_CONTEXT_HANDLE_HIT, labels),
+            context_body_requests: telemetry
+                .counter_with(names::SERVICE_CONTEXT_BODY_REQUEST, labels),
+            transport_bytes_sent: telemetry.counter_with(names::TRANSPORT_BYTES_SENT, labels),
+            transport_bytes_recv: telemetry.counter_with(names::TRANSPORT_BYTES_RECV, labels),
             saturated_rejections: telemetry
                 .counter_with(names::SERVICE_SHARD_SATURATED_REJECTIONS, labels),
             stolen_batches: telemetry.counter_with(names::SERVICE_SHARD_STOLEN_BATCHES, labels),
@@ -141,6 +166,11 @@ impl ShardCounters {
             context_cache_hits: self.context_cache_hits.get(),
             context_cache_misses: self.context_cache_misses.get(),
             context_misses: self.context_misses.get(),
+            context_handle_offers: self.context_handle_offers.get(),
+            context_handle_hits: self.context_handle_hits.get(),
+            context_body_requests: self.context_body_requests.get(),
+            transport_bytes_sent: self.transport_bytes_sent.get(),
+            transport_bytes_recv: self.transport_bytes_recv.get(),
             saturated_rejections: self.saturated_rejections.get(),
             stolen_batches: self.stolen_batches.get(),
             stolen_walkers: self.stolen_walkers.get(),
@@ -191,6 +221,18 @@ pub struct ShardStatsSnapshot {
     /// Second-order membership queries degraded by a missing/mismatched
     /// carried context (capture faults; should be zero).
     pub context_misses: u64,
+    /// Forwards where this shard offered the receiver a snapshot handle.
+    pub context_handle_offers: u64,
+    /// Offered handles the receiver already held (16-byte forward).
+    pub context_handle_hits: u64,
+    /// Offered handles that shipped the body and seeded the receiver.
+    pub context_body_requests: u64,
+    /// Encoded walker-frame bytes handed to the transport (serialized
+    /// mode only).
+    pub transport_bytes_sent: u64,
+    /// Walker-frame bytes delivered to this shard and decoded (serialized
+    /// mode only).
+    pub transport_bytes_recv: u64,
     /// Submissions rejected at this shard's inbox bound.
     pub saturated_rejections: u64,
     /// Walker batches this shard drained from a hot peer's inbox
@@ -298,6 +340,45 @@ impl ServiceStats {
     /// forwarding bug, not load).
     pub fn total_context_misses(&self) -> u64 {
         self.per_shard.iter().map(|s| s.context_misses).sum()
+    }
+
+    /// Total snapshot handles offered to receiving shards.
+    pub fn total_handle_offers(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.context_handle_offers).sum()
+    }
+
+    /// Total offered handles the receiver's snapshot cache already held.
+    pub fn total_handle_hits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.context_handle_hits).sum()
+    }
+
+    /// Total offered handles that shipped the body instead.
+    pub fn total_body_requests(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.context_body_requests).sum()
+    }
+
+    /// Fraction of offered handles the receiver already held (0 when no
+    /// handle was ever offered). This is the negotiation's win rate: a
+    /// hit ships 16 bytes where a miss ships the encoded body.
+    pub fn handle_hit_rate(&self) -> f64 {
+        let offers = self.total_handle_offers();
+        if offers > 0 {
+            self.total_handle_hits() as f64 / offers as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Total encoded walker-frame bytes handed to the transport
+    /// (serialized mode only; zero in-process).
+    pub fn total_transport_bytes_sent(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.transport_bytes_sent).sum()
+    }
+
+    /// Total walker-frame bytes delivered and decoded (serialized mode
+    /// only).
+    pub fn total_transport_bytes_recv(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.transport_bytes_recv).sum()
     }
 
     /// Total submissions rejected for inbox saturation.
@@ -440,6 +521,16 @@ impl ServiceStats {
             self.total_saturated_rejections(),
             100.0 * self.mean_utilization(),
             self.uptime.as_secs_f64(),
+        ));
+        out.push_str(&format!(
+            "negotiation: {} handle offers, {} hits ({:.1}% handle hit rate), \
+             {} body requests; transport {} bytes sent / {} bytes recv\n",
+            self.total_handle_offers(),
+            self.total_handle_hits(),
+            100.0 * self.handle_hit_rate(),
+            self.total_body_requests(),
+            self.total_transport_bytes_sent(),
+            self.total_transport_bytes_recv(),
         ));
         out
     }
@@ -606,6 +697,42 @@ mod tests {
         assert!(rendered.contains("step%"), "per-shard step-share column");
         // No steps at all: the share is defined as zero, not NaN.
         assert_eq!(ServiceStats::default().hottest_step_share(), 0.0);
+    }
+
+    #[test]
+    fn negotiation_aggregates_and_handle_hit_rate() {
+        let stats = ServiceStats {
+            per_shard: vec![
+                ShardStatsSnapshot {
+                    shard: 0,
+                    context_handle_offers: 60,
+                    context_handle_hits: 45,
+                    context_body_requests: 15,
+                    transport_bytes_sent: 4096,
+                    ..Default::default()
+                },
+                ShardStatsSnapshot {
+                    shard: 1,
+                    context_handle_offers: 40,
+                    context_handle_hits: 30,
+                    context_body_requests: 10,
+                    transport_bytes_recv: 4096,
+                    ..Default::default()
+                },
+            ],
+            uptime: Duration::from_secs(1),
+        };
+        assert_eq!(stats.total_handle_offers(), 100);
+        assert_eq!(stats.total_handle_hits(), 75);
+        assert_eq!(stats.total_body_requests(), 25);
+        assert!((stats.handle_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.total_transport_bytes_sent(), 4096);
+        assert_eq!(stats.total_transport_bytes_recv(), 4096);
+        let rendered = stats.render();
+        assert!(rendered.contains("75.0% handle hit rate"));
+        assert!(rendered.contains("4096 bytes sent"));
+        // No offers at all: the rate is defined as zero, not NaN.
+        assert_eq!(ServiceStats::default().handle_hit_rate(), 0.0);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! | `service.context.cache_hits` | counter | forwarded-context cache hits |
 //! | `service.context.cache_misses` | counter | forwarded-context cache misses |
 //! | `service.context.membership_faults` | counter | second-order fallback probes |
+//! | `service.context.handle_offer` | counter | snapshot handles offered to receivers |
+//! | `service.context.handle_hit` | counter | offered handles the receiver held |
+//! | `service.context.body_request` | counter | offered handles that shipped the body |
+//! | `transport.bytes_sent` | counter | encoded walker-frame bytes handed to the transport |
+//! | `transport.bytes_recv` | counter | walker-frame bytes delivered and decoded |
 //! | `service.submit_ns` | histogram | submit call → all walkers enqueued |
 //! | `service.shard.step_batch_ns` | histogram | one walker visit on a shard |
 //! | `service.shard.inbox_dwell_ns` | histogram | message enqueue → dequeue |
@@ -91,6 +96,19 @@ pub const SERVICE_CONTEXT_CACHE_HITS: &str = "service.context.cache_hits";
 pub const SERVICE_CONTEXT_CACHE_MISSES: &str = "service.context.cache_misses";
 /// `service.context.membership_faults` — second-order fallbacks (counter).
 pub const SERVICE_CONTEXT_MEMBERSHIP_FAULTS: &str = "service.context.membership_faults";
+/// `service.context.handle_offer` — snapshot handles offered (counter).
+pub const SERVICE_CONTEXT_HANDLE_OFFER: &str = "service.context.handle_offer";
+/// `service.context.handle_hit` — offered handles the receiver held (counter).
+pub const SERVICE_CONTEXT_HANDLE_HIT: &str = "service.context.handle_hit";
+/// `service.context.body_request` — offered handles that shipped the body
+/// and seeded the receiver's snapshot cache (counter).
+pub const SERVICE_CONTEXT_BODY_REQUEST: &str = "service.context.body_request";
+/// `transport.bytes_sent` — encoded walker-frame bytes handed to the
+/// shard transport (counter; serialized mode only).
+pub const TRANSPORT_BYTES_SENT: &str = "transport.bytes_sent";
+/// `transport.bytes_recv` — walker-frame bytes delivered and decoded
+/// (counter; serialized mode only).
+pub const TRANSPORT_BYTES_RECV: &str = "transport.bytes_recv";
 /// `service.submit_ns` — submit-call latency (histogram).
 pub const SERVICE_SUBMIT_NS: &str = "service.submit_ns";
 /// `service.shard.step_batch_ns` — one walker visit (histogram).

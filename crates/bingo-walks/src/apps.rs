@@ -220,6 +220,30 @@ impl WalkCursor {
         }
     }
 
+    /// Rebuild a mid-walk cursor from a previously visited path — the
+    /// receiving side of a serialized cross-shard hop. The walker resumes
+    /// at the last path vertex with the second-to-last as its previous
+    /// vertex and `path.len() - 1` steps taken, exactly the state an
+    /// in-process forward would have handed over. Returns `None` when
+    /// `path` is empty (a walker always has at least its start vertex).
+    ///
+    /// Forwarded walkers are never done (a shard finishes a walker locally
+    /// rather than forwarding it), so the rebuilt cursor is live.
+    pub fn resume(model: SharedWalkModel, path: Vec<VertexId>) -> Option<Self> {
+        let mut state = model.init(*path.first()?);
+        for &v in &path[1..] {
+            state.advance(v);
+        }
+        debug_assert_eq!(Some(state.current()), path.last().copied());
+        debug_assert_eq!(state.steps_taken(), path.len() - 1);
+        Some(WalkCursor {
+            model,
+            state,
+            path,
+            done: false,
+        })
+    }
+
     /// The model this cursor is running.
     pub fn model(&self) -> &SharedWalkModel {
         &self.model
@@ -382,6 +406,46 @@ mod tests {
             80
         );
         assert_eq!(WalkSpec::Ppr(PprConfig::default()).expected_length(), 80);
+    }
+
+    #[test]
+    fn resume_rebuilds_mid_walk_cursor_state() {
+        let model = WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 10 }).to_model();
+        assert!(
+            WalkCursor::resume(model.clone(), vec![]).is_none(),
+            "an empty path is not a walker"
+        );
+        let fresh = WalkCursor::resume(model.clone(), vec![3]).expect("single-vertex path");
+        assert_eq!(fresh.current(), 3);
+        assert_eq!(fresh.steps_taken(), 0);
+        assert_eq!(fresh.state().prev(), None);
+        assert!(!fresh.is_done());
+        let mid = WalkCursor::resume(model, vec![3, 1, 2]).expect("mid-walk path");
+        assert_eq!(mid.current(), 2);
+        assert_eq!(mid.state().prev(), Some(1));
+        assert_eq!(mid.steps_taken(), 2);
+        assert_eq!(mid.path(), &[3, 1, 2]);
+
+        // A resumed cursor continues exactly like the original: same model,
+        // same state, same RNG stream → same next step.
+        let engine = cyclic_engine();
+        let mut original =
+            WalkCursor::new(WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 6 }), 0);
+        let mut rng = Pcg64::seed_from_u64(21);
+        original.step(&engine, &mut rng);
+        original.step(&engine, &mut rng);
+        let mut resumed = WalkCursor::resume(
+            WalkSpec::DeepWalk(DeepWalkConfig { walk_length: 6 }).to_model(),
+            original.path().to_vec(),
+        )
+        .expect("resume");
+        let mut rng_a = Pcg64::seed_from_u64(99);
+        let mut rng_b = rng_a.clone();
+        assert_eq!(
+            original.step(&engine, &mut rng_a),
+            resumed.step(&engine, &mut rng_b)
+        );
+        assert_eq!(original.path(), resumed.path());
     }
 
     #[test]

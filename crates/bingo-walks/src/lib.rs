@@ -26,6 +26,9 @@
 //! * [`walk_store`] — Wharf/FIRM-style incremental maintenance of stored
 //!   walks: when an edge changes, only the affected suffixes are re-sampled
 //!   from the updated engine (§7.2).
+//! * [`wire`] — versioned fixed-width little-endian codecs for everything
+//!   that crosses a shard boundary: walker frames, carried contexts, and
+//!   the negotiated 16-byte snapshot handles.
 //! * [`tenancy`] — multi-tenant ticket metadata ([`TenantId`],
 //!   [`TicketMeta`]): the shared vocabulary the serving layers
 //!   (`bingo-service`, `bingo-gateway`) use to attribute and fairly
@@ -52,6 +55,7 @@ pub mod engine;
 pub mod model;
 pub mod tenancy;
 pub mod walk_store;
+pub mod wire;
 pub mod workflow;
 
 pub use analytics::{personalized_pagerank, random_walk_domination, sample_mini_batch, MiniBatch};
@@ -66,6 +70,7 @@ pub use model::{
 };
 pub use tenancy::{TenantId, TicketMeta};
 pub use walk_store::{RefreshStats, WalkStore};
+pub use wire::{ContextHandle, FrameContext, WalkerFrame, WireError};
 pub use workflow::{EvaluationWorkflow, IngestMode, IngestStats, RoundReport, WorkflowReport};
 
 use bingo_core::BingoEngine;

@@ -43,7 +43,8 @@
 //! | 3 | [`ContextSnapshot::Bloom`] | **no** | a Bloom filter ([`BloomFingerprint`]) sized at a configured bits-per-key; no false negatives, but a tunable false-*positive* rate |
 //!
 //! The wire envelope is one version byte plus the 4-byte snapshot vertex id
-//! plus the payload ([`CarriedContext::byte_len`]). Encodings are selected
+//! plus a 4-byte payload length, followed by the payload
+//! ([`CarriedContext::byte_len`] counts all of it). Encodings are selected
 //! by [`ContextEncoding`] (a deployment knob, not a per-walker one);
 //! [`ContextEncoding::Exact`] is the default so sharded and single-engine
 //! runs answer membership queries *identically*. `Delta` is also exact —
@@ -52,6 +53,38 @@
 //! distance 1 with probability ≈ the filter's false-positive rate, which
 //! slightly biases the transition distribution (analytic chi-square
 //! equivalence holds only for the exact representations).
+//!
+//! ### Wire-format specification
+//!
+//! All integers are **fixed-width little-endian**; nothing on the wire is
+//! `usize` or otherwise platform-dependent, and every count is explicit so
+//! a decoder never trusts container iteration order. The codecs live in
+//! [`crate::wire`]; `byte_len()` here reports *exactly* the number of
+//! bytes [`crate::wire::encode_context`] emits.
+//!
+//! Context envelope (every version, [`CONTEXT_ENVELOPE_BYTES`] = 9):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0 | 1 | wire version (1 = exact, 2 = delta, 3 = Bloom) |
+//! | 1 | 4 | snapshot vertex id (`u32` LE) |
+//! | 5 | 4 | payload length in bytes (`u32` LE) |
+//! | 9 | n | version-specific payload |
+//!
+//! Payloads:
+//!
+//! * **v1 exact** — the sorted, strictly increasing neighbor ids, each a
+//!   `u32` LE (payload length is `4 × entries`; the count is implied).
+//! * **v2 delta** — a `u32` LE entry count, then the LEB128 varint gap
+//!   stream ([`DeltaFingerprint`]): first varint is the first id, each
+//!   subsequent varint a strictly positive gap.
+//! * **v3 Bloom** — a `u32` LE entry count, a `u8` probe-hash count
+//!   (1–16), a `u32` LE filter word count, then that many `u64` LE filter
+//!   words ([`BloomFingerprint`]; the filter has `64 × words` bits).
+//!
+//! Walker frames (the whole forwarded walker, version-prefixed the same
+//! way) and the 16-byte snapshot *handle* that replaces a payload when the
+//! receiver already caches the snapshot are specified in [`crate::wire`].
 //!
 //! ### Missing-context faults
 //!
@@ -334,6 +367,55 @@ impl DeltaFingerprint {
     pub fn decode(&self) -> Vec<VertexId> {
         self.iter().collect()
     }
+
+    /// The raw varint gap stream and entry count, for the wire codec.
+    pub fn wire_parts(&self) -> (&[u8], usize) {
+        (&self.bytes, self.len)
+    }
+
+    /// Rebuild a fingerprint from wire parts, validating that the varint
+    /// stream is well-formed: exactly `len` entries, strictly increasing,
+    /// every value within `u32`, no trailing bytes. Returns `None` on any
+    /// violation, so corrupted wire bytes can never panic a membership
+    /// query.
+    pub fn from_wire_parts(bytes: Vec<u8>, len: usize) -> Option<Self> {
+        let mut pos = 0usize;
+        let mut prev = 0u32;
+        let mut decoded = 0usize;
+        while pos < bytes.len() {
+            let mut gap: u64 = 0;
+            let mut shift = 0u32;
+            loop {
+                let byte = *bytes.get(pos)?;
+                pos += 1;
+                if shift >= 32 && byte & 0x7F != 0 {
+                    return None; // value overflows u32
+                }
+                gap |= u64::from(byte & 0x7F) << shift.min(63);
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+                if shift > 63 {
+                    return None; // runaway continuation bits
+                }
+            }
+            let gap = u32::try_from(gap).ok()?;
+            if decoded > 0 && gap == 0 {
+                return None; // duplicate (gaps must be strictly positive)
+            }
+            prev = if decoded == 0 {
+                gap
+            } else {
+                prev.checked_add(gap)?
+            };
+            decoded += 1;
+        }
+        if decoded != len {
+            return None;
+        }
+        Some(DeltaFingerprint { bytes, len })
+    }
 }
 
 impl ContextMembership for DeltaFingerprint {
@@ -350,7 +432,9 @@ impl ContextMembership for DeltaFingerprint {
     }
 
     fn byte_len(&self) -> usize {
-        self.bytes.len()
+        // u32 entry-count prefix + the varint gap stream (see the
+        // wire-format spec in the module docs).
+        std::mem::size_of::<u32>() + self.bytes.len()
     }
 
     fn len(&self) -> usize {
@@ -411,6 +495,30 @@ impl BloomFingerprint {
     pub fn num_hashes(&self) -> u32 {
         self.hashes
     }
+
+    /// The raw filter words, probe-hash count, and entry count, for the
+    /// wire codec.
+    pub fn wire_parts(&self) -> (&[u64], u32, usize) {
+        (&self.bits, self.hashes, self.len)
+    }
+
+    /// Rebuild a filter from wire parts, validating the Bloom invariants
+    /// (at least one word, 1–16 probe hashes). Returns `None` on any
+    /// violation, so corrupted wire bytes can never panic a membership
+    /// probe (`contains` reduces probe positions modulo `64 × words`,
+    /// which the word check keeps nonzero).
+    pub fn from_wire_parts(bits: Vec<u64>, hashes: u32, len: usize) -> Option<Self> {
+        if bits.is_empty() || !(1..=16).contains(&hashes) {
+            return None;
+        }
+        let num_bits = (bits.len() as u64) * 64;
+        Some(BloomFingerprint {
+            bits,
+            num_bits,
+            hashes,
+            len,
+        })
+    }
 }
 
 impl ContextMembership for BloomFingerprint {
@@ -423,7 +531,9 @@ impl ContextMembership for BloomFingerprint {
     }
 
     fn byte_len(&self) -> usize {
-        self.bits.len() * std::mem::size_of::<u64>() + 2 // bits + hash-count/len header
+        // u32 entry count + u8 probe-hash count + u32 word count + the
+        // filter words (see the wire-format spec in the module docs).
+        std::mem::size_of::<u32>() * 2 + 1 + self.bits.len() * std::mem::size_of::<u64>()
     }
 
     fn len(&self) -> usize {
@@ -505,9 +615,11 @@ impl ContextMembership for ContextSnapshot {
     }
 }
 
-/// Bytes of the shared wire envelope: one version byte plus the snapshot
-/// vertex id.
-pub const CONTEXT_ENVELOPE_BYTES: usize = 1 + std::mem::size_of::<VertexId>();
+/// Bytes of the shared wire envelope: one version byte, the snapshot
+/// vertex id, and the payload length (see the wire-format spec in the
+/// module docs).
+pub const CONTEXT_ENVELOPE_BYTES: usize =
+    1 + std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>();
 
 /// A membership snapshot of one vertex's out-adjacency, captured by the
 /// shard that owns it and carried with a forwarded walker. See the module

@@ -146,6 +146,30 @@ fn hygiene_fixture_fires_on_unwrap_and_println_not_expect() {
 }
 
 #[test]
+fn wire_fixture_fires_on_endianness_width_and_ordering() {
+    let findings = lint_fixture(
+        "bad_wire.rs",
+        "crates/bingo-walks/src/wire/fixture.rs",
+        &LintConfig::default(),
+    );
+    let lines = rule_lines(&findings, "wire-format");
+    // HashMap import + HashMap field + `.len().to_le_bytes()` +
+    // `to_be_bytes` + `usize::from_le_bytes`; the `lint:allow`-escaped
+    // big-endian decode stays quiet.
+    assert_eq!(lines, vec![4, 7, 11, 13, 18], "{findings:?}");
+}
+
+#[test]
+fn wire_fixture_is_exempt_outside_wire_paths() {
+    let findings = lint_fixture(
+        "bad_wire.rs",
+        "crates/bingo-walks/src/model.rs",
+        &LintConfig::default(),
+    );
+    assert!(rule_lines(&findings, "wire-format").is_empty());
+}
+
+#[test]
 fn baseline_suppresses_by_rule_and_path_prefix() {
     let cfg = LintConfig {
         allow: vec![(

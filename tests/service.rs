@@ -671,17 +671,30 @@ fn context_byte_accounting_matches_recorded_traces() {
         .map(|t| CarriedContext::exact_wire_len(t.adjacency.len()) as u64)
         .sum();
     assert_eq!(stats.total_context_bytes_raw(), raw);
-    // With the default exact encoding a cache miss bills the full exact
-    // wire size, so per-trace billing is reconstructable too.
+    // Per-trace billing follows handle negotiation: a snapshot bigger
+    // than a handle is offered to the receiver, and bills either the
+    // 16-byte handle (receiver already held the snapshot) or the full
+    // body (first forward of that snapshot to this owner). Small
+    // snapshots are never offered and always ship the body.
+    let mut offered = 0u64;
+    let mut handle_billed = 0u64;
     for t in &traces {
         let wire = CarriedContext::exact_wire_len(t.adjacency.len());
-        let expected = if t.cache_hit {
-            bingo::service::CONTEXT_HANDLE_BYTES.min(wire)
+        if wire > bingo::service::CONTEXT_HANDLE_BYTES {
+            offered += 1;
+            if t.bytes_sent == bingo::service::CONTEXT_HANDLE_BYTES {
+                handle_billed += 1;
+            } else {
+                assert_eq!(t.bytes_sent, wire, "non-handle forwards bill the body");
+            }
         } else {
-            wire
-        };
-        assert_eq!(t.bytes_sent, expected);
+            assert_eq!(t.bytes_sent, wire, "small snapshots are never offered");
+        }
     }
+    assert_eq!(stats.total_handle_offers(), offered);
+    assert_eq!(stats.total_handle_hits(), handle_billed);
+    assert_eq!(stats.total_body_requests(), offered - handle_billed);
+    assert!(handle_billed > 0, "repeat forwards ride the 16-byte handle");
     // Cache bookkeeping: one hit or miss per capture, and reuse happened.
     assert_eq!(
         stats.total_context_cache_hits() + stats.total_context_cache_misses(),
